@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: basic-block size sensitivity. The paper: "Because basic
+ * block sizes in CRISP are typically short, on the order of 3
+ * instructions, we decided that branch prediction would be a better
+ * technique than delayed branch. Delayed branch might be more
+ * effective ... where the basic blocks are somewhat larger."
+ *
+ * Method: a loop whose body contains B independent statements plus an
+ * unpredictable (alternating) conditional, run on (a) full CRISP
+ * (folding + prediction + spreading), (b) CRISP without folding, and
+ * (c) the one-delay-slot baseline machine.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "baseline/delayed.hh" // plain and annulling variants
+#include "cc/compiler.hh"
+#include "sim/cpu.hh"
+
+using namespace crisp;
+
+namespace
+{
+
+std::string
+makeProgram(int block_size, int iters)
+{
+    std::ostringstream os;
+    os << "int a; int b;\nint main() {\n    int i";
+    for (int j = 0; j < block_size; ++j)
+        os << ", x" << j;
+    os << ";\n";
+    for (int j = 0; j < block_size; ++j)
+        os << "    x" << j << " = 0;\n";
+    os << "    a = 0; b = 0;\n";
+    os << "    for (i = 0; i < " << iters << "; i++) {\n";
+    for (int j = 0; j < block_size; ++j)
+        os << "        x" << j << " = x" << j << " + i;\n";
+    os << "        if (i & 1) a = a + 1; else b = b + 1;\n";
+    os << "    }\n    return a";
+    for (int j = 0; j < block_size; ++j)
+        os << " + x" << j;
+    os << ";\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main()
+{
+    const int iters = 2000;
+
+    std::printf("Basic-block-size ablation: cycles per iteration "
+                "(%d iterations, alternating if)\n",
+                iters);
+    std::printf("%-6s %14s %14s %14s %14s %18s\n", "B",
+                "CRISP(full)", "CRISP(nofold)", "delayed-slot",
+                "annulling", "CRISP advantage");
+
+    for (int b : {1, 2, 3, 4, 6, 8, 12}) {
+        const std::string src = makeProgram(b, iters);
+
+        cc::CompileOptions full;
+        const auto rf = cc::compile(src, full);
+        CrispCpu cpu1(rf.program);
+        const double c_full =
+            static_cast<double>(cpu1.run().cycles) / iters;
+
+        SimConfig nofold_cfg;
+        nofold_cfg.foldPolicy = FoldPolicy::kNone;
+        CrispCpu cpu2(rf.program, nofold_cfg);
+        const double c_nofold =
+            static_cast<double>(cpu2.run().cycles) / iters;
+
+        cc::CompileOptions del;
+        del.delaySlots = true;
+        const auto rd = cc::compile(src, del);
+        DelayedBranchCpu cpu3(rd.program);
+        const double c_delay =
+            static_cast<double>(cpu3.run().cycles) / iters;
+
+        cc::CompileOptions ann;
+        ann.delaySlots = true;
+        ann.annulSlots = true;
+        const auto ra = cc::compile(src, ann);
+        DelayedBranchCpu cpu4(ra.program, /*annulling=*/true);
+        const double c_annul =
+            static_cast<double>(cpu4.run().cycles) / iters;
+
+        std::printf("%-6d %14.2f %14.2f %14.2f %14.2f %17.1f%%\n", b,
+                    c_full, c_nofold, c_delay, c_annul,
+                    100.0 * (c_annul / c_full - 1.0));
+    }
+
+    std::printf("\nWith larger blocks the delayed machine fills its "
+                "slots and amortizes branch cost,\nnarrowing CRISP's "
+                "relative advantage — the paper's rationale for "
+                "choosing prediction\n+ folding at CRISP's ~3-"
+                "instruction block size.\n");
+    return 0;
+}

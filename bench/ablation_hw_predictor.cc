@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: static bit vs in-pipeline dynamic prediction hardware.
+ *
+ * Table 1 compares trace accuracies; this bench runs the road not
+ * taken end-to-end: the same programs on the same pipeline with the
+ * static bit replaced by a direct-mapped 1-bit or 2-bit history table.
+ * The paper's conclusion — the added hardware buys little once Branch
+ * Spreading has removed most speculation — becomes measurable in
+ * cycles.
+ */
+
+#include <cstdio>
+
+#include "cc/compiler.hh"
+#include "sim/cpu.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace crisp;
+
+    std::printf("Hardware-predictor ablation (pipeline cycles; "
+                "mispredicts in parentheses; 256-entry tables)\n");
+    std::printf("%-8s %18s %18s %18s %10s\n", "Program", "static-bit",
+                "dynamic-1bit", "dynamic-2bit", "2b gain");
+
+    for (const Workload& w : allWorkloads()) {
+        const auto r = cc::compile(w.source);
+        SimStats s[3];
+        int i = 0;
+        for (PredictorKind k :
+             {PredictorKind::kStaticBit, PredictorKind::kDynamic1,
+              PredictorKind::kDynamic2}) {
+            SimConfig cfg;
+            cfg.predictor = k;
+            CrispCpu cpu(r.program, cfg);
+            s[i++] = cpu.run();
+        }
+        char cols[3][32];
+        for (int c = 0; c < 3; ++c) {
+            std::snprintf(cols[c], sizeof(cols[c]), "%llu(%llu)",
+                          static_cast<unsigned long long>(s[c].cycles),
+                          static_cast<unsigned long long>(
+                              s[c].mispredicts));
+        }
+        std::printf("%-8s %18s %18s %18s %9.2f%%\n", w.name.c_str(),
+                    cols[0], cols[1], cols[2],
+                    100.0 * (static_cast<double>(s[0].cycles) /
+                                 static_cast<double>(s[2].cycles) -
+                             1.0));
+    }
+    std::printf("\nSpreading already resolved most conditional branches "
+                "at issue, so the dynamic\ntables only act on the "
+                "residue — the paper's cost/benefit argument for the\n"
+                "single static bit.\n");
+    return 0;
+}

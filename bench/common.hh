@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches.
+ */
+
+#ifndef CRISP_BENCH_COMMON_HH
+#define CRISP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "sim/config.hh"
+#include "sim/cpu.hh"
+
+namespace crisp::bench
+{
+
+/** The five configurations of the paper's Table 4. */
+struct Table4Case
+{
+    char name;
+    FoldPolicy fold;
+    cc::PredictMode predict;
+    bool spread;
+};
+
+inline const Table4Case kTable4Cases[] = {
+    {'A', FoldPolicy::kNone, cc::PredictMode::kAllNotTaken, false},
+    {'B', FoldPolicy::kNone, cc::PredictMode::kBackwardTaken, false},
+    {'C', FoldPolicy::kCrisp, cc::PredictMode::kBackwardTaken, false},
+    {'D', FoldPolicy::kCrisp, cc::PredictMode::kBackwardTaken, true},
+    {'E', FoldPolicy::kNone, cc::PredictMode::kBackwardTaken, true},
+};
+
+/** Compile a source for one Table 4 case and run it on the pipeline. */
+inline SimStats
+runCase(const std::string& source, const Table4Case& c,
+        SimConfig base = {})
+{
+    cc::CompileOptions opts;
+    opts.spread = c.spread;
+    opts.predict = c.predict;
+    const auto r = cc::compile(source, opts);
+
+    SimConfig cfg = base;
+    cfg.foldPolicy = c.fold;
+    CrispCpu cpu(r.program, cfg);
+    return cpu.run();
+}
+
+} // namespace crisp::bench
+
+#endif // CRISP_BENCH_COMMON_HH

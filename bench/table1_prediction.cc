@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces the paper's Table 1: "Accuracies of branch prediction
+ * techniques" — optimal static prediction vs 1/2/3 bits of dynamic
+ * history (infinite table), over the six workloads.
+ *
+ * Paper reference values (proxy workloads; shapes, not exact numbers,
+ * are the reproduction target):
+ *   Program     static  1-bit  2-bit  3-bit   branches
+ *   troff        .94     .93    .95    .95    22 M
+ *   C compiler   .74     .77    .77    .74    1.5 M
+ *   VLSI DRC     .89     .95    .95    .95    38 M
+ *   Dhrystone    .86     .72    .79    .79    1.5 M
+ *   Cwhet        .84     .68    .79    .79    33,550
+ *   Puzzle       .92     .87    .87    .87    741
+ */
+
+#include <cstdio>
+
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "predict/predictors.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace crisp;
+
+    std::printf("Table 1: Accuracies of branch prediction techniques\n");
+    std::printf("%-8s %8s %8s %8s %8s %12s   (paper: static / 1b / 2b "
+                "/ 3b)\n",
+                "Program", "static", "1-bit", "2-bit", "3-bit",
+                "branches");
+
+    struct PaperRow
+    {
+        const char* name;
+        double s, d1, d2, d3;
+    };
+    const PaperRow paper[] = {
+        {"troff", .94, .93, .95, .95}, {"ccomp", .74, .77, .77, .74},
+        {"drc", .89, .95, .95, .95},   {"dhry", .86, .72, .79, .79},
+        {"cwhet", .84, .68, .79, .79}, {"puzzle", .92, .87, .87, .87},
+    };
+
+    for (const PaperRow& p : paper) {
+        const Workload& w = workload(p.name);
+        const auto r = cc::compile(w.source);
+        Interpreter interp(r.program);
+        BranchTraceRecorder rec;
+        interp.run(500'000'000, &rec);
+
+        const PredictionAccuracy st = evaluateStaticOracle(rec.events);
+        double dyn[3];
+        std::uint64_t total = 0;
+        for (int bits = 1; bits <= 3; ++bits) {
+            CounterPredictor cp(bits);
+            const PredictionAccuracy a = evaluateDirection(rec.events, cp);
+            dyn[bits - 1] = a.rate();
+            total = a.total;
+        }
+        std::printf("%-8s %8.2f %8.2f %8.2f %8.2f %12llu   "
+                    "(paper: %.2f / %.2f / %.2f / %.2f)\n",
+                    w.name.c_str(), st.rate(), dyn[0], dyn[1], dyn[2],
+                    static_cast<unsigned long long>(total), p.s, p.d1,
+                    p.d2, p.d3);
+    }
+
+    // The paper's explanation of why static can beat dynamic: on a
+    // strictly alternating branch, static gets 50%, dynamic ~0%.
+    std::printf("\nAlternating-branch decomposition (paper: static 50%%, "
+                "all dynamic schemes 0%%):\n");
+    {
+        const int flips = 1000;
+        std::printf("  optimal static: 0.50 (by construction)\n");
+        for (int bits = 1; bits <= 3; ++bits) {
+            CounterPredictor cp(bits);
+            const PredictionAccuracy a = alternatingAccuracy(cp, flips);
+            std::printf("  %d-bit dynamic: %.2f\n", bits, a.rate());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces the paper's Table 3: "CRISP Code for loop before and
+ * after Branch Spreading" — the compiled Figure 3 loop listings.
+ */
+
+#include <cstdio>
+
+#include "cc/compiler.hh"
+#include "workloads/workloads.hh"
+
+int
+main()
+{
+    using namespace crisp;
+    const std::string src = fig3Source(1024);
+
+    cc::CompileOptions before;
+    before.spread = false;
+    cc::CompileOptions after;
+    after.spread = true;
+
+    const auto rb = cc::compile(src, before);
+    const auto ra = cc::compile(src, after);
+
+    std::printf("Table 3: CRISP code for the Figure 3 loop, before and "
+                "after Branch Spreading\n\n");
+    std::printf("=== without Branch Spreading ===\n%s\n",
+                rb.listing.c_str());
+    std::printf("=== with Branch Spreading ===\n%s\n",
+                ra.listing.c_str());
+    std::printf(
+        "Paper's loop (left column):  add sum,i / and3 i,1 / "
+        "cmp.= Accum,0 / ifTjmp / add odd,1 /\n"
+        "  jmp / add even,1 / mov j,sum / add i,1 / cmp.s< i,1024 / "
+        "ifTjmp\n"
+        "Paper's loop (right column): and3 i,1 / cmp.= Accum,0 / "
+        "add sum,i / add i,1 / mov j,sum /\n"
+        "  ifTjmp / ... / cmp.s< i,1024 / ifTjmp\n"
+        "The spread version separates the unpredictable if-branch from "
+        "its compare by three\n"
+        "useful instructions, so its outcome is known at issue time.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces the paper's Table 4: "Execution Statistics on CRISP for
+ * program of Figure 3" — cases A..E toggling Branch Folding, Branch
+ * Prediction and Branch Spreading, plus (beyond the paper) a genuine
+ * one-delay-slot baseline machine.
+ *
+ * Paper reference values:
+ *   Case  Fold Pred Spread  Cycles  Issued  Rel   iCPI  aCPI
+ *   A     no   no   no      14,422  9,734   1.0   1.48  1.48
+ *   B     no   yes  no      11,359  9,734   1.3   1.16  1.16
+ *   C     yes  yes  no       8,789  7,174   1.6   1.22  0.90
+ *   D     yes  yes  yes      7,250  7,174   2.0   1.01  0.74
+ *   E     no   yes  yes      9,815  9,734   1.5   1.01  1.01
+ */
+
+#include <cstdio>
+
+#include "baseline/delayed.hh"
+#include "common.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+struct PaperRow
+{
+    double cycles, issued, rel, icpi, acpi;
+};
+
+const PaperRow kPaper[] = {
+    {14422, 9734, 1.0, 1.48, 1.48},
+    {11359, 9734, 1.3, 1.16, 1.16},
+    {8789, 7174, 1.6, 1.22, 0.90},
+    {7250, 7174, 2.0, 1.01, 0.74},
+    {9815, 9734, 1.5, 1.01, 1.01},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace crisp;
+    const std::string src = fig3Source(1024);
+
+    std::printf("Table 4: Execution statistics on CRISP for the Figure 3 "
+                "program (1024 iterations)\n");
+    std::printf("%-4s %-5s %-5s %-7s | %9s %8s %5s %6s %6s | "
+                "paper: %7s %6s %4s %5s %5s\n",
+                "Case", "Fold", "Pred", "Spread", "Cycles", "Issued",
+                "Rel", "iCPI", "aCPI", "Cycles", "Issued", "Rel", "iCPI",
+                "aCPI");
+
+    double base_cycles = 0;
+    int idx = 0;
+    for (const auto& c : bench::kTable4Cases) {
+        const SimStats s = bench::runCase(src, c);
+        if (c.name == 'A')
+            base_cycles = static_cast<double>(s.cycles);
+        const double rel = base_cycles / static_cast<double>(s.cycles);
+        const PaperRow& p = kPaper[idx++];
+        std::printf(
+            "%-4c %-5s %-5s %-7s | %9llu %8llu %5.2f %6.2f %6.2f | "
+            "       %7.0f %6.0f %4.1f %5.2f %5.2f\n",
+            c.name, c.fold == FoldPolicy::kNone ? "no" : "yes",
+            c.predict == cc::PredictMode::kAllNotTaken ? "no" : "yes",
+            c.spread ? "yes" : "no",
+            static_cast<unsigned long long>(s.cycles),
+            static_cast<unsigned long long>(s.issued), rel, s.issuedCpi(),
+            s.apparentCpi(), p.cycles, p.issued, p.rel, p.icpi, p.acpi);
+    }
+
+    // Beyond the paper: an actual one-delay-slot machine on the same
+    // program (the class of machine case E approximates).
+    {
+        cc::CompileOptions opts;
+        opts.spread = true;
+        opts.delaySlots = true;
+        const auto r = cc::compile(src, opts);
+        DelayedBranchCpu cpu(r.program);
+        const DelayedStats s = cpu.run();
+        std::printf(
+            "DLY  (true 1-delay-slot machine)   | %9llu %8llu %5.2f "
+            "%6.2f %6s |\n",
+            static_cast<unsigned long long>(s.cycles),
+            static_cast<unsigned long long>(s.instructions),
+            base_cycles / static_cast<double>(s.cycles), s.cpi(), "-");
+    }
+
+    std::printf("\nNotes: absolute cycles differ from the paper only in "
+                "startup cost (crt0 + cold\n"
+                "decoded-instruction-cache misses); the paper reports "
+                "~50 cycles of call overhead.\n"
+                "Relative performance, issued-instruction reduction and "
+                "both CPI columns are the\n"
+                "reproduction targets.\n");
+    return 0;
+}

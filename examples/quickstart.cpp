@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: assemble a small program, run it on the reference
+ * interpreter and on the cycle-level CRISP pipeline, and look at what
+ * Branch Folding did to it.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "asm/assembler.hh"
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+
+int
+main()
+{
+    using namespace crisp;
+
+    // A little assembly program: sum the numbers 1..100.
+    const char* source = R"(
+        .entry start
+        .global result 0
+        .local i 0
+        .local sum 1
+start:
+        enter 2
+        mov i, 0
+        mov sum, 0
+loop:
+        add i, 1
+        add sum, i          ; sum += i
+        cmp.s< i, 100
+        iftjmpy loop        ; predicted taken: loop backedge
+        mov result, sum
+        halt
+    )";
+
+    const Program prog = assemble(source);
+    std::printf("Assembled %d instructions (%zu parcels)\n\n%s\n",
+                prog.staticInstructionCount(), prog.text.size(),
+                prog.disassemble().c_str());
+
+    // 1. Architectural golden run.
+    Interpreter interp(prog);
+    const InterpResult ri = interp.run();
+    std::printf("Interpreter: %llu instructions, result = %d\n",
+                static_cast<unsigned long long>(ri.instructions),
+                static_cast<int>(interp.wordAt("result")));
+
+    // 2. Cycle-level pipeline run.
+    CrispCpu cpu(prog);
+    const SimStats& rs = cpu.run();
+    std::printf("Pipeline:    result = %d\n\n%s\n",
+                static_cast<int>(cpu.wordAt("result")),
+                rs.toString().c_str());
+
+    std::printf("The loop's backedge folded into `add sum,i`'s cache "
+                "entry, so the Execution Unit\nissued %llu instructions "
+                "for %llu architectural ones — the branch executed in "
+                "zero time.\n",
+                static_cast<unsigned long long>(rs.issued),
+                static_cast<unsigned long long>(rs.apparent));
+    return 0;
+}

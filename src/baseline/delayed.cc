@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Delayed-branch executor implementation.
+ */
+
+#include "delayed.hh"
+
+namespace crisp
+{
+
+DelayedBranchCpu::DelayedBranchCpu(const Program& prog, bool annulling)
+    : prog_(prog), mem_(prog_), annulling_(annulling)
+{
+    pc_ = prog.entry;
+    sp_ = (prog.memBytes - kWordBytes) & ~(kWordBytes - 1);
+}
+
+Word
+DelayedBranchCpu::readOperand(const Operand& o) const
+{
+    switch (o.mode) {
+      case AddrMode::kImm:
+        return o.value;
+      case AddrMode::kAccum:
+        return accum_;
+      case AddrMode::kNone:
+        return 0;
+      default:
+        return static_cast<Word>(mem_.read32(operandAddress(o)));
+    }
+}
+
+Addr
+DelayedBranchCpu::operandAddress(const Operand& o) const
+{
+    switch (o.mode) {
+      case AddrMode::kStack:
+        return sp_ + static_cast<Addr>(o.value) * kWordBytes;
+      case AddrMode::kAbs:
+        return static_cast<Addr>(o.value);
+      case AddrMode::kInd:
+        return mem_.read32(sp_ + static_cast<Addr>(o.value) * kWordBytes);
+      default:
+        throw CrispError("operand has no address");
+    }
+}
+
+void
+DelayedBranchCpu::writeOperand(const Operand& o, Word v)
+{
+    if (o.mode == AddrMode::kAccum) {
+        accum_ = v;
+        return;
+    }
+    mem_.write32(operandAddress(o), static_cast<std::uint32_t>(v));
+}
+
+void
+DelayedBranchCpu::executePlain(const Instruction& inst)
+{
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kEnter:
+        sp_ -= static_cast<Addr>(inst.dst.value) * kWordBytes;
+        break;
+      case Opcode::kLeave:
+        sp_ += static_cast<Addr>(inst.dst.value) * kWordBytes;
+        break;
+      case Opcode::kMov:
+        writeOperand(inst.dst, readOperand(inst.src));
+        break;
+      default:
+        if (isCompare(inst.op)) {
+            flag_ = evalCompare(inst.op, readOperand(inst.dst),
+                                readOperand(inst.src));
+            sinceCmp_ = 0;
+        } else if (isAlu3(inst.op)) {
+            accum_ = evalAlu(inst.op, readOperand(inst.dst),
+                             readOperand(inst.src));
+        } else if (isAlu2(inst.op)) {
+            writeOperand(inst.dst,
+                         evalAlu(inst.op, readOperand(inst.dst),
+                                 readOperand(inst.src)));
+        } else {
+            throw CrispError("delayed cpu: unhandled opcode");
+        }
+        break;
+    }
+}
+
+const DelayedStats&
+DelayedBranchCpu::run(std::uint64_t max_steps)
+{
+    std::uint64_t steps = 0;
+    while (!halted_ && steps++ < max_steps) {
+        const Addr pc = pc_;
+        const Instruction inst = prog_.fetch(pc);
+        const Addr fall = pc + inst.lengthBytes();
+
+        ++stats_.instructions;
+        ++stats_.cycles;
+        ++sinceCmp_;
+        if (inst.op == Opcode::kNop)
+            ++stats_.nopSlots;
+
+        switch (inst.op) {
+          case Opcode::kHalt:
+            halted_ = true;
+            stats_.halted = true;
+            break;
+          case Opcode::kReturn: {
+            sp_ += static_cast<Addr>(inst.dst.value) * kWordBytes;
+            const Addr target = mem_.read32(sp_);
+            sp_ += kWordBytes;
+            pc_ = target;
+            break;
+          }
+          case Opcode::kJmp:
+          case Opcode::kIfTJmp:
+          case Opcode::kIfFJmp:
+          case Opcode::kCall: {
+            ++stats_.branches;
+            Addr target = 0;
+            switch (inst.bmode) {
+              case BranchMode::kPcRel:
+                target = pc + static_cast<Addr>(inst.disp);
+                break;
+              case BranchMode::kAbs:
+                target = inst.spec;
+                break;
+              case BranchMode::kIndAbs:
+                target = mem_.read32(inst.spec);
+                break;
+              case BranchMode::kIndSp:
+                target = mem_.read32(
+                    sp_ + static_cast<Addr>(
+                              static_cast<std::int32_t>(inst.spec)) *
+                              kWordBytes);
+                break;
+            }
+
+            bool taken = true;
+            if (isConditionalBranch(inst.op)) {
+                // Flag interlock: the compare's result is not yet
+                // available if it was the immediately preceding
+                // instruction.
+                if (sinceCmp_ <= 1) {
+                    ++stats_.cycles;
+                    ++stats_.interlockStalls;
+                }
+                taken = inst.op == Opcode::kIfTJmp ? flag_ : !flag_;
+            }
+
+            if (inst.op == Opcode::kCall) {
+                // Calls have no delay slot in this model.
+                sp_ -= kWordBytes;
+                mem_.write32(sp_, fall);
+                pc_ = target;
+                break;
+            }
+
+            // Execute the architecturally exposed delay slot. An
+            // annulling conditional branch (prediction bit set, in
+            // annulling mode) squashes it when not taken, at the cost
+            // of one bubble cycle.
+            const Instruction slot = prog_.fetch(fall);
+            if (isBranch(slot.op) || slot.op == Opcode::kReturn ||
+                slot.op == Opcode::kHalt) {
+                throw CrispError(
+                    "delayed cpu: control instruction in a delay slot "
+                    "(program not compiled with delaySlots=true?)");
+            }
+            const bool annul = annulling_ &&
+                               isConditionalBranch(inst.op) &&
+                               inst.predictTaken && !taken;
+            ++stats_.cycles;
+            if (annul) {
+                ++stats_.annulledSlots;
+            } else {
+                ++stats_.instructions;
+                ++sinceCmp_;
+                if (slot.op == Opcode::kNop)
+                    ++stats_.nopSlots;
+                executePlain(slot);
+            }
+
+            pc_ = taken ? target : fall + slot.lengthBytes();
+            break;
+          }
+          default:
+            executePlain(inst);
+            pc_ = fall;
+            break;
+        }
+    }
+    return stats_;
+}
+
+Word
+DelayedBranchCpu::wordAt(const std::string& symbol) const
+{
+    const auto a = prog_.lookup(symbol);
+    if (!a)
+        throw CrispError("unknown symbol: " + symbol);
+    return static_cast<Word>(mem_.read32(*a));
+}
+
+} // namespace crisp

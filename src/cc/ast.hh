@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Abstract syntax tree for CRISP-C.
+ *
+ * The language is the C subset needed to express the paper's workloads:
+ * 32-bit ints, global scalars and arrays, functions with parameters and
+ * locals, the usual statements and operators. (Local arrays and
+ * general pointers are not supported: the ISA has no address-of-SP
+ * operation, matching the era's global-heavy benchmark style.)
+ */
+
+#ifndef CRISP_CC_AST_HH
+#define CRISP_CC_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace crisp::cc
+{
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+    kNumber,     //!< integer literal
+    kVar,        //!< scalar variable reference
+    kIndex,      //!< array[expr]
+    kUnary,      //!< -x  !x  ~x
+    kBinary,     //!< arithmetic / bitwise / relational / logical
+    kAssign,     //!< lvalue OP= expr (op == kNone for plain '=')
+    kPreIncDec,  //!< ++x / --x
+    kPostIncDec, //!< x++ / x--
+    kCall,       //!< f(args)
+    kTernary,    //!< cond ? a : b
+};
+
+/** Binary/compound-assign operator. */
+enum class BinOp : std::uint8_t {
+    kNone,
+    kAdd, kSub, kMul, kDiv, kRem,
+    kAnd, kOr, kXor, kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kLAnd, kLOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot, kBitNot };
+
+struct Expr
+{
+    ExprKind kind = ExprKind::kNumber;
+    int line = 0;
+
+    std::int32_t number = 0;          // kNumber
+    std::string name;                 // kVar / kIndex / kCall
+    UnOp unop = UnOp::kNeg;           // kUnary
+    BinOp binop = BinOp::kNone;       // kBinary / kAssign
+    bool increment = true;            // k{Pre,Post}IncDec
+    ExprPtr lhs;                      // kBinary/kAssign lhs, kUnary/kIndex
+    ExprPtr rhs;                      // kBinary/kAssign rhs, index expr
+    ExprPtr third;                    // kTernary else-arm (lhs=cond, rhs=then)
+    std::vector<ExprPtr> args;        // kCall
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+    kExpr,
+    kDecl,      //!< int x [= init];  (one per declarator)
+    kIf,
+    kWhile,
+    kDoWhile,
+    kFor,
+    kReturn,
+    kBreak,
+    kContinue,
+    kBlock,
+    kEmpty,
+    kSwitch,     //!< switch over stmts containing kCaseLabel markers
+    kCaseLabel,  //!< `case N:` (expr holds N) or `default:` (no expr)
+};
+
+struct Stmt
+{
+    StmtKind kind = StmtKind::kEmpty;
+    int line = 0;
+
+    ExprPtr expr;               // kExpr / kReturn value / conditions
+    std::string name;           // kDecl variable name
+    ExprPtr init;               // kDecl initializer, kFor init-expr
+    ExprPtr cond;               // kIf/kWhile/kDoWhile/kFor condition
+    ExprPtr step;               // kFor step
+    StmtPtr initStmt;           // kFor init when it is a declaration
+    StmtPtr body;               // loop body / if-then
+    StmtPtr elseBody;           // if-else
+    std::vector<StmtPtr> stmts; // kBlock
+};
+
+struct FuncDecl
+{
+    std::string name;
+    std::vector<std::string> params;
+    StmtPtr body;
+    bool returnsValue = true; // int vs void
+    int line = 0;
+};
+
+struct GlobalDecl
+{
+    std::string name;
+    std::int32_t init = 0;
+    std::int32_t arraySize = 0; //!< 0 = scalar
+    int line = 0;
+};
+
+struct TranslationUnit
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+/** Parse a CRISP-C source file. @throws CrispError on syntax errors. */
+TranslationUnit parse(const std::string& source);
+
+} // namespace crisp::cc
+
+#endif // CRISP_CC_AST_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Effects extraction and dependence checks for code motion.
+ */
+
+#include "code.hh"
+
+#include "isa/types.hh"
+
+namespace crisp::cc
+{
+
+namespace
+{
+
+/** Record the locations read when operand @p o is used as a source. */
+void
+addRead(Effects& e, const Operand& o)
+{
+    switch (o.mode) {
+      case AddrMode::kImm:
+      case AddrMode::kNone:
+        break;
+      case AddrMode::kAccum:
+        e.readsAccum = true;
+        break;
+      case AddrMode::kInd:
+        // Reads the pointer slot and then an arbitrary location.
+        e.memReads.push_back(Operand::stack(o.value));
+        e.wildRead = true;
+        break;
+      default:
+        e.memReads.push_back(o);
+        break;
+    }
+}
+
+/** Record the locations accessed when @p o is a destination. */
+void
+addWrite(Effects& e, const Operand& o)
+{
+    switch (o.mode) {
+      case AddrMode::kImm:
+      case AddrMode::kNone:
+        break;
+      case AddrMode::kAccum:
+        e.writesAccum = true;
+        break;
+      case AddrMode::kInd:
+        e.memReads.push_back(Operand::stack(o.value));
+        e.wildWrite = true;
+        break;
+      default:
+        e.memWrites.push_back(o);
+        break;
+    }
+}
+
+} // namespace
+
+Effects
+effectsOf(const Instruction& inst)
+{
+    Effects e;
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+      case Opcode::kEnter:
+      case Opcode::kLeave:
+      case Opcode::kReturn:
+      case Opcode::kCall:
+      case Opcode::kJmp:
+      case Opcode::kIfTJmp:
+      case Opcode::kIfFJmp:
+        e.barrier = true;
+        break;
+      case Opcode::kMov:
+        addRead(e, inst.src);
+        addWrite(e, inst.dst);
+        break;
+      default:
+        if (isCompare(inst.op)) {
+            addRead(e, inst.dst);
+            addRead(e, inst.src);
+            e.writesFlag = true;
+        } else if (isAlu3(inst.op)) {
+            addRead(e, inst.dst);
+            addRead(e, inst.src);
+            e.writesAccum = true;
+        } else if (isAlu2(inst.op)) {
+            addRead(e, inst.dst);
+            addRead(e, inst.src);
+            addWrite(e, inst.dst);
+        } else {
+            e.barrier = true;
+        }
+        break;
+    }
+    return e;
+}
+
+bool
+memMayAlias(const Operand& a, const Operand& b)
+{
+    // Stack slots and absolute globals live in disjoint regions in our
+    // layout (data segment low, stack at the top of memory).
+    if (a.mode != b.mode)
+        return false;
+    return a.value == b.value;
+}
+
+bool
+conflicts(const Effects& a, const Effects& b)
+{
+    if (a.barrier || b.barrier)
+        return true;
+    if ((a.writesAccum && (b.readsAccum || b.writesAccum)) ||
+        (b.writesAccum && (a.readsAccum || a.writesAccum))) {
+        return true;
+    }
+    if (a.writesFlag && b.writesFlag)
+        return true;
+
+    auto mem_conflict = [](const Effects& w, const Effects& r) {
+        if (w.wildWrite && (r.wildRead || r.wildWrite ||
+                            !r.memReads.empty() || !r.memWrites.empty())) {
+            return true;
+        }
+        for (const Operand& x : w.memWrites) {
+            if (r.wildRead || r.wildWrite)
+                return true;
+            for (const Operand& y : r.memReads) {
+                if (memMayAlias(x, y))
+                    return true;
+            }
+            for (const Operand& y : r.memWrites) {
+                if (memMayAlias(x, y))
+                    return true;
+            }
+        }
+        return false;
+    };
+    return mem_conflict(a, b) || mem_conflict(b, a);
+}
+
+} // namespace crisp::cc

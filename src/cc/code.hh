@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Linear code representation produced by the crispcc code generator and
+ * transformed by the optimization passes (prediction bits, branch
+ * spreading, peephole) before assembly.
+ */
+
+#ifndef CRISP_CC_CODE_HH
+#define CRISP_CC_CODE_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace crisp::cc
+{
+
+struct CodeItem
+{
+    enum class Kind { kLabel, kInst, kBranch };
+
+    Kind kind = Kind::kInst;
+    /** Label name (kLabel) or branch target label (kBranch). */
+    std::string name;
+    /** Instruction payload; for kBranch only op and predictTaken are
+     *  meaningful (the displacement is resolved at link time). */
+    Instruction inst;
+
+    static CodeItem
+    label(std::string n)
+    {
+        CodeItem c;
+        c.kind = Kind::kLabel;
+        c.name = std::move(n);
+        return c;
+    }
+
+    static CodeItem
+    instr(const Instruction& i)
+    {
+        CodeItem c;
+        c.kind = Kind::kInst;
+        c.inst = i;
+        return c;
+    }
+
+    static CodeItem
+    branch(Opcode op, std::string target, bool predict = false)
+    {
+        CodeItem c;
+        c.kind = Kind::kBranch;
+        c.name = std::move(target);
+        c.inst.op = op;
+        c.inst.predictTaken = predict;
+        return c;
+    }
+
+    bool isCondBranch() const
+    {
+        return kind == Kind::kBranch && isConditionalBranch(inst.op);
+    }
+};
+
+using CodeList = std::vector<CodeItem>;
+
+/**
+ * Read/write effects of one instruction, for the dependence checks of
+ * the branch-spreading code-motion pass.
+ */
+struct Effects
+{
+    bool readsAccum = false;
+    bool writesAccum = false;
+    bool writesFlag = false;
+    /** enter/leave/call/return/halt: a scheduling barrier. */
+    bool barrier = false;
+    /** Any indirect access: alias-conservative wildcards. */
+    bool wildRead = false;
+    bool wildWrite = false;
+    std::vector<Operand> memReads;
+    std::vector<Operand> memWrites;
+};
+
+/** Extract the effects of a non-branch instruction. */
+Effects effectsOf(const Instruction& inst);
+
+/** May the two memory operands name the same location? */
+bool memMayAlias(const Operand& a, const Operand& b);
+
+/** Is it unsafe to reorder @p first and @p second (in either order)? */
+bool conflicts(const Effects& a, const Effects& b);
+
+} // namespace crisp::cc
+
+#endif // CRISP_CC_CODE_HH

@@ -1,0 +1,1156 @@
+/**
+ * @file
+ * CRISP-C code generation: AST -> CodeList.
+ *
+ * Conventions:
+ *  - Locals and compiler temporaries occupy stack slots 0..N-1 of the
+ *    callee frame (allocated by `enter N`); the return address is at
+ *    slot N; arguments at N+1, N+2, ...
+ *  - The caller materializes arguments, allocates an argument area with
+ *    `enter k`, copies arguments in, `call`s, and releases the area
+ *    with `leave k`.
+ *  - Function results are returned in the accumulator.
+ *  - Expression temporaries use frame slots; the accumulator carries
+ *    three-operand ALU results (the paper's `and3 i,1` /
+ *    `cmp.= Accum,0` idiom falls out of this naturally).
+ */
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+#include "ast.hh"
+#include "code.hh"
+#include "compiler.hh"
+#include "isa/types.hh"
+
+namespace crisp::cc
+{
+
+namespace
+{
+
+/** Parameter pseudo-slot base, fixed up once the frame size is known. */
+constexpr std::int32_t kParamBase = 1 << 20;
+
+[[noreturn]] void
+cgError(int line, const std::string& msg)
+{
+    throw CrispError("crispcc line " + std::to_string(line) + ": " + msg);
+}
+
+/** A generated value: an operand plus an optional owned temp slot. */
+struct Val
+{
+    Operand op;
+    std::int32_t temp = -1; //!< frame slot to free when consumed
+};
+
+struct GlobalInfo
+{
+    Addr address = 0;
+    std::int32_t arraySize = 0; // 0 = scalar
+};
+
+struct FuncInfo
+{
+    int arity = 0;
+    bool returnsValue = true;
+};
+
+class CodeGen
+{
+  public:
+    explicit CodeGen(const TranslationUnit& tu) : tu_(tu)
+    {
+        Addr daddr = kDataBase;
+        for (const GlobalDecl& g : tu.globals) {
+            if (globals_.count(g.name))
+                cgError(g.line, "duplicate global: " + g.name);
+            GlobalInfo gi;
+            gi.address = daddr;
+            gi.arraySize = g.arraySize;
+            globals_[g.name] = gi;
+            daddr += static_cast<Addr>(
+                         g.arraySize > 0 ? g.arraySize : 1) *
+                     kWordBytes;
+        }
+        nextDataAddr_ = daddr; // jump tables are laid out after globals
+        for (const FuncDecl& f : tu.functions) {
+            if (funcs_.count(f.name))
+                cgError(f.line, "duplicate function: " + f.name);
+            funcs_[f.name] = {static_cast<int>(f.params.size()),
+                              f.returnsValue};
+        }
+    }
+
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+    jumpTables() const
+    {
+        return jumpTables_;
+    }
+
+    CodeList
+    run(bool emit_crt0,
+        std::map<std::string, std::map<std::int32_t, std::string>>*
+            slot_names)
+    {
+        slotNamesOut_ = slot_names;
+        if (emit_crt0) {
+            if (!funcs_.count("main"))
+                throw CrispError("crispcc: no main() function");
+            code_.push_back(CodeItem::label("_start"));
+            code_.push_back(CodeItem::branch(Opcode::kCall, "main"));
+            code_.push_back(CodeItem::instr(Instruction::halt()));
+        }
+        for (const FuncDecl& f : tu_.functions)
+            genFunction(f);
+        return std::move(code_);
+    }
+
+  private:
+    // Emission helpers -------------------------------------------------
+
+    void emit(const Instruction& i) { code_.push_back(CodeItem::instr(i)); }
+    void emitLabel(std::string n) { code_.push_back(CodeItem::label(std::move(n))); }
+
+    void
+    emitBranch(Opcode op, const std::string& target)
+    {
+        code_.push_back(CodeItem::branch(op, target));
+    }
+
+    std::string
+    newLabel(const std::string& hint)
+    {
+        return "_" + func_ + "_" + hint + "_" +
+               std::to_string(labelSeq_++);
+    }
+
+    // Frame management --------------------------------------------------
+
+    std::int32_t
+    allocSlot()
+    {
+        const std::int32_t s = nextSlot_++;
+        if (nextSlot_ > highWater_)
+            highWater_ = nextSlot_;
+        return s;
+    }
+
+    std::int32_t
+    allocTemp()
+    {
+        if (!freeTemps_.empty()) {
+            const std::int32_t s = freeTemps_.back();
+            freeTemps_.pop_back();
+            return s;
+        }
+        return allocSlot();
+    }
+
+    void
+    release(Val& v)
+    {
+        if (v.temp >= 0) {
+            freeTemps_.push_back(v.temp);
+            v.temp = -1;
+        }
+    }
+
+    /** Stack operand for a frame slot, at the current SP adjustment. */
+    Operand
+    slotOperand(std::int32_t slot) const
+    {
+        return Operand::stack(slot + frameAdjust_);
+    }
+
+    // Name resolution ----------------------------------------------------
+
+    std::optional<std::int32_t>
+    lookupLocal(const std::string& name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            const auto f = it->find(name);
+            if (f != it->end())
+                return f->second;
+        }
+        return std::nullopt;
+    }
+
+    /** Operand for a scalar variable reference. */
+    Operand
+    varOperand(const std::string& name, int line) const
+    {
+        if (const auto slot = lookupLocal(name))
+            return slotOperand(*slot);
+        const auto g = globals_.find(name);
+        if (g != globals_.end()) {
+            if (g->second.arraySize > 0)
+                cgError(line, "array used without subscript: " + name);
+            return Operand::abs(g->second.address);
+        }
+        cgError(line, "undefined variable: " + name);
+    }
+
+    // Expression code generation ----------------------------------------
+
+    /** Constant folding. */
+    std::optional<std::int32_t>
+    constEval(const Expr& e) const
+    {
+        switch (e.kind) {
+          case ExprKind::kNumber:
+            return e.number;
+          case ExprKind::kUnary: {
+            const auto v = constEval(*e.lhs);
+            if (!v)
+                return std::nullopt;
+            switch (e.unop) {
+              case UnOp::kNeg: return -*v;
+              case UnOp::kNot: return *v == 0 ? 1 : 0;
+              case UnOp::kBitNot: return ~*v;
+            }
+            return std::nullopt;
+          }
+          case ExprKind::kBinary: {
+            const auto a = constEval(*e.lhs);
+            const auto b = constEval(*e.rhs);
+            if (!a || !b)
+                return std::nullopt;
+            switch (e.binop) {
+              case BinOp::kAdd: return *a + *b;
+              case BinOp::kSub: return *a - *b;
+              case BinOp::kMul: return *a * *b;
+              case BinOp::kDiv: return *b ? *a / *b : 0;
+              case BinOp::kRem: return *b ? *a % *b : 0;
+              case BinOp::kAnd: return *a & *b;
+              case BinOp::kOr:  return *a | *b;
+              case BinOp::kXor: return *a ^ *b;
+              case BinOp::kShl: return *a << (*b & 31);
+              case BinOp::kShr:
+                return static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(*a) >> (*b & 31));
+              case BinOp::kEq: return *a == *b;
+              case BinOp::kNe: return *a != *b;
+              case BinOp::kLt: return *a < *b;
+              case BinOp::kLe: return *a <= *b;
+              case BinOp::kGt: return *a > *b;
+              case BinOp::kGe: return *a >= *b;
+              case BinOp::kLAnd: return (*a && *b) ? 1 : 0;
+              case BinOp::kLOr:  return (*a || *b) ? 1 : 0;
+              default: return std::nullopt;
+            }
+          }
+          case ExprKind::kTernary: {
+            const auto c = constEval(*e.lhs);
+            const auto a = constEval(*e.rhs);
+            const auto b = constEval(*e.third);
+            if (!c || !a || !b)
+                return std::nullopt;
+            return *c ? *a : *b;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    /** Move a value that lives in the accumulator into a temp slot. */
+    Val
+    materialize(Val v)
+    {
+        if (v.op.mode != AddrMode::kAccum)
+            return v;
+        const std::int32_t t = allocTemp();
+        emit(Instruction::mov(slotOperand(t), Operand::accum()));
+        return {slotOperand(t), t};
+    }
+
+    static std::optional<Opcode>
+    alu2Op(BinOp op)
+    {
+        switch (op) {
+          case BinOp::kAdd: return Opcode::kAdd;
+          case BinOp::kSub: return Opcode::kSub;
+          case BinOp::kMul: return Opcode::kMul;
+          case BinOp::kDiv: return Opcode::kDiv;
+          case BinOp::kRem: return Opcode::kRem;
+          case BinOp::kAnd: return Opcode::kAnd;
+          case BinOp::kOr:  return Opcode::kOr;
+          case BinOp::kXor: return Opcode::kXor;
+          case BinOp::kShl: return Opcode::kShl;
+          case BinOp::kShr: return Opcode::kShr;
+          default: return std::nullopt;
+        }
+    }
+
+    static std::optional<Opcode>
+    alu3Op(BinOp op)
+    {
+        switch (op) {
+          case BinOp::kAdd: return Opcode::kAdd3;
+          case BinOp::kSub: return Opcode::kSub3;
+          case BinOp::kMul: return Opcode::kMul3;
+          case BinOp::kAnd: return Opcode::kAnd3;
+          case BinOp::kOr:  return Opcode::kOr3;
+          case BinOp::kXor: return Opcode::kXor3;
+          default: return std::nullopt;
+        }
+    }
+
+    static bool
+    isRelational(BinOp op)
+    {
+        return op >= BinOp::kEq && op <= BinOp::kGe;
+    }
+
+    /** Compare opcode for a relation (or its negation). */
+    static Opcode
+    cmpOp(BinOp op, bool negate)
+    {
+        switch (op) {
+          case BinOp::kEq: return negate ? Opcode::kCmpNe : Opcode::kCmpEq;
+          case BinOp::kNe: return negate ? Opcode::kCmpEq : Opcode::kCmpNe;
+          case BinOp::kLt: return negate ? Opcode::kCmpGe : Opcode::kCmpLt;
+          case BinOp::kLe: return negate ? Opcode::kCmpGt : Opcode::kCmpLe;
+          case BinOp::kGt: return negate ? Opcode::kCmpLe : Opcode::kCmpGt;
+          case BinOp::kGe: return negate ? Opcode::kCmpLt : Opcode::kCmpGe;
+          default:
+            throw CrispError("cmpOp: not a relation");
+        }
+    }
+
+    /** Lvalue operand for kVar / kIndex nodes. */
+    Val
+    genLvalue(const Expr& e)
+    {
+        if (e.kind == ExprKind::kVar)
+            return {varOperand(e.name, e.line), -1};
+        if (e.kind != ExprKind::kIndex)
+            cgError(e.line, "not an lvalue");
+
+        const auto g = globals_.find(e.name);
+        if (g == globals_.end() || g->second.arraySize == 0) {
+            cgError(e.line, "subscript of non-array: " + e.name +
+                                " (only global arrays are supported)");
+        }
+        // t = (index << 2) + base; result is indirect through t.
+        Val idx = genValue(*e.rhs);
+        const std::int32_t t = allocTemp();
+        emit(Instruction::mov(slotOperand(t), idx.op));
+        release(idx);
+        emit(Instruction::alu(Opcode::kShl, slotOperand(t),
+                              Operand::imm(2)));
+        emit(Instruction::alu(
+            Opcode::kAdd, slotOperand(t),
+            Operand::imm(static_cast<std::int32_t>(g->second.address))));
+        // The indirect operand names the slot WITHOUT the current frame
+        // adjustment baked in twice: Operand::ind takes the adjusted
+        // slot number, like slotOperand does.
+        return {Operand::ind(t + frameAdjust_), t};
+    }
+
+    /** Does assigning through @p dst possibly alias reads of @p e? */
+    static bool
+    sameScalar(const Expr& a, const Expr& b)
+    {
+        return a.kind == ExprKind::kVar && b.kind == ExprKind::kVar &&
+               a.name == b.name;
+    }
+
+    /** Generate `dst OP= src` style updates; returns the dst operand. */
+    Val
+    genAssign(const Expr& e)
+    {
+        const Expr& lhs = *e.lhs;
+
+        if (e.binop != BinOp::kNone) {
+            // Compound assignment: op dst, src.
+            const auto op2 = alu2Op(e.binop);
+            if (!op2)
+                cgError(e.line, "operator not supported in compound "
+                                "assignment");
+            Val rv = genValue(*e.rhs);
+            Val dst = genLvalue(lhs);
+            emit(Instruction::alu(*op2, dst.op, rv.op));
+            release(rv);
+            return dst;
+        }
+
+        // Plain assignment. Fuse `x = x OP y` (and commutative
+        // `x = y OP x`) into a single memory-to-memory ALU op — the
+        // paper's `add sum,i` for `sum += i`.
+        const Expr& rhs = *e.rhs;
+        if (rhs.kind == ExprKind::kBinary && lhs.kind == ExprKind::kVar) {
+            const auto op2 = alu2Op(rhs.binop);
+            const bool commutative =
+                rhs.binop == BinOp::kAdd || rhs.binop == BinOp::kMul ||
+                rhs.binop == BinOp::kAnd || rhs.binop == BinOp::kOr ||
+                rhs.binop == BinOp::kXor;
+            if (op2 && sameScalar(lhs, *rhs.lhs)) {
+                Val rv = genValue(*rhs.rhs);
+                Val dst = genLvalue(lhs);
+                emit(Instruction::alu(*op2, dst.op, rv.op));
+                release(rv);
+                return dst;
+            }
+            if (op2 && commutative && sameScalar(lhs, *rhs.rhs)) {
+                Val rv = genValue(*rhs.lhs);
+                Val dst = genLvalue(lhs);
+                emit(Instruction::alu(*op2, dst.op, rv.op));
+                release(rv);
+                return dst;
+            }
+        }
+
+        Val rv = genValue(rhs);
+        Val dst = genLvalue(lhs);
+        emit(Instruction::mov(dst.op, rv.op));
+        release(rv);
+        return dst;
+    }
+
+    /** Boolean (0/1) materialization of a condition. */
+    Val
+    genBoolValue(const Expr& e)
+    {
+        const std::int32_t t = allocTemp();
+        const std::string end = newLabel("bool");
+        emit(Instruction::mov(slotOperand(t), Operand::imm(1)));
+        genCondBranch(e, end, /*branch_if_true=*/true);
+        emit(Instruction::mov(slotOperand(t), Operand::imm(0)));
+        emitLabel(end);
+        return {slotOperand(t), t};
+    }
+
+    Val
+    genCall(const Expr& e, bool want_value = true)
+    {
+        const auto f = funcs_.find(e.name);
+        if (f == funcs_.end())
+            cgError(e.line, "undefined function: " + e.name);
+        if (static_cast<int>(e.args.size()) != f->second.arity) {
+            cgError(e.line, "wrong argument count for " + e.name);
+        }
+        if (want_value && !f->second.returnsValue) {
+            cgError(e.line, "void function " + e.name +
+                                " used in an expression");
+        }
+
+        // Evaluate complex arguments into temps before opening the
+        // argument area (their evaluation may itself contain calls and
+        // would otherwise see a shifted frame). Immediates and plain
+        // variable references are deferred and copied directly.
+        struct Arg
+        {
+            bool deferred = false;
+            const Expr* expr = nullptr; // deferred kVar / constant
+            Val val;                    // eager: temp-held value
+        };
+        std::vector<Arg> argv;
+        for (const ExprPtr& a : e.args) {
+            Arg arg;
+            if (constEval(*a) || a->kind == ExprKind::kVar) {
+                arg.deferred = true;
+                arg.expr = a.get();
+            } else {
+                // The value itself (not, e.g., an indirection pointer)
+                // must land in a temp slot that survives the frame
+                // shift of the argument area.
+                Val v = genValue(*a);
+                if (v.op.mode == AddrMode::kStack && v.temp >= 0) {
+                    arg.val = v;
+                } else {
+                    const std::int32_t t = allocTemp();
+                    emit(Instruction::mov(slotOperand(t), v.op));
+                    release(v);
+                    arg.val = Val{slotOperand(t), t};
+                }
+            }
+            argv.push_back(std::move(arg));
+        }
+
+        const int k = static_cast<int>(argv.size());
+        if (k > 0) {
+            emit(Instruction::enter(k));
+            frameAdjust_ += k;
+            for (int j = 0; j < k; ++j) {
+                // Argument slots are the first k words of the new area:
+                // raw slots 0..k-1 (frameAdjust_ already moved the rest).
+                Operand src;
+                if (argv[j].deferred) {
+                    // Re-resolved here so the current frame adjustment
+                    // is applied.
+                    src = genValue(*argv[j].expr).op;
+                } else {
+                    src = slotOperand(argv[j].val.temp);
+                }
+                emit(Instruction::mov(Operand::stack(j), src));
+            }
+        }
+        emitBranch(Opcode::kCall, e.name);
+        if (k > 0) {
+            emit(Instruction::leave(k));
+            frameAdjust_ -= k;
+        }
+        for (Arg& a : argv)
+            release(a.val);
+        return {Operand::accum(), -1};
+    }
+
+    /**
+     * Copy a non-imm, non-temp value into a temp so it survives frame
+     * adjustment (argument evaluation).
+     */
+    Val
+    plainToTemp(Val v)
+    {
+        if (v.temp >= 0 || v.op.mode == AddrMode::kAccum ||
+            v.op.mode == AddrMode::kImm) {
+            return v;
+        }
+        const std::int32_t t = allocTemp();
+        emit(Instruction::mov(slotOperand(t), v.op));
+        return {slotOperand(t), t};
+    }
+
+    Val
+    genValue(const Expr& e)
+    {
+        if (const auto c = constEval(e))
+            return {Operand::imm(*c), -1};
+
+        switch (e.kind) {
+          case ExprKind::kNumber:
+            return {Operand::imm(e.number), -1};
+          case ExprKind::kVar:
+            return {varOperand(e.name, e.line), -1};
+          case ExprKind::kIndex:
+            return genLvalue(e);
+          case ExprKind::kAssign:
+            return genAssign(e);
+          case ExprKind::kCall:
+            return genCall(e);
+          case ExprKind::kPreIncDec: {
+            Val dst = genLvalue(*e.lhs);
+            emit(Instruction::alu(
+                e.increment ? Opcode::kAdd : Opcode::kSub, dst.op,
+                Operand::imm(1)));
+            return dst;
+          }
+          case ExprKind::kPostIncDec: {
+            Val dst = genLvalue(*e.lhs);
+            const std::int32_t t = allocTemp();
+            emit(Instruction::mov(slotOperand(t), dst.op));
+            emit(Instruction::alu(
+                e.increment ? Opcode::kAdd : Opcode::kSub, dst.op,
+                Operand::imm(1)));
+            release(dst);
+            return {slotOperand(t), t};
+          }
+          case ExprKind::kUnary:
+            switch (e.unop) {
+              case UnOp::kNeg: {
+                Val v = genValue(*e.lhs);
+                emit(Instruction::alu(Opcode::kSub3, Operand::imm(0),
+                                      v.op));
+                release(v);
+                return {Operand::accum(), -1};
+              }
+              case UnOp::kBitNot: {
+                Val v = genValue(*e.lhs);
+                emit(Instruction::alu(Opcode::kXor3, v.op,
+                                      Operand::imm(-1)));
+                release(v);
+                return {Operand::accum(), -1};
+              }
+              case UnOp::kNot:
+                return genBoolValue(e);
+            }
+            break;
+          case ExprKind::kTernary: {
+            if (const auto c = constEval(*e.lhs)) {
+                // Constant condition: only the chosen arm exists.
+                return genValue(*c ? *e.rhs : *e.third);
+            }
+            const std::int32_t t = allocTemp();
+            const std::string els = newLabel("terf");
+            const std::string end = newLabel("tend");
+            genCondBranch(*e.lhs, els, false);
+            {
+                Val a = genValue(*e.rhs);
+                emit(Instruction::mov(slotOperand(t), a.op));
+                release(a);
+            }
+            emitBranch(Opcode::kJmp, end);
+            emitLabel(els);
+            {
+                Val b = genValue(*e.third);
+                emit(Instruction::mov(slotOperand(t), b.op));
+                release(b);
+            }
+            emitLabel(end);
+            return {slotOperand(t), t};
+          }
+          case ExprKind::kBinary: {
+            if (isRelational(e.binop) || e.binop == BinOp::kLAnd ||
+                e.binop == BinOp::kLOr) {
+                return genBoolValue(e);
+            }
+            Val lv = genValue(*e.lhs);
+            if (lv.op.mode == AddrMode::kAccum)
+                lv = materialize(lv);
+            Val rv = genValue(*e.rhs);
+
+            // If the left side already lives in a temp we own, operate
+            // in place.
+            const auto op2 = alu2Op(e.binop);
+            if (lv.temp >= 0 && lv.op.mode == AddrMode::kStack && op2) {
+                emit(Instruction::alu(*op2, lv.op, rv.op));
+                release(rv);
+                return lv;
+            }
+            // Otherwise prefer the accumulator three-operand form.
+            if (const auto op3 = alu3Op(e.binop)) {
+                emit(Instruction::alu(*op3, lv.op, rv.op));
+                release(lv);
+                release(rv);
+                return {Operand::accum(), -1};
+            }
+            // Fall back: copy to a temp, then two-operand ALU.
+            if (!op2)
+                cgError(e.line, "operator not supported");
+            const std::int32_t t = allocTemp();
+            emit(Instruction::mov(slotOperand(t), lv.op));
+            release(lv);
+            emit(Instruction::alu(*op2, slotOperand(t), rv.op));
+            release(rv);
+            return {slotOperand(t), t};
+          }
+        }
+        cgError(e.line, "cannot generate code for expression");
+    }
+
+    /** Expression-statement: evaluate for side effects only. */
+    void
+    genValueDiscard(const Expr& e)
+    {
+        switch (e.kind) {
+          case ExprKind::kAssign: {
+            Val v = genAssign(e);
+            release(v);
+            return;
+          }
+          case ExprKind::kPreIncDec:
+          case ExprKind::kPostIncDec: {
+            // No old-value temp needed when the result is unused.
+            Val dst = genLvalue(*e.lhs);
+            emit(Instruction::alu(
+                e.increment ? Opcode::kAdd : Opcode::kSub, dst.op,
+                Operand::imm(1)));
+            release(dst);
+            return;
+          }
+          case ExprKind::kCall: {
+            Val v = genCall(e, /*want_value=*/false);
+            release(v);
+            return;
+          }
+          default: {
+            // Pure expression with no effect (but possible calls
+            // inside): generate and drop.
+            Val v = genValue(e);
+            release(v);
+            return;
+          }
+        }
+    }
+
+    /**
+     * Branch to @p target when truth(expr) == @p branch_if_true.
+     * Follows the paper's idiom: the compare sense is negated as needed
+     * so the emitted branch is always iftjmp.
+     */
+    void
+    genCondBranch(const Expr& e, const std::string& target,
+                  bool branch_if_true)
+    {
+        if (const auto c = constEval(e)) {
+            if ((*c != 0) == branch_if_true)
+                emitBranch(Opcode::kJmp, target);
+            return;
+        }
+
+        if (e.kind == ExprKind::kUnary && e.unop == UnOp::kNot) {
+            genCondBranch(*e.lhs, target, !branch_if_true);
+            return;
+        }
+
+        if (e.kind == ExprKind::kBinary && e.binop == BinOp::kLAnd) {
+            if (branch_if_true) {
+                const std::string skip = newLabel("and");
+                genCondBranch(*e.lhs, skip, false);
+                genCondBranch(*e.rhs, target, true);
+                emitLabel(skip);
+            } else {
+                genCondBranch(*e.lhs, target, false);
+                genCondBranch(*e.rhs, target, false);
+            }
+            return;
+        }
+        if (e.kind == ExprKind::kBinary && e.binop == BinOp::kLOr) {
+            if (branch_if_true) {
+                genCondBranch(*e.lhs, target, true);
+                genCondBranch(*e.rhs, target, true);
+            } else {
+                const std::string skip = newLabel("or");
+                genCondBranch(*e.lhs, skip, true);
+                genCondBranch(*e.rhs, target, false);
+                emitLabel(skip);
+            }
+            return;
+        }
+
+        if (e.kind == ExprKind::kBinary && isRelational(e.binop)) {
+            Val lv = genValue(*e.lhs);
+            if (lv.op.mode == AddrMode::kAccum)
+                lv = materialize(lv);
+            Val rv = genValue(*e.rhs);
+            emit(Instruction::cmp(cmpOp(e.binop, !branch_if_true), lv.op,
+                                  rv.op));
+            release(lv);
+            release(rv);
+            emitBranch(Opcode::kIfTJmp, target);
+            return;
+        }
+
+        // General truth test: cmp against zero (`and3 i,1` followed by
+        // `cmp.= Accum,0` in the paper's Table 3).
+        Val v = genValue(e);
+        emit(Instruction::cmp(branch_if_true ? Opcode::kCmpNe
+                                             : Opcode::kCmpEq,
+                              v.op, Operand::imm(0)));
+        release(v);
+        emitBranch(Opcode::kIfTJmp, target);
+    }
+
+    // Statements ---------------------------------------------------------
+
+    struct LoopCtx
+    {
+        std::string breakLabel;
+        std::string continueLabel;
+    };
+
+    void
+    genStmt(const Stmt& s)
+    {
+        switch (s.kind) {
+          case StmtKind::kEmpty:
+            return;
+          case StmtKind::kBlock: {
+            scopes_.emplace_back();
+            for (const StmtPtr& sub : s.stmts)
+                genStmt(*sub);
+            scopes_.pop_back();
+            return;
+          }
+          case StmtKind::kDecl: {
+            const std::int32_t slot = allocSlot();
+            scopes_.back()[s.name] = slot;
+            slotNames_[slot] = s.name;
+            if (s.init) {
+                Val v = genValue(*s.init);
+                emit(Instruction::mov(slotOperand(slot), v.op));
+                release(v);
+            }
+            return;
+          }
+          case StmtKind::kExpr:
+            genValueDiscard(*s.expr);
+            return;
+          case StmtKind::kIf: {
+            const std::string els = newLabel("else");
+            genCondBranch(*s.cond, els, false);
+            genStmt(*s.body);
+            if (s.elseBody) {
+                const std::string end = newLabel("endif");
+                emitBranch(Opcode::kJmp, end);
+                emitLabel(els);
+                genStmt(*s.elseBody);
+                emitLabel(end);
+            } else {
+                emitLabel(els);
+            }
+            return;
+          }
+          case StmtKind::kWhile:
+            genLoop(nullptr, nullptr, s.cond.get(), nullptr, *s.body);
+            return;
+          case StmtKind::kFor:
+            genLoop(s.initStmt.get(), s.init.get(), s.cond.get(),
+                    s.step.get(), *s.body);
+            return;
+          case StmtKind::kDoWhile: {
+            const std::string top = newLabel("top");
+            const std::string test = newLabel("cont");
+            const std::string brk = newLabel("brk");
+            loops_.push_back({brk, test});
+            emitLabel(top);
+            genStmt(*s.body);
+            emitLabel(test);
+            genCondBranch(*s.cond, top, true);
+            emitLabel(brk);
+            loops_.pop_back();
+            return;
+          }
+          case StmtKind::kReturn: {
+            if (s.expr) {
+                Val v = genValue(*s.expr);
+                if (v.op.mode != AddrMode::kAccum) {
+                    emit(Instruction::mov(Operand::accum(), v.op));
+                }
+                release(v);
+            }
+            emitBranch(Opcode::kJmp, retLabel_);
+            return;
+          }
+          case StmtKind::kSwitch:
+            genSwitch(s);
+            return;
+          case StmtKind::kCaseLabel:
+            cgError(s.line, "case label outside switch");
+          case StmtKind::kBreak:
+            if (loops_.empty())
+                cgError(s.line, "break outside loop or switch");
+            emitBranch(Opcode::kJmp, loops_.back().breakLabel);
+            return;
+          case StmtKind::kContinue: {
+            for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+                if (!it->continueLabel.empty()) {
+                    emitBranch(Opcode::kJmp, it->continueLabel);
+                    return;
+                }
+            }
+            cgError(s.line, "continue outside loop");
+        }
+        }
+    }
+
+    /**
+     * switch statement. Dense case sets compile to a data-segment jump
+     * table dispatched through an indirect branch — the construct the
+     * paper names as the source of compiler-generated indirect jumps.
+     * Sparse sets fall back to a compare chain.
+     */
+    void
+    genSwitch(const Stmt& s)
+    {
+        struct CaseInfo
+        {
+            std::int32_t value;
+            std::string label;
+        };
+        std::vector<CaseInfo> cases;
+        std::string default_label;
+        const std::string end = newLabel("swend");
+
+        std::map<std::size_t, std::string> markers;
+        for (std::size_t i = 0; i < s.stmts.size(); ++i) {
+            const Stmt& st = *s.stmts[i];
+            if (st.kind != StmtKind::kCaseLabel)
+                continue;
+            const std::string label = newLabel("case");
+            markers[i] = label;
+            if (st.expr) {
+                for (const CaseInfo& c : cases) {
+                    if (c.value == st.expr->number)
+                        cgError(st.line, "duplicate case value");
+                }
+                cases.push_back({st.expr->number, label});
+            } else {
+                default_label = label;
+            }
+        }
+        if (default_label.empty())
+            default_label = end;
+
+        // Dispatch.
+        if (!cases.empty()) {
+            Val v = materialize(genValue(*s.expr));
+            std::int32_t lo = cases[0].value;
+            std::int32_t hi = cases[0].value;
+            for (const CaseInfo& c : cases) {
+                lo = c.value < lo ? c.value : lo;
+                hi = c.value > hi ? c.value : hi;
+            }
+            const std::int64_t range =
+                static_cast<std::int64_t>(hi) - lo + 1;
+            const bool dense =
+                cases.size() >= 3 &&
+                range <= 2 * static_cast<std::int64_t>(cases.size()) + 8 &&
+                range <= 512;
+
+            if (dense) {
+                // Build the table (default-filled, cases patched in).
+                std::vector<std::string> entries(
+                    static_cast<std::size_t>(range), default_label);
+                for (const CaseInfo& c : cases) {
+                    entries[static_cast<std::size_t>(c.value - lo)] =
+                        c.label;
+                }
+                const std::string tname =
+                    "_" + func_ + "_jumptab_" +
+                    std::to_string(labelSeq_++);
+                const Addr taddr = nextDataAddr_;
+                nextDataAddr_ +=
+                    static_cast<Addr>(entries.size()) * kWordBytes;
+                jumpTables_.emplace_back(tname, std::move(entries));
+
+                // index = (v - lo); bound-check unsigned; then
+                // target = mem[taddr + 4*index]; jmp *target.
+                const std::int32_t t = allocTemp();
+                emit(Instruction::mov(slotOperand(t), v.op));
+                release(v);
+                if (lo != 0) {
+                    emit(Instruction::alu(Opcode::kSub, slotOperand(t),
+                                          Operand::imm(lo)));
+                }
+                emit(Instruction::cmp(
+                    Opcode::kCmpGeU, slotOperand(t),
+                    Operand::imm(static_cast<std::int32_t>(range))));
+                emitBranch(Opcode::kIfTJmp, default_label);
+                emit(Instruction::alu(Opcode::kShl, slotOperand(t),
+                                      Operand::imm(2)));
+                emit(Instruction::alu(
+                    Opcode::kAdd, slotOperand(t),
+                    Operand::imm(static_cast<std::int32_t>(taddr))));
+                const std::int32_t tt = allocTemp();
+                emit(Instruction::mov(slotOperand(tt),
+                                      Operand::ind(t + frameAdjust_)));
+                emit(Instruction::branchFar(
+                    Opcode::kJmp, BranchMode::kIndSp,
+                    static_cast<std::uint32_t>(tt + frameAdjust_)));
+                freeTemps_.push_back(t);
+                freeTemps_.push_back(tt);
+            } else {
+                for (const CaseInfo& c : cases) {
+                    emit(Instruction::cmp(Opcode::kCmpEq, v.op,
+                                          Operand::imm(c.value)));
+                    emitBranch(Opcode::kIfTJmp, c.label);
+                }
+                release(v);
+                emitBranch(Opcode::kJmp, default_label);
+            }
+        } else {
+            // No cases: evaluate for side effects, go to default.
+            genValueDiscard(*s.expr);
+            emitBranch(Opcode::kJmp, default_label);
+        }
+
+        // Body with fall-through semantics; break targets the end.
+        loops_.push_back({end, std::string()});
+        for (std::size_t i = 0; i < s.stmts.size(); ++i) {
+            const auto m = markers.find(i);
+            if (m != markers.end())
+                emitLabel(m->second);
+            else if (s.stmts[i]->kind != StmtKind::kCaseLabel)
+                genStmt(*s.stmts[i]);
+        }
+        loops_.pop_back();
+        emitLabel(end);
+    }
+
+    /**
+     * Rotated loop: bottom-test with a guard jump only when the first
+     * iteration cannot be proven. A provable `for (i = 0; i < 1024;)`
+     * produces exactly the paper's guard-free shape.
+     */
+    void
+    genLoop(const Stmt* init_stmt, const Expr* init_expr,
+            const Expr* cond, const Expr* step, const Stmt& body)
+    {
+        scopes_.emplace_back(); // for-init declarations scope
+
+        std::string init_var;
+        std::optional<std::int32_t> init_const;
+        if (init_stmt != nullptr) {
+            // `for (int i = ...)`: the declarations must live in the
+            // loop's own scope, not a throwaway block.
+            for (const StmtPtr& d : init_stmt->stmts)
+                genStmt(*d);
+            // `for (int i = C; ...)`
+            if (init_stmt->stmts.size() == 1 &&
+                init_stmt->stmts[0]->kind == StmtKind::kDecl &&
+                init_stmt->stmts[0]->init) {
+                init_var = init_stmt->stmts[0]->name;
+                init_const = constEval(*init_stmt->stmts[0]->init);
+            }
+        } else if (init_expr != nullptr) {
+            genValueDiscard(*init_expr);
+            if (init_expr->kind == ExprKind::kAssign &&
+                init_expr->binop == BinOp::kNone &&
+                init_expr->lhs->kind == ExprKind::kVar) {
+                init_var = init_expr->lhs->name;
+                init_const = constEval(*init_expr->rhs);
+            }
+        }
+
+        const bool provable = firstIterationProvable(
+            cond, init_var, init_const);
+
+        const std::string top = newLabel("top");
+        const std::string test = newLabel("test");
+        const std::string cont = newLabel("cont");
+        const std::string brk = newLabel("brk");
+
+        if (cond != nullptr && !provable)
+            emitBranch(Opcode::kJmp, test);
+
+        loops_.push_back({brk, cont});
+        emitLabel(top);
+        genStmt(body);
+        emitLabel(cont);
+        if (step != nullptr)
+            genValueDiscard(*step);
+        emitLabel(test);
+        if (cond != nullptr)
+            genCondBranch(*cond, top, true);
+        else
+            emitBranch(Opcode::kJmp, top);
+        emitLabel(brk);
+        loops_.pop_back();
+
+        scopes_.pop_back();
+    }
+
+    /** Is the loop condition provably true on the first iteration? */
+    bool
+    firstIterationProvable(const Expr* cond, const std::string& var,
+                           std::optional<std::int32_t> var_value) const
+    {
+        if (cond == nullptr)
+            return true;
+        if (const auto c = constEval(*cond))
+            return *c != 0;
+        if (var.empty() || !var_value)
+            return false;
+        if (cond->kind != ExprKind::kBinary || !isRelational(cond->binop))
+            return false;
+        const auto rc = constEval(*cond->rhs);
+        if (!rc || cond->lhs->kind != ExprKind::kVar ||
+            cond->lhs->name != var) {
+            return false;
+        }
+        const std::int32_t a = *var_value;
+        const std::int32_t b = *rc;
+        switch (cond->binop) {
+          case BinOp::kEq: return a == b;
+          case BinOp::kNe: return a != b;
+          case BinOp::kLt: return a < b;
+          case BinOp::kLe: return a <= b;
+          case BinOp::kGt: return a > b;
+          case BinOp::kGe: return a >= b;
+          default: return false;
+        }
+    }
+
+    // Functions ------------------------------------------------------------
+
+    void
+    genFunction(const FuncDecl& f)
+    {
+        func_ = f.name;
+        retLabel_ = "_" + f.name + "_ret";
+        nextSlot_ = 0;
+        highWater_ = 0;
+        freeTemps_.clear();
+        frameAdjust_ = 0;
+        slotNames_.clear();
+        scopes_.clear();
+        scopes_.emplace_back();
+
+        for (std::size_t j = 0; j < f.params.size(); ++j) {
+            scopes_.back()[f.params[j]] =
+                kParamBase + static_cast<std::int32_t>(j);
+        }
+
+        emitLabel(f.name);
+        const std::size_t enter_idx = code_.size();
+        emit(Instruction::enter(0)); // backpatched below
+
+        genStmt(*f.body);
+
+        emitLabel(retLabel_);
+        const std::size_t ret_idx = code_.size();
+        emit(Instruction::ret(0)); // backpatched below
+
+        // Backpatch the frame size and fix up parameter pseudo-slots:
+        // param j lives at slot N + 1 + j once the frame size N is
+        // known (locals, then the return address, then arguments).
+        const std::int32_t frame = highWater_;
+        code_[enter_idx].inst = Instruction::enter(frame);
+        code_[ret_idx].inst = Instruction::ret(frame);
+        for (std::size_t j = 0; j < f.params.size(); ++j) {
+            slotNames_[frame + 1 + static_cast<std::int32_t>(j)] =
+                f.params[j];
+        }
+        if (slotNamesOut_ != nullptr)
+            (*slotNamesOut_)[f.name] = slotNames_;
+        for (std::size_t i = enter_idx; i < code_.size(); ++i) {
+            if (code_[i].kind != CodeItem::Kind::kInst)
+                continue;
+            for (Operand* o :
+                 {&code_[i].inst.dst, &code_[i].inst.src}) {
+                if ((o->mode == AddrMode::kStack ||
+                     o->mode == AddrMode::kInd) &&
+                    o->value >= kParamBase / 2) {
+                    o->value = o->value - kParamBase + frame + 1;
+                }
+            }
+        }
+    }
+
+    const TranslationUnit& tu_;
+    CodeList code_;
+    std::unordered_map<std::string, GlobalInfo> globals_;
+    std::unordered_map<std::string, FuncInfo> funcs_;
+
+    // Per-function state.
+    std::string func_;
+    std::string retLabel_;
+    std::int32_t nextSlot_ = 0;
+    std::int32_t highWater_ = 0;
+    std::vector<std::int32_t> freeTemps_;
+    std::int32_t frameAdjust_ = 0;
+    std::vector<std::map<std::string, std::int32_t>> scopes_;
+    std::map<std::int32_t, std::string> slotNames_;
+    std::vector<LoopCtx> loops_;
+    int labelSeq_ = 0;
+    std::map<std::string, std::map<std::int32_t, std::string>>*
+        slotNamesOut_ = nullptr;
+    Addr nextDataAddr_ = kDataBase;
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        jumpTables_;
+};
+
+} // namespace
+
+/** Entry point used by the compiler driver (see compiler.cc). */
+CodeList
+generateCode(
+    const TranslationUnit& tu, bool emit_crt0,
+    std::map<std::string, std::map<std::int32_t, std::string>>*
+        slot_names,
+    std::vector<std::pair<std::string, std::vector<std::string>>>*
+        jump_tables)
+{
+    CodeGen gen(tu);
+    CodeList code = gen.run(emit_crt0, slot_names);
+    if (jump_tables != nullptr)
+        *jump_tables = gen.jumpTables();
+    return code;
+}
+
+} // namespace crisp::cc

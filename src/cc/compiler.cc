@@ -1,0 +1,236 @@
+/**
+ * @file
+ * crispcc driver: runs the pipeline and produces a linked Program plus
+ * a human-readable listing (the form of the paper's Table 3).
+ */
+
+#include "compiler.hh"
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "ast.hh"
+#include "isa/types.hh"
+
+namespace crisp::cc
+{
+
+// Defined in codegen.cc.
+CodeList generateCode(
+    const TranslationUnit& tu, bool emit_crt0,
+    std::map<std::string, std::map<std::int32_t, std::string>>*
+        slot_names,
+    std::vector<std::pair<std::string, std::vector<std::string>>>*
+        jump_tables);
+
+namespace
+{
+
+/** Pretty-print one operand with variable names where known. */
+std::string
+operandText(const Operand& o,
+            const std::map<std::int32_t, std::string>* slots,
+            const std::map<Addr, std::string>& globals)
+{
+    switch (o.mode) {
+      case AddrMode::kStack:
+        if (slots != nullptr) {
+            const auto it = slots->find(o.value);
+            if (it != slots->end())
+                return it->second;
+        }
+        break;
+      case AddrMode::kAbs: {
+        const auto it = globals.find(static_cast<Addr>(o.value));
+        if (it != globals.end())
+            return it->second;
+        break;
+      }
+      case AddrMode::kInd:
+        if (slots != nullptr) {
+            const auto it = slots->find(o.value);
+            if (it != slots->end())
+                return "[" + it->second + "]";
+        }
+        break;
+      default:
+        break;
+    }
+    return o.toString();
+}
+
+std::string
+makeListing(
+    const CodeList& code, const TranslationUnit& tu,
+    const std::map<std::string, std::map<std::int32_t, std::string>>&
+        slot_names,
+    const std::map<Addr, std::string>& global_names,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        tables,
+    bool has_crt0)
+{
+    std::ostringstream os;
+    std::map<std::int32_t, std::string> filtered;
+    const std::map<std::int32_t, std::string>* slots = nullptr;
+    std::set<std::string> func_names;
+    for (const FuncDecl& f : tu.functions)
+        func_names.insert(f.name);
+
+    // Header directives make the listing reassemblable (crispcc -S |
+    // crispasm round-trips).
+    if (has_crt0)
+        os << ".entry _start\n";
+    else if (!tu.functions.empty())
+        os << ".entry " << tu.functions.front().name << "\n";
+    for (const GlobalDecl& g : tu.globals) {
+        if (g.arraySize > 0)
+            os << ".space " << g.name << " " << g.arraySize << "\n";
+        else
+            os << ".global " << g.name << " " << g.init << "\n";
+    }
+    for (const auto& [tname, labels] : tables) {
+        os << ".table " << tname;
+        for (const std::string& l : labels)
+            os << " " << l;
+        os << "\n";
+    }
+
+    for (const CodeItem& c : code) {
+        switch (c.kind) {
+          case CodeItem::Kind::kLabel:
+            if (func_names.count(c.name)) {
+                // Names reused by shadowed declarations would bind
+                // ambiguously in the assembler: keep only unique ones.
+                filtered.clear();
+                const auto it = slot_names.find(c.name);
+                if (it != slot_names.end()) {
+                    std::map<std::string, int> uses;
+                    for (const auto& [slot, name] : it->second)
+                        ++uses[name];
+                    for (const auto& [slot, name] : it->second) {
+                        if (uses[name] == 1)
+                            filtered[slot] = name;
+                    }
+                }
+                slots = &filtered;
+                os << "\n.clearlocals\n";
+                for (const auto& [slot, name] : filtered)
+                    os << ".local " << name << " " << slot << "\n";
+            }
+            os << c.name << ":\n";
+            break;
+          case CodeItem::Kind::kBranch: {
+            os << "    " << opcodeName(c.inst.op);
+            if (isConditionalBranch(c.inst.op))
+                os << (c.inst.predictTaken ? "y" : "n");
+            os << " " << c.name << "\n";
+            break;
+          }
+          case CodeItem::Kind::kInst: {
+            const Instruction& in = c.inst;
+            if (isBranch(in.op)) { // compiler-generated indirect jump
+                os << "    " << in.toString(0) << "\n";
+                break;
+            }
+            os << "    " << opcodeName(in.op);
+            switch (in.op) {
+              case Opcode::kNop:
+              case Opcode::kHalt:
+                break;
+              case Opcode::kEnter:
+              case Opcode::kReturn:
+              case Opcode::kLeave:
+                os << " " << in.dst.value;
+                break;
+              default:
+                os << " "
+                   << operandText(in.dst, slots, global_names) << ","
+                   << operandText(in.src, slots, global_names);
+                break;
+            }
+            os << "\n";
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+CompileResult
+compile(const std::string& source, const CompileOptions& opts)
+{
+    const TranslationUnit tu = parse(source);
+
+    std::map<std::string, std::map<std::int32_t, std::string>> slot_names;
+    std::vector<std::pair<std::string, std::vector<std::string>>> tables;
+    CodeList code = generateCode(tu, opts.emitCrt0, &slot_names, &tables);
+
+    std::set<std::string> keep;
+    keep.insert("_start");
+    for (const FuncDecl& f : tu.functions)
+        keep.insert(f.name);
+    // Labels reachable only through switch jump tables have no
+    // CodeList branch references; protect them from dead-label removal.
+    for (const auto& [tname, labels] : tables)
+        keep.insert(labels.begin(), labels.end());
+
+    if (opts.peephole)
+        passPeephole(code, keep);
+    if (opts.spread)
+        passSpread(code, opts.spreadDistance);
+    if (opts.peephole)
+        passPeephole(code, keep);
+    passPredictBits(code, opts.predict);
+    if (opts.delaySlots || opts.annulSlots) {
+        // Last: slots must survive peephole, and annul-filling reuses
+        // the just-assigned prediction bits as its taken heuristic.
+        passFillDelaySlots(code, opts.annulSlots);
+    }
+
+    // Link through the shared AsmBuilder layout engine.
+    AsmBuilder builder;
+    std::map<Addr, std::string> global_names;
+    for (const GlobalDecl& g : tu.globals) {
+        if (g.arraySize > 0)
+            builder.space(g.name, static_cast<Addr>(g.arraySize));
+        else
+            builder.global(g.name, g.init);
+        global_names[static_cast<Addr>(
+            builder.globalOperand(g.name).value)] = g.name;
+    }
+    // Switch jump tables follow the globals, in creation order (the
+    // code generator assigned their addresses on that assumption).
+    for (auto& [tname, labels] : tables) {
+        builder.labelTable(tname, labels);
+        global_names[static_cast<Addr>(
+            builder.globalOperand(tname).value)] = tname;
+    }
+    for (const CodeItem& c : code) {
+        switch (c.kind) {
+          case CodeItem::Kind::kLabel:
+            builder.label(c.name);
+            break;
+          case CodeItem::Kind::kInst:
+            builder.emit(c.inst);
+            break;
+          case CodeItem::Kind::kBranch:
+            builder.branch(c.inst.op, c.name, c.inst.predictTaken);
+            break;
+        }
+    }
+    if (opts.emitCrt0)
+        builder.entry("_start");
+    else if (!tu.functions.empty())
+        builder.entry(tu.functions.front().name);
+
+    CompileResult result;
+    result.program = builder.link();
+    result.listing = makeListing(code, tu, slot_names, global_names,
+                                 tables, opts.emitCrt0);
+    result.code = std::move(code);
+    return result;
+}
+
+} // namespace crisp::cc

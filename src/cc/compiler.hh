@@ -1,0 +1,117 @@
+/**
+ * @file
+ * crispcc: the CRISP-C compiler driver.
+ *
+ * Pipeline: lex -> parse -> code generation (CodeList) -> optimization
+ * passes (peephole, branch prediction bits, Branch Spreading) ->
+ * AsmBuilder link -> Program.
+ *
+ * The two compiler techniques from the paper are both here:
+ *  - the static branch prediction bit, set by a backward-taken /
+ *    forward-not-taken heuristic (or left all-not-taken, Table 4 case A
+ *    vs B);
+ *  - Branch Spreading: code motion that separates a compare from its
+ *    conditional branch so the branch outcome is known at issue.
+ */
+
+#ifndef CRISP_CC_COMPILER_HH
+#define CRISP_CC_COMPILER_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "code.hh"
+#include "isa/program.hh"
+
+namespace crisp::cc
+{
+
+/** How the compiler sets static prediction bits. */
+enum class PredictMode
+{
+    /** Leave every bit "not taken" (Table 4 cases A). */
+    kAllNotTaken,
+    /** Backward branches predicted taken, forward not taken. */
+    kBackwardTaken,
+};
+
+struct CompileOptions
+{
+    /** Run the Branch Spreading code-motion pass. */
+    bool spread = true;
+    PredictMode predict = PredictMode::kBackwardTaken;
+    /** Small cleanups (jump-to-next removal, mov x,x). */
+    bool peephole = true;
+    /** Emit the `_start: call main; halt` runtime stub as the entry. */
+    bool emitCrt0 = true;
+    /**
+     * Target the delayed-branch baseline machine: insert one delay
+     * slot (a useful instruction when possible, otherwise a nop) after
+     * every jmp/iftjmp/iffjmp. Such programs run on DelayedBranchCpu,
+     * not on the CRISP pipeline.
+     */
+    bool delaySlots = false;
+
+    /**
+     * With delaySlots: also fill the slots of predicted-taken
+     * conditional branches from the branch *target*, marking them
+     * annul-if-not-taken (McFarling & Hennessy's "squashing" delayed
+     * branch; MIPS-II branch-likely). On such programs the prediction
+     * bit of a conditional branch means "the slot executes only when
+     * the branch takes"; run them with DelayedBranchCpu(prog, true).
+     */
+    bool annulSlots = false;
+    /**
+     * Minimum issue-slot separation Branch Spreading aims for between a
+     * compare and its conditional branch. Three non-branch instructions
+     * between them guarantee the compare has left the EU pipeline.
+     */
+    int spreadDistance = 3;
+};
+
+struct CompileResult
+{
+    Program program;
+    /** Post-pass linear code (for inspection and unit tests). */
+    CodeList code;
+    /** Pretty listing with variable names (the paper's Table 3 form). */
+    std::string listing;
+};
+
+/**
+ * Compile a CRISP-C translation unit.
+ * @throws CrispError on lexical, syntax or semantic errors.
+ */
+CompileResult compile(const std::string& source,
+                      const CompileOptions& opts = {});
+
+// Individual passes, exposed for unit testing ------------------------
+
+/** Set conditional-branch prediction bits. */
+void passPredictBits(CodeList& code, PredictMode mode);
+
+/** Branch Spreading code motion. @return branches fully spread. */
+int passSpread(CodeList& code, int distance);
+
+/**
+ * Peephole cleanups: jump-to-next removal, mov x,x removal, and removal
+ * of unreferenced labels (except those in @p keep_labels, e.g. function
+ * entry points). @return items removed.
+ */
+int passPeephole(CodeList& code,
+                 const std::set<std::string>& keep_labels = {});
+
+/**
+ * Insert (and where possible usefully fill) one delay slot after every
+ * jmp/iftjmp/iffjmp, for the delayed-branch baseline machine. With
+ * @p annul, predicted-taken conditional branches may instead take the
+ * first instruction of their target (annul-if-not-taken semantics);
+ * their prediction bit is then repurposed as the annul marker.
+ * @return the number of slots filled with useful instructions.
+ */
+int passFillDelaySlots(CodeList& code, bool annul = false);
+
+} // namespace crisp::cc
+
+#endif // CRISP_CC_COMPILER_HH

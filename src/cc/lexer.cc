@@ -1,0 +1,221 @@
+/**
+ * @file
+ * CRISP-C lexer implementation.
+ */
+
+#include "lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "isa/types.hh"
+
+namespace crisp::cc
+{
+
+namespace
+{
+
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"int", Tok::kInt},         {"void", Tok::kVoid},
+    {"if", Tok::kIf},           {"else", Tok::kElse},
+    {"while", Tok::kWhile},     {"for", Tok::kFor},
+    {"do", Tok::kDo},           {"return", Tok::kReturn},
+    {"break", Tok::kBreak},     {"continue", Tok::kContinue},
+    {"switch", Tok::kSwitch},   {"case", Tok::kCase},
+    {"default", Tok::kDefault},
+};
+
+[[noreturn]] void
+lexError(int line, const std::string& msg)
+{
+    throw CrispError("crispcc line " + std::to_string(line) + ": " + msg);
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string& src)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+
+    auto push = [&](Tok k, std::string text) {
+        Token t;
+        t.kind = k;
+        t.text = std::move(text);
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < src.size()) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments: // and /* */
+        if (c == '/' && i + 1 < src.size()) {
+            if (src[i + 1] == '/') {
+                while (i < src.size() && src[i] != '\n')
+                    ++i;
+                continue;
+            }
+            if (src[i + 1] == '*') {
+                i += 2;
+                while (i + 1 < src.size() &&
+                       !(src[i] == '*' && src[i + 1] == '/')) {
+                    if (src[i] == '\n')
+                        ++line;
+                    ++i;
+                }
+                if (i + 1 >= src.size())
+                    lexError(line, "unterminated comment");
+                i += 2;
+                continue;
+            }
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t j = i;
+            while (j < src.size() &&
+                   (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                    src[j] == '_')) {
+                ++j;
+            }
+            std::string word = src.substr(i, j - i);
+            const auto it = kKeywords.find(word);
+            push(it == kKeywords.end() ? Tok::kIdent : it->second,
+                 std::move(word));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            int base = 10;
+            if (c == '0' && j + 1 < src.size() &&
+                (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+                base = 16;
+                j += 2;
+            }
+            std::size_t start = j;
+            while (j < src.size() &&
+                   std::isxdigit(static_cast<unsigned char>(src[j]))) {
+                ++j;
+            }
+            if (base == 16 && j == start)
+                lexError(line, "bad hex literal");
+            if (base == 10)
+                start = i;
+            Token t;
+            t.kind = Tok::kNumber;
+            t.text = src.substr(i, j - i);
+            t.value = static_cast<std::int32_t>(
+                std::stoll(src.substr(start, j - start), nullptr, base));
+            t.line = line;
+            out.push_back(std::move(t));
+            i = j;
+            continue;
+        }
+
+        auto two = [&](char a, char b) {
+            return c == a && i + 1 < src.size() && src[i + 1] == b;
+        };
+        auto three = [&](char a, char b, char d) {
+            return two(a, b) && i + 2 < src.size() && src[i + 2] == d;
+        };
+
+        if (three('<', '<', '=')) { push(Tok::kShlAssign, "<<="); i += 3; continue; }
+        if (three('>', '>', '=')) { push(Tok::kShrAssign, ">>="); i += 3; continue; }
+        if (two('+', '=')) { push(Tok::kPlusAssign, "+="); i += 2; continue; }
+        if (two('-', '=')) { push(Tok::kMinusAssign, "-="); i += 2; continue; }
+        if (two('*', '=')) { push(Tok::kStarAssign, "*="); i += 2; continue; }
+        if (two('/', '=')) { push(Tok::kSlashAssign, "/="); i += 2; continue; }
+        if (two('%', '=')) { push(Tok::kPercentAssign, "%="); i += 2; continue; }
+        if (two('&', '=')) { push(Tok::kAmpAssign, "&="); i += 2; continue; }
+        if (two('|', '=')) { push(Tok::kPipeAssign, "|="); i += 2; continue; }
+        if (two('^', '=')) { push(Tok::kCaretAssign, "^="); i += 2; continue; }
+        if (two('+', '+')) { push(Tok::kPlusPlus, "++"); i += 2; continue; }
+        if (two('-', '-')) { push(Tok::kMinusMinus, "--"); i += 2; continue; }
+        if (two('&', '&')) { push(Tok::kAmpAmp, "&&"); i += 2; continue; }
+        if (two('|', '|')) { push(Tok::kPipePipe, "||"); i += 2; continue; }
+        if (two('=', '=')) { push(Tok::kEq, "=="); i += 2; continue; }
+        if (two('!', '=')) { push(Tok::kNe, "!="); i += 2; continue; }
+        if (two('<', '=')) { push(Tok::kLe, "<="); i += 2; continue; }
+        if (two('>', '=')) { push(Tok::kGe, ">="); i += 2; continue; }
+        if (two('<', '<')) { push(Tok::kShl, "<<"); i += 2; continue; }
+        if (two('>', '>')) { push(Tok::kShr, ">>"); i += 2; continue; }
+
+        switch (c) {
+          case '(': push(Tok::kLParen, "("); break;
+          case ')': push(Tok::kRParen, ")"); break;
+          case '{': push(Tok::kLBrace, "{"); break;
+          case '}': push(Tok::kRBrace, "}"); break;
+          case '[': push(Tok::kLBracket, "["); break;
+          case ']': push(Tok::kRBracket, "]"); break;
+          case ';': push(Tok::kSemi, ";"); break;
+          case '?': push(Tok::kQuestion, "?"); break;
+          case ':': push(Tok::kColon, ":"); break;
+          case ',': push(Tok::kComma, ","); break;
+          case '=': push(Tok::kAssign, "="); break;
+          case '+': push(Tok::kPlus, "+"); break;
+          case '-': push(Tok::kMinus, "-"); break;
+          case '*': push(Tok::kStar, "*"); break;
+          case '/': push(Tok::kSlash, "/"); break;
+          case '%': push(Tok::kPercent, "%"); break;
+          case '&': push(Tok::kAmp, "&"); break;
+          case '|': push(Tok::kPipe, "|"); break;
+          case '^': push(Tok::kCaret, "^"); break;
+          case '~': push(Tok::kTilde, "~"); break;
+          case '!': push(Tok::kBang, "!"); break;
+          case '<': push(Tok::kLt, "<"); break;
+          case '>': push(Tok::kGt, ">"); break;
+          default:
+            lexError(line, std::string("unexpected character '") + c +
+                               "'");
+        }
+        ++i;
+    }
+
+    Token eof;
+    eof.kind = Tok::kEof;
+    eof.line = line;
+    out.push_back(eof);
+    return out;
+}
+
+const char*
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::kEof: return "<eof>";
+      case Tok::kIdent: return "identifier";
+      case Tok::kNumber: return "number";
+      case Tok::kInt: return "'int'";
+      case Tok::kVoid: return "'void'";
+      case Tok::kIf: return "'if'";
+      case Tok::kElse: return "'else'";
+      case Tok::kWhile: return "'while'";
+      case Tok::kFor: return "'for'";
+      case Tok::kDo: return "'do'";
+      case Tok::kReturn: return "'return'";
+      case Tok::kBreak: return "'break'";
+      case Tok::kContinue: return "'continue'";
+      case Tok::kLParen: return "'('";
+      case Tok::kRParen: return "')'";
+      case Tok::kLBrace: return "'{'";
+      case Tok::kRBrace: return "'}'";
+      case Tok::kLBracket: return "'['";
+      case Tok::kRBracket: return "']'";
+      case Tok::kSemi: return "';'";
+      case Tok::kComma: return "','";
+      default: return "operator";
+    }
+}
+
+} // namespace crisp::cc

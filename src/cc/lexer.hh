@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Lexer for CRISP-C, the small C subset compiled by crispcc.
+ */
+
+#ifndef CRISP_CC_LEXER_HH
+#define CRISP_CC_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crisp::cc
+{
+
+enum class Tok : std::uint8_t {
+    kEof = 0,
+    kIdent,
+    kNumber,
+    // keywords
+    kInt,
+    kVoid,
+    kIf,
+    kElse,
+    kWhile,
+    kFor,
+    kDo,
+    kReturn,
+    kBreak,
+    kContinue,
+    kSwitch,
+    kCase,
+    kDefault,
+    // punctuation / operators
+    kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+    kSemi, kComma, kQuestion, kColon,
+    kAssign,            // =
+    kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+    kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+    kPlusPlus, kMinusMinus,
+    kPlus, kMinus, kStar, kSlash, kPercent,
+    kAmp, kPipe, kCaret, kTilde, kBang,
+    kAmpAmp, kPipePipe,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+    kShl, kShr,
+};
+
+struct Token
+{
+    Tok kind = Tok::kEof;
+    std::string text;
+    std::int32_t value = 0; // for kNumber
+    int line = 1;
+};
+
+/** Tokenize @p source. @throws CrispError on bad input. */
+std::vector<Token> lex(const std::string& source);
+
+/** Human-readable token kind name (for diagnostics). */
+const char* tokName(Tok t);
+
+} // namespace crisp::cc
+
+#endif // CRISP_CC_LEXER_HH

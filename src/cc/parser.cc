@@ -1,0 +1,653 @@
+/**
+ * @file
+ * Recursive-descent parser for CRISP-C.
+ */
+
+#include "ast.hh"
+
+#include "isa/types.hh"
+#include "lexer.hh"
+
+namespace crisp::cc
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+    TranslationUnit
+    parseUnit()
+    {
+        TranslationUnit tu;
+        while (!at(Tok::kEof)) {
+            const bool is_void = at(Tok::kVoid);
+            if (!is_void)
+                expect(Tok::kInt, "declaration");
+            else
+                advance();
+            const Token name = expect(Tok::kIdent, "name");
+            if (at(Tok::kLParen)) {
+                tu.functions.push_back(parseFunction(name, !is_void));
+            } else {
+                if (is_void)
+                    err(name.line, "void variable");
+                parseGlobalTail(tu, name);
+            }
+        }
+        return tu;
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string& msg)
+    {
+        throw CrispError("crispcc line " + std::to_string(line) + ": " +
+                         msg);
+    }
+
+    const Token& peek() const { return toks_[pos_]; }
+    bool at(Tok t) const { return peek().kind == t; }
+
+    Token
+    advance()
+    {
+        Token t = toks_[pos_];
+        if (t.kind != Tok::kEof)
+            ++pos_;
+        return t;
+    }
+
+    bool
+    accept(Tok t)
+    {
+        if (at(t)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(Tok t, const std::string& what)
+    {
+        if (!at(t)) {
+            err(peek().line, "expected " + std::string(tokName(t)) +
+                                 " (" + what + "), found '" +
+                                 peek().text + "'");
+        }
+        return advance();
+    }
+
+    void
+    parseGlobalTail(TranslationUnit& tu, Token first_name)
+    {
+        Token name = std::move(first_name);
+        while (true) {
+            GlobalDecl g;
+            g.name = name.text;
+            g.line = name.line;
+            if (accept(Tok::kLBracket)) {
+                const Token n = expect(Tok::kNumber, "array size");
+                if (n.value <= 0)
+                    err(n.line, "array size must be positive");
+                g.arraySize = n.value;
+                expect(Tok::kRBracket, "array size");
+            } else if (accept(Tok::kAssign)) {
+                bool neg = accept(Tok::kMinus);
+                const Token n = expect(Tok::kNumber, "initializer");
+                g.init = neg ? -n.value : n.value;
+            }
+            tu.globals.push_back(std::move(g));
+            if (!accept(Tok::kComma))
+                break;
+            name = expect(Tok::kIdent, "name");
+        }
+        expect(Tok::kSemi, "global declaration");
+    }
+
+    FuncDecl
+    parseFunction(const Token& name, bool returns_value)
+    {
+        FuncDecl f;
+        f.name = name.text;
+        f.line = name.line;
+        f.returnsValue = returns_value;
+        expect(Tok::kLParen, "parameter list");
+        if (!at(Tok::kRParen)) {
+            if (accept(Tok::kVoid)) {
+                // int f(void)
+            } else {
+                do {
+                    expect(Tok::kInt, "parameter type");
+                    f.params.push_back(
+                        expect(Tok::kIdent, "parameter").text);
+                } while (accept(Tok::kComma));
+            }
+        }
+        expect(Tok::kRParen, "parameter list");
+        f.body = parseBlock();
+        return f;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        const Token brace = expect(Tok::kLBrace, "block");
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kBlock;
+        s->line = brace.line;
+        while (!at(Tok::kRBrace)) {
+            if (at(Tok::kEof))
+                err(brace.line, "unterminated block");
+            if (at(Tok::kInt)) {
+                parseLocalDecls(s->stmts);
+            } else {
+                s->stmts.push_back(parseStmt());
+            }
+        }
+        advance(); // }
+        return s;
+    }
+
+    void
+    parseLocalDecls(std::vector<StmtPtr>& out)
+    {
+        expect(Tok::kInt, "declaration");
+        do {
+            const Token name = expect(Tok::kIdent, "variable");
+            auto d = std::make_unique<Stmt>();
+            d->kind = StmtKind::kDecl;
+            d->line = name.line;
+            d->name = name.text;
+            if (accept(Tok::kAssign))
+                d->init = parseAssign();
+            out.push_back(std::move(d));
+        } while (accept(Tok::kComma));
+        expect(Tok::kSemi, "declaration");
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        const Token& t = peek();
+        switch (t.kind) {
+          case Tok::kLBrace:
+            return parseBlock();
+          case Tok::kSemi: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kEmpty;
+            s->line = t.line;
+            return s;
+          }
+          case Tok::kIf: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kIf;
+            s->line = t.line;
+            expect(Tok::kLParen, "if");
+            s->cond = parseExpr();
+            expect(Tok::kRParen, "if");
+            s->body = parseStmt();
+            if (accept(Tok::kElse))
+                s->elseBody = parseStmt();
+            return s;
+          }
+          case Tok::kWhile: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kWhile;
+            s->line = t.line;
+            expect(Tok::kLParen, "while");
+            s->cond = parseExpr();
+            expect(Tok::kRParen, "while");
+            s->body = parseStmt();
+            return s;
+          }
+          case Tok::kDo: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kDoWhile;
+            s->line = t.line;
+            s->body = parseStmt();
+            expect(Tok::kWhile, "do-while");
+            expect(Tok::kLParen, "do-while");
+            s->cond = parseExpr();
+            expect(Tok::kRParen, "do-while");
+            expect(Tok::kSemi, "do-while");
+            return s;
+          }
+          case Tok::kFor: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kFor;
+            s->line = t.line;
+            expect(Tok::kLParen, "for");
+            if (at(Tok::kInt)) {
+                auto blk = std::make_unique<Stmt>();
+                blk->kind = StmtKind::kBlock;
+                blk->line = t.line;
+                parseLocalDecls(blk->stmts);
+                s->initStmt = std::move(blk);
+            } else {
+                if (!at(Tok::kSemi))
+                    s->init = parseExpr();
+                expect(Tok::kSemi, "for");
+            }
+            if (!at(Tok::kSemi))
+                s->cond = parseExpr();
+            expect(Tok::kSemi, "for");
+            if (!at(Tok::kRParen))
+                s->step = parseExpr();
+            expect(Tok::kRParen, "for");
+            s->body = parseStmt();
+            return s;
+          }
+          case Tok::kSwitch: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kSwitch;
+            s->line = t.line;
+            expect(Tok::kLParen, "switch");
+            s->expr = parseExpr();
+            expect(Tok::kRParen, "switch");
+            expect(Tok::kLBrace, "switch body");
+            bool seen_default = false;
+            while (!at(Tok::kRBrace)) {
+                if (at(Tok::kEof))
+                    err(t.line, "unterminated switch");
+                if (accept(Tok::kCase)) {
+                    auto c = std::make_unique<Stmt>();
+                    c->kind = StmtKind::kCaseLabel;
+                    c->line = t.line;
+                    bool neg = accept(Tok::kMinus);
+                    const Token n = expect(Tok::kNumber, "case value");
+                    c->expr = std::make_unique<Expr>();
+                    c->expr->kind = ExprKind::kNumber;
+                    c->expr->number = neg ? -n.value : n.value;
+                    expect(Tok::kColon, "case");
+                    s->stmts.push_back(std::move(c));
+                } else if (accept(Tok::kDefault)) {
+                    if (seen_default)
+                        err(t.line, "duplicate default");
+                    seen_default = true;
+                    auto c = std::make_unique<Stmt>();
+                    c->kind = StmtKind::kCaseLabel;
+                    c->line = t.line;
+                    expect(Tok::kColon, "default");
+                    s->stmts.push_back(std::move(c));
+                } else if (at(Tok::kInt)) {
+                    err(peek().line,
+                        "declarations are not allowed directly inside "
+                        "switch");
+                } else {
+                    s->stmts.push_back(parseStmt());
+                }
+            }
+            advance(); // }
+            return s;
+          }
+          case Tok::kReturn: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kReturn;
+            s->line = t.line;
+            if (!at(Tok::kSemi))
+                s->expr = parseExpr();
+            expect(Tok::kSemi, "return");
+            return s;
+          }
+          case Tok::kBreak:
+          case Tok::kContinue: {
+            advance();
+            auto s = std::make_unique<Stmt>();
+            s->kind = t.kind == Tok::kBreak ? StmtKind::kBreak
+                                            : StmtKind::kContinue;
+            s->line = t.line;
+            expect(Tok::kSemi, "statement");
+            return s;
+          }
+          default: {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::kExpr;
+            s->line = t.line;
+            s->expr = parseExpr();
+            expect(Tok::kSemi, "expression statement");
+            return s;
+          }
+        }
+    }
+
+    // Expressions ------------------------------------------------------
+
+    ExprPtr parseExpr() { return parseAssign(); }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseTernary();
+        BinOp op = BinOp::kNone;
+        bool is_assign = true;
+        switch (peek().kind) {
+          case Tok::kAssign:        op = BinOp::kNone; break;
+          case Tok::kPlusAssign:    op = BinOp::kAdd; break;
+          case Tok::kMinusAssign:   op = BinOp::kSub; break;
+          case Tok::kStarAssign:    op = BinOp::kMul; break;
+          case Tok::kSlashAssign:   op = BinOp::kDiv; break;
+          case Tok::kPercentAssign: op = BinOp::kRem; break;
+          case Tok::kAmpAssign:     op = BinOp::kAnd; break;
+          case Tok::kPipeAssign:    op = BinOp::kOr; break;
+          case Tok::kCaretAssign:   op = BinOp::kXor; break;
+          case Tok::kShlAssign:     op = BinOp::kShl; break;
+          case Tok::kShrAssign:     op = BinOp::kShr; break;
+          default: is_assign = false; break;
+        }
+        if (!is_assign)
+            return lhs;
+        const int line = peek().line;
+        advance();
+        if (lhs->kind != ExprKind::kVar && lhs->kind != ExprKind::kIndex)
+            err(line, "assignment target is not an lvalue");
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kAssign;
+        e->line = line;
+        e->binop = op;
+        e->lhs = std::move(lhs);
+        e->rhs = parseAssign();
+        return e;
+    }
+
+    ExprPtr
+    binary(ExprKind kind, BinOp op, int line, ExprPtr l, ExprPtr r)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->binop = op;
+        e->line = line;
+        e->lhs = std::move(l);
+        e->rhs = std::move(r);
+        return e;
+    }
+
+    ExprPtr
+    parseTernary()
+    {
+        ExprPtr cond = parseLogicalOr();
+        if (!at(Tok::kQuestion))
+            return cond;
+        const int line = advance().line;
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kTernary;
+        e->line = line;
+        e->lhs = std::move(cond);
+        e->rhs = parseAssign();
+        expect(Tok::kColon, "ternary");
+        e->third = parseAssign();
+        return e;
+    }
+
+    ExprPtr
+    parseLogicalOr()
+    {
+        ExprPtr e = parseLogicalAnd();
+        while (at(Tok::kPipePipe)) {
+            const int line = advance().line;
+            e = binary(ExprKind::kBinary, BinOp::kLOr, line, std::move(e),
+                       parseLogicalAnd());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseLogicalAnd()
+    {
+        ExprPtr e = parseBitOr();
+        while (at(Tok::kAmpAmp)) {
+            const int line = advance().line;
+            e = binary(ExprKind::kBinary, BinOp::kLAnd, line, std::move(e),
+                       parseBitOr());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr e = parseBitXor();
+        while (at(Tok::kPipe)) {
+            const int line = advance().line;
+            e = binary(ExprKind::kBinary, BinOp::kOr, line, std::move(e),
+                       parseBitXor());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr e = parseBitAnd();
+        while (at(Tok::kCaret)) {
+            const int line = advance().line;
+            e = binary(ExprKind::kBinary, BinOp::kXor, line, std::move(e),
+                       parseBitAnd());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr e = parseEquality();
+        while (at(Tok::kAmp)) {
+            const int line = advance().line;
+            e = binary(ExprKind::kBinary, BinOp::kAnd, line, std::move(e),
+                       parseEquality());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr e = parseRelational();
+        while (at(Tok::kEq) || at(Tok::kNe)) {
+            const Token t = advance();
+            e = binary(ExprKind::kBinary,
+                       t.kind == Tok::kEq ? BinOp::kEq : BinOp::kNe,
+                       t.line, std::move(e), parseRelational());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr e = parseShift();
+        while (at(Tok::kLt) || at(Tok::kLe) || at(Tok::kGt) ||
+               at(Tok::kGe)) {
+            const Token t = advance();
+            BinOp op = BinOp::kLt;
+            if (t.kind == Tok::kLe)
+                op = BinOp::kLe;
+            else if (t.kind == Tok::kGt)
+                op = BinOp::kGt;
+            else if (t.kind == Tok::kGe)
+                op = BinOp::kGe;
+            e = binary(ExprKind::kBinary, op, t.line, std::move(e),
+                       parseShift());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr e = parseAdditive();
+        while (at(Tok::kShl) || at(Tok::kShr)) {
+            const Token t = advance();
+            e = binary(ExprKind::kBinary,
+                       t.kind == Tok::kShl ? BinOp::kShl : BinOp::kShr,
+                       t.line, std::move(e), parseAdditive());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr e = parseMultiplicative();
+        while (at(Tok::kPlus) || at(Tok::kMinus)) {
+            const Token t = advance();
+            e = binary(ExprKind::kBinary,
+                       t.kind == Tok::kPlus ? BinOp::kAdd : BinOp::kSub,
+                       t.line, std::move(e), parseMultiplicative());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr e = parseUnary();
+        while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+            const Token t = advance();
+            BinOp op = BinOp::kMul;
+            if (t.kind == Tok::kSlash)
+                op = BinOp::kDiv;
+            else if (t.kind == Tok::kPercent)
+                op = BinOp::kRem;
+            e = binary(ExprKind::kBinary, op, t.line, std::move(e),
+                       parseUnary());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        const Token& t = peek();
+        if (at(Tok::kMinus) || at(Tok::kBang) || at(Tok::kTilde)) {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kUnary;
+            e->line = t.line;
+            e->unop = t.kind == Tok::kMinus  ? UnOp::kNeg
+                      : t.kind == Tok::kBang ? UnOp::kNot
+                                             : UnOp::kBitNot;
+            e->lhs = parseUnary();
+            return e;
+        }
+        if (at(Tok::kPlusPlus) || at(Tok::kMinusMinus)) {
+            advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kPreIncDec;
+            e->line = t.line;
+            e->increment = t.kind == Tok::kPlusPlus;
+            e->lhs = parseUnary();
+            if (e->lhs->kind != ExprKind::kVar &&
+                e->lhs->kind != ExprKind::kIndex) {
+                err(t.line, "++/-- target is not an lvalue");
+            }
+            return e;
+        }
+        if (at(Tok::kPlus)) { // unary plus is a no-op
+            advance();
+            return parseUnary();
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            if (at(Tok::kPlusPlus) || at(Tok::kMinusMinus)) {
+                const Token t = advance();
+                if (e->kind != ExprKind::kVar &&
+                    e->kind != ExprKind::kIndex) {
+                    err(t.line, "++/-- target is not an lvalue");
+                }
+                auto p = std::make_unique<Expr>();
+                p->kind = ExprKind::kPostIncDec;
+                p->line = t.line;
+                p->increment = t.kind == Tok::kPlusPlus;
+                p->lhs = std::move(e);
+                e = std::move(p);
+                continue;
+            }
+            break;
+        }
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        const Token t = advance();
+        switch (t.kind) {
+          case Tok::kNumber: {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kNumber;
+            e->line = t.line;
+            e->number = t.value;
+            return e;
+          }
+          case Tok::kLParen: {
+            ExprPtr e = parseExpr();
+            expect(Tok::kRParen, "expression");
+            return e;
+          }
+          case Tok::kIdent: {
+            if (at(Tok::kLParen)) {
+                advance();
+                auto e = std::make_unique<Expr>();
+                e->kind = ExprKind::kCall;
+                e->line = t.line;
+                e->name = t.text;
+                if (!at(Tok::kRParen)) {
+                    do {
+                        e->args.push_back(parseAssign());
+                    } while (accept(Tok::kComma));
+                }
+                expect(Tok::kRParen, "call");
+                return e;
+            }
+            if (at(Tok::kLBracket)) {
+                advance();
+                auto e = std::make_unique<Expr>();
+                e->kind = ExprKind::kIndex;
+                e->line = t.line;
+                e->name = t.text;
+                e->rhs = parseExpr();
+                expect(Tok::kRBracket, "index");
+                return e;
+            }
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kVar;
+            e->line = t.line;
+            e->name = t.text;
+            return e;
+          }
+          default:
+            err(t.line, "unexpected '" + t.text + "' in expression");
+        }
+    }
+
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TranslationUnit
+parse(const std::string& source)
+{
+    return Parser(lex(source)).parseUnit();
+}
+
+} // namespace crisp::cc

@@ -1,0 +1,492 @@
+/**
+ * @file
+ * crispcc optimization passes: prediction bits, Branch Spreading,
+ * peephole cleanups.
+ */
+
+#include <map>
+#include <optional>
+
+#include "code.hh"
+#include "compiler.hh"
+#include "isa/types.hh"
+
+namespace crisp::cc
+{
+
+namespace
+{
+
+std::map<std::string, std::size_t>
+labelIndex(const CodeList& code)
+{
+    std::map<std::string, std::size_t> idx;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].kind == CodeItem::Kind::kLabel)
+            idx[code[i].name] = i;
+    }
+    return idx;
+}
+
+std::map<std::string, int>
+labelRefCounts(const CodeList& code)
+{
+    std::map<std::string, int> refs;
+    for (const CodeItem& c : code) {
+        if (c.kind == CodeItem::Kind::kBranch)
+            ++refs[c.name];
+    }
+    return refs;
+}
+
+/** Is item @p c a plain instruction movable by code motion? */
+bool
+movable(const CodeItem& c)
+{
+    if (c.kind != CodeItem::Kind::kInst)
+        return false;
+    const Effects e = effectsOf(c.inst);
+    return !e.barrier && !e.writesFlag;
+}
+
+} // namespace
+
+void
+passPredictBits(CodeList& code, PredictMode mode)
+{
+    if (mode == PredictMode::kAllNotTaken) {
+        for (CodeItem& c : code) {
+            if (c.isCondBranch())
+                c.inst.predictTaken = false;
+        }
+        return;
+    }
+    // Backward taken, forward not taken.
+    const auto labels = labelIndex(code);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        CodeItem& c = code[i];
+        if (!c.isCondBranch())
+            continue;
+        const auto it = labels.find(c.name);
+        if (it == labels.end())
+            throw CrispError("passPredictBits: undefined label " +
+                             c.name);
+        c.inst.predictTaken = it->second < i;
+    }
+}
+
+int
+passPeephole(CodeList& code, const std::set<std::string>& keep_labels)
+{
+    int removed = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        const auto refs = labelRefCounts(code);
+        for (std::size_t i = 0; i < code.size(); ++i) {
+            const CodeItem& c = code[i];
+            // Unreferenced generated label.
+            if (c.kind == CodeItem::Kind::kLabel &&
+                refs.find(c.name) == refs.end() &&
+                !keep_labels.count(c.name)) {
+                code.erase(code.begin() + static_cast<std::ptrdiff_t>(i));
+                ++removed;
+                changed = true;
+                break;
+            }
+            // jmp L where L is the next reachable label.
+            if (c.kind == CodeItem::Kind::kBranch &&
+                c.inst.op == Opcode::kJmp) {
+                std::size_t j = i + 1;
+                bool next = false;
+                while (j < code.size() &&
+                       code[j].kind == CodeItem::Kind::kLabel) {
+                    if (code[j].name == c.name) {
+                        next = true;
+                        break;
+                    }
+                    ++j;
+                }
+                if (next) {
+                    code.erase(code.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                    ++removed;
+                    changed = true;
+                    break;
+                }
+            }
+            // mov x, x
+            if (c.kind == CodeItem::Kind::kInst &&
+                c.inst.op == Opcode::kMov && c.inst.dst == c.inst.src) {
+                code.erase(code.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+                ++removed;
+                changed = true;
+                break;
+            }
+        }
+    }
+    return removed;
+}
+
+namespace
+{
+
+/**
+ * State for spreading one compare/branch pair. The pair is
+ * code[cmp_idx] (a compare) immediately followed by instructions and
+ * then code[br_idx] (the conditional branch).
+ */
+struct SpreadSite
+{
+    std::size_t cmpIdx;
+    std::size_t brIdx;
+};
+
+/** Count instructions strictly between two indices. */
+int
+separation(const CodeList& code, std::size_t cmp_idx, std::size_t br_idx)
+{
+    int n = 0;
+    for (std::size_t i = cmp_idx + 1; i < br_idx; ++i) {
+        if (code[i].kind == CodeItem::Kind::kInst)
+            ++n;
+    }
+    return n;
+}
+
+/**
+ * Sink independent instructions from before the compare to between the
+ * compare and the branch. A candidate that conflicts with the compare
+ * (e.g. the `and3` feeding `cmp.= Accum,0`) stays put and joins the
+ * barrier set; earlier candidates may still sink past it when they are
+ * independent of everything they cross. Returns the number moved.
+ */
+int
+sinkBefore(CodeList& code, std::size_t& cmp_idx, int need)
+{
+    if (need <= 0 || cmp_idx == 0)
+        return 0;
+
+    // Everything a sinking instruction must cross: the compare plus any
+    // candidates that stayed behind.
+    std::vector<Effects> barrier{effectsOf(code[cmp_idx].inst)};
+
+    int moved = 0;
+    std::size_t cand = cmp_idx;
+    while (moved < need && cand > 0) {
+        --cand;
+        if (!movable(code[cand]))
+            break; // label / branch / compare: block boundary
+        const Effects fx = effectsOf(code[cand].inst);
+        bool ok = true;
+        for (const Effects& b : barrier) {
+            if (conflicts(fx, b)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) {
+            barrier.push_back(fx);
+            continue;
+        }
+        // Move the candidate to immediately after the compare. Earlier
+        // candidates land before previously sunk ones, preserving their
+        // original relative order.
+        const CodeItem item = code[cand];
+        code.erase(code.begin() + static_cast<std::ptrdiff_t>(cand));
+        code.insert(code.begin() + static_cast<std::ptrdiff_t>(cmp_idx),
+                    item);
+        --cmp_idx;
+        ++moved;
+    }
+    return moved;
+}
+
+/**
+ * Hoist instructions from the join block of an if/else diamond (or an
+ * if-only triangle) to between the compare and the branch. The hoisted
+ * instructions executed on both paths, so executing them before the
+ * branch preserves semantics when they are independent of both arms.
+ * Returns the number hoisted.
+ */
+int
+hoistJoin(CodeList& code, std::size_t br_idx, int need)
+{
+    if (need <= 0)
+        return 0;
+
+    const auto refs = labelRefCounts(code);
+    const std::string& else_label = code[br_idx].name;
+    if (refs.at(else_label) != 1)
+        return 0;
+
+    // Scan the then-arm.
+    std::vector<Effects> arm_fx;
+    std::size_t i = br_idx + 1;
+    bool diamond = false;
+    std::string join_label;
+    while (i < code.size()) {
+        const CodeItem& c = code[i];
+        if (c.kind == CodeItem::Kind::kLabel) {
+            if (c.name != else_label)
+                return 0; // another entry point: give up
+            break;        // triangle: join == else label
+        }
+        if (c.kind == CodeItem::Kind::kBranch) {
+            if (c.inst.op != Opcode::kJmp)
+                return 0;
+            diamond = true;
+            join_label = c.name;
+            ++i;
+            break;
+        }
+        arm_fx.push_back(effectsOf(c.inst));
+        ++i;
+    }
+    if (i >= code.size())
+        return 0;
+
+    std::size_t join_idx;
+    if (!diamond) {
+        join_idx = i; // at the else/join label
+    } else {
+        // Expect: else label here, else-arm, join label.
+        if (code[i].kind != CodeItem::Kind::kLabel ||
+            code[i].name != else_label) {
+            return 0;
+        }
+        const auto jr = refs.find(join_label);
+        if (jr == refs.end() || jr->second != 1)
+            return 0;
+        ++i;
+        while (i < code.size()) {
+            const CodeItem& c = code[i];
+            if (c.kind == CodeItem::Kind::kLabel) {
+                if (c.name != join_label)
+                    return 0;
+                break;
+            }
+            if (c.kind == CodeItem::Kind::kBranch)
+                return 0;
+            arm_fx.push_back(effectsOf(c.inst));
+            ++i;
+        }
+        if (i >= code.size())
+            return 0;
+        join_idx = i;
+    }
+
+    // Hoist a prefix of the join block.
+    int hoisted = 0;
+    std::size_t src = join_idx + 1;
+    std::size_t insert_at = br_idx;
+    while (hoisted < need && src < code.size()) {
+        const CodeItem& c = code[src];
+        if (!movable(c))
+            break;
+        const Effects fx = effectsOf(c.inst);
+        bool ok = true;
+        for (const Effects& a : arm_fx) {
+            if (conflicts(fx, a)) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            break;
+        CodeItem item = code[src];
+        code.erase(code.begin() + static_cast<std::ptrdiff_t>(src));
+        code.insert(code.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                    item);
+        ++insert_at; // keep hoisted instructions in original order
+        ++src;       // net: erase before insert point shifts indices +1
+        ++hoisted;
+    }
+    return hoisted;
+}
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Try to fill the slot of the predicted-taken conditional branch at
+ * @p j from the first instruction of its target (annul-if-not-taken).
+ * The branch is retargeted past the copied instruction.
+ * @return true if the slot was placed.
+ */
+bool
+fillFromTarget(CodeList& code, std::size_t j)
+{
+    const std::string& target = code[j].name;
+    // Locate the target label and its first instruction.
+    std::size_t li = code.size();
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].kind == CodeItem::Kind::kLabel &&
+            code[i].name == target) {
+            li = i;
+            break;
+        }
+    }
+    if (li == code.size())
+        return false;
+    std::size_t fi = li + 1;
+    while (fi < code.size() && code[fi].kind == CodeItem::Kind::kLabel)
+        ++fi;
+    if (fi >= code.size() || code[fi].kind != CodeItem::Kind::kInst)
+        return false;
+    const Instruction& first = code[fi].inst;
+    if (isBranch(first.op) || first.op == Opcode::kReturn ||
+        first.op == Opcode::kHalt || first.op == Opcode::kEnter ||
+        first.op == Opcode::kLeave || first.op == Opcode::kNop) {
+        return false;
+    }
+
+    // Retarget the branch past the copied instruction, via a fresh
+    // label (other branches to `target` are unaffected).
+    const std::string after = target + "_annul";
+    bool have_label = false;
+    for (const CodeItem& c : code) {
+        if (c.kind == CodeItem::Kind::kLabel && c.name == after) {
+            have_label = true;
+            break;
+        }
+    }
+    const CodeItem slot = CodeItem::instr(first);
+    code[j].name = after;
+    if (!have_label) {
+        code.insert(code.begin() + static_cast<std::ptrdiff_t>(fi + 1),
+                    CodeItem::label(after));
+    }
+    // Recompute j's position if the insertion shifted it.
+    std::size_t bj = j + (!have_label && fi < j ? 1 : 0);
+    code.insert(code.begin() + static_cast<std::ptrdiff_t>(bj + 1),
+                slot);
+    return true;
+}
+
+} // namespace
+
+int
+passFillDelaySlots(CodeList& code, bool annul)
+{
+    int filled = 0;
+    for (std::size_t j = 0; j < code.size(); ++j) {
+        const CodeItem& b = code[j];
+        // Instruction-form branches (compiler-generated indirect jumps)
+        // get an unfilled slot: a mover could alias the table read.
+        if (b.kind == CodeItem::Kind::kInst && isBranch(b.inst.op) &&
+            b.inst.op != Opcode::kCall) {
+            code.insert(code.begin() + static_cast<std::ptrdiff_t>(j + 1),
+                        CodeItem::instr(Instruction::nop()));
+            ++j;
+            continue;
+        }
+        if (b.kind != CodeItem::Kind::kBranch ||
+            b.inst.op == Opcode::kCall) {
+            continue;
+        }
+
+        // Annulling mode: predicted-taken conditional branches take
+        // their target's first instruction; the bit marks the slot as
+        // annul-if-not-taken. If the target cannot supply one, clear
+        // the bit and fall through to the always-execute fill below.
+        if (annul && isConditionalBranch(b.inst.op)) {
+            if (code[j].inst.predictTaken) {
+                if (fillFromTarget(code, j)) {
+                    ++filled;
+                    ++j; // skip the new slot
+                    continue;
+                }
+                code[j].inst.predictTaken = false;
+            }
+        }
+
+        // Find the nearest earlier instruction that may move past the
+        // branch (and past anything between) into the delay slot.
+        // Compares join the barrier set instead of ending the scan so
+        // `add i,1; cmp; iftjmp` can still be filled from above.
+        std::vector<Effects> barrier;
+        bool moved = false;
+        std::size_t cand = j;
+        while (cand > 0) {
+            --cand;
+            const CodeItem& c = code[cand];
+            // Never steal the delay slot of an earlier branch (slots
+            // were placed at branch+1 as this pass walked forward).
+            if (cand > 0 &&
+                code[cand - 1].kind == CodeItem::Kind::kBranch &&
+                code[cand - 1].inst.op != Opcode::kCall) {
+                break;
+            }
+            if (c.kind == CodeItem::Kind::kInst &&
+                isCompare(c.inst.op)) {
+                barrier.push_back(effectsOf(c.inst));
+                continue;
+            }
+            if (!movable(c))
+                break;
+            const Effects fx = effectsOf(c.inst);
+            bool ok = true;
+            for (const Effects& bf : barrier) {
+                if (conflicts(fx, bf)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok) {
+                barrier.push_back(fx);
+                continue;
+            }
+            const CodeItem item = c;
+            code.erase(code.begin() + static_cast<std::ptrdiff_t>(cand));
+            // The branch shifted down by one; insert right after it.
+            code.insert(code.begin() + static_cast<std::ptrdiff_t>(j),
+                        item);
+            moved = true;
+            ++filled;
+            break;
+        }
+        if (!moved) {
+            code.insert(code.begin() + static_cast<std::ptrdiff_t>(j + 1),
+                        CodeItem::instr(Instruction::nop()));
+            ++j; // skip the nop slot
+        }
+        // When an instruction moved in from above, the branch shifted
+        // to j-1 and its slot sits at j: the loop's own increment
+        // already lands past it.
+    }
+    return filled;
+}
+
+int
+passSpread(CodeList& code, int distance)
+{
+    int fully_spread = 0;
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+        if (!code[i + 1].isCondBranch())
+            continue;
+        if (code[i].kind != CodeItem::Kind::kInst ||
+            !isCompare(code[i].inst.op)) {
+            continue;
+        }
+        std::size_t cmp_idx = i;
+        std::size_t br_idx = i + 1;
+
+        int sep = separation(code, cmp_idx, br_idx);
+        sep += sinkBefore(code, cmp_idx, distance - sep);
+        if (sep < distance) {
+            const int hoisted = hoistJoin(code, br_idx, distance - sep);
+            sep += hoisted;
+            // Hoisting inserted items between cmp and branch.
+            br_idx += static_cast<std::size_t>(hoisted);
+        }
+        if (sep >= distance)
+            ++fully_spread;
+    }
+    return fully_spread;
+}
+
+} // namespace crisp::cc

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Functional interpreter implementation.
+ */
+
+#include "interpreter.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace crisp
+{
+
+Interpreter::Interpreter(const Program& prog)
+    : prog_(prog), mem_(prog)
+{
+    pc_ = prog.entry;
+    // The stack grows down from the top of memory, word aligned.
+    sp_ = (prog.memBytes - kWordBytes) & ~(kWordBytes - 1);
+}
+
+Word
+Interpreter::readOperand(const Operand& o) const
+{
+    switch (o.mode) {
+      case AddrMode::kImm:
+        return o.value;
+      case AddrMode::kAccum:
+        return accum_;
+      case AddrMode::kNone:
+        return 0;
+      default:
+        return static_cast<Word>(mem_.read32(operandAddress(o)));
+    }
+}
+
+Addr
+Interpreter::operandAddress(const Operand& o) const
+{
+    switch (o.mode) {
+      case AddrMode::kStack:
+        return sp_ + static_cast<Addr>(o.value) * kWordBytes;
+      case AddrMode::kAbs:
+        return static_cast<Addr>(o.value);
+      case AddrMode::kInd:
+        return mem_.read32(sp_ + static_cast<Addr>(o.value) * kWordBytes);
+      default:
+        throw CrispError("operand has no address");
+    }
+}
+
+void
+Interpreter::writeOperand(const Operand& o, Word v)
+{
+    if (o.mode == AddrMode::kAccum) {
+        accum_ = v;
+        return;
+    }
+    mem_.write32(operandAddress(o), static_cast<std::uint32_t>(v));
+}
+
+bool
+Interpreter::step(ExecObserver* observer)
+{
+    if (halted_)
+        return false;
+
+    const Addr pc = pc_;
+    const Instruction inst = prog_.fetch(pc);
+    const Addr fall = pc + inst.lengthBytes();
+
+    ++result_.instructions;
+    ++result_.opcodeCounts[static_cast<std::size_t>(inst.op)];
+    if (observer)
+        observer->onInstruction(pc, inst.op);
+
+    Addr next = fall;
+
+    switch (inst.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        halted_ = true;
+        result_.halted = true;
+        return false;
+      case Opcode::kEnter:
+        sp_ -= static_cast<Addr>(inst.dst.value) * kWordBytes;
+        break;
+      case Opcode::kLeave:
+        sp_ += static_cast<Addr>(inst.dst.value) * kWordBytes;
+        break;
+      case Opcode::kReturn: {
+        sp_ += static_cast<Addr>(inst.dst.value) * kWordBytes;
+        next = mem_.read32(sp_);
+        sp_ += kWordBytes;
+        break;
+      }
+      case Opcode::kMov:
+        writeOperand(inst.dst, readOperand(inst.src));
+        break;
+      case Opcode::kJmp:
+      case Opcode::kIfTJmp:
+      case Opcode::kIfFJmp:
+      case Opcode::kCall: {
+        Addr target = 0;
+        switch (inst.bmode) {
+          case BranchMode::kPcRel:
+            target = pc + static_cast<Addr>(inst.disp);
+            break;
+          case BranchMode::kAbs:
+            target = inst.spec;
+            break;
+          case BranchMode::kIndAbs:
+            target = mem_.read32(inst.spec);
+            break;
+          case BranchMode::kIndSp:
+            target = mem_.read32(
+                sp_ + static_cast<Addr>(
+                          static_cast<std::int32_t>(inst.spec)) *
+                          kWordBytes);
+            break;
+        }
+
+        bool taken = true;
+        if (inst.op == Opcode::kIfTJmp)
+            taken = flag_;
+        else if (inst.op == Opcode::kIfFJmp)
+            taken = !flag_;
+
+        if (inst.op == Opcode::kCall) {
+            sp_ -= kWordBytes;
+            mem_.write32(sp_, fall);
+        }
+
+        if (taken)
+            next = target;
+
+        ++result_.branches;
+        const bool short_form = inst.lengthParcels() == 1;
+        if (short_form)
+            ++result_.shortBranches;
+
+        if (observer) {
+            BranchEvent ev;
+            ev.pc = pc;
+            ev.op = inst.op;
+            ev.conditional = isConditionalBranch(inst.op);
+            ev.taken = taken;
+            ev.predictTaken = inst.predictTaken;
+            ev.target = target;
+            ev.fallThrough = fall;
+            ev.shortForm = short_form;
+            observer->onBranch(ev);
+        }
+        break;
+      }
+      default:
+        if (isCompare(inst.op)) {
+            flag_ = evalCompare(inst.op, readOperand(inst.dst),
+                                readOperand(inst.src));
+        } else if (isAlu3(inst.op)) {
+            accum_ = evalAlu(inst.op, readOperand(inst.dst),
+                             readOperand(inst.src));
+        } else if (isAlu2(inst.op)) {
+            writeOperand(inst.dst,
+                         evalAlu(inst.op, readOperand(inst.dst),
+                                 readOperand(inst.src)));
+        } else {
+            throw CrispError("interpreter: unhandled opcode " +
+                             std::string(opcodeName(inst.op)));
+        }
+        break;
+    }
+
+    pc_ = next;
+    return true;
+}
+
+InterpResult
+Interpreter::run(std::uint64_t max_steps, ExecObserver* observer)
+{
+    std::uint64_t steps = 0;
+    while (!halted_ && steps < max_steps) {
+        if (!step(observer))
+            break;
+        ++steps;
+    }
+    return result_;
+}
+
+Word
+Interpreter::wordAt(const std::string& symbol) const
+{
+    const auto a = prog_.lookup(symbol);
+    if (!a)
+        throw CrispError("unknown symbol: " + symbol);
+    return static_cast<Word>(mem_.read32(*a));
+}
+
+std::string
+InterpResult::histogramTable() const
+{
+    // Sort opcodes by descending dynamic count, like the paper's Table 2.
+    std::vector<std::pair<std::uint64_t, Opcode>> rows;
+    for (int i = 0; i < kOpcodeCount; ++i) {
+        if (opcodeCounts[i] > 0)
+            rows.emplace_back(opcodeCounts[i], static_cast<Opcode>(i));
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.first > b.first;
+    });
+
+    std::ostringstream os;
+    os << "Total of " << instructions << " instructions\n";
+    os << std::left << std::setw(10) << "Opcode" << std::right
+       << std::setw(10) << "Count" << std::setw(10) << "Percent" << "\n";
+    for (const auto& [count, op] : rows) {
+        const double pct =
+            100.0 * static_cast<double>(count) /
+            static_cast<double>(instructions);
+        os << std::left << std::setw(10) << opcodeName(op) << std::right
+           << std::setw(10) << count << std::setw(9) << std::fixed
+           << std::setprecision(2) << pct << "%\n";
+    }
+    return os.str();
+}
+
+} // namespace crisp

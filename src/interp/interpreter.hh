@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Reference functional interpreter: the architectural golden model.
+ *
+ * Executes a Program instruction-at-a-time with no timing. Used for:
+ *  - architectural cross-checking of the pipelined simulator (folding,
+ *    prediction and spreading must never change results);
+ *  - dynamic instruction counts (Table 2) and the "apparent instruction"
+ *    denominator of Table 4;
+ *  - branch traces for the prediction study (Table 1).
+ */
+
+#ifndef CRISP_INTERP_INTERPRETER_HH
+#define CRISP_INTERP_INTERPRETER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "isa/program.hh"
+#include "memory_image.hh"
+#include "trace.hh"
+
+namespace crisp
+{
+
+/** Aggregate results of a functional run. */
+struct InterpResult
+{
+    /** Total architecturally executed instructions. */
+    std::uint64_t instructions = 0;
+    /** Dynamic opcode histogram. */
+    std::array<std::uint64_t, kOpcodeCount> opcodeCounts{};
+    /** True if execution reached a halt (vs. the step limit). */
+    bool halted = false;
+    /** Dynamic count of branch instructions executed. */
+    std::uint64_t branches = 0;
+    /** Dynamic branches that used the one-parcel encoding. */
+    std::uint64_t shortBranches = 0;
+
+    std::uint64_t
+    count(Opcode op) const
+    {
+        return opcodeCounts[static_cast<std::size_t>(op)];
+    }
+
+    /** Pretty-print the opcode histogram like the paper's Table 2. */
+    std::string histogramTable() const;
+};
+
+/** Architectural machine state. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Program& prog);
+
+    /** Run until halt or @p max_steps instructions. */
+    InterpResult run(std::uint64_t max_steps = 100'000'000,
+                     ExecObserver* observer = nullptr);
+
+    /** Execute exactly one instruction. @return false once halted. */
+    bool step(ExecObserver* observer = nullptr);
+
+    // Architectural state access (for tests and cross-checks) ---------
+    Addr pc() const { return pc_; }
+    Addr sp() const { return sp_; }
+    Word accum() const { return accum_; }
+    bool flag() const { return flag_; }
+    bool halted() const { return halted_; }
+    const MemoryImage& memory() const { return mem_; }
+    MemoryImage& memory() { return mem_; }
+
+    /** Read the 32-bit word at a global symbol (test convenience). */
+    Word wordAt(const std::string& symbol) const;
+
+    const InterpResult& result() const { return result_; }
+
+  private:
+    Word readOperand(const Operand& o) const;
+    void writeOperand(const Operand& o, Word v);
+    Addr operandAddress(const Operand& o) const;
+
+    /** Owned copy: the interpreter's lifetime is self-contained. */
+    Program prog_;
+    MemoryImage mem_;
+    Addr pc_ = 0;
+    Addr sp_ = 0;
+    Word accum_ = 0;
+    bool flag_ = false;
+    bool halted_ = false;
+    InterpResult result_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_INTERP_INTERPRETER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Flat byte-addressable memory image shared by the functional
+ * interpreter and the cycle-level simulator.
+ */
+
+#ifndef CRISP_INTERP_MEMORY_IMAGE_HH
+#define CRISP_INTERP_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "isa/types.hh"
+
+namespace crisp
+{
+
+/**
+ * Little-endian flat memory. Text and data segments are copied in from
+ * a Program; the stack occupies the top of the image.
+ */
+class MemoryImage
+{
+  public:
+    MemoryImage() = default;
+
+    /** Construct an image sized and initialized from @p prog. */
+    explicit MemoryImage(const Program& prog) { load(prog); }
+
+    /** (Re)initialize from a program. */
+    void load(const Program& prog);
+
+    Addr size() const { return static_cast<Addr>(bytes_.size()); }
+
+    std::uint8_t
+    read8(Addr a) const
+    {
+        check(a, 1);
+        return bytes_[a];
+    }
+
+    std::uint16_t
+    read16(Addr a) const
+    {
+        check(a, 2);
+        return static_cast<std::uint16_t>(bytes_[a]) |
+               (static_cast<std::uint16_t>(bytes_[a + 1]) << 8);
+    }
+
+    std::uint32_t
+    read32(Addr a) const
+    {
+        check(a, 4);
+        return static_cast<std::uint32_t>(bytes_[a]) |
+               (static_cast<std::uint32_t>(bytes_[a + 1]) << 8) |
+               (static_cast<std::uint32_t>(bytes_[a + 2]) << 16) |
+               (static_cast<std::uint32_t>(bytes_[a + 3]) << 24);
+    }
+
+    void
+    write32(Addr a, std::uint32_t v)
+    {
+        check(a, 4);
+        bytes_[a] = static_cast<std::uint8_t>(v);
+        bytes_[a + 1] = static_cast<std::uint8_t>(v >> 8);
+        bytes_[a + 2] = static_cast<std::uint8_t>(v >> 16);
+        bytes_[a + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  private:
+    void
+    check(Addr a, Addr n) const
+    {
+        if (a + n > bytes_.size() || a + n < a)
+            throw CrispError("memory access out of range: 0x" +
+                             std::to_string(a));
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace crisp
+
+#endif // CRISP_INTERP_MEMORY_IMAGE_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Execution trace records emitted by the functional interpreter.
+ *
+ * The branch trace is the input to the predictor-study harness
+ * (Table 1): the paper instrumented a VAX C compiler to apply several
+ * prediction schemes as programs ran; we run programs on the reference
+ * interpreter and evaluate all schemes on the recorded trace, which is
+ * methodologically equivalent.
+ */
+
+#ifndef CRISP_INTERP_TRACE_HH
+#define CRISP_INTERP_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcode.hh"
+#include "isa/types.hh"
+
+namespace crisp
+{
+
+/** One dynamic execution of a branch instruction. */
+struct BranchEvent
+{
+    Addr pc = 0;              //!< address of the branch instruction
+    Opcode op = Opcode::kJmp;
+    bool conditional = false;
+    bool taken = false;
+    bool predictTaken = false; //!< the static prediction bit in the code
+    Addr target = 0;          //!< taken-path address
+    Addr fallThrough = 0;     //!< not-taken-path address
+    bool shortForm = false;   //!< encoded in the one-parcel format
+};
+
+/** Observer hooks for interpreter execution. */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+
+    /** Called once per architecturally executed instruction. */
+    virtual void onInstruction(Addr pc, Opcode op) { (void)pc; (void)op; }
+
+    /** Called for every executed branch (conditional or not). */
+    virtual void onBranch(const BranchEvent& ev) { (void)ev; }
+};
+
+/** Observer that records the full branch trace in memory. */
+class BranchTraceRecorder : public ExecObserver
+{
+  public:
+    void onBranch(const BranchEvent& ev) override { events.push_back(ev); }
+
+    std::vector<BranchEvent> events;
+};
+
+} // namespace crisp
+
+#endif // CRISP_INTERP_TRACE_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Instruction length computation and disassembly printing.
+ */
+
+#include "instruction.hh"
+
+#include <sstream>
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Can @p o be the `a` field of a one-parcel instruction? */
+bool
+fitsShortA(const Operand& o)
+{
+    switch (o.mode) {
+      case AddrMode::kStack:
+        return o.value >= 0 && o.value <= 30;
+      case AddrMode::kAccum:
+        return true;
+      case AddrMode::kNone:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Can @p o be the `b` field of a one-parcel instruction? */
+bool
+fitsShortB(const Operand& o)
+{
+    switch (o.mode) {
+      case AddrMode::kStack:
+        return o.value >= 0 && o.value <= 6;
+      case AddrMode::kImm:
+        return o.value >= 0 && o.value <= 7;
+      case AddrMode::kAccum:
+        return true;
+      case AddrMode::kNone:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Does @p o fit the 16-bit specifier of a three-parcel instruction? */
+bool
+fitsSpec16(const Operand& o)
+{
+    switch (o.mode) {
+      case AddrMode::kStack:
+      case AddrMode::kInd:
+      case AddrMode::kImm:
+        return o.value >= -32768 && o.value <= 32767;
+      case AddrMode::kAbs:
+        return o.value >= 0 && o.value <= 0xFFFF;
+      case AddrMode::kAccum:
+      case AddrMode::kNone:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+fitsShortBranch(std::int32_t disp_bytes)
+{
+    if (disp_bytes % 2 != 0)
+        return false;
+    const std::int32_t words = disp_bytes / 2;
+    return words >= -512 && words <= 511;
+}
+
+int
+Instruction::lengthParcels() const
+{
+    switch (op) {
+      case Opcode::kJmp:
+      case Opcode::kIfTJmp:
+      case Opcode::kIfFJmp:
+        return bmode == BranchMode::kPcRel ? 1 : 3;
+      case Opcode::kCall:
+        return 3;
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kEnter:
+      case Opcode::kReturn:
+      case Opcode::kLeave:
+        return 1;
+      default:
+        if (fitsShortA(dst) && fitsShortB(src))
+            return 1;
+        if (fitsSpec16(dst) && fitsSpec16(src))
+            return 3;
+        return 5;
+    }
+}
+
+std::string
+Operand::toString() const
+{
+    std::ostringstream os;
+    switch (mode) {
+      case AddrMode::kNone:
+        os << "<none>";
+        break;
+      case AddrMode::kStack:
+        os << "sp[" << value << "]";
+        break;
+      case AddrMode::kAbs:
+        os << "@0x" << std::hex << static_cast<std::uint32_t>(value);
+        break;
+      case AddrMode::kImm:
+        os << value;
+        break;
+      case AddrMode::kInd:
+        os << "[sp[" << value << "]]";
+        break;
+      case AddrMode::kAccum:
+        os << "Accum";
+        break;
+    }
+    return os.str();
+}
+
+std::string
+Instruction::toString(Addr pc) const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    if (isConditionalBranch(op))
+        os << (predictTaken ? "y" : "n");
+
+    switch (op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kReturn:
+      case Opcode::kEnter:
+      case Opcode::kLeave:
+        if (op != Opcode::kNop && op != Opcode::kHalt)
+            os << " " << dst.value;
+        break;
+      case Opcode::kJmp:
+      case Opcode::kIfTJmp:
+      case Opcode::kIfFJmp:
+      case Opcode::kCall:
+        switch (bmode) {
+          case BranchMode::kPcRel:
+            os << " 0x" << std::hex << (pc + static_cast<Addr>(disp));
+            break;
+          case BranchMode::kAbs:
+            os << " 0x" << std::hex << spec;
+            break;
+          case BranchMode::kIndAbs:
+            os << " *@0x" << std::hex << spec;
+            break;
+          case BranchMode::kIndSp:
+            os << " *sp[" << static_cast<std::int32_t>(spec) << "]";
+            break;
+        }
+        break;
+      default:
+        os << " " << dst.toString() << "," << src.toString();
+        break;
+    }
+    return os.str();
+}
+
+} // namespace crisp

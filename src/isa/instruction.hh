@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Architectural instruction representation.
+ *
+ * An Instruction is the assembler-level view of one CRISP instruction,
+ * independent of its binary encoding. Instructions are encoded into one,
+ * three or five 16-bit parcels (see encoding.hh); the encoded length is a
+ * pure function of the operand shapes, mirroring the paper's three
+ * instruction lengths.
+ */
+
+#ifndef CRISP_ISA_INSTRUCTION_HH
+#define CRISP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "opcode.hh"
+#include "operand.hh"
+#include "types.hh"
+
+namespace crisp
+{
+
+/** How a branch names its target. */
+enum class BranchMode : std::uint8_t {
+    kPcRel = 0,  //!< one-parcel form: 10-bit word offset from the branch
+    kAbs,        //!< three-parcel form: 32-bit absolute target
+    kIndAbs,     //!< indirect through an absolute address
+    kIndSp,      //!< indirect through SP + 32-bit word offset
+};
+
+/** Architectural (pre-encoding, pre-folding) instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::kNop;
+
+    /** Destination (ALU2/mov) or first source (cmp, ALU3). */
+    Operand dst;
+    /** Source (ALU2/mov) or second source (cmp, ALU3). */
+    Operand src;
+
+    /** Static branch prediction bit (conditional branches only). */
+    bool predictTaken = false;
+    /** Target addressing for branch opcodes. */
+    BranchMode bmode = BranchMode::kPcRel;
+    /** PC-relative byte displacement from the branch's own address. */
+    std::int32_t disp = 0;
+    /** 32-bit specifier for kAbs / kIndAbs / kIndSp branches. */
+    std::uint32_t spec = 0;
+
+    bool operator==(const Instruction&) const = default;
+
+    bool writesCc() const { return isCompare(op); }
+
+    /** Encoded length in 16-bit parcels (1, 3 or 5). */
+    int lengthParcels() const;
+
+    /** Encoded length in bytes. */
+    Addr lengthBytes() const
+    {
+        return static_cast<Addr>(lengthParcels()) * kParcelBytes;
+    }
+
+    /**
+     * Disassemble. @p pc is the instruction's own byte address, used to
+     * print absolute targets for PC-relative branches.
+     */
+    std::string toString(Addr pc = 0) const;
+
+    // Convenience factories -------------------------------------------
+
+    static Instruction
+    alu(Opcode op, Operand dst, Operand src)
+    {
+        Instruction i;
+        i.op = op;
+        i.dst = dst;
+        i.src = src;
+        return i;
+    }
+
+    static Instruction
+    mov(Operand dst, Operand src)
+    {
+        return alu(Opcode::kMov, dst, src);
+    }
+
+    static Instruction
+    cmp(Opcode op, Operand a, Operand b)
+    {
+        return alu(op, a, b);
+    }
+
+    /** One-parcel PC-relative branch. */
+    static Instruction
+    branchRel(Opcode op, std::int32_t disp, bool predict = false)
+    {
+        Instruction i;
+        i.op = op;
+        i.bmode = BranchMode::kPcRel;
+        i.disp = disp;
+        i.predictTaken = predict;
+        return i;
+    }
+
+    /** Three-parcel branch (absolute or indirect). */
+    static Instruction
+    branchFar(Opcode op, BranchMode bmode, std::uint32_t spec,
+              bool predict = false)
+    {
+        Instruction i;
+        i.op = op;
+        i.bmode = bmode;
+        i.spec = spec;
+        i.predictTaken = predict;
+        return i;
+    }
+
+    static Instruction
+    enter(std::int32_t words)
+    {
+        return alu(Opcode::kEnter, Operand::imm(words), Operand::none());
+    }
+
+    static Instruction
+    ret(std::int32_t words)
+    {
+        return alu(Opcode::kReturn, Operand::imm(words), Operand::none());
+    }
+
+    static Instruction
+    leave(std::int32_t words)
+    {
+        return alu(Opcode::kLeave, Operand::imm(words), Operand::none());
+    }
+
+    static Instruction nop() { return {}; }
+
+    static Instruction
+    halt()
+    {
+        Instruction i;
+        i.op = Opcode::kHalt;
+        return i;
+    }
+};
+
+/**
+ * Range check for a one-parcel branch displacement: a signed 10-bit
+ * parcel (word) offset, i.e. -1024 .. +1022 bytes in steps of 2 — the
+ * exact range quoted in the paper.
+ */
+bool fitsShortBranch(std::int32_t disp_bytes);
+
+} // namespace crisp
+
+#endif // CRISP_ISA_INSTRUCTION_HH

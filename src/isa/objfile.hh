@@ -1,0 +1,41 @@
+/**
+ * @file
+ * A simple binary object/executable format for linked CRISP programs,
+ * so the command-line tools can pass programs between the compiler,
+ * assembler and the simulators.
+ *
+ * Layout (all little-endian):
+ *   magic     "CRSP" (4 bytes)
+ *   version   u32 (currently 1)
+ *   textBase  u32   entry u32   dataBase u32   memBytes u32
+ *   textLen   u32 (parcels)     dataLen u32 (bytes)   symCount u32
+ *   text      textLen x u16
+ *   data      dataLen x u8
+ *   symbols   symCount x { kind u8, nameLen u16, name bytes, value u32 }
+ */
+
+#ifndef CRISP_ISA_OBJFILE_HH
+#define CRISP_ISA_OBJFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program.hh"
+
+namespace crisp
+{
+
+/** Serialize a linked program. */
+std::vector<std::uint8_t> saveObject(const Program& prog);
+
+/** Deserialize. @throws CrispError on malformed input. */
+Program loadObject(const std::vector<std::uint8_t>& bytes);
+
+/** File convenience wrappers. @throws CrispError on I/O failure. */
+void saveObjectFile(const Program& prog, const std::string& path);
+Program loadObjectFile(const std::string& path);
+
+} // namespace crisp
+
+#endif // CRISP_ISA_OBJFILE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Opcode property tables and ALU/compare evaluation.
+ */
+
+#include "opcode.hh"
+
+#include <array>
+
+#include "types.hh"
+
+namespace crisp
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, kOpcodeCount> kNames = {
+    "nop",   "halt",
+    "add",   "sub",   "and",   "or",    "xor",
+    "shl",   "shr",   "mul",   "div",   "rem",
+    "add3",  "sub3",  "and3",  "or3",   "xor3",  "mul3",
+    "mov",
+    "cmp.=", "cmp.!=",
+    "cmp.s<", "cmp.s<=", "cmp.s>", "cmp.s>=",
+    "cmp.u<", "cmp.u>=",
+    "jmp",   "iftjmp", "iffjmp", "call", "enter", "return",
+    "leave",
+};
+
+} // namespace
+
+std::string_view
+opcodeName(Opcode op)
+{
+    const auto idx = static_cast<std::size_t>(op);
+    if (idx >= kNames.size())
+        return "<bad-opcode>";
+    return kNames[idx];
+}
+
+bool
+isBranch(Opcode op)
+{
+    return op == Opcode::kJmp || op == Opcode::kIfTJmp ||
+           op == Opcode::kIfFJmp || op == Opcode::kCall;
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    return op == Opcode::kIfTJmp || op == Opcode::kIfFJmp;
+}
+
+bool
+isCompare(Opcode op)
+{
+    return op >= Opcode::kCmpEq && op <= Opcode::kCmpGeU;
+}
+
+bool
+isAlu2(Opcode op)
+{
+    return op >= Opcode::kAdd && op <= Opcode::kRem;
+}
+
+bool
+isAlu3(Opcode op)
+{
+    return op >= Opcode::kAdd3 && op <= Opcode::kMul3;
+}
+
+bool
+isFoldableBody(Opcode op)
+{
+    // Branches, returns and halts transfer (or end) control themselves,
+    // so a following branch would be unreachable; everything else is a
+    // legitimate carrier for a folded branch.
+    return !isBranch(op) && op != Opcode::kReturn && op != Opcode::kHalt;
+}
+
+bool
+evalCompare(Opcode op, std::int32_t a, std::int32_t b)
+{
+    const auto ua = static_cast<std::uint32_t>(a);
+    const auto ub = static_cast<std::uint32_t>(b);
+    switch (op) {
+      case Opcode::kCmpEq:  return a == b;
+      case Opcode::kCmpNe:  return a != b;
+      case Opcode::kCmpLt:  return a < b;
+      case Opcode::kCmpLe:  return a <= b;
+      case Opcode::kCmpGt:  return a > b;
+      case Opcode::kCmpGe:  return a >= b;
+      case Opcode::kCmpLtU: return ua < ub;
+      case Opcode::kCmpGeU: return ua >= ub;
+      default:
+        throw CrispError("evalCompare: not a compare opcode");
+    }
+}
+
+std::int32_t
+evalAlu(Opcode op, std::int32_t a, std::int32_t b)
+{
+    const auto ua = static_cast<std::uint32_t>(a);
+    const auto ub = static_cast<std::uint32_t>(b);
+    switch (op) {
+      case Opcode::kAdd: case Opcode::kAdd3:
+        return static_cast<std::int32_t>(ua + ub);
+      case Opcode::kSub: case Opcode::kSub3:
+        return static_cast<std::int32_t>(ua - ub);
+      case Opcode::kAnd: case Opcode::kAnd3:
+        return a & b;
+      case Opcode::kOr: case Opcode::kOr3:
+        return a | b;
+      case Opcode::kXor: case Opcode::kXor3:
+        return a ^ b;
+      case Opcode::kShl:
+        return static_cast<std::int32_t>(ua << (ub & 31u));
+      case Opcode::kShr:
+        return static_cast<std::int32_t>(ua >> (ub & 31u));
+      case Opcode::kMul: case Opcode::kMul3:
+        return static_cast<std::int32_t>(ua * ub);
+      case Opcode::kDiv:
+        return b == 0 ? 0 : (a == INT32_MIN && b == -1 ? a : a / b);
+      case Opcode::kRem:
+        return b == 0 ? 0 : (a == INT32_MIN && b == -1 ? 0 : a % b);
+      case Opcode::kMov:
+        return b;
+      default:
+        throw CrispError("evalAlu: not an ALU opcode");
+    }
+}
+
+} // namespace crisp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Opcode definitions and static opcode properties for the CRISP-like ISA.
+ *
+ * Design rules lifted from the paper:
+ *  - the condition flag is written ONLY by compare instructions;
+ *  - branches are separate instructions (no integrated compare-and-branch);
+ *  - no instruction has side effects, so any in-flight instruction can be
+ *    cancelled by clearing a valid bit.
+ */
+
+#ifndef CRISP_ISA_OPCODE_HH
+#define CRISP_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace crisp
+{
+
+/**
+ * Instruction opcodes.
+ *
+ * All enum values must stay below 48 so that the top nibble of an encoded
+ * first parcel never collides with the dedicated one-parcel branch majors
+ * (0xC, 0xD, 0xE); see encoding.hh.
+ */
+enum class Opcode : std::uint8_t {
+    kNop = 0,
+    kHalt,
+
+    // Two-operand memory-to-memory ALU: dst = dst OP src.
+    kAdd,
+    kSub,
+    kAnd,
+    kOr,
+    kXor,
+    kShl,
+    kShr,
+    kMul,
+    kDiv,
+    kRem,
+
+    // Three-operand accumulator ALU: Accum = a OP b (the paper's "and3").
+    kAdd3,
+    kSub3,
+    kAnd3,
+    kOr3,
+    kXor3,
+    kMul3,
+
+    // Data movement: dst = src.
+    kMov,
+
+    // Compares: flag = (a REL b). The only writers of the condition flag.
+    kCmpEq,
+    kCmpNe,
+    kCmpLt,
+    kCmpLe,
+    kCmpGt,
+    kCmpGe,
+    kCmpLtU,
+    kCmpGeU,
+
+    // Control transfer.
+    kJmp,      //!< unconditional branch
+    kIfTJmp,   //!< branch if flag is true
+    kIfFJmp,   //!< branch if flag is false
+    kCall,     //!< push return address, branch (three-parcel only)
+    kEnter,    //!< allocate stack frame: SP -= 4 * imm
+    kReturn,   //!< deallocate frame and pop return address
+    kLeave,    //!< deallocate a caller-side argument area: SP += 4 * imm
+
+    kNumOpcodes
+};
+
+/** Number of distinct opcodes. */
+inline constexpr int kOpcodeCount =
+    static_cast<int>(Opcode::kNumOpcodes);
+
+/** Mnemonic, as accepted/produced by the assembler/disassembler. */
+std::string_view opcodeName(Opcode op);
+
+/** True for jmp / iftjmp / iffjmp / call. */
+bool isBranch(Opcode op);
+
+/** True for the two conditional branch opcodes. */
+bool isConditionalBranch(Opcode op);
+
+/** True for the compare opcodes (the only condition-flag writers). */
+bool isCompare(Opcode op);
+
+/** True for two-operand ALU ops (dst = dst OP src). */
+bool isAlu2(Opcode op);
+
+/** True for three-operand accumulator ALU ops (Accum = a OP b). */
+bool isAlu3(Opcode op);
+
+/**
+ * True if the opcode may be the non-branch half of a folded pair.
+ * Branches cannot fold with branches; return transfers control too.
+ */
+bool isFoldableBody(Opcode op);
+
+/** Evaluate a compare opcode on two words. */
+bool evalCompare(Opcode op, std::int32_t a, std::int32_t b);
+
+/** Evaluate a two- or three-operand ALU opcode. Division by zero yields
+ *  0 (the hardware result is architecturally defined as 0 here so that
+ *  random property-test programs cannot fault). */
+std::int32_t evalAlu(Opcode op, std::int32_t a, std::int32_t b);
+
+} // namespace crisp
+
+#endif // CRISP_ISA_OPCODE_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Operand addressing modes for the CRISP-like ISA.
+ *
+ * The paper describes four standard addressing modes on memory operands,
+ * plus the accumulator pseudo-operand used by the three-operand ALU forms
+ * ("and3 i,1" followed by "cmp.= Accum,0" in Table 3).
+ */
+
+#ifndef CRISP_ISA_OPERAND_HH
+#define CRISP_ISA_OPERAND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "types.hh"
+
+namespace crisp
+{
+
+/** Operand addressing modes. */
+enum class AddrMode : std::uint8_t {
+    kNone = 0,  //!< operand not present
+    kStack,     //!< memory word at SP + 4 * value (locals)
+    kAbs,       //!< memory word at absolute byte address `value` (globals)
+    kImm,       //!< immediate constant `value`
+    kInd,       //!< memory word at address mem[SP + 4 * value] (pointers)
+    kAccum,     //!< the accumulator pseudo-register
+};
+
+/** A decoded operand: an addressing mode plus its 32-bit specifier. */
+struct Operand
+{
+    AddrMode mode = AddrMode::kNone;
+    std::int32_t value = 0;
+
+    static Operand none() { return {AddrMode::kNone, 0}; }
+    static Operand stack(std::int32_t slot) { return {AddrMode::kStack, slot}; }
+    static Operand abs(Addr a) { return {AddrMode::kAbs, static_cast<std::int32_t>(a)}; }
+    static Operand imm(std::int32_t v) { return {AddrMode::kImm, v}; }
+    static Operand ind(std::int32_t slot) { return {AddrMode::kInd, slot}; }
+    static Operand accum() { return {AddrMode::kAccum, 0}; }
+
+    bool operator==(const Operand&) const = default;
+
+    /** True if this operand names a writable location. */
+    bool
+    isWritable() const
+    {
+        return mode == AddrMode::kStack || mode == AddrMode::kAbs ||
+               mode == AddrMode::kInd || mode == AddrMode::kAccum;
+    }
+
+    /** Assembly spelling of the operand. */
+    std::string toString() const;
+};
+
+} // namespace crisp
+
+#endif // CRISP_ISA_OPERAND_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Program image utilities: disassembly and static statistics.
+ */
+
+#include "program.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace crisp
+{
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    // Invert the symbol map for label annotation.
+    std::map<Addr, std::string> labels;
+    for (const auto& [name, sym] : symbols) {
+        if (sym.kind == Symbol::Kind::kLabel)
+            labels[sym.value] = name;
+    }
+
+    Addr pc = textBase;
+    while (pc < textEnd()) {
+        const auto it = labels.find(pc);
+        if (it != labels.end())
+            os << it->second << ":\n";
+        const Instruction inst = fetch(pc);
+        os << "  0x" << std::hex << std::setw(5) << std::setfill('0')
+           << pc << std::dec << ":  " << inst.toString(pc) << "\n";
+        pc += inst.lengthBytes();
+    }
+    return os.str();
+}
+
+int
+Program::staticInstructionCount() const
+{
+    int n = 0;
+    Addr pc = textBase;
+    while (pc < textEnd()) {
+        pc += static_cast<Addr>(instructionLength(parcelAt(pc))) *
+              kParcelBytes;
+        ++n;
+    }
+    return n;
+}
+
+std::map<int, int>
+Program::staticLengthHistogram() const
+{
+    std::map<int, int> hist;
+    Addr pc = textBase;
+    while (pc < textEnd()) {
+        const int len = instructionLength(parcelAt(pc));
+        ++hist[len];
+        pc += static_cast<Addr>(len) * kParcelBytes;
+    }
+    return hist;
+}
+
+} // namespace crisp

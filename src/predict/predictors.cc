@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Predictor implementations and trace evaluation.
+ */
+
+#include "predictors.hh"
+
+#include <map>
+
+#include "isa/types.hh"
+
+namespace crisp
+{
+
+CounterPredictor::CounterPredictor(int bits) : bits_(bits)
+{
+    if (bits < 1 || bits > 3)
+        throw CrispError("CounterPredictor supports 1..3 bits");
+    max_ = (1 << bits) - 1;
+    threshold_ = 1 << (bits - 1);
+    // Weakly taken initial state; for one bit this is "taken".
+    initial_ = threshold_;
+}
+
+bool
+CounterPredictor::predict(const BranchEvent& ev)
+{
+    const auto it = table_.find(ev.pc);
+    const int c = it == table_.end() ? initial_ : it->second;
+    return c >= threshold_;
+}
+
+void
+CounterPredictor::update(const BranchEvent& ev)
+{
+    auto [it, inserted] = table_.try_emplace(ev.pc, initial_);
+    int& c = it->second;
+    if (bits_ == 1) {
+        c = ev.taken ? 1 : 0; // predict same as last time
+        return;
+    }
+    if (ev.taken)
+        c = c < max_ ? c + 1 : max_;
+    else
+        c = c > 0 ? c - 1 : 0;
+}
+
+std::string
+CounterPredictor::name() const
+{
+    return std::to_string(bits_) + "-bit-dynamic";
+}
+
+TwoLevelPredictor::TwoLevelPredictor(int history_bits)
+    : bits_(history_bits)
+{
+    if (history_bits < 1 || history_bits > 12)
+        throw CrispError("TwoLevelPredictor supports 1..12 history bits");
+    mask_ = (1u << history_bits) - 1u;
+}
+
+TwoLevelPredictor::SiteState&
+TwoLevelPredictor::site(Addr pc)
+{
+    auto [it, inserted] = table_.try_emplace(pc);
+    if (inserted)
+        it->second.counters.assign(1u << bits_, 2); // weakly taken
+    return it->second;
+}
+
+bool
+TwoLevelPredictor::predict(const BranchEvent& ev)
+{
+    SiteState& s = site(ev.pc);
+    return s.counters[s.history & mask_] >= 2;
+}
+
+void
+TwoLevelPredictor::update(const BranchEvent& ev)
+{
+    SiteState& s = site(ev.pc);
+    int& c = s.counters[s.history & mask_];
+    if (ev.taken)
+        c = c < 3 ? c + 1 : 3;
+    else
+        c = c > 0 ? c - 1 : 0;
+    s.history = ((s.history << 1) | (ev.taken ? 1u : 0u)) & mask_;
+}
+
+std::string
+TwoLevelPredictor::name() const
+{
+    return "two-level-" + std::to_string(bits_);
+}
+
+PredictionAccuracy
+evaluateDirection(const std::vector<BranchEvent>& trace,
+                  DirectionPredictor& p)
+{
+    PredictionAccuracy acc;
+    for (const BranchEvent& ev : trace) {
+        if (!ev.conditional)
+            continue;
+        ++acc.total;
+        if (p.predict(ev) == ev.taken)
+            ++acc.correct;
+        p.update(ev);
+    }
+    return acc;
+}
+
+PredictionAccuracy
+evaluateStaticOracle(const std::vector<BranchEvent>& trace)
+{
+    // Pass 1: per-site taken counts.
+    std::map<Addr, std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (const BranchEvent& ev : trace) {
+        if (!ev.conditional)
+            continue;
+        auto& [taken, total] = counts[ev.pc];
+        taken += ev.taken ? 1 : 0;
+        ++total;
+    }
+    // Pass 2 (closed form): the optimal static bit scores
+    // max(taken, total - taken) per site.
+    PredictionAccuracy acc;
+    for (const auto& [pc, tt] : counts) {
+        const auto [taken, total] = tt;
+        acc.total += total;
+        acc.correct += taken > total - taken ? taken : total - taken;
+    }
+    return acc;
+}
+
+PredictionAccuracy
+alternatingAccuracy(DirectionPredictor& p, int flips)
+{
+    PredictionAccuracy acc;
+    BranchEvent ev;
+    ev.pc = 0x1000;
+    ev.conditional = true;
+    for (int i = 0; i < flips; ++i) {
+        ev.taken = (i % 2) != 0; // start not-taken: counters stay wrong
+        ++acc.total;
+        if (p.predict(ev) == ev.taken)
+            ++acc.correct;
+        p.update(ev);
+    }
+    return acc;
+}
+
+BranchTargetBuffer::BranchTargetBuffer(int sets, int ways,
+                                       bool use_counters)
+    : sets_(sets), ways_(ways), useCounters_(use_counters),
+      table_(static_cast<std::size_t>(sets),
+             std::vector<Entry>(static_cast<std::size_t>(ways)))
+{
+    if (sets <= 0 || (sets & (sets - 1)) != 0 || ways <= 0)
+        throw CrispError("BTB: sets must be a power of two, ways > 0");
+}
+
+BranchTargetBuffer::Entry*
+BranchTargetBuffer::find(Addr pc)
+{
+    auto& set = table_[(pc / kParcelBytes) & (sets_ - 1)];
+    for (Entry& e : set) {
+        if (e.valid && e.tag == pc)
+            return &e;
+    }
+    return nullptr;
+}
+
+BranchTargetBuffer::Entry*
+BranchTargetBuffer::allocate(Addr pc)
+{
+    auto& set = table_[(pc / kParcelBytes) & (sets_ - 1)];
+    Entry* victim = &set[0];
+    for (Entry& e : set) {
+        if (!e.valid)
+            return &e;
+        if (e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    return victim;
+}
+
+PredictionAccuracy
+BranchTargetBuffer::evaluate(const std::vector<BranchEvent>& trace)
+{
+    PredictionAccuracy acc;
+    for (const BranchEvent& ev : trace) {
+        ++clock_;
+        Entry* e = find(ev.pc);
+
+        if (ev.conditional) {
+            ++acc.total;
+            const bool predict_taken =
+                e != nullptr && (!useCounters_ || e->counter >= 2);
+            const Addr predicted_target = e != nullptr ? e->target : 0;
+            const bool correct =
+                predict_taken
+                    ? (ev.taken && predicted_target == ev.target)
+                    : !ev.taken;
+            if (correct)
+                ++acc.correct;
+        }
+
+        // Train: entries are allocated when a branch takes.
+        if (ev.taken) {
+            if (e == nullptr) {
+                e = allocate(ev.pc);
+                e->valid = true;
+                e->tag = ev.pc;
+                e->counter = 2;
+            } else if (useCounters_ && e->counter < 3) {
+                ++e->counter;
+            }
+            e->target = ev.target;
+            e->lastUse = clock_;
+        } else if (e != nullptr) {
+            if (useCounters_) {
+                if (e->counter > 0)
+                    --e->counter;
+            } else {
+                e->valid = false; // jump-trace style: evict on fall-through
+            }
+            e->lastUse = clock_;
+        }
+    }
+    return acc;
+}
+
+std::string
+BranchTargetBuffer::name() const
+{
+    return "btb-" + std::to_string(sets_) + "x" + std::to_string(ways_) +
+           (useCounters_ ? "" : "-jumptrace");
+}
+
+} // namespace crisp

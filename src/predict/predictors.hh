@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Branch prediction schemes evaluated in the paper's Table 1, plus the
+ * Branch Target Buffer models of the comparison section.
+ *
+ * The paper's methodology: instrument long-running programs and apply
+ * several prediction techniques simultaneously as the program runs. We
+ * reproduce this by running workloads on the reference interpreter and
+ * replaying the recorded branch trace through every scheme:
+ *
+ *  - static: the optimal setting of one per-site prediction bit
+ *    (computed from the trace itself, as the paper's "accuracy for
+ *    optimal setting of a branch prediction bit" does);
+ *  - 1/2/3 bits of dynamic history with an infinite table (J. Smith's
+ *    saturating-counter weighting for 2 and 3 bits), which makes the
+ *    dynamic numbers "somewhat optimistic" exactly as in the paper;
+ *  - a Lee-and-Smith-style set-associative BTB and an MU5-style
+ *    8-entry jump trace, for the comparison discussion.
+ */
+
+#ifndef CRISP_PREDICT_PREDICTORS_HH
+#define CRISP_PREDICT_PREDICTORS_HH
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/trace.hh"
+
+namespace crisp
+{
+
+/** Accuracy of one scheme over one trace. */
+struct PredictionAccuracy
+{
+    std::uint64_t total = 0;
+    std::uint64_t correct = 0;
+
+    double
+    rate() const
+    {
+        return total ? static_cast<double>(correct) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Interface for per-branch direction predictors. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch @p ev. */
+    virtual bool predict(const BranchEvent& ev) = 0;
+
+    /** Train with the actual outcome. */
+    virtual void update(const BranchEvent& ev) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/** Predict using the static bit the compiler put in the instruction. */
+class CompilerBitPredictor : public DirectionPredictor
+{
+  public:
+    bool predict(const BranchEvent& ev) override { return ev.predictTaken; }
+    void update(const BranchEvent&) override {}
+    std::string name() const override { return "compiler-bit"; }
+};
+
+/** J. Smith's strategy 1: predict every branch taken. */
+class AlwaysTakenPredictor : public DirectionPredictor
+{
+  public:
+    bool predict(const BranchEvent&) override { return true; }
+    void update(const BranchEvent&) override {}
+    std::string name() const override { return "always-taken"; }
+};
+
+/**
+ * Hardware backward-taken / forward-not-taken: predict by target
+ * direction alone, with no compiler bit and no history (the heuristic
+ * the crispcc bit-setting pass bakes into the binary).
+ */
+class BtfntPredictor : public DirectionPredictor
+{
+  public:
+    bool
+    predict(const BranchEvent& ev) override
+    {
+        return ev.target < ev.pc;
+    }
+    void update(const BranchEvent&) override {}
+    std::string name() const override { return "btfnt"; }
+};
+
+/**
+ * N-bit dynamic history with an infinite table of saturating counters
+ * (n = 1, 2 or 3). One bit degenerates to predict-same-as-last-time.
+ */
+class CounterPredictor : public DirectionPredictor
+{
+  public:
+    explicit CounterPredictor(int bits);
+
+    bool predict(const BranchEvent& ev) override;
+    void update(const BranchEvent& ev) override;
+    std::string name() const override;
+
+  private:
+    int bits_;
+    int max_;
+    int threshold_;
+    int initial_;
+    std::unordered_map<Addr, int> table_;
+};
+
+/**
+ * Two-level adaptive predictor (Yeh & Patt, 1991 — four years after
+ * the paper): per-site local history selecting a per-site table of
+ * 2-bit counters, with the infinite-table idealization of Table 1.
+ * Included to show what finally beat both the static bit and simple
+ * counters: it learns alternating and short periodic patterns exactly,
+ * the cases the paper used to justify the static bit.
+ */
+class TwoLevelPredictor : public DirectionPredictor
+{
+  public:
+    explicit TwoLevelPredictor(int history_bits);
+
+    bool predict(const BranchEvent& ev) override;
+    void update(const BranchEvent& ev) override;
+    std::string name() const override;
+
+  private:
+    struct SiteState
+    {
+        unsigned history = 0;
+        std::vector<int> counters;
+    };
+
+    SiteState& site(Addr pc);
+
+    int bits_;
+    unsigned mask_;
+    std::unordered_map<Addr, SiteState> table_;
+};
+
+/**
+ * Evaluate a direction predictor over the conditional branches of a
+ * trace.
+ */
+PredictionAccuracy evaluateDirection(const std::vector<BranchEvent>& trace,
+                                     DirectionPredictor& p);
+
+/**
+ * Optimal static prediction: for every branch site choose the majority
+ * direction observed in this very trace, then score. This is the
+ * paper's "static branch prediction" column (an upper bound on what a
+ * compiler-set bit can achieve).
+ */
+PredictionAccuracy
+evaluateStaticOracle(const std::vector<BranchEvent>& trace);
+
+/**
+ * Per-scheme accuracy on a branch whose outcome strictly alternates:
+ * the paper's observation is static = 50%, all dynamic schemes ~0%.
+ * (Exposed as a library function so tests can pin the phenomenon.)
+ */
+PredictionAccuracy alternatingAccuracy(DirectionPredictor& p, int flips);
+
+/**
+ * A Branch Target Buffer in the style of Lee and Smith: set-associative,
+ * LRU, allocated on taken branches, 2-bit counter per entry. Predicts
+ * both direction and target; a conditional branch is counted correct
+ * when (hit, predicted taken, stored target correct) or (predicted not
+ * taken, not taken).
+ */
+class BranchTargetBuffer
+{
+  public:
+    BranchTargetBuffer(int sets, int ways, bool use_counters = true);
+
+    /** Run a full trace; all branches participate (unconditional
+     *  branches train the target field too). */
+    PredictionAccuracy evaluate(const std::vector<BranchEvent>& trace);
+
+    std::string name() const;
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        int counter = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    int sets_;
+    int ways_;
+    bool useCounters_;
+    std::vector<std::vector<Entry>> table_;
+    std::uint64_t clock_ = 0;
+
+    Entry* find(Addr pc);
+    Entry* allocate(Addr pc);
+};
+
+} // namespace crisp
+
+#endif // CRISP_PREDICT_PREDICTORS_HH

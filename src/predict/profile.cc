@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Profile-guided prediction-bit patching.
+ */
+
+#include "profile.hh"
+
+#include <map>
+
+#include "interp/interpreter.hh"
+#include "isa/encoding.hh"
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Set the prediction bit inside an encoded conditional branch. */
+void
+patchBit(Program& prog, Addr pc, bool taken)
+{
+    const Parcel p0 = prog.parcelAt(pc);
+    const int major = p0 >> 12;
+    Parcel patched = p0;
+    if (major == 0xD || major == 0xE) {
+        // One-parcel conditional branch: bit 11.
+        patched = static_cast<Parcel>(taken ? (p0 | (1u << 11))
+                                            : (p0 & ~(1u << 11)));
+    } else {
+        const auto op = static_cast<Opcode>(p0 >> 10);
+        if (!isConditionalBranch(op))
+            throw CrispError("profile: trace points at a non-branch");
+        // Three-parcel conditional branch: bit 8.
+        patched = static_cast<Parcel>(taken ? (p0 | (1u << 8))
+                                            : (p0 & ~(1u << 8)));
+    }
+    prog.text[(pc - prog.textBase) / kParcelBytes] = patched;
+}
+
+} // namespace
+
+int
+applyProfileBits(Program& prog, const std::vector<BranchEvent>& trace)
+{
+    std::map<Addr, std::pair<std::uint64_t, std::uint64_t>> counts;
+    for (const BranchEvent& ev : trace) {
+        if (!ev.conditional)
+            continue;
+        auto& [taken, total] = counts[ev.pc];
+        taken += ev.taken ? 1 : 0;
+        ++total;
+    }
+
+    int flipped = 0;
+    for (const auto& [pc, tt] : counts) {
+        const auto [taken, total] = tt;
+        if (taken * 2 == total)
+            continue; // tie: keep the compiler's bit
+        const bool majority = taken * 2 > total;
+        const Instruction before = prog.fetch(pc);
+        if (before.predictTaken != majority) {
+            patchBit(prog, pc, majority);
+            ++flipped;
+        }
+    }
+    return flipped;
+}
+
+Program
+profileOptimize(const Program& prog, std::uint64_t max_steps)
+{
+    Interpreter interp(prog);
+    BranchTraceRecorder rec;
+    interp.run(max_steps, &rec);
+    if (!interp.halted())
+        throw CrispError("profile run did not terminate");
+    Program optimized = prog;
+    applyProfileBits(optimized, rec.events);
+    return optimized;
+}
+
+} // namespace crisp

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Profile-guided static prediction bits.
+ *
+ * The paper: "The setting of CRISP's branch prediction bit is normally
+ * done by the compiler, though other techniques are possible." This is
+ * the natural other technique: run the program once, record each
+ * conditional branch's majority direction, and patch the bit in the
+ * binary — realizing the paper's "optimal setting of a branch
+ * prediction bit" column as an actual toolchain step.
+ */
+
+#ifndef CRISP_PREDICT_PROFILE_HH
+#define CRISP_PREDICT_PROFILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "interp/trace.hh"
+#include "isa/program.hh"
+
+namespace crisp
+{
+
+/**
+ * Patch the static prediction bit of every conditional branch that
+ * appears in @p trace to its majority direction (ties keep the
+ * existing bit). Works on both one-parcel and three-parcel encodings.
+ *
+ * @return the number of branch sites whose bit was flipped.
+ */
+int applyProfileBits(Program& prog, const std::vector<BranchEvent>& trace);
+
+/**
+ * Convenience: run @p prog once on the functional interpreter, then
+ * return a copy with profile-optimal bits.
+ */
+Program profileOptimize(const Program& prog,
+                        std::uint64_t max_steps = 500'000'000);
+
+} // namespace crisp
+
+#endif // CRISP_PREDICT_PROFILE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration knobs for the cycle-level CRISP simulator.
+ */
+
+#ifndef CRISP_SIM_CONFIG_HH
+#define CRISP_SIM_CONFIG_HH
+
+#include <cstdint>
+
+namespace crisp
+{
+
+/** How the EU predicts speculative conditional branches. */
+enum class PredictorKind : std::uint8_t {
+    /** The paper's choice: the compiler-set static bit. */
+    kStaticBit,
+    /** 1-bit dynamic history (predict same as last time). */
+    kDynamic1,
+    /** 2-bit saturating counters (J. Smith weighting). */
+    kDynamic2,
+};
+
+/** Which instruction pairs the PDU is allowed to fold. */
+enum class FoldPolicy : std::uint8_t {
+    /** No folding: every branch occupies an EU pipeline slot. */
+    kNone,
+    /**
+     * The CRISP policy: fold one- and three-parcel non-branch
+     * instructions with a following one-parcel branch. "Doing the
+     * remaining cases significantly increases the amount of hardware
+     * required, with only a marginal increase in performance."
+     */
+    kCrisp,
+    /** Also fold five-parcel carriers (the hardware-expensive case). */
+    kAll,
+};
+
+/** Cycle-level simulator configuration. */
+struct SimConfig
+{
+    FoldPolicy foldPolicy = FoldPolicy::kCrisp;
+
+    /**
+     * Honor the static prediction bit in conditional branches. When
+     * false the hardware behaves as a predict-not-taken machine
+     * regardless of the compiler's bit (ablation only).
+     */
+    bool respectPredictionBit = true;
+
+    /** Number of Decoded Instruction Cache entries (power of two). */
+    int dicEntries = 32;
+
+    /** Main-memory latency in cycles for one 4-parcel fetch block. */
+    int memLatency = 3;
+
+    /** Instruction queue capacity in parcels (the paper's is 8). */
+    int queueParcels = 8;
+
+    /** Give up after this many cycles (runaway-program guard). */
+    std::uint64_t maxCycles = 2'000'000'000ULL;
+
+    /**
+     * Hardware prediction scheme for conditional branches whose
+     * outcome is unknown at issue. CRISP shipped kStaticBit; the
+     * dynamic options model the "more complex schemes" the paper
+     * evaluated and rejected (a direct-mapped on-chip history table).
+     */
+    PredictorKind predictor = PredictorKind::kStaticBit;
+
+    /** History-table entries for the dynamic predictors (power of 2). */
+    int predictorEntries = 256;
+
+    /** Stack cache capacity in words (top-of-stack window). */
+    int stackCacheWords = 32;
+
+    /**
+     * Extra issue-stall cycles per stack-cache miss. 0 (the default)
+     * keeps the paper's Table 4 timing (its frames fit trivially);
+     * raise it to study deep-recursion behaviour.
+     */
+    int stackCacheMissPenalty = 0;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_CONFIG_HH

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * CRISP CPU cycle model implementation.
+ */
+
+#include "cpu.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace crisp
+{
+
+CrispCpu::CrispCpu(const Program& prog, const SimConfig& cfg)
+    : prog_(prog), cfg_(cfg), mem_(prog_), dic_(cfg.dicEntries),
+      pdu_(prog_, cfg_, dic_, stats_),
+      hwPredictor_(cfg.predictor, cfg.predictorEntries),
+      stackCache_(cfg.stackCacheWords)
+{
+    sp_ = (prog.memBytes - kWordBytes) & ~(kWordBytes - 1);
+    nextIssuePc_ = prog.entry;
+}
+
+Word
+CrispCpu::readOperand(const Operand& o) const
+{
+    switch (o.mode) {
+      case AddrMode::kImm:
+        return o.value;
+      case AddrMode::kAccum:
+        return accum_;
+      case AddrMode::kNone:
+        return 0;
+      default:
+        return static_cast<Word>(mem_.read32(operandAddress(o)));
+    }
+}
+
+Addr
+CrispCpu::operandAddress(const Operand& o) const
+{
+    switch (o.mode) {
+      case AddrMode::kStack: {
+        const Addr a = sp_ + static_cast<Addr>(o.value) * kWordBytes;
+        stackCache_.access(a, sp_);
+        return a;
+      }
+      case AddrMode::kAbs:
+        return static_cast<Addr>(o.value);
+      case AddrMode::kInd: {
+        const Addr slot =
+            sp_ + static_cast<Addr>(o.value) * kWordBytes;
+        stackCache_.access(slot, sp_);
+        return mem_.read32(slot);
+      }
+      default:
+        throw CrispError("operand has no address");
+    }
+}
+
+void
+CrispCpu::writeOperand(const Operand& o, Word v)
+{
+    if (o.mode == AddrMode::kAccum) {
+        accum_ = v;
+        return;
+    }
+    mem_.write32(operandAddress(o), static_cast<std::uint32_t>(v));
+}
+
+void
+CrispCpu::executeBody(const DecodedInst& di)
+{
+    if (!di.loneBranch) {
+        const Instruction& b = di.body;
+        switch (b.op) {
+          case Opcode::kNop:
+          case Opcode::kHalt:
+          case Opcode::kReturn: // SP handled with the control transfer
+            break;
+          case Opcode::kEnter:
+            sp_ -= static_cast<Addr>(b.dst.value) * kWordBytes;
+            break;
+          case Opcode::kLeave:
+            sp_ += static_cast<Addr>(b.dst.value) * kWordBytes;
+            break;
+          case Opcode::kMov:
+            writeOperand(b.dst, readOperand(b.src));
+            break;
+          default:
+            if (isCompare(b.op)) {
+                flag_ = evalCompare(b.op, readOperand(b.dst),
+                                    readOperand(b.src));
+            } else if (isAlu3(b.op)) {
+                accum_ = evalAlu(b.op, readOperand(b.dst),
+                                 readOperand(b.src));
+            } else if (isAlu2(b.op)) {
+                writeOperand(b.dst,
+                             evalAlu(b.op, readOperand(b.dst),
+                                     readOperand(b.src)));
+            } else {
+                throw CrispError("cpu: unhandled body opcode");
+            }
+            break;
+        }
+    }
+    if (di.ctl == Ctl::kCall) {
+        sp_ -= kWordBytes;
+        mem_.write32(sp_, di.callRetPc);
+    }
+}
+
+void
+CrispCpu::squashYounger(Stage* upto_exclusive)
+{
+    // Squash everything younger than the stage holding the mispredicted
+    // branch. Stage age order (oldest first): rrS_, orS_, irS_.
+    Stage* const order[] = {&rrS_, &orS_, &irS_};
+    bool younger = false;
+    for (Stage* s : order) {
+        if (s == upto_exclusive) {
+            younger = true;
+            continue;
+        }
+        if (younger && s->valid) {
+            s->valid = false;
+            ++stats_.squashed;
+        }
+    }
+    // Any issue block raised by a (now squashed) younger instruction is
+    // void.
+    block_ = Block::kNone;
+}
+
+void
+CrispCpu::redirectAfterMispredict(const Stage& s)
+{
+    note("mispredict-redirect");
+    nextIssuePc_ = s.actualTaken ? s.di.takenPc : s.di.seqPc;
+    // The Alternate-PC is routed into IR.Next-PC during the next clock;
+    // the instruction being clocked in is killed. Issue resumes the
+    // cycle after.
+    stallUntil_ = now_ + 2;
+    block_ = Block::kNone;
+}
+
+void
+CrispCpu::issueStage()
+{
+    if (penaltyStall_ > 0) {
+        --penaltyStall_;
+        ++stats_.issueStallCycles;
+        ++stats_.stackPenaltyCycles;
+        note("stack-penalty");
+        return;
+    }
+    if (block_ != Block::kNone || now_ < stallUntil_) {
+        ++stats_.issueStallCycles;
+        if (block_ == Block::kIndirect)
+            ++stats_.indirectStallCycles;
+        else if (block_ == Block::kNone)
+            ++stats_.redirectStallCycles;
+        return;
+    }
+
+    const DecodedInst* e = dic_.lookup(nextIssuePc_);
+    if (e == nullptr) {
+        ++stats_.issueStallCycles;
+        ++stats_.dicMissStallCycles;
+        if (lastMissPc_ != nextIssuePc_) {
+            ++stats_.dicMisses;
+            lastMissPc_ = nextIssuePc_;
+        }
+        pdu_.demand(nextIssuePc_);
+        note("dic-miss");
+        return;
+    }
+    ++stats_.dicHits;
+    lastMissPc_ = ~Addr{0};
+
+    irS_ = Stage{};
+    irS_.valid = true;
+    irS_.di = *e;
+
+    switch (e->ctl) {
+      case Ctl::kSeq:
+        nextIssuePc_ = e->seqPc;
+        break;
+      case Ctl::kJmp:
+      case Ctl::kCall:
+        nextIssuePc_ = e->takenPc;
+        break;
+      case Ctl::kHalt:
+        block_ = Block::kHalt;
+        break;
+      case Ctl::kRet:
+      case Ctl::kIndirect:
+        block_ = Block::kIndirect;
+        break;
+      case Ctl::kCondT:
+      case Ctl::kCondF: {
+        const bool cc_busy = (orS_.valid && orS_.di.writesCc) ||
+                             (rrS_.valid && rrS_.di.writesCc) ||
+                             e->writesCc;
+        if (!cc_busy) {
+            // No compare in the pipeline: the flag is architecturally
+            // final, so the branch "has effectively been turned into an
+            // unconditional branch" — zero cycles lost regardless of
+            // the prediction bit.
+            const bool taken = e->condTaken(flag_);
+            irS_.resolvedAtIssue = true;
+            irS_.actualTaken = taken;
+            irS_.predictedTaken = taken;
+            nextIssuePc_ = taken ? e->takenPc : e->seqPc;
+            note("resolved-at-issue");
+        } else {
+            const bool pred =
+                cfg_.respectPredictionBit &&
+                hwPredictor_.predict(e->branchPc, e->predictTaken);
+            irS_.specCond = true;
+            irS_.predictedTaken = pred;
+            nextIssuePc_ = pred ? e->takenPc : e->seqPc;
+        }
+        break;
+      }
+    }
+}
+
+void
+CrispCpu::emitRetireEvents(const Stage& s, ExecObserver* observer)
+{
+    const DecodedInst& di = s.di;
+
+    if (!di.loneBranch) {
+        ++stats_.opcodeCounts[static_cast<std::size_t>(di.body.op)];
+        if (observer)
+            observer->onInstruction(di.pc, di.body.op);
+    }
+    if (di.folded || di.loneBranch) {
+        ++stats_.opcodeCounts[static_cast<std::size_t>(di.branchOp)];
+        ++stats_.branches;
+        if (di.folded)
+            ++stats_.foldedBranches;
+        if (di.hasCondBranch())
+            ++stats_.condBranches;
+        if (observer) {
+            observer->onInstruction(di.branchPc, di.branchOp);
+            BranchEvent ev;
+            ev.pc = di.branchPc;
+            ev.op = di.branchOp;
+            ev.conditional = di.hasCondBranch();
+            ev.taken = di.hasCondBranch() ? s.actualTaken : true;
+            ev.predictTaken = di.predictTaken;
+            ev.target = di.takenPc;
+            ev.fallThrough = di.seqPc;
+            ev.shortForm = di.branchShortForm;
+            observer->onBranch(ev);
+        }
+    }
+}
+
+void
+CrispCpu::retireStage(ExecObserver* observer)
+{
+    if (!rrS_.valid)
+        return;
+    try {
+        retireImpl(observer);
+    } catch (const CrispError& e) {
+        // Precise machine fault: architectural effects happen only at
+        // retirement, so the faulting instruction is exactly
+        // identified and nothing younger has touched state.
+        stats_.faulted = true;
+        stats_.faultPc = rrS_.di.pc;
+        stats_.faultReason = e.what();
+        halted_ = true;
+        note("fault");
+    }
+}
+
+void
+CrispCpu::retireImpl(ExecObserver* observer)
+{
+    const DecodedInst& di = rrS_.di;
+    const std::uint64_t misses_before = stackCache_.misses();
+    executeBody(di);
+    if (cfg_.stackCacheMissPenalty > 0) {
+        penaltyStall_ += (stackCache_.misses() - misses_before) *
+                         static_cast<std::uint64_t>(
+                             cfg_.stackCacheMissPenalty);
+    }
+
+    ++stats_.issued;
+    stats_.apparent += static_cast<std::uint64_t>(di.archCount());
+
+    // Resolve control.
+    switch (di.ctl) {
+      case Ctl::kHalt:
+        halted_ = true;
+        stats_.halted = true;
+        break;
+      case Ctl::kRet: {
+        sp_ += static_cast<Addr>(di.body.dst.value) * kWordBytes;
+        const Addr target = mem_.read32(sp_);
+        sp_ += kWordBytes;
+        nextIssuePc_ = target;
+        block_ = Block::kNone;
+        stallUntil_ = now_ + 1;
+        if (observer)
+            observer->onInstruction(di.pc, Opcode::kReturn);
+        // Architectural count for the return body itself.
+        ++stats_.opcodeCounts[
+            static_cast<std::size_t>(Opcode::kReturn)];
+        note("indirect-target");
+        return;
+      }
+      case Ctl::kIndirect: {
+        Addr target = 0;
+        if (di.bmode == BranchMode::kIndAbs) {
+            target = mem_.read32(di.spec);
+        } else {
+            target = mem_.read32(
+                sp_ + static_cast<Addr>(
+                          static_cast<std::int32_t>(di.spec)) *
+                          kWordBytes);
+        }
+        nextIssuePc_ = target;
+        rrS_.di.takenPc = target; // for the retire-order branch event
+        block_ = Block::kNone;
+        stallUntil_ = now_ + 1;
+        break;
+      }
+      case Ctl::kCondT:
+      case Ctl::kCondF:
+        if (rrS_.specCond) {
+            // A lone conditional branch (or a folded compare+branch
+            // pair) resolves in its own RR stage. The flag is final
+            // here: its compare retired no later than this cycle.
+            rrS_.specCond = false;
+            rrS_.actualTaken = di.condTaken(flag_);
+            if (rrS_.actualTaken != rrS_.predictedTaken) {
+                rrS_.mispredicted = true;
+                squashYounger(&rrS_);
+                redirectAfterMispredict(rrS_);
+            }
+        }
+        break;
+      default:
+        break;
+    }
+
+    // Statistics for a surviving conditional branch, and history
+    // training for the (optional) dynamic hardware predictor.
+    if (di.hasCondBranch()) {
+        if (rrS_.resolvedAtIssue)
+            ++stats_.resolvedAtIssue;
+        else
+            ++stats_.speculated;
+        if (rrS_.mispredicted)
+            ++stats_.mispredicts;
+        hwPredictor_.update(di.branchPc, rrS_.actualTaken);
+    }
+
+    emitRetireEvents(rrS_, observer);
+
+    // Case (b): a retiring compare verifies speculative FOLDED branches
+    // still in the pipeline, oldest first, recovering from that stage's
+    // Alternate-PC register.
+    if (di.writesCc && !rrS_.mispredicted) {
+        for (Stage* s : {&orS_, &irS_}) {
+            if (!s->valid)
+                continue;
+            if (s == &irS_ && orS_.valid && orS_.di.writesCc)
+                break; // the IR branch depends on the newer compare
+            if (!s->specCond || !s->di.hasCondBranch() ||
+                s->di.loneBranch || s->di.writesCc) {
+                continue;
+            }
+            s->specCond = false;
+            s->actualTaken = s->di.condTaken(flag_);
+            if (s->actualTaken != s->predictedTaken) {
+                s->mispredicted = true;
+                squashYounger(s);
+                redirectAfterMispredict(*s);
+                break;
+            }
+        }
+    }
+}
+
+bool
+CrispCpu::tick(ExecObserver* observer)
+{
+    if (halted_)
+        return false;
+
+    // Advance the pipeline: RR <- OR <- IR <- (issue below).
+    rrS_ = orS_;
+    orS_ = irS_;
+    irS_ = Stage{};
+
+    pdu_.tick(now_);
+    issueStage();
+    retireStage(observer);
+    emitTraceLine();
+
+    ++now_;
+    stats_.cycles = now_;
+    stats_.stackCacheHits = stackCache_.hits();
+    stats_.stackCacheMisses = stackCache_.misses();
+    return !halted_;
+}
+
+const SimStats&
+CrispCpu::run(ExecObserver* observer)
+{
+    while (!halted_ && now_ < cfg_.maxCycles)
+        tick(observer);
+    return stats_;
+}
+
+void
+CrispCpu::note(const char* what)
+{
+    if (!traceSink_)
+        return;
+    if (!traceNote_.empty())
+        traceNote_ += ' ';
+    traceNote_ += what;
+}
+
+void
+CrispCpu::emitTraceLine()
+{
+    if (!traceSink_)
+        return;
+    auto stage_text = [](const Stage& s) -> std::string {
+        if (!s.valid)
+            return "--";
+        std::ostringstream os;
+        os << "0x" << std::hex << s.di.pc << std::dec << ":";
+        if (s.di.loneBranch)
+            os << opcodeName(s.di.branchOp);
+        else
+            os << opcodeName(s.di.body.op);
+        if (s.di.folded)
+            os << "+" << opcodeName(s.di.branchOp);
+        if (s.specCond)
+            os << "?";
+        return os.str();
+    };
+    std::ostringstream os;
+    os << std::setw(7) << now_ << " | IR " << std::setw(22) << std::left
+       << stage_text(irS_) << "| OR " << std::setw(22)
+       << stage_text(orS_) << "| RR " << std::setw(22)
+       << stage_text(rrS_) << "| " << traceNote_;
+    traceSink_(os.str());
+    traceNote_.clear();
+}
+
+Word
+CrispCpu::wordAt(const std::string& symbol) const
+{
+    const auto a = prog_.lookup(symbol);
+    if (!a)
+        throw CrispError("unknown symbol: " + symbol);
+    return static_cast<Word>(mem_.read32(*a));
+}
+
+std::string
+SimStats::toString() const
+{
+    std::ostringstream os;
+    os << "cycles:              " << cycles << "\n"
+       << "issued:              " << issued << "\n"
+       << "apparent:            " << apparent << "\n"
+       << "issued CPI:          " << issuedCpi() << "\n"
+       << "apparent CPI:        " << apparentCpi() << "\n"
+       << "branches:            " << branches << "\n"
+       << "folded branches:     " << foldedBranches << "\n"
+       << "cond branches:       " << condBranches << "\n"
+       << "resolved at issue:   " << resolvedAtIssue << "\n"
+       << "speculated:          " << speculated << "\n"
+       << "mispredicts:         " << mispredicts << "\n"
+       << "squashed:            " << squashed << "\n"
+       << "issue stalls:        " << issueStallCycles << "\n"
+       << "  DIC miss stalls:   " << dicMissStallCycles << "\n"
+       << "  redirect stalls:   " << redirectStallCycles << "\n"
+       << "  indirect stalls:   " << indirectStallCycles << "\n"
+       << "DIC hits/misses:     " << dicHits << "/" << dicMisses << "\n"
+       << "PDU fills (folded):  " << pduFills << " (" << pduFoldedPairs
+       << ")\n"
+       << "memory fetches:      " << memFetches << "\n"
+       << "stack cache h/m:     " << stackCacheHits << "/"
+       << stackCacheMisses << "\n"
+       << "halted:              " << (halted ? "yes" : "no") << "\n";
+    if (faulted) {
+        os << "FAULT at 0x" << std::hex << faultPc << std::dec << ": "
+           << faultReason << "\n";
+    }
+    return os.str();
+}
+
+} // namespace crisp

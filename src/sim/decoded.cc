@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Decode-and-fold logic (the PDR-stage datapath of Figure 2).
+ */
+
+#include "decoded.hh"
+
+#include <sstream>
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Is @p op a one-parcel-foldable branch (jmp / iftjmp / iffjmp)? */
+bool
+isFoldableBranchOp(Opcode op)
+{
+    return op == Opcode::kJmp || op == Opcode::kIfTJmp ||
+           op == Opcode::kIfFJmp;
+}
+
+/** May a carrier of @p parcels length fold under @p policy? */
+bool
+carrierLengthOk(FoldPolicy policy, int parcels)
+{
+    switch (policy) {
+      case FoldPolicy::kNone:
+        return false;
+      case FoldPolicy::kCrisp:
+        return parcels == 1 || parcels == 3;
+      case FoldPolicy::kAll:
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+FoldDecoder::windowNeed(Parcel parcel0) const
+{
+    const int len = instructionLength(parcel0);
+    const auto major = parcel0 >> 12;
+    const bool is_short_branch =
+        major == 0xC || major == 0xD || major == 0xE;
+    if (is_short_branch)
+        return len;
+
+    const auto op = static_cast<Opcode>(parcel0 >> 10);
+    if (carrierLengthOk(policy_, len) && isFoldableBody(op))
+        return len + 1;
+    return len;
+}
+
+std::optional<DecodedInst>
+FoldDecoder::decodeAt(Addr pc, std::span<const Parcel> window,
+                      bool at_end) const
+{
+    if (window.empty())
+        return std::nullopt;
+
+    const int len = instructionLength(window[0]);
+    if (static_cast<int>(window.size()) < len)
+        return std::nullopt;
+
+    const Instruction inst = decode(window.data());
+
+    DecodedInst di;
+    di.pc = pc;
+    di.totalParcels = len;
+    di.seqPc = pc + static_cast<Addr>(len) * kParcelBytes;
+
+    if (isBranch(inst.op)) {
+        // A branch that was not folded into a predecessor: it gets its
+        // own DIC entry and occupies an EU slot ("a branch after a
+        // call" in the paper).
+        di.loneBranch = true;
+        di.body = Instruction::nop();
+        di.branchPc = pc;
+        di.branchOp = inst.op;
+        di.branchShortForm = (len == 1);
+        di.predictTaken = inst.predictTaken;
+
+        switch (inst.bmode) {
+          case BranchMode::kPcRel:
+            di.takenPc = pc + static_cast<Addr>(inst.disp);
+            break;
+          case BranchMode::kAbs:
+            di.takenPc = inst.spec;
+            break;
+          case BranchMode::kIndAbs:
+          case BranchMode::kIndSp:
+            if (inst.op != Opcode::kJmp) {
+                throw CrispError(
+                    "pipeline: only unconditional jumps may be indirect");
+            }
+            di.ctl = Ctl::kIndirect;
+            di.bmode = inst.bmode;
+            di.spec = inst.spec;
+            return di;
+        }
+
+        switch (inst.op) {
+          case Opcode::kJmp:
+            di.ctl = Ctl::kJmp;
+            break;
+          case Opcode::kIfTJmp:
+            di.ctl = Ctl::kCondT;
+            break;
+          case Opcode::kIfFJmp:
+            di.ctl = Ctl::kCondF;
+            break;
+          case Opcode::kCall:
+            di.ctl = Ctl::kCall;
+            di.callRetPc = di.seqPc;
+            break;
+          default:
+            break;
+        }
+        return di;
+    }
+
+    // Non-branch body.
+    di.body = inst;
+    di.writesCc = inst.writesCc();
+
+    if (inst.op == Opcode::kHalt) {
+        di.ctl = Ctl::kHalt;
+        return di;
+    }
+    if (inst.op == Opcode::kReturn) {
+        di.ctl = Ctl::kRet;
+        return di;
+    }
+
+    // Branch Folding: peek at the next parcel; if it starts a
+    // one-parcel branch, absorb it into this entry.
+    if (carrierLengthOk(policy_, len) && isFoldableBody(inst.op)) {
+        if (static_cast<int>(window.size()) < len + 1) {
+            if (!at_end)
+                return std::nullopt; // wait for the lookahead parcel
+            return di;               // nothing follows; no fold
+        }
+        const Parcel next0 = window[len];
+        if (instructionLength(next0) == 1) {
+            const Instruction br = decode(window.data() + len);
+            if (isFoldableBranchOp(br.op) &&
+                br.bmode == BranchMode::kPcRel) {
+                di.folded = true;
+                di.totalParcels = len + 1;
+                di.branchPc =
+                    pc + static_cast<Addr>(len) * kParcelBytes;
+                di.seqPc = di.branchPc + kParcelBytes;
+                di.branchOp = br.op;
+                di.branchShortForm = true;
+                di.predictTaken = br.predictTaken;
+                // The "branch adjust": the 10-bit offset is relative to
+                // the branch's own address, not the carrier's.
+                di.takenPc = di.branchPc + static_cast<Addr>(br.disp);
+                switch (br.op) {
+                  case Opcode::kJmp:
+                    di.ctl = Ctl::kJmp;
+                    break;
+                  case Opcode::kIfTJmp:
+                    di.ctl = Ctl::kCondT;
+                    break;
+                  case Opcode::kIfFJmp:
+                    di.ctl = Ctl::kCondF;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+    return di;
+}
+
+std::string
+DecodedInst::toString() const
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc << std::dec << ": ";
+    if (loneBranch) {
+        os << opcodeName(branchOp) << " (lone)";
+    } else {
+        os << body.toString(pc);
+        if (folded)
+            os << " + folded " << opcodeName(branchOp);
+    }
+    switch (ctl) {
+      case Ctl::kSeq:
+        os << " -> seq 0x" << std::hex << seqPc;
+        break;
+      case Ctl::kJmp:
+      case Ctl::kCall:
+        os << " -> 0x" << std::hex << takenPc;
+        break;
+      case Ctl::kCondT:
+      case Ctl::kCondF:
+        os << " -> " << (predictTaken ? "T:" : "N:") << "0x" << std::hex
+           << takenPc << " / 0x" << seqPc;
+        break;
+      case Ctl::kRet:
+        os << " -> ret";
+        break;
+      case Ctl::kIndirect:
+        os << " -> indirect";
+        break;
+      case Ctl::kHalt:
+        os << " -> halt";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace crisp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Prefetch and Decode Unit implementation.
+ */
+
+#include "pdu.hh"
+
+#include <vector>
+
+namespace crisp
+{
+
+void
+Pdu::redirect(Addr pc)
+{
+    queue_.clear();
+    decodePc_ = pc;
+    prefetchPc_ = pc;
+    paused_ = false;
+    // An in-flight memory fetch cannot be aborted; its result will be
+    // discarded on arrival because it no longer extends the queue.
+}
+
+bool
+Pdu::streaming_toward(Addr pc) const
+{
+    if (pirValid_ && pir_.pc == pc)
+        return true;
+    if (paused_)
+        return false;
+    Addr end = decodePc_ + static_cast<Addr>(queue_.size()) * kParcelBytes;
+    if (memBusy_ && memAddr_ == end)
+        end += static_cast<Addr>(memParcels_) * kParcelBytes;
+    // Also count the block the prefetcher will request next: the stream
+    // is contiguous from decodePc_ onward.
+    return pc >= decodePc_ && pc < end;
+}
+
+void
+Pdu::demand(Addr pc)
+{
+    if (streaming_toward(pc))
+        return;
+    if (paused_ && pc == decodePc_) {
+        // The stream is parked exactly here (e.g. a conflict evicted an
+        // entry we already decoded): just resume.
+        paused_ = false;
+        return;
+    }
+    redirect(pc);
+}
+
+void
+Pdu::tick(std::uint64_t now)
+{
+    // Stage 3 (PIR): write last cycle's decoded entry into the DIC.
+    if (pirValid_) {
+        dic_.fill(pir_);
+        ++stats_.pduFills;
+        pirValid_ = false;
+    }
+
+    // Memory completion: parcels arrive at the queue tail. A block that
+    // no longer extends the queue (the stream was redirected while it
+    // was in flight) is discarded.
+    if (memBusy_ && now >= memReadyCycle_) {
+        memBusy_ = false;
+        const Addr end =
+            decodePc_ + static_cast<Addr>(queue_.size()) * kParcelBytes;
+        if (memAddr_ == end) {
+            for (int i = 0; i < memParcels_; ++i) {
+                queue_.push_back(prog_.parcelAt(
+                    memAddr_ + static_cast<Addr>(i) * kParcelBytes));
+            }
+        }
+    }
+
+    // Stage 2 (PDR): decode (and fold) from the queue.
+    if (!paused_ && !queue_.empty()) {
+        if (dic_.lookup(decodePc_) != nullptr) {
+            // Wrapped into already decoded code (e.g. around a loop):
+            // park until a demand miss re-awakens the stream.
+            paused_ = true;
+        } else {
+            std::vector<Parcel> window(queue_.begin(), queue_.end());
+            const Addr window_end =
+                decodePc_ +
+                static_cast<Addr>(window.size()) * kParcelBytes;
+            const bool at_end = window_end >= prog_.textEnd();
+            const auto di =
+                decoder_.decodeAt(decodePc_, window, at_end);
+            if (di) {
+                pir_ = *di;
+                pirValid_ = true;
+                if (di->folded)
+                    ++stats_.pduFoldedPairs;
+                for (int i = 0; i < di->totalParcels; ++i)
+                    queue_.pop_front();
+                decodePc_ +=
+                    static_cast<Addr>(di->totalParcels) * kParcelBytes;
+
+                // Follow the predicted instruction path.
+                const bool follow_taken =
+                    di->ctl == Ctl::kJmp || di->ctl == Ctl::kCall ||
+                    (di->hasCondBranch() && cfg_.respectPredictionBit &&
+                     di->predictTaken);
+                if (follow_taken && di->takenPc != decodePc_) {
+                    queue_.clear();
+                    decodePc_ = di->takenPc;
+                    prefetchPc_ = di->takenPc;
+                } else if (di->ctl == Ctl::kRet ||
+                           di->ctl == Ctl::kIndirect ||
+                           di->ctl == Ctl::kHalt) {
+                    paused_ = true;
+                }
+            } else if (at_end && !memBusy_ &&
+                       prefetchPc_ >= prog_.textEnd()) {
+                throw CrispError("PDU: truncated instruction at end of "
+                                 "text segment");
+            }
+        }
+    }
+
+    // Stage 1: prefetch. Request up to a 4-parcel block, clipped to the
+    // queue room actually available (a full-size-only rule would
+    // deadlock a 6-parcel folded decode window against an 8-parcel
+    // queue).
+    if (!paused_ && !memBusy_) {
+        const Addr text_end = prog_.textEnd();
+        const int room =
+            cfg_.queueParcels - static_cast<int>(queue_.size());
+        if (prefetchPc_ < text_end && room > 0) {
+            const Addr remaining =
+                (text_end - prefetchPc_) / kParcelBytes;
+            memParcels_ = remaining < 4 ? static_cast<int>(remaining) : 4;
+            if (memParcels_ > room)
+                memParcels_ = room;
+            memAddr_ = prefetchPc_;
+            memBusy_ = true;
+            memReadyCycle_ = now + static_cast<std::uint64_t>(
+                                       cfg_.memLatency);
+            prefetchPc_ +=
+                static_cast<Addr>(memParcels_) * kParcelBytes;
+            ++stats_.memFetches;
+        }
+    }
+}
+
+} // namespace crisp

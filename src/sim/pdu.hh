@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The Prefetch and Decode Unit: a three-stage pipeline that fetches
+ * parcels from main memory into an 8-parcel instruction queue, decodes
+ * (and folds) them in the PDR stage, and writes decoded entries into the
+ * Decoded Instruction Cache from the PIR stage.
+ *
+ * The PDU runs decoupled from the Execution Unit: it streams along the
+ * predicted instruction path (following unconditional and
+ * predicted-taken folded branches), pauses when it wraps into already
+ * decoded code, and is redirected by EU-side DIC misses.
+ */
+
+#ifndef CRISP_SIM_PDU_HH
+#define CRISP_SIM_PDU_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "config.hh"
+#include "decoded.hh"
+#include "dic.hh"
+#include "isa/program.hh"
+#include "stats.hh"
+
+namespace crisp
+{
+
+class Pdu
+{
+  public:
+    Pdu(const Program& prog, const SimConfig& cfg, DecodedCache& dic,
+        SimStats& stats)
+        : prog_(prog), cfg_(cfg), dic_(dic), stats_(stats),
+          decoder_(cfg.foldPolicy)
+    {
+        redirect(prog.entry);
+    }
+
+    /**
+     * Advance one cycle. Order of operations models the three stages:
+     * the PIR latch (decoded last cycle) fills the DIC first, then the
+     * PDR stage decodes from the queue, then the prefetcher moves
+     * parcels from memory toward the queue.
+     */
+    void tick(std::uint64_t now);
+
+    /**
+     * EU-side demand: the EU missed in the DIC at @p pc. Redirects the
+     * prefetch stream unless it is already on its way there.
+     */
+    void demand(Addr pc);
+
+  private:
+    void redirect(Addr pc);
+
+    /** Is @p pc already covered by the queue or the decode stream? */
+    bool streaming_toward(Addr pc) const;
+
+    const Program& prog_;
+    const SimConfig& cfg_;
+    DecodedCache& dic_;
+    SimStats& stats_;
+    FoldDecoder decoder_;
+
+    /** Byte address of the next parcel the prefetcher will request. */
+    Addr prefetchPc_ = 0;
+    /** Byte address of the first parcel in the queue (decode point). */
+    Addr decodePc_ = 0;
+    /** The instruction queue (parcels at decodePc_, decodePc_+2, ...). */
+    std::deque<Parcel> queue_;
+
+    /** In-flight memory fetch. */
+    bool memBusy_ = false;
+    std::uint64_t memReadyCycle_ = 0;
+    Addr memAddr_ = 0;
+    int memParcels_ = 0;
+
+    /** PIR latch: entry decoded last cycle, to be written to the DIC. */
+    bool pirValid_ = false;
+    DecodedInst pir_;
+
+    /**
+     * The stream pauses once it decodes into code whose DIC entry is
+     * already present (it has caught its own tail, e.g. gone once
+     * around a loop); a demand miss wakes it again.
+     */
+    bool paused_ = false;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_PDU_HH

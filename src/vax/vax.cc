@@ -1,0 +1,300 @@
+/**
+ * @file
+ * VAX-like machine: execution and histogram printing.
+ */
+
+#include "vax.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace crisp::vax
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, kVOpCount> kNames = {
+    "movl", "clrl", "incl",  "decl", "addl2", "subl2", "mull2",
+    "divl2", "bisl2", "xorl2", "bicl2", "ashl", "bitl", "cmpl",
+    "tstl", "jbr",   "jeql",  "jneq", "jlss",  "jgeq",  "jleq",
+    "jgtr", "pushl", "calls", "ret",   "halt",
+};
+
+} // namespace
+
+std::string_view
+vopName(VOp op)
+{
+    return kNames[static_cast<std::size_t>(op)];
+}
+
+VaxMachine::VaxMachine(const VaxProgram& prog)
+    : prog_(prog), globals_(prog.globalInit)
+{
+    pc_ = prog.entry;
+}
+
+std::int32_t
+VaxMachine::global(const std::string& name) const
+{
+    const auto it = prog_.globalIndex.find(name);
+    if (it == prog_.globalIndex.end())
+        throw CrispError("vax: unknown global " + name);
+    return globals_[static_cast<std::size_t>(it->second)];
+}
+
+std::int32_t
+VaxMachine::read(const VOperand& o) const
+{
+    switch (o.kind) {
+      case VOperand::Kind::kReg:
+        return regs_[static_cast<std::size_t>(o.reg)];
+      case VOperand::Kind::kImm:
+        return o.value;
+      case VOperand::Kind::kMem:
+        return globals_.at(static_cast<std::size_t>(o.value));
+      case VOperand::Kind::kIdx:
+        return globals_.at(static_cast<std::size_t>(
+            o.value + regs_[static_cast<std::size_t>(o.reg)]));
+      case VOperand::Kind::kNone:
+        return 0;
+    }
+    return 0;
+}
+
+void
+VaxMachine::write(const VOperand& o, std::int32_t v)
+{
+    switch (o.kind) {
+      case VOperand::Kind::kReg:
+        regs_[static_cast<std::size_t>(o.reg)] = v;
+        return;
+      case VOperand::Kind::kMem:
+        globals_.at(static_cast<std::size_t>(o.value)) = v;
+        return;
+      case VOperand::Kind::kIdx:
+        globals_.at(static_cast<std::size_t>(
+            o.value + regs_[static_cast<std::size_t>(o.reg)])) = v;
+        return;
+      default:
+        throw CrispError("vax: operand not writable");
+    }
+}
+
+void
+VaxMachine::setFlags(std::int32_t result)
+{
+    flagN_ = result < 0;
+    flagZ_ = result == 0;
+}
+
+VaxResult
+VaxMachine::run(std::uint64_t max_steps)
+{
+    using U = std::uint32_t;
+    std::uint64_t steps = 0;
+    while (!halted_ && steps++ < max_steps) {
+        const VInst& in = prog_.code.at(static_cast<std::size_t>(pc_));
+        ++result_.instructions;
+        ++result_.opcodeCounts[static_cast<std::size_t>(in.op)];
+        int next = pc_ + 1;
+
+        switch (in.op) {
+          case VOp::kMovl: {
+            const std::int32_t v = read(in.src);
+            write(in.dst, v);
+            setFlags(v);
+            break;
+          }
+          case VOp::kClrl:
+            write(in.dst, 0);
+            setFlags(0);
+            break;
+          case VOp::kIncl: {
+            const auto v = static_cast<std::int32_t>(
+                static_cast<U>(read(in.dst)) + 1u);
+            write(in.dst, v);
+            setFlags(v);
+            break;
+          }
+          case VOp::kDecl: {
+            const auto v = static_cast<std::int32_t>(
+                static_cast<U>(read(in.dst)) - 1u);
+            write(in.dst, v);
+            setFlags(v);
+            break;
+          }
+          case VOp::kAddl2:
+          case VOp::kSubl2:
+          case VOp::kMull2:
+          case VOp::kDivl2:
+          case VOp::kBisl2:
+          case VOp::kXorl2:
+          case VOp::kBicl2:
+          case VOp::kAshl: {
+            const std::int32_t a = read(in.dst);
+            const std::int32_t b = read(in.src);
+            std::int32_t v = 0;
+            switch (in.op) {
+              case VOp::kAddl2:
+                v = static_cast<std::int32_t>(static_cast<U>(a) +
+                                              static_cast<U>(b));
+                break;
+              case VOp::kSubl2:
+                v = static_cast<std::int32_t>(static_cast<U>(a) -
+                                              static_cast<U>(b));
+                break;
+              case VOp::kMull2:
+                v = static_cast<std::int32_t>(static_cast<U>(a) *
+                                              static_cast<U>(b));
+                break;
+              case VOp::kDivl2:
+                v = b == 0 ? 0
+                    : (a == INT32_MIN && b == -1 ? a : a / b);
+                break;
+              case VOp::kBisl2:
+                v = a | b;
+                break;
+              case VOp::kXorl2:
+                v = a ^ b;
+                break;
+              case VOp::kBicl2:
+                v = a & b; // modeled as plain AND (see header)
+                break;
+              case VOp::kAshl:
+                // Positive count shifts left, negative right
+                // (logical, matching the CRISP-C definition of >>).
+                if (b >= 0)
+                    v = static_cast<std::int32_t>(
+                        static_cast<U>(a)
+                        << (static_cast<U>(b) & 31u));
+                else
+                    v = static_cast<std::int32_t>(
+                        static_cast<U>(a) >>
+                        (static_cast<U>(-b) & 31u));
+                break;
+              default:
+                break;
+            }
+            write(in.dst, v);
+            setFlags(v);
+            break;
+          }
+          case VOp::kBitl:
+            setFlags(read(in.dst) & read(in.src));
+            break;
+          case VOp::kCmpl: {
+            const std::int32_t a = read(in.dst);
+            const std::int32_t b = read(in.src);
+            flagN_ = a < b;
+            flagZ_ = a == b;
+            break;
+          }
+          case VOp::kTstl:
+            setFlags(read(in.dst));
+            break;
+          case VOp::kJbr:
+            next = in.target;
+            break;
+          case VOp::kJeql:
+            if (flagZ_)
+                next = in.target;
+            break;
+          case VOp::kJneq:
+            if (!flagZ_)
+                next = in.target;
+            break;
+          case VOp::kJlss:
+            if (flagN_)
+                next = in.target;
+            break;
+          case VOp::kJgeq:
+            if (!flagN_)
+                next = in.target;
+            break;
+          case VOp::kJleq:
+            if (flagN_ || flagZ_)
+                next = in.target;
+            break;
+          case VOp::kJgtr:
+            if (!flagN_ && !flagZ_)
+                next = in.target;
+            break;
+          case VOp::kPushl:
+            argStack_.push_back(read(in.dst));
+            break;
+          case VOp::kCalls: {
+            // `calls $n, f`: save the caller's registers, then hand
+            // the n pushed arguments to the callee in r2.. — the
+            // register-file analogue of the VAX CALLS stack frame.
+            callStack_.push_back(regs_);
+            returnStack_.push_back(next);
+            const int n = in.src.value;
+            if (static_cast<std::size_t>(n) > argStack_.size())
+                throw CrispError("vax: argument stack underflow");
+            for (int j = 0; j < n; ++j) {
+                regs_[static_cast<std::size_t>(2 + j)] =
+                    argStack_[argStack_.size() -
+                              static_cast<std::size_t>(n - j)];
+            }
+            argStack_.resize(argStack_.size() -
+                             static_cast<std::size_t>(n));
+            next = in.target;
+            break;
+          }
+          case VOp::kRet: {
+            if (returnStack_.empty())
+                throw CrispError("vax: ret with empty call stack");
+            const std::int32_t rv = regs_[0];
+            regs_ = callStack_.back();
+            callStack_.pop_back();
+            regs_[0] = rv; // the return value survives the restore
+            next = returnStack_.back();
+            returnStack_.pop_back();
+            break;
+          }
+          case VOp::kHalt:
+            halted_ = true;
+            result_.halted = true;
+            result_.returnValue = regs_[0];
+            break;
+          default:
+            throw CrispError("vax: bad opcode");
+        }
+        pc_ = next;
+    }
+    return result_;
+}
+
+std::string
+VaxResult::histogramTable() const
+{
+    std::vector<std::pair<std::uint64_t, VOp>> rows;
+    for (int i = 0; i < kVOpCount; ++i) {
+        if (opcodeCounts[static_cast<std::size_t>(i)] > 0) {
+            rows.emplace_back(opcodeCounts[static_cast<std::size_t>(i)],
+                              static_cast<VOp>(i));
+        }
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.first > b.first;
+    });
+
+    std::ostringstream os;
+    os << "Total of " << instructions << " instructions\n";
+    os << std::left << std::setw(10) << "Opcode" << std::right
+       << std::setw(10) << "Count" << std::setw(10) << "Percent" << "\n";
+    for (const auto& [count, op] : rows) {
+        os << std::left << std::setw(10) << vopName(op) << std::right
+           << std::setw(10) << count << std::setw(9) << std::fixed
+           << std::setprecision(2)
+           << 100.0 * static_cast<double>(count) /
+                  static_cast<double>(instructions)
+           << "%\n";
+    }
+    return os.str();
+}
+
+} // namespace crisp::vax

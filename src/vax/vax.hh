@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A VAX-like CISC comparator machine for the paper's Table 2.
+ *
+ * The paper compares CRISP's dynamic instruction count for the Figure 3
+ * program against a VAX compiled "directly from our standard
+ * compilers", finding essentially identical totals (9,734 vs 9,736).
+ * This module models just enough of a VAX-11-style machine to
+ * regenerate that column: a register machine whose condition codes are
+ * set by most instructions, with the exact opcodes in the paper's
+ * histogram (incl, jbr, movl, cmpl, jgeq, addl2, bitl, jeql, clrl,
+ * ret, subl2) plus the few needed to run the wider workload suite.
+ *
+ * It is an instruction-level functional model (Table 2 counts
+ * instructions, not cycles); there is no binary encoding and no
+ * pipeline.
+ */
+
+#ifndef CRISP_VAX_VAX_HH
+#define CRISP_VAX_VAX_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace crisp::vax
+{
+
+enum class VOp : std::uint8_t {
+    kMovl = 0, //!< move longword (sets N/Z)
+    kClrl,     //!< clear longword
+    kIncl,     //!< increment
+    kDecl,     //!< decrement
+    kAddl2,    //!< dst += src
+    kSubl2,    //!< dst -= src
+    kMull2,    //!< dst *= src
+    kDivl2,    //!< dst /= src
+    kBisl2,    //!< dst |= src (bit set)
+    kXorl2,    //!< dst ^= src
+    kBicl2,    //!< dst &= src (via complemented mask; modeled as AND)
+    kAshl,     //!< arithmetic/logical shift (positive left, negative right)
+    kBitl,     //!< test src & dst, set flags only
+    kCmpl,     //!< compare, set flags only
+    kTstl,     //!< compare against zero
+    kJbr,      //!< unconditional branch
+    kJeql,     //!< branch if Z
+    kJneq,     //!< branch if !Z
+    kJlss,     //!< branch if N
+    kJgeq,     //!< branch if !N
+    kJleq,     //!< branch if N or Z
+    kJgtr,     //!< branch if neither N nor Z
+    kPushl,    //!< push a longword onto the argument stack
+    kCalls,    //!< `calls $n, f`: save registers, pop n args into r2..
+    kRet,      //!< return (value in r0)
+    kHalt,     //!< stop (the simulation harness's exit)
+    kNumOps
+};
+
+inline constexpr int kVOpCount = static_cast<int>(VOp::kNumOps);
+
+/** Mnemonic (the paper's spelling). */
+std::string_view vopName(VOp op);
+
+/** Operand: register, immediate, global word, or register-indexed
+ *  global array element. */
+struct VOperand
+{
+    enum class Kind : std::uint8_t { kNone, kReg, kImm, kMem, kIdx };
+
+    Kind kind = Kind::kNone;
+    int reg = 0;            //!< kReg / kIdx index register
+    std::int32_t value = 0; //!< kImm value, kMem/kIdx global word index
+
+    static VOperand none() { return {}; }
+    static VOperand r(int n) { return {Kind::kReg, n, 0}; }
+    static VOperand imm(std::int32_t v) { return {Kind::kImm, 0, v}; }
+    static VOperand mem(std::int32_t g) { return {Kind::kMem, 0, g}; }
+    static VOperand idx(std::int32_t g, int reg_num)
+    {
+        return {Kind::kIdx, reg_num, g};
+    }
+};
+
+struct VInst
+{
+    VOp op = VOp::kHalt;
+    VOperand dst; //!< also the first source (two-operand style)
+    VOperand src;
+    int target = -1; //!< branch target / call entry (instruction index)
+};
+
+/** A linked VAX-like program. */
+struct VaxProgram
+{
+    std::vector<VInst> code;
+    std::vector<std::int32_t> globalInit;
+    std::map<std::string, std::int32_t> globalIndex;
+    int entry = 0;
+};
+
+/** Functional run results: the Table 2 histogram. */
+struct VaxResult
+{
+    std::uint64_t instructions = 0;
+    std::array<std::uint64_t, kVOpCount> opcodeCounts{};
+    bool halted = false;
+    std::int32_t returnValue = 0;
+
+    std::uint64_t
+    count(VOp op) const
+    {
+        return opcodeCounts[static_cast<std::size_t>(op)];
+    }
+
+    /** Paper-style histogram: opcode, count, percent. */
+    std::string histogramTable() const;
+};
+
+/** The register machine (16 registers; r0 = return value). */
+class VaxMachine
+{
+  public:
+    explicit VaxMachine(const VaxProgram& prog);
+
+    VaxResult run(std::uint64_t max_steps = 500'000'000);
+
+    std::int32_t global(const std::string& name) const;
+
+  private:
+    std::int32_t read(const VOperand& o) const;
+    void write(const VOperand& o, std::int32_t v);
+    void setFlags(std::int32_t result);
+
+    VaxProgram prog_;
+    std::array<std::int32_t, 16> regs_{};
+    std::vector<std::int32_t> globals_;
+    std::vector<std::array<std::int32_t, 16>> callStack_;
+    std::vector<int> returnStack_;
+    std::vector<std::int32_t> argStack_;
+    bool flagN_ = false;
+    bool flagZ_ = false;
+    int pc_ = 0;
+    bool halted_ = false;
+    VaxResult result_;
+};
+
+/**
+ * Compile CRISP-C source for the VAX-like machine (the same front end
+ * as crispcc, a register-based backend: locals live in registers, so
+ * functions are limited to ~9 locals+temporaries).
+ * @throws CrispError on unsupported constructs.
+ */
+VaxProgram compileForVax(const std::string& source);
+
+} // namespace crisp::vax
+
+#endif // CRISP_VAX_VAX_HH

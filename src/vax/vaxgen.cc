@@ -1,0 +1,808 @@
+/**
+ * @file
+ * CRISP-C -> VAX-like code generation (the Table 2 comparator backend).
+ *
+ * Style notes that make the output match a 1980s VAX C compiler —
+ * and therefore the paper's Table 2 histogram:
+ *  - locals live in registers (r2 upward; temporaries from r11 down);
+ *  - loops are TOP-tested with an unconditional jbr backedge (this is
+ *    where the paper's 1,536 jbr / 1,025 jgeq counts come from);
+ *  - `x++` is incl, `x = 0` is clrl, `if (a & b)` is bitl/jeql;
+ *  - conditions use the N/Z codes that nearly every instruction sets.
+ */
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cc/ast.hh"
+#include "vax.hh"
+
+namespace crisp::vax
+{
+
+namespace
+{
+
+using cc::BinOp;
+using cc::Expr;
+using cc::ExprKind;
+using cc::FuncDecl;
+using cc::Stmt;
+using cc::StmtKind;
+using cc::UnOp;
+
+[[noreturn]] void
+err(int line, const std::string& msg)
+{
+    throw CrispError("vaxcc line " + std::to_string(line) + ": " + msg);
+}
+
+class VaxGen
+{
+  public:
+    explicit VaxGen(const cc::TranslationUnit& tu) : tu_(tu)
+    {
+        for (const auto& g : tu.globals) {
+            globalIndex_[g.name] = {
+                static_cast<std::int32_t>(prog_.globalInit.size()),
+                g.arraySize};
+            prog_.globalIndex[g.name] =
+                static_cast<std::int32_t>(prog_.globalInit.size());
+            if (g.arraySize > 0) {
+                prog_.globalInit.insert(
+                    prog_.globalInit.end(),
+                    static_cast<std::size_t>(g.arraySize), 0);
+            } else {
+                prog_.globalInit.push_back(g.init);
+            }
+        }
+        for (const FuncDecl& f : tu.functions)
+            arity_[f.name] = static_cast<int>(f.params.size());
+    }
+
+    VaxProgram
+    run()
+    {
+        // Entry stub: calls main; halt.
+        const int call_idx =
+            emit({VOp::kCalls, {}, VOperand::imm(0), -1});
+        emit({VOp::kHalt, {}, {}, -1});
+        for (const FuncDecl& f : tu_.functions) {
+            funcEntry_[f.name] =
+                static_cast<int>(prog_.code.size());
+            genFunction(f);
+        }
+        if (!funcEntry_.count("main"))
+            throw CrispError("vaxcc: no main() function");
+        prog_.code[static_cast<std::size_t>(call_idx)].target =
+            funcEntry_.at("main");
+        for (const auto& [idx, name] : pendingCalls_) {
+            const auto it = funcEntry_.find(name);
+            if (it == funcEntry_.end())
+                throw CrispError("vax: undefined function " + name);
+            prog_.code[static_cast<std::size_t>(idx)].target =
+                it->second;
+        }
+        // Resolve label placeholders.
+        for (VInst& in : prog_.code) {
+            if (in.target < -1)
+                in.target = labelPos_.at(
+                    static_cast<std::size_t>(-in.target - 2));
+        }
+        prog_.entry = 0;
+        return std::move(prog_);
+    }
+
+  private:
+    // Emission ---------------------------------------------------------
+
+    int
+    emit(VInst in)
+    {
+        prog_.code.push_back(in);
+        return static_cast<int>(prog_.code.size()) - 1;
+    }
+
+    /** New label id, encoded as a negative placeholder target. */
+    int
+    newLabel()
+    {
+        labelPos_.push_back(-1);
+        return -(static_cast<int>(labelPos_.size()) - 1) - 2;
+    }
+
+    void
+    place(int label)
+    {
+        labelPos_[static_cast<std::size_t>(-label - 2)] =
+            static_cast<int>(prog_.code.size());
+    }
+
+    void
+    branch(VOp op, int label)
+    {
+        emit({op, {}, {}, label});
+    }
+
+    // Registers ----------------------------------------------------------
+
+    int
+    allocLocal(int line)
+    {
+        if (nextLocal_ > 9)
+            err(line, "too many locals for the register-based VAX "
+                      "backend");
+        return nextLocal_++;
+    }
+
+    int
+    allocTemp(int line)
+    {
+        if (!freeTemps_.empty()) {
+            const int r = freeTemps_.back();
+            freeTemps_.pop_back();
+            return r;
+        }
+        if (nextTemp_ < nextLocal_)
+            err(line, "expression too deep for the register-based VAX "
+                      "backend");
+        return nextTemp_--;
+    }
+
+    void
+    release(const VOperand& o, bool owned)
+    {
+        if (owned && o.kind == VOperand::Kind::kReg)
+            freeTemps_.push_back(o.reg);
+    }
+
+    // Values ---------------------------------------------------------------
+
+    struct Val
+    {
+        VOperand op;
+        bool ownedTemp = false;
+    };
+
+    std::optional<std::int32_t>
+    constEval(const Expr& e) const
+    {
+        if (e.kind == ExprKind::kNumber)
+            return e.number;
+        return std::nullopt; // full folding lives in the CRISP backend
+    }
+
+    VOperand
+    lvalue(const Expr& e, std::vector<Val>& scratch)
+    {
+        if (e.kind == ExprKind::kVar) {
+            const auto it = locals_.find(e.name);
+            if (it != locals_.end())
+                return VOperand::r(it->second);
+            const auto g = globalIndex_.find(e.name);
+            if (g != globalIndex_.end()) {
+                if (g->second.second > 0)
+                    err(e.line, "array used without subscript");
+                return VOperand::mem(g->second.first);
+            }
+            err(e.line, "undefined variable: " + e.name);
+        }
+        if (e.kind == ExprKind::kIndex) {
+            const auto g = globalIndex_.find(e.name);
+            if (g == globalIndex_.end() || g->second.second == 0)
+                err(e.line, "subscript of non-array: " + e.name);
+            Val idx = value(*e.rhs);
+            if (idx.op.kind != VOperand::Kind::kReg || !idx.ownedTemp) {
+                const int t = allocTemp(e.line);
+                emit({VOp::kMovl, VOperand::r(t), idx.op, -1});
+                release(idx.op, idx.ownedTemp);
+                idx = {VOperand::r(t), true};
+            }
+            scratch.push_back(idx); // caller releases after use
+            return VOperand::idx(g->second.first, idx.op.reg);
+        }
+        err(e.line, "not an lvalue");
+    }
+
+    static std::optional<VOp>
+    binVop(BinOp op)
+    {
+        switch (op) {
+          case BinOp::kAdd: return VOp::kAddl2;
+          case BinOp::kSub: return VOp::kSubl2;
+          case BinOp::kMul: return VOp::kMull2;
+          case BinOp::kDiv: return VOp::kDivl2;
+          case BinOp::kOr:  return VOp::kBisl2;
+          case BinOp::kXor: return VOp::kXorl2;
+          case BinOp::kAnd: return VOp::kBicl2;
+          default: return std::nullopt;
+        }
+    }
+
+    /** Compute an expression into an operand. */
+    Val
+    value(const Expr& e)
+    {
+        if (const auto c = constEval(e))
+            return {VOperand::imm(*c), false};
+
+        switch (e.kind) {
+          case ExprKind::kVar: {
+            std::vector<Val> scratch;
+            return {lvalue(e, scratch), false};
+          }
+          case ExprKind::kIndex: {
+            // Load through a temp so the index register can retire.
+            std::vector<Val> scratch;
+            const VOperand src = lvalue(e, scratch);
+            const int t = allocTemp(e.line);
+            emit({VOp::kMovl, VOperand::r(t), src, -1});
+            for (Val& s : scratch)
+                release(s.op, s.ownedTemp);
+            return {VOperand::r(t), true};
+          }
+          case ExprKind::kAssign:
+            return assign(e);
+          case ExprKind::kCall:
+            return call(e);
+          case ExprKind::kPreIncDec: {
+            std::vector<Val> scratch;
+            const VOperand dst = lvalue(*e.lhs, scratch);
+            emit({e.increment ? VOp::kIncl : VOp::kDecl, dst, {}, -1});
+            for (Val& s : scratch)
+                release(s.op, s.ownedTemp);
+            return {dst, false};
+          }
+          case ExprKind::kPostIncDec: {
+            std::vector<Val> scratch;
+            const VOperand dst = lvalue(*e.lhs, scratch);
+            const int t = allocTemp(e.line);
+            emit({VOp::kMovl, VOperand::r(t), dst, -1});
+            emit({e.increment ? VOp::kIncl : VOp::kDecl, dst, {}, -1});
+            for (Val& s : scratch)
+                release(s.op, s.ownedTemp);
+            return {VOperand::r(t), true};
+          }
+          case ExprKind::kUnary:
+            switch (e.unop) {
+              case UnOp::kNeg: {
+                Val v = value(*e.lhs);
+                const int t = allocTemp(e.line);
+                emit({VOp::kClrl, VOperand::r(t), {}, -1});
+                emit({VOp::kSubl2, VOperand::r(t), v.op, -1});
+                release(v.op, v.ownedTemp);
+                return {VOperand::r(t), true};
+              }
+              case UnOp::kBitNot: {
+                Val v = value(*e.lhs);
+                const int t = allocTemp(e.line);
+                emit({VOp::kMovl, VOperand::r(t), v.op, -1});
+                emit({VOp::kXorl2, VOperand::r(t), VOperand::imm(-1),
+                      -1});
+                release(v.op, v.ownedTemp);
+                return {VOperand::r(t), true};
+              }
+              case UnOp::kNot:
+                return boolValue(e);
+            }
+            break;
+          case ExprKind::kTernary: {
+            const int t = allocTemp(e.line);
+            const int els = newLabel();
+            const int end = newLabel();
+            condBranch(*e.lhs, els, false);
+            {
+                Val a = value(*e.rhs);
+                emit({VOp::kMovl, VOperand::r(t), a.op, -1});
+                release(a.op, a.ownedTemp);
+            }
+            branch(VOp::kJbr, end);
+            place(els);
+            {
+                Val b = value(*e.third);
+                emit({VOp::kMovl, VOperand::r(t), b.op, -1});
+                release(b.op, b.ownedTemp);
+            }
+            place(end);
+            return {VOperand::r(t), true};
+          }
+          case ExprKind::kBinary: {
+            if (e.binop >= BinOp::kEq && e.binop <= BinOp::kLOr)
+                return boolValue(e);
+            if (e.binop == BinOp::kRem) {
+                // a % b via div/mul/sub (VAX EDIV is not modeled).
+                Val a = value(*e.lhs);
+                Val b = value(*e.rhs);
+                const int q = allocTemp(e.line);
+                const int r = allocTemp(e.line);
+                emit({VOp::kMovl, VOperand::r(q), a.op, -1});
+                emit({VOp::kDivl2, VOperand::r(q), b.op, -1});
+                emit({VOp::kMull2, VOperand::r(q), b.op, -1});
+                emit({VOp::kMovl, VOperand::r(r), a.op, -1});
+                emit({VOp::kSubl2, VOperand::r(r), VOperand::r(q), -1});
+                release(a.op, a.ownedTemp);
+                release(b.op, b.ownedTemp);
+                freeTemps_.push_back(q);
+                return {VOperand::r(r), true};
+            }
+            if (e.binop == BinOp::kShl || e.binop == BinOp::kShr) {
+                Val a = value(*e.lhs);
+                Val b = value(*e.rhs);
+                const int t = allocTemp(e.line);
+                emit({VOp::kMovl, VOperand::r(t), a.op, -1});
+                if (b.op.kind == VOperand::Kind::kImm) {
+                    const std::int32_t n = e.binop == BinOp::kShl
+                                               ? b.op.value
+                                               : -b.op.value;
+                    emit({VOp::kAshl, VOperand::r(t), VOperand::imm(n),
+                          -1});
+                } else if (e.binop == BinOp::kShl) {
+                    emit({VOp::kAshl, VOperand::r(t), b.op, -1});
+                } else {
+                    const int n = allocTemp(e.line);
+                    emit({VOp::kClrl, VOperand::r(n), {}, -1});
+                    emit({VOp::kSubl2, VOperand::r(n), b.op, -1});
+                    emit({VOp::kAshl, VOperand::r(t), VOperand::r(n),
+                          -1});
+                    freeTemps_.push_back(n);
+                }
+                release(a.op, a.ownedTemp);
+                release(b.op, b.ownedTemp);
+                return {VOperand::r(t), true};
+            }
+            const auto vop = binVop(e.binop);
+            if (!vop)
+                err(e.line, "operator unsupported by the VAX backend");
+            Val a = value(*e.lhs);
+            Val b = value(*e.rhs);
+            const int t = allocTemp(e.line);
+            emit({VOp::kMovl, VOperand::r(t), a.op, -1});
+            emit({*vop, VOperand::r(t), b.op, -1});
+            release(a.op, a.ownedTemp);
+            release(b.op, b.ownedTemp);
+            return {VOperand::r(t), true};
+          }
+          default:
+            break;
+        }
+        err(e.line, "cannot generate VAX code for expression");
+    }
+
+    /** Expression statement: evaluate for side effects only. */
+    void
+    discard(const Expr& e)
+    {
+        if (e.kind == ExprKind::kPreIncDec ||
+            e.kind == ExprKind::kPostIncDec) {
+            // No old-value temp when the result is unused: bare incl.
+            std::vector<Val> scratch;
+            const VOperand dst = lvalue(*e.lhs, scratch);
+            emit({e.increment ? VOp::kIncl : VOp::kDecl, dst, {}, -1});
+            for (Val& s : scratch)
+                release(s.op, s.ownedTemp);
+            return;
+        }
+        Val v = value(e);
+        release(v.op, v.ownedTemp);
+    }
+
+    Val
+    assign(const Expr& e)
+    {
+        std::vector<Val> scratch;
+        if (e.binop != BinOp::kNone) {
+            Val rv = value(*e.rhs);
+            const VOperand dst = lvalue(*e.lhs, scratch);
+            if (e.binop == BinOp::kShl || e.binop == BinOp::kShr ||
+                e.binop == BinOp::kRem) {
+                // Rewrite as dst = dst OP rhs through the general path.
+                const int t = allocTemp(e.line);
+                emit({VOp::kMovl, VOperand::r(t), dst, -1});
+                if (e.binop == BinOp::kRem) {
+                    const int q = allocTemp(e.line);
+                    emit({VOp::kMovl, VOperand::r(q), VOperand::r(t),
+                          -1});
+                    emit({VOp::kDivl2, VOperand::r(q), rv.op, -1});
+                    emit({VOp::kMull2, VOperand::r(q), rv.op, -1});
+                    emit({VOp::kSubl2, VOperand::r(t), VOperand::r(q),
+                          -1});
+                    freeTemps_.push_back(q);
+                } else if (rv.op.kind == VOperand::Kind::kImm) {
+                    const std::int32_t n = e.binop == BinOp::kShl
+                                               ? rv.op.value
+                                               : -rv.op.value;
+                    emit({VOp::kAshl, VOperand::r(t), VOperand::imm(n),
+                          -1});
+                } else if (e.binop == BinOp::kShl) {
+                    emit({VOp::kAshl, VOperand::r(t), rv.op, -1});
+                } else {
+                    const int n = allocTemp(e.line);
+                    emit({VOp::kClrl, VOperand::r(n), {}, -1});
+                    emit({VOp::kSubl2, VOperand::r(n), rv.op, -1});
+                    emit({VOp::kAshl, VOperand::r(t), VOperand::r(n),
+                          -1});
+                    freeTemps_.push_back(n);
+                }
+                emit({VOp::kMovl, dst, VOperand::r(t), -1});
+                freeTemps_.push_back(t);
+            } else {
+                const auto vop = binVop(e.binop);
+                if (!vop)
+                    err(e.line, "compound operator unsupported");
+                if (e.binop == BinOp::kAdd &&
+                    rv.op.kind == VOperand::Kind::kImm &&
+                    rv.op.value == 1) {
+                    emit({VOp::kIncl, dst, {}, -1});
+                } else if (e.binop == BinOp::kSub &&
+                           rv.op.kind == VOperand::Kind::kImm &&
+                           rv.op.value == 1) {
+                    emit({VOp::kDecl, dst, {}, -1});
+                } else {
+                    emit({*vop, dst, rv.op, -1});
+                }
+            }
+            release(rv.op, rv.ownedTemp);
+            for (Val& s : scratch)
+                release(s.op, s.ownedTemp);
+            return {dst, false};
+        }
+
+        // Plain assignment; fuse `x = x OP y` and x = 0 -> clrl.
+        const Expr& rhs = *e.rhs;
+        if (const auto c = constEval(rhs); c && *c == 0) {
+            const VOperand dst = lvalue(*e.lhs, scratch);
+            emit({VOp::kClrl, dst, {}, -1});
+            for (Val& s : scratch)
+                release(s.op, s.ownedTemp);
+            return {dst, false};
+        }
+        if (rhs.kind == ExprKind::kBinary &&
+            e.lhs->kind == ExprKind::kVar &&
+            rhs.lhs->kind == ExprKind::kVar &&
+            rhs.lhs->name == e.lhs->name) {
+            if (const auto vop = binVop(rhs.binop)) {
+                Val rv = value(*rhs.rhs);
+                const VOperand dst = lvalue(*e.lhs, scratch);
+                if (rhs.binop == BinOp::kAdd &&
+                    rv.op.kind == VOperand::Kind::kImm &&
+                    rv.op.value == 1) {
+                    emit({VOp::kIncl, dst, {}, -1});
+                } else {
+                    emit({*vop, dst, rv.op, -1});
+                }
+                release(rv.op, rv.ownedTemp);
+                return {dst, false};
+            }
+        }
+        Val rv = value(rhs);
+        const VOperand dst = lvalue(*e.lhs, scratch);
+        emit({VOp::kMovl, dst, rv.op, -1});
+        release(rv.op, rv.ownedTemp);
+        for (Val& s : scratch)
+            release(s.op, s.ownedTemp);
+        return {dst, false};
+    }
+
+    Val
+    call(const Expr& e)
+    {
+        const auto it = arity_.find(e.name);
+        if (it == arity_.end())
+            err(e.line, "undefined function: " + e.name);
+        if (static_cast<int>(e.args.size()) != it->second)
+            err(e.line, "wrong argument count for " + e.name);
+
+        // VAX CALLS convention: arguments go through the stack
+        // (pushl), so evaluating them never clobbers caller registers;
+        // CALLS saves the register file and pops the arguments into
+        // the callee's r2.. frame.
+        for (const auto& a : e.args) {
+            Val v = value(*a);
+            emit({VOp::kPushl, v.op, {}, -1});
+            release(v.op, v.ownedTemp);
+        }
+        const int ci =
+            emit({VOp::kCalls, {},
+                  VOperand::imm(static_cast<std::int32_t>(
+                      e.args.size())),
+                  -1});
+        pendingCalls_.emplace_back(ci, e.name);
+        return {VOperand::r(0), false};
+    }
+
+    Val
+    boolValue(const Expr& e)
+    {
+        const int t = allocTemp(e.line);
+        const int end = newLabel();
+        emit({VOp::kMovl, VOperand::r(t), VOperand::imm(1), -1});
+        condBranch(e, end, true);
+        emit({VOp::kClrl, VOperand::r(t), {}, -1});
+        place(end);
+        return {VOperand::r(t), true};
+    }
+
+    /** Branch to @p label when truth(e) == branch_if_true. */
+    void
+    condBranch(const Expr& e, int label, bool branch_if_true)
+    {
+        if (const auto c = constEval(e)) {
+            if ((*c != 0) == branch_if_true)
+                branch(VOp::kJbr, label);
+            return;
+        }
+        if (e.kind == ExprKind::kUnary && e.unop == UnOp::kNot) {
+            condBranch(*e.lhs, label, !branch_if_true);
+            return;
+        }
+        if (e.kind == ExprKind::kBinary && e.binop == BinOp::kLAnd) {
+            if (branch_if_true) {
+                const int skip = newLabel();
+                condBranch(*e.lhs, skip, false);
+                condBranch(*e.rhs, label, true);
+                place(skip);
+            } else {
+                condBranch(*e.lhs, label, false);
+                condBranch(*e.rhs, label, false);
+            }
+            return;
+        }
+        if (e.kind == ExprKind::kBinary && e.binop == BinOp::kLOr) {
+            if (branch_if_true) {
+                condBranch(*e.lhs, label, true);
+                condBranch(*e.rhs, label, true);
+            } else {
+                const int skip = newLabel();
+                condBranch(*e.lhs, skip, true);
+                condBranch(*e.rhs, label, false);
+                place(skip);
+            }
+            return;
+        }
+        if (e.kind == ExprKind::kBinary && e.binop >= BinOp::kEq &&
+            e.binop <= BinOp::kGe) {
+            Val a = value(*e.lhs);
+            Val b = value(*e.rhs);
+            emit({VOp::kCmpl, a.op, b.op, -1});
+            release(a.op, a.ownedTemp);
+            release(b.op, b.ownedTemp);
+            VOp j = VOp::kJeql;
+            switch (e.binop) {
+              case BinOp::kEq: j = branch_if_true ? VOp::kJeql : VOp::kJneq; break;
+              case BinOp::kNe: j = branch_if_true ? VOp::kJneq : VOp::kJeql; break;
+              case BinOp::kLt: j = branch_if_true ? VOp::kJlss : VOp::kJgeq; break;
+              case BinOp::kGe: j = branch_if_true ? VOp::kJgeq : VOp::kJlss; break;
+              case BinOp::kLe: j = branch_if_true ? VOp::kJleq : VOp::kJgtr; break;
+              case BinOp::kGt: j = branch_if_true ? VOp::kJgtr : VOp::kJleq; break;
+              default: break;
+            }
+            branch(j, label);
+            return;
+        }
+        if (e.kind == ExprKind::kBinary && e.binop == BinOp::kAnd) {
+            // The paper's `if (i & 1)` idiom: bitl sets Z only.
+            Val a = value(*e.lhs);
+            Val b = value(*e.rhs);
+            emit({VOp::kBitl, a.op, b.op, -1});
+            release(a.op, a.ownedTemp);
+            release(b.op, b.ownedTemp);
+            branch(branch_if_true ? VOp::kJneq : VOp::kJeql, label);
+            return;
+        }
+        Val v = value(e);
+        emit({VOp::kTstl, v.op, {}, -1});
+        release(v.op, v.ownedTemp);
+        branch(branch_if_true ? VOp::kJneq : VOp::kJeql, label);
+    }
+
+    // Statements -------------------------------------------------------
+
+    struct Loop
+    {
+        int breakLabel;
+        int continueLabel; // -1 for switch frames
+    };
+
+    void
+    stmt(const Stmt& s)
+    {
+        switch (s.kind) {
+          case StmtKind::kEmpty:
+            return;
+          case StmtKind::kBlock: {
+            const auto saved = locals_;
+            for (const auto& sub : s.stmts)
+                stmt(*sub);
+            locals_ = saved;
+            return;
+          }
+          case StmtKind::kDecl: {
+            const int r = allocLocal(s.line);
+            locals_[s.name] = r;
+            if (s.init) {
+                Val v = value(*s.init);
+                if (v.op.kind == VOperand::Kind::kImm && v.op.value == 0)
+                    emit({VOp::kClrl, VOperand::r(r), {}, -1});
+                else
+                    emit({VOp::kMovl, VOperand::r(r), v.op, -1});
+                release(v.op, v.ownedTemp);
+            }
+            return;
+          }
+          case StmtKind::kExpr:
+            discard(*s.expr);
+            return;
+          case StmtKind::kIf: {
+            const int els = newLabel();
+            condBranch(*s.cond, els, false);
+            stmt(*s.body);
+            if (s.elseBody) {
+                const int end = newLabel();
+                branch(VOp::kJbr, end);
+                place(els);
+                stmt(*s.elseBody);
+                place(end);
+            } else {
+                place(els);
+            }
+            return;
+          }
+          case StmtKind::kWhile:
+            loop(nullptr, nullptr, s.cond.get(), nullptr, *s.body);
+            return;
+          case StmtKind::kFor:
+            loop(s.initStmt.get(), s.init.get(), s.cond.get(),
+                 s.step.get(), *s.body);
+            return;
+          case StmtKind::kDoWhile: {
+            const int top = newLabel();
+            const int cont = newLabel();
+            const int brk = newLabel();
+            loops_.push_back({brk, cont});
+            place(top);
+            stmt(*s.body);
+            place(cont);
+            condBranch(*s.cond, top, true);
+            place(brk);
+            loops_.pop_back();
+            return;
+          }
+          case StmtKind::kSwitch: {
+            // Compare-chain lowering (no VAX CASEL model).
+            const int end = newLabel();
+            Val v = value(*s.expr);
+            VOperand sel = v.op;
+            if (sel.kind != VOperand::Kind::kReg) {
+                const int t = allocTemp(s.line);
+                emit({VOp::kMovl, VOperand::r(t), sel, -1});
+                release(v.op, v.ownedTemp);
+                sel = VOperand::r(t);
+                v = {sel, true};
+            }
+            std::map<std::size_t, int> markers;
+            int default_label = -1;
+            for (std::size_t i = 0; i < s.stmts.size(); ++i) {
+                if (s.stmts[i]->kind != StmtKind::kCaseLabel)
+                    continue;
+                const int l = newLabel();
+                markers[i] = l;
+                if (s.stmts[i]->expr) {
+                    emit({VOp::kCmpl, sel,
+                          VOperand::imm(s.stmts[i]->expr->number), -1});
+                    branch(VOp::kJeql, l);
+                } else {
+                    default_label = l;
+                }
+            }
+            release(v.op, v.ownedTemp);
+            branch(VOp::kJbr,
+                   default_label >= 0 ? default_label : end);
+            loops_.push_back({end, -1});
+            for (std::size_t i = 0; i < s.stmts.size(); ++i) {
+                const auto m = markers.find(i);
+                if (m != markers.end())
+                    place(m->second);
+                else if (s.stmts[i]->kind != StmtKind::kCaseLabel)
+                    stmt(*s.stmts[i]);
+            }
+            loops_.pop_back();
+            place(end);
+            return;
+          }
+          case StmtKind::kCaseLabel:
+            err(s.line, "case label outside switch");
+          case StmtKind::kReturn: {
+            if (s.expr) {
+                Val v = value(*s.expr);
+                emit({VOp::kMovl, VOperand::r(0), v.op, -1});
+                release(v.op, v.ownedTemp);
+            }
+            emit({VOp::kRet, {}, {}, -1});
+            return;
+          }
+          case StmtKind::kBreak:
+            if (loops_.empty())
+                err(s.line, "break outside loop");
+            branch(VOp::kJbr, loops_.back().breakLabel);
+            return;
+          case StmtKind::kContinue: {
+            for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+                if (it->continueLabel != -1) {
+                    branch(VOp::kJbr, it->continueLabel);
+                    return;
+                }
+            }
+            err(s.line, "continue outside loop");
+          }
+        }
+    }
+
+    /** TOP-tested loop, VAX-compiler style. */
+    void
+    loop(const Stmt* init_stmt, const Expr* init_expr, const Expr* cond,
+         const Expr* step, const Stmt& body)
+    {
+        const auto saved = locals_;
+        if (init_stmt != nullptr) {
+            for (const auto& d : init_stmt->stmts)
+                stmt(*d);
+        } else if (init_expr != nullptr) {
+            discard(*init_expr);
+        }
+
+        const int test = newLabel();
+        const int cont = newLabel();
+        const int brk = newLabel();
+        loops_.push_back({brk, cont});
+        place(test);
+        if (cond != nullptr)
+            condBranch(*cond, brk, false);
+        stmt(body);
+        place(cont);
+        if (step != nullptr)
+            discard(*step);
+        branch(VOp::kJbr, test);
+        place(brk);
+        loops_.pop_back();
+        locals_ = saved;
+    }
+
+    void
+    genFunction(const FuncDecl& f)
+    {
+        locals_.clear();
+        freeTemps_.clear();
+        nextLocal_ = 2;
+        nextTemp_ = 11;
+        for (const std::string& p : f.params)
+            locals_[p] = allocLocal(f.line);
+        stmt(*f.body);
+        emit({VOp::kRet, {}, {}, -1}); // fall-off-the-end return
+    }
+
+    const cc::TranslationUnit& tu_;
+    VaxProgram prog_;
+    std::map<std::string, std::pair<std::int32_t, std::int32_t>>
+        globalIndex_; // name -> (word index, array size)
+    std::map<std::string, int> arity_;
+    std::map<std::string, int> funcEntry_;
+    std::vector<std::pair<int, std::string>> pendingCalls_;
+    std::vector<int> labelPos_;
+    std::map<std::string, int> locals_;
+    std::vector<int> freeTemps_;
+    std::vector<Loop> loops_;
+    int nextLocal_ = 2;
+    int nextTemp_ = 11;
+};
+
+} // namespace
+
+VaxProgram
+compileForVax(const std::string& source)
+{
+    const cc::TranslationUnit tu = cc::parse(source);
+    return VaxGen(tu).run();
+}
+
+} // namespace crisp::vax

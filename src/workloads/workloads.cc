@@ -1,0 +1,864 @@
+/**
+ * @file
+ * Workload sources and golden mirrors.
+ *
+ * Every workload is deterministic: inputs are produced by an in-program
+ * LCG, and a C++ mirror of each program computes the expected results
+ * the simulators must reproduce (wraparound semantics match the ISA's
+ * evalAlu: 32-bit two's-complement arithmetic, logical right shift).
+ */
+
+#include "workloads.hh"
+
+#include <cstdint>
+
+namespace crisp
+{
+
+namespace
+{
+
+using U = std::uint32_t;
+using I = std::int32_t;
+
+/** The LCG every workload uses. */
+I
+lcg(I& seed)
+{
+    seed = static_cast<I>(static_cast<U>(seed) * 1103515245u + 12345u);
+    return seed;
+}
+
+/** Logical right shift, as the ISA defines '>>'. */
+I
+shr(I x, int n)
+{
+    return static_cast<I>(static_cast<U>(x) >> n);
+}
+
+// ---------------------------------------------------------------- fig3
+
+const char* kFig3Template = R"(
+/* The paper's Figure 3 evaluation program. */
+int main()
+{
+    int i, j, odd, even, sum;
+    j = odd = even = 0;
+    sum = 0;
+    for (i = 0; i < LOOPS; i++) {
+        sum = sum + i;
+        if (i & 1)
+            odd++;
+        else
+            even++;
+        j = sum;
+    }
+    return j;
+}
+)";
+
+// --------------------------------------------------------------- troff
+
+const char* kTroff = R"(
+/* troff proxy: line/word scanner over LCG-generated text. */
+int seed;
+int nlines, nwords, nchars, maxline;
+
+int nextc()
+{
+    seed = seed * 1103515245 + 12345;
+    int r = (seed >> 16) & 127;
+    if (r < 6)
+        return 10;
+    if (r < 24)
+        return 32;
+    return 97 + (r % 26);
+}
+
+int main()
+{
+    int i, c, inword, linelen;
+    seed = 42;
+    nlines = 0; nwords = 0; nchars = 0; maxline = 0;
+    inword = 0;
+    linelen = 0;
+    for (i = 0; i < 20000; i++) {
+        c = nextc();
+        nchars++;
+        if (c == 10) {
+            nlines++;
+            if (linelen > maxline)
+                maxline = linelen;
+            linelen = 0;
+            inword = 0;
+        } else {
+            linelen++;
+            if (c == 32) {
+                inword = 0;
+            } else if (!inword) {
+                inword = 1;
+                nwords++;
+            }
+        }
+    }
+    return nwords;
+}
+)";
+
+void
+troffMirror(Workload& w)
+{
+    I seed = 42;
+    I nlines = 0, nwords = 0, nchars = 0, maxline = 0;
+    I inword = 0, linelen = 0;
+    auto nextc = [&]() -> I {
+        I r = shr(lcg(seed), 16) & 127;
+        if (r < 6)
+            return 10;
+        if (r < 24)
+            return 32;
+        return 97 + (r % 26);
+    };
+    for (I i = 0; i < 20000; ++i) {
+        const I c = nextc();
+        ++nchars;
+        if (c == 10) {
+            ++nlines;
+            if (linelen > maxline)
+                maxline = linelen;
+            linelen = 0;
+            inword = 0;
+        } else {
+            ++linelen;
+            if (c == 32) {
+                inword = 0;
+            } else if (!inword) {
+                inword = 1;
+                ++nwords;
+            }
+        }
+    }
+    w.expectedGlobals = {{"nlines", nlines},
+                         {"nwords", nwords},
+                         {"nchars", nchars},
+                         {"maxline", maxline}};
+    w.checkAccum = true;
+    w.expectedAccum = nwords;
+}
+
+// --------------------------------------------------------------- ccomp
+
+const char* kCcomp = R"(
+/* C-compiler proxy: symbol-table driven token processing with long
+ * behaviour phases (dynamic predictors should edge out static here). */
+int seed;
+int symtab[64];
+int symcount, lookups, inserts, emitted;
+
+int lookup(int key)
+{
+    int i;
+    for (i = 0; i < symcount; i++) {
+        if (symtab[i] == key)
+            return i;
+    }
+    return -1;
+}
+
+int main()
+{
+    int t, k, idx, phase, mask;
+    seed = 7;
+    symcount = 0; lookups = 0; inserts = 0; emitted = 0;
+    for (t = 0; t < 6000; t++) {
+        seed = seed * 1103515245 + 12345;
+        phase = (t >> 9) & 1;
+        if (phase)
+            mask = 15;
+        else
+            mask = 63;
+        k = (seed >> 16) & mask;
+        if ((t & 3) == 0) {
+            idx = lookup(k);
+            lookups++;
+        } else {
+            idx = -1;
+        }
+        if (idx < 0) {
+            if (symcount < 64) {
+                symtab[symcount] = k;
+                symcount++;
+                inserts++;
+            }
+        } else {
+            emitted = emitted + idx;
+        }
+        if (phase) {
+            if (k & 1)
+                emitted++;
+        } else {
+            if (k & 3)
+                emitted--;
+        }
+        if ((seed >> 17) & 1)
+            emitted = emitted + 2;
+        else
+            emitted = emitted - 1;
+        if ((seed >> 21) & 1)
+            lookups = lookups + 1;
+        if (t & 512)
+            inserts = inserts + 0;
+        else
+            emitted = emitted ^ 1;
+        if (((t >> 7) & 1) == 0)
+            emitted = emitted + 3;
+    }
+    return emitted;
+}
+)";
+
+void
+ccompMirror(Workload& w)
+{
+    I seed = 7;
+    I symtab[64];
+    I symcount = 0, lookups = 0, inserts = 0, emitted = 0;
+    auto lookup = [&](I key) -> I {
+        for (I i = 0; i < symcount; ++i) {
+            if (symtab[i] == key)
+                return i;
+        }
+        return -1;
+    };
+    for (I t = 0; t < 6000; ++t) {
+        lcg(seed);
+        const I phase = shr(t, 9) & 1;
+        const I mask = phase ? 15 : 63;
+        const I k = shr(seed, 16) & mask;
+        I idx = -1;
+        if ((t & 3) == 0) {
+            idx = lookup(k);
+            ++lookups;
+        }
+        if (idx < 0) {
+            if (symcount < 64) {
+                symtab[symcount] = k;
+                ++symcount;
+                ++inserts;
+            }
+        } else {
+            emitted = emitted + idx;
+        }
+        if (phase) {
+            if (k & 1)
+                ++emitted;
+        } else {
+            if (k & 3)
+                --emitted;
+        }
+        if (shr(seed, 17) & 1)
+            emitted = emitted + 2;
+        else
+            emitted = emitted - 1;
+        if (shr(seed, 21) & 1)
+            lookups = lookups + 1;
+        if (t & 512)
+            inserts = inserts + 0;
+        else
+            emitted = emitted ^ 1;
+        if ((shr(t, 7) & 1) == 0)
+            emitted = emitted + 3;
+    }
+    w.expectedGlobals = {{"symcount", symcount},
+                         {"lookups", lookups},
+                         {"inserts", inserts},
+                         {"emitted", emitted}};
+    w.checkAccum = true;
+    w.expectedAccum = emitted;
+}
+
+// ----------------------------------------------------------------- drc
+
+const char* kDrc = R"(
+/* VLSI design-rule-check proxy: pairwise rectangle overlap tests. */
+int xlo[200];
+int xhi[200];
+int ylo[200];
+int yhi[200];
+int violations, checks, seed;
+
+int main()
+{
+    int i, j, n, r;
+    seed = 12345;
+    n = 200;
+    violations = 0;
+    checks = 0;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        r = (seed >> 16) & 32767;
+        xlo[i] = r % 1000;
+        seed = seed * 1103515245 + 12345;
+        r = (seed >> 16) & 32767;
+        xhi[i] = xlo[i] + 1 + (r % 20);
+        seed = seed * 1103515245 + 12345;
+        r = (seed >> 16) & 32767;
+        ylo[i] = r % 1000;
+        seed = seed * 1103515245 + 12345;
+        r = (seed >> 16) & 32767;
+        yhi[i] = ylo[i] + 1 + (r % 20);
+    }
+    for (i = 1; i < n; i++) {
+        for (j = 0; j < i; j++) {
+            checks++;
+            if (xlo[i] < xhi[j] && xlo[j] < xhi[i] &&
+                ylo[i] < yhi[j] && ylo[j] < yhi[i]) {
+                violations++;
+            }
+        }
+    }
+    return violations;
+}
+)";
+
+void
+drcMirror(Workload& w)
+{
+    I seed = 12345;
+    const I n = 200;
+    I xlo[200], xhi[200], ylo[200], yhi[200];
+    I violations = 0, checks = 0;
+    for (I i = 0; i < n; ++i) {
+        I r = shr(lcg(seed), 16) & 32767;
+        xlo[i] = r % 1000;
+        r = shr(lcg(seed), 16) & 32767;
+        xhi[i] = xlo[i] + 1 + (r % 20);
+        r = shr(lcg(seed), 16) & 32767;
+        ylo[i] = r % 1000;
+        r = shr(lcg(seed), 16) & 32767;
+        yhi[i] = ylo[i] + 1 + (r % 20);
+    }
+    for (I i = 1; i < n; ++i) {
+        for (I j = 0; j < i; ++j) {
+            ++checks;
+            if (xlo[i] < xhi[j] && xlo[j] < xhi[i] && ylo[i] < yhi[j] &&
+                ylo[j] < yhi[i]) {
+                ++violations;
+            }
+        }
+    }
+    w.expectedGlobals = {{"violations", violations}, {"checks", checks}};
+    w.checkAccum = true;
+    w.expectedAccum = violations;
+}
+
+// ---------------------------------------------------------------- dhry
+
+const char* kDhry = R"(
+/* Dhrystone proxy: array shuffles, call chains, a predictable ladder
+ * and one strictly alternating condition (the Table 1 signature where
+ * static prediction beats one-bit dynamic history). */
+int arr1[50];
+int arr2[50];
+int total;
+
+int intcomp(int a, int b)
+{
+    if (a > b)
+        return a - b;
+    return b - a;
+}
+
+int func2(int x)
+{
+    if (x & 1)
+        return x * 3 + 1;
+    return x / 2;
+}
+
+int main()
+{
+    int run, i, x, y;
+    total = 0;
+    for (run = 0; run < 300; run++) {
+        for (i = 0; i < 50; i++)
+            arr1[i] = i + run;
+        for (i = 0; i < 50; i++)
+            arr2[i] = arr1[i] * 2;
+        x = 0;
+        y = 0;
+        for (i = 0; i < 50; i++) {
+            if (arr2[i] > arr1[i])
+                x = x + intcomp(arr1[i], arr2[i]);
+            if (i & 1)
+                y = func2(i);
+            else
+                y = func2(i + run);
+            if ((i >> 1) & 1)
+                total++;
+            total = total + (x & 7) - (y & 3);
+        }
+    }
+    return total & 65535;
+}
+)";
+
+void
+dhryMirror(Workload& w)
+{
+    I arr1[50], arr2[50];
+    I total = 0;
+    auto intcomp = [](I a, I b) { return a > b ? a - b : b - a; };
+    auto func2 = [](I x) { return (x & 1) ? x * 3 + 1 : x / 2; };
+    for (I run = 0; run < 300; ++run) {
+        for (I i = 0; i < 50; ++i)
+            arr1[i] = i + run;
+        for (I i = 0; i < 50; ++i)
+            arr2[i] = arr1[i] * 2;
+        I x = 0;
+        I y = 0;
+        for (I i = 0; i < 50; ++i) {
+            if (arr2[i] > arr1[i])
+                x = x + intcomp(arr1[i], arr2[i]);
+            if (i & 1)
+                y = func2(i);
+            else
+                y = func2(i + run);
+            if ((i >> 1) & 1)
+                ++total;
+            total = total + (x & 7) - (y & 3);
+        }
+    }
+    w.expectedGlobals = {{"total", total}};
+    w.checkAccum = true;
+    w.expectedAccum = total & 65535;
+}
+
+// --------------------------------------------------------------- cwhet
+
+const char* kCwhet = R"(
+/* Whetstone proxy (integer): arithmetic kernels in nested loops with
+ * alternating and every-third-iteration conditions. */
+int acc;
+
+int main()
+{
+    int i, j, t, x;
+    acc = 0;
+    for (i = 1; i <= 3000; i++) {
+        x = i & 1023;
+        t = ((x * x) & 4095) - x;
+        if (i % 3 == 0)
+            acc += t;
+        else
+            acc -= t >> 1;
+        if (i & 1)
+            acc ^= x;
+        for (j = 0; j < 8; j++)
+            t = (t * 3 + 7) & 8191;
+        acc += t & 15;
+    }
+    return acc & 1048575;
+}
+)";
+
+void
+cwhetMirror(Workload& w)
+{
+    I acc = 0;
+    for (I i = 1; i <= 3000; ++i) {
+        const I x = i & 1023;
+        I t = ((x * x) & 4095) - x;
+        if (i % 3 == 0)
+            acc = static_cast<I>(static_cast<U>(acc) +
+                                 static_cast<U>(t));
+        else
+            acc = static_cast<I>(static_cast<U>(acc) -
+                                 static_cast<U>(shr(t, 1)));
+        if (i & 1)
+            acc ^= x;
+        for (I j = 0; j < 8; ++j)
+            t = (t * 3 + 7) & 8191;
+        acc = static_cast<I>(static_cast<U>(acc) +
+                             static_cast<U>(t & 15));
+    }
+    w.expectedGlobals = {{"acc", acc}};
+    w.checkAccum = true;
+    w.expectedAccum = acc & 1048575;
+}
+
+// -------------------------------------------------------------- puzzle
+
+const char* kPuzzle = R"(
+/* Puzzle proxy: N-queens exhaustive backtracking search. */
+int colfree[16];
+int diag1[32];
+int diag2[32];
+int solutions, nodes, n;
+
+int place(int row)
+{
+    int c;
+    if (row == n) {
+        solutions++;
+        return 0;
+    }
+    for (c = 0; c < n; c++) {
+        if (colfree[c] == 0 && diag1[row + c] == 0 &&
+            diag2[row - c + n] == 0) {
+            colfree[c] = 1;
+            diag1[row + c] = 1;
+            diag2[row - c + n] = 1;
+            nodes++;
+            place(row + 1);
+            colfree[c] = 0;
+            diag1[row + c] = 0;
+            diag2[row - c + n] = 0;
+        }
+    }
+    return 0;
+}
+
+int main()
+{
+    n = 8;
+    solutions = 0;
+    nodes = 0;
+    place(0);
+    return solutions;
+}
+)";
+
+void
+puzzleMirror(Workload& w)
+{
+    I colfree[16] = {};
+    I diag1[32] = {};
+    I diag2[32] = {};
+    I solutions = 0, nodes = 0;
+    const I n = 8;
+    auto place = [&](auto&& self, I row) -> void {
+        if (row == n) {
+            ++solutions;
+            return;
+        }
+        for (I c = 0; c < n; ++c) {
+            if (colfree[c] == 0 && diag1[row + c] == 0 &&
+                diag2[row - c + n] == 0) {
+                colfree[c] = 1;
+                diag1[row + c] = 1;
+                diag2[row - c + n] = 1;
+                ++nodes;
+                self(self, row + 1);
+                colfree[c] = 0;
+                diag1[row + c] = 0;
+                diag2[row - c + n] = 0;
+            }
+        }
+    };
+    place(place, 0);
+    w.expectedGlobals = {{"solutions", solutions}, {"nodes", nodes}};
+    w.checkAccum = true;
+    w.expectedAccum = solutions;
+}
+
+
+// --------------------------------------------------------------- sieve
+
+const char* kSieve = R"(
+/* Sieve of Eratosthenes: the classic mid-80s benchmark. */
+int flags[4000];
+int nprimes, lastprime;
+
+int main()
+{
+    int i, k, n;
+    n = 4000;
+    nprimes = 0;
+    lastprime = 0;
+    for (i = 2; i < n; i++)
+        flags[i] = 1;
+    for (i = 2; i < n; i++) {
+        if (flags[i]) {
+            nprimes++;
+            lastprime = i;
+            for (k = i + i; k < n; k += i)
+                flags[k] = 0;
+        }
+    }
+    return nprimes;
+}
+)";
+
+void
+sieveMirror(Workload& w)
+{
+    static I flags[4000];
+    const I n = 4000;
+    I nprimes = 0, lastprime = 0;
+    for (I i = 2; i < n; ++i)
+        flags[i] = 1;
+    for (I i = 2; i < n; ++i) {
+        if (flags[i]) {
+            ++nprimes;
+            lastprime = i;
+            for (I k = i + i; k < n; k += i)
+                flags[k] = 0;
+        }
+    }
+    w.expectedGlobals = {{"nprimes", nprimes}, {"lastprime", lastprime}};
+    w.checkAccum = true;
+    w.expectedAccum = nprimes;
+}
+
+// ---------------------------------------------------------------- sort
+
+const char* kSort = R"(
+/* Bubble sort over LCG data with a verification checksum. */
+int data[150];
+int swaps, checksum, seed;
+
+int main()
+{
+    int i, j, t, n;
+    n = 150;
+    seed = 99;
+    swaps = 0;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        data[i] = (seed >> 16) & 1023;
+    }
+    for (i = 0; i < n - 1; i++) {
+        for (j = 0; j < n - 1 - i; j++) {
+            if (data[j] > data[j + 1]) {
+                t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+                swaps++;
+            }
+        }
+    }
+    checksum = 0;
+    for (i = 0; i < n; i++)
+        checksum = (checksum * 31 + data[i]) & 1048575;
+    return checksum;
+}
+)";
+
+void
+sortMirror(Workload& w)
+{
+    I data[150];
+    const I n = 150;
+    I seed = 99;
+    I swaps = 0;
+    for (I i = 0; i < n; ++i)
+        data[i] = shr(lcg(seed), 16) & 1023;
+    for (I i = 0; i < n - 1; ++i) {
+        for (I j = 0; j < n - 1 - i; ++j) {
+            if (data[j] > data[j + 1]) {
+                const I t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+                ++swaps;
+            }
+        }
+    }
+    I checksum = 0;
+    for (I i = 0; i < n; ++i) {
+        checksum = static_cast<I>(
+            (static_cast<U>(checksum) * 31u + static_cast<U>(data[i])) &
+            1048575u);
+    }
+    w.expectedGlobals = {{"swaps", swaps}, {"checksum", checksum}};
+    w.checkAccum = true;
+    w.expectedAccum = checksum;
+}
+
+// -------------------------------------------------------------- matmul
+
+const char* kMatmul = R"(
+/* 12x12 integer matrix multiply. */
+int ma[144];
+int mb[144];
+int mc[144];
+int trace, seed;
+
+int main()
+{
+    int i, j, k, acc, n;
+    n = 12;
+    seed = 5;
+    for (i = 0; i < n * n; i++) {
+        seed = seed * 1103515245 + 12345;
+        ma[i] = (seed >> 16) & 63;
+        seed = seed * 1103515245 + 12345;
+        mb[i] = (seed >> 16) & 63;
+    }
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            acc = 0;
+            for (k = 0; k < n; k++)
+                acc += ma[i * n + k] * mb[k * n + j];
+            mc[i * n + j] = acc;
+        }
+    }
+    trace = 0;
+    for (i = 0; i < n; i++)
+        trace += mc[i * n + i];
+    return trace;
+}
+)";
+
+void
+matmulMirror(Workload& w)
+{
+    I ma[144], mb[144], mc[144];
+    const I n = 12;
+    I seed = 5;
+    for (I i = 0; i < n * n; ++i) {
+        ma[i] = shr(lcg(seed), 16) & 63;
+        mb[i] = shr(lcg(seed), 16) & 63;
+    }
+    for (I i = 0; i < n; ++i) {
+        for (I j = 0; j < n; ++j) {
+            I acc = 0;
+            for (I k = 0; k < n; ++k)
+                acc += ma[i * n + k] * mb[k * n + j];
+            mc[i * n + j] = acc;
+        }
+    }
+    I trace = 0;
+    for (I i = 0; i < n; ++i)
+        trace += mc[i * n + i];
+    w.expectedGlobals = {{"trace", trace}};
+    w.checkAccum = true;
+    w.expectedAccum = trace;
+}
+
+} // namespace
+
+std::string
+fig3Source(int loops)
+{
+    std::string src = kFig3Template;
+    const std::string key = "LOOPS";
+    const auto at = src.find(key);
+    src.replace(at, key.size(), std::to_string(loops));
+    return src;
+}
+
+Word
+fig3Expected(int loops)
+{
+    U sum = 0;
+    for (I i = 0; i < loops; ++i)
+        sum += static_cast<U>(i);
+    return static_cast<Word>(sum);
+}
+
+const std::vector<Workload>&
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = [] {
+        std::vector<Workload> ws;
+
+        {
+            Workload w;
+            w.name = "fig3";
+            w.description = "the paper's Figure 3 loop (1024 iterations)";
+            w.source = fig3Source(1024);
+            w.checkAccum = true;
+            w.expectedAccum = fig3Expected(1024);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "troff";
+            w.description = "text-processor proxy (skewed branches)";
+            w.source = kTroff;
+            troffMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "ccomp";
+            w.description = "C-compiler proxy (phased, irregular "
+                            "branches)";
+            w.source = kCcomp;
+            ccompMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "drc";
+            w.description = "VLSI design-rule-check proxy (skewed "
+                            "comparisons)";
+            w.source = kDrc;
+            drcMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "dhry";
+            w.description = "Dhrystone proxy (alternating condition)";
+            w.source = kDhry;
+            dhryMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "cwhet";
+            w.description = "integer Whetstone proxy";
+            w.source = kCwhet;
+            cwhetMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "sieve";
+            w.description = "sieve of Eratosthenes (4000)";
+            w.source = kSieve;
+            sieveMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "sort";
+            w.description = "bubble sort, 150 LCG elements";
+            w.source = kSort;
+            sortMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "matmul";
+            w.description = "12x12 integer matrix multiply";
+            w.source = kMatmul;
+            matmulMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "puzzle";
+            w.description = "Puzzle proxy: 8-queens backtracking";
+            w.source = kPuzzle;
+            puzzleMirror(w);
+            ws.push_back(std::move(w));
+        }
+        return ws;
+    }();
+    return workloads;
+}
+
+const Workload&
+workload(const std::string& name)
+{
+    for (const Workload& w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    throw CrispError("unknown workload: " + name);
+}
+
+} // namespace crisp

@@ -1,0 +1,12 @@
+; Fixture: count to 8 (expected exit value 8).
+    .entry start
+    .local i 0
+start:
+    enter 1
+    mov i, 0
+loop:
+    add i, 1
+    cmp.s< i, 8
+    iftjmpy loop
+    mov Accum, i
+    halt

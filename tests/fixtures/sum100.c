@@ -1,0 +1,8 @@
+/* Fixture: sum of 1..100 (expected exit value 5050). */
+int main()
+{
+    int s = 0;
+    for (int i = 1; i <= 100; i++)
+        s += i;
+    return s;
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Random CRISP-C generator.
+ */
+
+#include "random_program.hh"
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace crisp::testing
+{
+
+namespace
+{
+
+class Gen
+{
+  public:
+    explicit Gen(std::uint32_t seed) : rng_(seed) {}
+
+    std::string
+    run()
+    {
+        const int nglobals = pick(2, 5);
+        for (int i = 0; i < nglobals; ++i) {
+            globals_.push_back("g" + std::to_string(i));
+            os_ << "int g" << i << " = " << pick(-5, 20) << ";\n";
+        }
+        os_ << "int arr[16];\n";
+
+        const int nfuncs = pick(0, 2);
+        for (int f = 0; f < nfuncs; ++f)
+            emitHelper(f);
+
+        emitMain();
+        return os_.str();
+    }
+
+  private:
+    int
+    pick(int lo, int hi)
+    {
+        return std::uniform_int_distribution<int>(lo, hi)(rng_);
+    }
+
+    bool chance(int pct) { return pick(1, 100) <= pct; }
+
+    /** A random readable scalar in the current scope. */
+    std::string
+    scalar()
+    {
+        std::vector<std::string> pool = globals_;
+        pool.insert(pool.end(), locals_.begin(), locals_.end());
+        pool.insert(pool.end(), loopVars_.begin(), loopVars_.end());
+        if (pool.empty())
+            return std::to_string(pick(0, 9));
+        return pool[static_cast<std::size_t>(
+            pick(0, static_cast<int>(pool.size()) - 1))];
+    }
+
+    /** A random writable scalar (loop variables excluded). */
+    std::string
+    lvalue()
+    {
+        std::vector<std::string> pool = globals_;
+        pool.insert(pool.end(), locals_.begin(), locals_.end());
+        return pool[static_cast<std::size_t>(
+            pick(0, static_cast<int>(pool.size()) - 1))];
+    }
+
+    std::string
+    expr(int depth)
+    {
+        if (depth <= 0 || chance(30)) {
+            if (chance(40))
+                return std::to_string(pick(-9, 30));
+            if (chance(15))
+                return "arr[(" + scalar() + ") & 15]";
+            return scalar();
+        }
+        const int kind = pick(0, 11);
+        const std::string a = expr(depth - 1);
+        const std::string b = expr(depth - 1);
+        switch (kind) {
+          case 0: return "(" + a + " + " + b + ")";
+          case 1: return "(" + a + " - " + b + ")";
+          case 2: return "(" + a + " * " + b + ")";
+          case 3: return "(" + a + " & " + b + ")";
+          case 4: return "(" + a + " | " + b + ")";
+          case 5: return "(" + a + " ^ " + b + ")";
+          case 6: return "(" + a + " >> (" + b + " & 7))";
+          case 7: return "(" + a + " << (" + b + " & 7))";
+          case 8: return "(" + a + " / (" + b + " | 1))";
+          case 9: return "(" + a + " % 13)";
+          case 10:
+            if (chance(50)) {
+                return "((" + cond(0) + ") ? (" + a + ") : (" + b +
+                       "))";
+            }
+            return "(- " + a + ")"; // space: avoid "--"
+          default:
+            if (!funcs_.empty() && chance(50) && !inHelper_) {
+                const auto& f = funcs_[static_cast<std::size_t>(
+                    pick(0, static_cast<int>(funcs_.size()) - 1))];
+                return f + "(" + a + ", " + b + ")";
+            }
+            return "(" + a + " + 1)";
+        }
+    }
+
+    std::string
+    cond(int depth)
+    {
+        const int kind = pick(0, 6);
+        switch (kind) {
+          case 0: return expr(depth) + " < " + expr(depth);
+          case 1: return expr(depth) + " == " + expr(depth);
+          case 2: return expr(depth) + " >= " + expr(depth);
+          case 3: return "(" + cond(0) + ") && (" + cond(0) + ")";
+          case 4: return "(" + cond(0) + ") || (" + cond(0) + ")";
+          case 5: return "!(" + cond(0) + ")";
+          default: return expr(depth);
+        }
+    }
+
+    void
+    statement(int indent, int depth)
+    {
+        const std::string pad(static_cast<std::size_t>(indent) * 4, ' ');
+        const int kind = pick(0, 9);
+        if (kind <= 3) {
+            // Assignment (plain or compound).
+            const char* ops[] = {"=", "+=", "-=", "^=", "&=", "|="};
+            if (chance(25)) {
+                os_ << pad << "arr[(" << expr(1) << ") & 15] "
+                    << ops[pick(0, 5)] << " " << expr(depth) << ";\n";
+            } else {
+                os_ << pad << lvalue() << " " << ops[pick(0, 5)] << " "
+                    << expr(depth) << ";\n";
+            }
+        } else if (kind <= 5 && depth > 0) {
+            os_ << pad << "if (" << cond(1) << ") {\n";
+            statement(indent + 1, depth - 1);
+            if (chance(60)) {
+                os_ << pad << "} else {\n";
+                statement(indent + 1, depth - 1);
+            }
+            os_ << pad << "}\n";
+        } else if (kind <= 7 && depth > 0 && loopDepth_ < 2) {
+            const std::string v = "i" + std::to_string(loopVarSeq_++);
+            loopVars_.push_back(v);
+            ++loopDepth_;
+            os_ << pad << "for (int " << v << " = 0; " << v << " < "
+                << pick(1, 12) << "; " << v << "++) {\n";
+            statement(indent + 1, depth - 1);
+            if (chance(40))
+                statement(indent + 1, depth - 1);
+            os_ << pad << "}\n";
+            --loopDepth_;
+            loopVars_.pop_back();
+        } else if (kind == 8 && depth > 0) {
+            // switch over a bounded selector with fall-through cases.
+            const int ncases = pick(2, 5);
+            os_ << pad << "switch ((" << expr(1) << ") & 7) {\n";
+            for (int c = 0; c < ncases; ++c) {
+                os_ << pad << "case " << c << ":\n";
+                statement(indent + 1, 0);
+                if (chance(70))
+                    os_ << pad << "    break;\n";
+            }
+            if (chance(70)) {
+                os_ << pad << "default:\n";
+                statement(indent + 1, 0);
+            }
+            os_ << pad << "}\n";
+        } else if (kind == 8) {
+            os_ << pad << lvalue() << "++;\n";
+        } else {
+            os_ << pad << lvalue() << " = " << expr(depth) << ";\n";
+        }
+    }
+
+    void
+    emitHelper(int idx)
+    {
+        const std::string name = "f" + std::to_string(idx);
+        inHelper_ = true;
+        locals_ = {"a", "b"};
+        loopVars_.clear();
+        os_ << "int " << name << "(int a, int b)\n{\n";
+        if (chance(60)) {
+            os_ << "    if (" << cond(1) << ")\n";
+            os_ << "        return " << expr(1) << ";\n";
+        }
+        os_ << "    return " << expr(2) << ";\n}\n";
+        funcs_.push_back(name);
+        inHelper_ = false;
+    }
+
+    void
+    emitMain()
+    {
+        locals_.clear();
+        loopVars_.clear();
+        os_ << "int main()\n{\n";
+        const int nlocals = pick(1, 3);
+        for (int i = 0; i < nlocals; ++i) {
+            locals_.push_back("t" + std::to_string(i));
+            os_ << "    int t" << i << " = " << pick(0, 9) << ";\n";
+        }
+        const int nstmts = pick(4, 10);
+        for (int i = 0; i < nstmts; ++i)
+            statement(1, 2);
+        os_ << "    return " << expr(2) << ";\n}\n";
+    }
+
+    std::mt19937 rng_;
+    std::ostringstream os_;
+    std::vector<std::string> globals_;
+    std::vector<std::string> locals_;
+    std::vector<std::string> loopVars_;
+    std::vector<std::string> funcs_;
+    int loopVarSeq_ = 0;
+    int loopDepth_ = 0;
+    bool inHelper_ = false;
+};
+
+} // namespace
+
+std::string
+randomProgram(std::uint32_t seed)
+{
+    return Gen(seed).run();
+}
+
+} // namespace crisp::testing

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Seeded random CRISP-C program generator for equivalence property
+ * tests. Generated programs always terminate: loops are counted `for`
+ * loops whose induction variables are never reassigned in the body.
+ */
+
+#ifndef CRISP_TESTS_SUPPORT_RANDOM_PROGRAM_HH
+#define CRISP_TESTS_SUPPORT_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace crisp::testing
+{
+
+/** Generate a random, terminating CRISP-C translation unit. */
+std::string randomProgram(std::uint32_t seed);
+
+} // namespace crisp::testing
+
+#endif // CRISP_TESTS_SUPPORT_RANDOM_PROGRAM_HH

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * crispcc code-generation semantics: compile-and-run checks against
+ * directly computed expectations. Every test runs on the functional
+ * interpreter (the pipeline is covered by the equivalence suite).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+
+namespace crisp
+{
+namespace
+{
+
+/** Compile, run, and return main's return value (the accumulator). */
+Word
+ret(const std::string& src, const cc::CompileOptions& opts = {})
+{
+    const auto r = cc::compile(src, opts);
+    Interpreter interp(r.program);
+    const InterpResult res = interp.run(50'000'000);
+    EXPECT_TRUE(res.halted);
+    return interp.accum();
+}
+
+Word
+global(const std::string& src, const std::string& name)
+{
+    const auto r = cc::compile(src);
+    Interpreter interp(r.program);
+    EXPECT_TRUE(interp.run(50'000'000).halted);
+    return interp.wordAt(name);
+}
+
+TEST(Codegen, ReturnConstant)
+{
+    EXPECT_EQ(ret("int main() { return 42; }"), 42);
+    EXPECT_EQ(ret("int main() { return -7; }"), -7);
+}
+
+TEST(Codegen, ArithmeticOperators)
+{
+    EXPECT_EQ(ret("int main() { return 7 + 3; }"), 10);
+    EXPECT_EQ(ret("int a; int main() { a = 7; return a - 10; }"), -3);
+    EXPECT_EQ(ret("int a; int main() { a = 6; return a * 7; }"), 42);
+    EXPECT_EQ(ret("int a; int main() { a = 45; return a / 7; }"), 6);
+    EXPECT_EQ(ret("int a; int main() { a = 45; return a % 7; }"), 3);
+    EXPECT_EQ(ret("int a; int main() { a = -45; return a / 7; }"), -6);
+    EXPECT_EQ(ret("int a; int main() { a = -45; return a % 7; }"), -3);
+}
+
+TEST(Codegen, DivisionByZeroIsDefined)
+{
+    // The ISA defines x/0 == 0 (so random programs cannot fault).
+    EXPECT_EQ(ret("int a; int main() { a = 0; return 5 / a; }"), 0);
+    EXPECT_EQ(ret("int a; int main() { a = 0; return 5 % a; }"), 0);
+}
+
+TEST(Codegen, BitwiseAndShifts)
+{
+    EXPECT_EQ(ret("int a; int main() { a = 12; return a & 10; }"), 8);
+    EXPECT_EQ(ret("int a; int main() { a = 12; return a | 3; }"), 15);
+    EXPECT_EQ(ret("int a; int main() { a = 12; return a ^ 10; }"), 6);
+    EXPECT_EQ(ret("int a; int main() { a = 3; return a << 4; }"), 48);
+    EXPECT_EQ(ret("int a; int main() { a = 48; return a >> 4; }"), 3);
+    // Logical right shift (documented divergence from C).
+    EXPECT_EQ(ret("int a; int main() { a = -1; return a >> 28; }"), 15);
+    EXPECT_EQ(ret("int a; int main() { a = 5; return ~a; }"), -6);
+    EXPECT_EQ(ret("int a; int main() { a = 5; return -a; }"), -5);
+}
+
+TEST(Codegen, ComparisonsProduceBooleans)
+{
+    EXPECT_EQ(ret("int a; int main() { a = 3; return a < 5; }"), 1);
+    EXPECT_EQ(ret("int a; int main() { a = 7; return a < 5; }"), 0);
+    EXPECT_EQ(ret("int a; int main() { a = 5; return a <= 5; }"), 1);
+    EXPECT_EQ(ret("int a; int main() { a = 5; return a == 5; }"), 1);
+    EXPECT_EQ(ret("int a; int main() { a = 5; return a != 5; }"), 0);
+    EXPECT_EQ(ret("int a; int main() { a = 9; return a >= 10; }"), 0);
+    EXPECT_EQ(ret("int a; int main() { a = 9; return !a; }"), 0);
+    EXPECT_EQ(ret("int a; int main() { a = 0; return !a; }"), 1);
+}
+
+TEST(Codegen, LogicalShortCircuit)
+{
+    // The right side must not execute when the left decides.
+    const char* src = R"(
+        int hits;
+        int bump() { hits++; return 1; }
+        int main() {
+            int r = 0;
+            if (0 && bump()) r = 1;
+            if (1 || bump()) r += 2;
+            if (1 && bump()) r += 4;
+            if (0 || bump()) r += 8;
+            return r;
+        }
+    )";
+    EXPECT_EQ(ret(src), 14);
+    EXPECT_EQ(global(src, "hits"), 2);
+}
+
+TEST(Codegen, CompoundAssignments)
+{
+    const char* src = R"(
+        int main() {
+            int x = 10;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+            x <<= 3; x |= 1; x ^= 2; x &= 31;
+            return x;
+        }
+    )";
+    int x = 10;
+    x += 5; x -= 3; x *= 2; x /= 4; x %= 4;
+    x <<= 3; x |= 1; x ^= 2; x &= 31;
+    EXPECT_EQ(ret(src), x);
+}
+
+TEST(Codegen, IncrementDecrementValueSemantics)
+{
+    EXPECT_EQ(ret("int main() { int x = 5; return x++; }"), 5);
+    EXPECT_EQ(ret("int main() { int x = 5; return ++x; }"), 6);
+    EXPECT_EQ(ret("int main() { int x = 5; return x--; }"), 5);
+    EXPECT_EQ(ret("int main() { int x = 5; return --x; }"), 4);
+    EXPECT_EQ(ret("int main() { int x = 5; x++; ++x; return x; }"), 7);
+    EXPECT_EQ(ret("int main() { int x = 5; return x++ + ++x; }"), 12);
+}
+
+TEST(Codegen, AssignmentChains)
+{
+    EXPECT_EQ(ret(R"(
+        int a; int b; int c;
+        int main() { a = b = c = 9; return a + b + c; }
+    )"),
+              27);
+}
+
+TEST(Codegen, IfElseLadders)
+{
+    const char* tmpl = R"(
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else if (x < 10) return 1;
+            else return 2;
+        }
+        int main() { return classify(%); }
+    )";
+    auto run = [&](int v) {
+        std::string s = tmpl;
+        s.replace(s.find('%'), 1, std::to_string(v));
+        return ret(s);
+    };
+    EXPECT_EQ(run(-5), -1);
+    EXPECT_EQ(run(0), 0);
+    EXPECT_EQ(run(5), 1);
+    EXPECT_EQ(run(50), 2);
+}
+
+TEST(Codegen, Loops)
+{
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0;
+            for (int i = 1; i <= 10; i++) s += i;
+            return s;
+        }
+    )"),
+              55);
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0; int i = 10;
+            while (i > 0) { s += i; i--; }
+            return s;
+        }
+    )"),
+              55);
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0; int i = 0;
+            do { s += i; i++; } while (i < 5);
+            return s;
+        }
+    )"),
+              10);
+    // A while loop whose body never runs.
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 7;
+            while (s < 0) s = 100;
+            return s;
+        }
+    )"),
+              7);
+    // A for loop with zero trips (guard needed: not provable).
+    EXPECT_EQ(ret(R"(
+        int n;
+        int main() {
+            int s = 3;
+            for (int i = 0; i < n; i++) s = 100;
+            return s;
+        }
+    )"),
+              3);
+}
+
+TEST(Codegen, BreakAndContinue)
+{
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i++) {
+                if (i == 5) break;
+                s += i;
+            }
+            return s;
+        }
+    )"),
+              10);
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i & 1) continue;
+                s += i;
+            }
+            return s;
+        }
+    )"),
+              20);
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0; int i = 0;
+            while (1) {
+                i++;
+                if (i > 4) break;
+                s += i;
+            }
+            return s;
+        }
+    )"),
+              10);
+}
+
+TEST(Codegen, NestedLoops)
+{
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 5; i++)
+                for (int j = 0; j < 5; j++)
+                    if (j > i) s++;
+            return s;
+        }
+    )"),
+              10);
+}
+
+TEST(Codegen, GlobalArrays)
+{
+    EXPECT_EQ(ret(R"(
+        int a[10];
+        int main() {
+            for (int i = 0; i < 10; i++) a[i] = i * i;
+            int s = 0;
+            for (int i = 0; i < 10; i++) s += a[i];
+            return s;
+        }
+    )"),
+              285);
+    // Computed indices and element updates.
+    EXPECT_EQ(ret(R"(
+        int a[8];
+        int main() {
+            a[3] = 5;
+            a[3] += 2;
+            a[a[3] & 7] = 9;    // a[7] = 9
+            return a[3] * 10 + a[7];
+        }
+    )"),
+              79);
+}
+
+TEST(Codegen, FunctionsAndRecursion)
+{
+    EXPECT_EQ(ret(R"(
+        int fact(int n) {
+            if (n <= 1) return 1;
+            return n * fact(n - 1);
+        }
+        int main() { return fact(6); }
+    )"),
+              720);
+    EXPECT_EQ(ret(R"(
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(12); }
+    )"),
+              144);
+}
+
+TEST(Codegen, ArgumentOrderAndCount)
+{
+    EXPECT_EQ(ret(R"(
+        int f(int a, int b, int c, int d) {
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        int main() { return f(1, 2, 3, 4); }
+    )"),
+              1234);
+}
+
+TEST(Codegen, NestedCallsAsArguments)
+{
+    EXPECT_EQ(ret(R"(
+        int add(int a, int b) { return a + b; }
+        int main() { return add(add(1, 2), add(3, add(4, 5))); }
+    )"),
+              15);
+}
+
+TEST(Codegen, ArrayElementsAsArguments)
+{
+    EXPECT_EQ(ret(R"(
+        int a[4];
+        int sub(int x, int y) { return x - y; }
+        int main() {
+            a[0] = 50; a[1] = 8;
+            return sub(a[0], a[1]);
+        }
+    )"),
+              42);
+}
+
+TEST(Codegen, VoidFunctions)
+{
+    EXPECT_EQ(ret(R"(
+        int g;
+        void bump() { g += 3; }
+        int main() { bump(); bump(); return g; }
+    )"),
+              6);
+}
+
+TEST(Codegen, ScopeShadowing)
+{
+    EXPECT_EQ(ret(R"(
+        int x = 100;
+        int main() {
+            int x = 1;
+            {
+                int x = 2;
+                x++;
+            }
+            return x;
+        }
+    )"),
+              1);
+}
+
+TEST(Codegen, GlobalsKeepValuesAcrossCalls)
+{
+    EXPECT_EQ(global(R"(
+        int counter;
+        int tick() { counter++; return counter; }
+        int main() {
+            for (int i = 0; i < 7; i++) tick();
+            return counter;
+        }
+    )",
+                     "counter"),
+              7);
+}
+
+TEST(Codegen, ConstantFolding)
+{
+    // Folded expressions produce single immediates; behaviourally the
+    // result is what matters.
+    EXPECT_EQ(ret("int main() { return 2 + 3 * 4 - (10 / 2); }"), 9);
+    EXPECT_EQ(ret("int main() { return (1 << 10) | 1; }"), 1025);
+    EXPECT_EQ(ret("int main() { return 5 > 3 && 2 < 1; }"), 0);
+}
+
+TEST(Codegen, FuseAssignPatterns)
+{
+    // `x = x + y` and `x = y + x` must behave identically to `x += y`.
+    EXPECT_EQ(ret("int x; int main() { x = 4; x = x + 3; return x; }"),
+              7);
+    EXPECT_EQ(ret("int x; int main() { x = 4; x = 3 + x; return x; }"),
+              7);
+    EXPECT_EQ(ret("int x; int main() { x = 4; x = x - 3; return x; }"),
+              1);
+    // Non-commutative reversed form must NOT fuse: x = 3 - x.
+    EXPECT_EQ(ret("int x; int main() { x = 4; x = 3 - x; return x; }"),
+              -1);
+}
+
+TEST(Codegen, WhetstoneStyleExpression)
+{
+    const char* src = R"(
+        int main() {
+            int t = 0;
+            for (int i = 1; i <= 100; i++)
+                t = (t + i * i - (i >> 1)) % 10007;
+            return t;
+        }
+    )";
+    int t = 0;
+    for (int i = 1; i <= 100; ++i)
+        t = (t + i * i - (i >> 1)) % 10007;
+    EXPECT_EQ(ret(src), t);
+}
+
+TEST(Codegen, SemanticErrors)
+{
+    EXPECT_THROW(cc::compile("int main() { return x; }"), CrispError);
+    EXPECT_THROW(cc::compile("int main() { return f(1); }"), CrispError);
+    EXPECT_THROW(cc::compile(
+                     "int f(int a) { return a; }\n"
+                     "int main() { return f(1, 2); }"),
+                 CrispError);
+    EXPECT_THROW(cc::compile("int a[4]; int main() { return a; }"),
+                 CrispError);
+    EXPECT_THROW(cc::compile("int x; int main() { return x[0]; }"),
+                 CrispError);
+    EXPECT_THROW(cc::compile("int x; int x; int main() { return 0; }"),
+                 CrispError);
+    EXPECT_THROW(cc::compile("int main() { break; }"), CrispError);
+    EXPECT_THROW(cc::compile("int noMain() { return 0; }"), CrispError);
+}
+
+TEST(Codegen, VoidFunctionInExpressionRejected)
+{
+    EXPECT_THROW(cc::compile(R"(
+        int g;
+        void f() { g++; }
+        int main() { return f() + 1; }
+    )"),
+                 CrispError);
+    // Statement context is fine.
+    EXPECT_NO_THROW(cc::compile(R"(
+        int g;
+        void f() { g++; }
+        int main() { f(); return g; }
+    )"));
+}
+
+TEST(Codegen, LocalArraysRejectedWithClearMessage)
+{
+    // The ISA has no SP-relative address-of; local arrays are not
+    // supported (documented limitation).
+    try {
+        cc::compile("int main() { int a[4]; return 0; }");
+        FAIL() << "expected an error";
+    } catch (const CrispError&) {
+        SUCCEED();
+    }
+}
+
+} // namespace
+} // namespace crisp

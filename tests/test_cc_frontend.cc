@@ -1,0 +1,212 @@
+/**
+ * @file
+ * crispcc front-end tests: lexer tokens and parser structure/errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cc/ast.hh"
+#include "cc/lexer.hh"
+#include "isa/types.hh"
+
+namespace crisp::cc
+{
+namespace
+{
+
+std::vector<Tok>
+kinds(const std::string& src)
+{
+    std::vector<Tok> out;
+    for (const Token& t : lex(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(Lexer, BasicTokens)
+{
+    const auto k = kinds("int x = 42;");
+    const std::vector<Tok> want = {Tok::kInt, Tok::kIdent, Tok::kAssign,
+                                   Tok::kNumber, Tok::kSemi, Tok::kEof};
+    EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, NumbersDecimalAndHex)
+{
+    const auto toks = lex("12 0x1F 0 007");
+    EXPECT_EQ(toks[0].value, 12);
+    EXPECT_EQ(toks[1].value, 31);
+    EXPECT_EQ(toks[2].value, 0);
+    EXPECT_EQ(toks[3].value, 7);
+}
+
+TEST(Lexer, MultiCharOperators)
+{
+    const auto k = kinds("a <<= b >>= c == d != e <= f >= g && h || i "
+                         "++ -- << >>");
+    EXPECT_EQ(k[1], Tok::kShlAssign);
+    EXPECT_EQ(k[3], Tok::kShrAssign);
+    EXPECT_EQ(k[5], Tok::kEq);
+    EXPECT_EQ(k[7], Tok::kNe);
+    EXPECT_EQ(k[9], Tok::kLe);
+    EXPECT_EQ(k[11], Tok::kGe);
+    EXPECT_EQ(k[13], Tok::kAmpAmp);
+    EXPECT_EQ(k[15], Tok::kPipePipe);
+    EXPECT_EQ(k[17], Tok::kPlusPlus);
+    EXPECT_EQ(k[18], Tok::kMinusMinus);
+    EXPECT_EQ(k[19], Tok::kShl);
+    EXPECT_EQ(k[20], Tok::kShr);
+}
+
+TEST(Lexer, CompoundAssignOperators)
+{
+    const auto k = kinds("+= -= *= /= %= &= |= ^=");
+    const std::vector<Tok> want = {
+        Tok::kPlusAssign,  Tok::kMinusAssign,   Tok::kStarAssign,
+        Tok::kSlashAssign, Tok::kPercentAssign, Tok::kAmpAssign,
+        Tok::kPipeAssign,  Tok::kCaretAssign,   Tok::kEof};
+    EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, CommentsAndLines)
+{
+    const auto toks = lex("a // line comment\nb /* block\ncomment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 3);
+}
+
+TEST(Lexer, Keywords)
+{
+    const auto k = kinds("if else while for do return break continue "
+                         "int void");
+    const std::vector<Tok> want = {
+        Tok::kIf,    Tok::kElse,     Tok::kWhile, Tok::kFor,
+        Tok::kDo,    Tok::kReturn,   Tok::kBreak, Tok::kContinue,
+        Tok::kInt,   Tok::kVoid,     Tok::kEof};
+    EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, RejectsGarbage)
+{
+    EXPECT_THROW(lex("int $x;"), CrispError);
+    EXPECT_THROW(lex("/* unterminated"), CrispError);
+}
+
+TEST(Parser, GlobalsScalarsArraysInitializers)
+{
+    const TranslationUnit tu = parse(R"(
+        int a;
+        int b = 5, c = -3;
+        int arr[10];
+        int main() { return 0; }
+    )");
+    ASSERT_EQ(tu.globals.size(), 4u);
+    EXPECT_EQ(tu.globals[0].name, "a");
+    EXPECT_EQ(tu.globals[1].init, 5);
+    EXPECT_EQ(tu.globals[2].init, -3);
+    EXPECT_EQ(tu.globals[3].arraySize, 10);
+    ASSERT_EQ(tu.functions.size(), 1u);
+    EXPECT_EQ(tu.functions[0].name, "main");
+}
+
+TEST(Parser, FunctionsAndParameters)
+{
+    const TranslationUnit tu = parse(R"(
+        int add3(int a, int b, int c) { return a + b + c; }
+        void side() { ; }
+        int noargs(void) { return 1; }
+        int main() { return add3(1, 2, 3); }
+    )");
+    ASSERT_EQ(tu.functions.size(), 4u);
+    EXPECT_EQ(tu.functions[0].params.size(), 3u);
+    EXPECT_FALSE(tu.functions[1].returnsValue);
+    EXPECT_TRUE(tu.functions[2].params.empty());
+}
+
+TEST(Parser, StatementForms)
+{
+    const TranslationUnit tu = parse(R"(
+        int g;
+        int main() {
+            int x = 0;
+            if (x) x = 1; else x = 2;
+            while (x < 10) x++;
+            do { x--; } while (x > 0);
+            for (int i = 0; i < 4; i++) { g += i; break; }
+            for (;;) { break; }
+            return x;
+        }
+    )");
+    const Stmt& body = *tu.functions[0].body;
+    ASSERT_EQ(body.kind, StmtKind::kBlock);
+    // decl, if, while, do, for, for, return
+    EXPECT_EQ(body.stmts.size(), 7u);
+    EXPECT_EQ(body.stmts[1]->kind, StmtKind::kIf);
+    EXPECT_NE(body.stmts[1]->elseBody, nullptr);
+    EXPECT_EQ(body.stmts[2]->kind, StmtKind::kWhile);
+    EXPECT_EQ(body.stmts[3]->kind, StmtKind::kDoWhile);
+    EXPECT_EQ(body.stmts[4]->kind, StmtKind::kFor);
+    EXPECT_NE(body.stmts[4]->initStmt, nullptr);
+    EXPECT_EQ(body.stmts[5]->kind, StmtKind::kFor);
+    EXPECT_EQ(body.stmts[5]->cond, nullptr);
+}
+
+TEST(Parser, PrecedenceShape)
+{
+    // a + b * c parses as a + (b * c).
+    const TranslationUnit tu =
+        parse("int a; int b; int c;\nint main() { return a + b * c; }");
+    const Expr& e = *tu.functions[0].body->stmts[0]->expr;
+    ASSERT_EQ(e.kind, ExprKind::kBinary);
+    EXPECT_EQ(e.binop, BinOp::kAdd);
+    EXPECT_EQ(e.rhs->binop, BinOp::kMul);
+
+    // a < b == c parses as (a < b) == c.
+    const TranslationUnit tu2 =
+        parse("int a; int b; int c;\nint main() { return a < b == c; }");
+    const Expr& e2 = *tu2.functions[0].body->stmts[0]->expr;
+    EXPECT_EQ(e2.binop, BinOp::kEq);
+    EXPECT_EQ(e2.lhs->binop, BinOp::kLt);
+
+    // Assignment is right-associative: a = b = c.
+    const TranslationUnit tu3 =
+        parse("int a; int b; int c;\nint main() { a = b = c; return 0; }");
+    const Expr& e3 = *tu3.functions[0].body->stmts[0]->expr;
+    ASSERT_EQ(e3.kind, ExprKind::kAssign);
+    EXPECT_EQ(e3.rhs->kind, ExprKind::kAssign);
+}
+
+TEST(Parser, UnaryAndPostfix)
+{
+    const TranslationUnit tu = parse(R"(
+        int a;
+        int main() {
+            a = -a + !a - ~a;
+            a++;
+            ++a;
+            a--;
+            return a++;
+        }
+    )");
+    EXPECT_EQ(tu.functions[0].body->stmts.size(), 5u);
+    const Expr& ret = *tu.functions[0].body->stmts[4]->expr;
+    EXPECT_EQ(ret.kind, ExprKind::kPostIncDec);
+}
+
+TEST(Parser, Errors)
+{
+    EXPECT_THROW(parse("int main() { return 1 }"), CrispError);  // ;
+    EXPECT_THROW(parse("int main() { 5 = x; }"), CrispError);    // lvalue
+    EXPECT_THROW(parse("int main() { ++5; }"), CrispError);      // lvalue
+    EXPECT_THROW(parse("int main() {"), CrispError);             // brace
+    EXPECT_THROW(parse("int arr[0]; int main() { return 0; }"),
+                 CrispError);                                    // size
+    EXPECT_THROW(parse("void v; int main() { return 0; }"),
+                 CrispError);                                    // void var
+    EXPECT_THROW(parse("int main() { if x) ; }"), CrispError);   // paren
+}
+
+} // namespace
+} // namespace crisp::cc

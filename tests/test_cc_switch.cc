@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the switch statement (dense jump tables through indirect
+ * branches — the paper's "case statements" — and sparse compare
+ * chains) and the ternary operator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/delayed.hh"
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+
+namespace crisp
+{
+namespace
+{
+
+Word
+ret(const std::string& src, const cc::CompileOptions& opts = {})
+{
+    const auto r = cc::compile(src, opts);
+    Interpreter interp(r.program);
+    EXPECT_TRUE(interp.run(50'000'000).halted);
+    return interp.accum();
+}
+
+TEST(Ternary, BasicSelection)
+{
+    EXPECT_EQ(ret("int main() { int a = 7; return a > 3 ? 1 : 2; }"), 1);
+    EXPECT_EQ(ret("int main() { int a = 1; return a > 3 ? 1 : 2; }"), 2);
+    EXPECT_EQ(ret("int main() { int a = 5; return a ? a * 2 : -1; }"),
+              10);
+}
+
+TEST(Ternary, NestsAndChains)
+{
+    const char* src = R"(
+        int sign(int x) { return x < 0 ? -1 : x > 0 ? 1 : 0; }
+        int main() { return sign(-5) * 100 + sign(9) * 10 + sign(0); }
+    )";
+    EXPECT_EQ(ret(src), -90);
+}
+
+TEST(Ternary, OnlyChosenArmEvaluates)
+{
+    const char* src = R"(
+        int hits;
+        int bump() { hits++; return 9; }
+        int main() {
+            int r = 1 ? 5 : bump();
+            r += 0 ? bump() : 3;
+            return r * 100 + hits;
+        }
+    )";
+    EXPECT_EQ(ret(src), 800);
+}
+
+TEST(Ternary, ConstantFolds)
+{
+    EXPECT_EQ(ret("int main() { return 3 > 2 ? 10 + 1 : 99; }"), 11);
+}
+
+TEST(Ternary, AsArgumentAndIndex)
+{
+    const char* src = R"(
+        int a[4];
+        int f(int x) { return x + 1; }
+        int main() {
+            a[0] = 5; a[3] = 9;
+            int i = 2;
+            return f(i > 1 ? a[3] : a[0]);
+        }
+    )";
+    EXPECT_EQ(ret(src), 10);
+}
+
+TEST(Switch, DenseUsesJumpTable)
+{
+    const char* src = R"(
+        int f(int x) {
+            switch (x) {
+            case 0: return 100;
+            case 1: return 101;
+            case 2: return 102;
+            case 3: return 103;
+            case 4: return 104;
+            default: return -1;
+            }
+        }
+        int main() {
+            return f(0) + f(2) + f(4) + f(9);
+        }
+    )";
+    const auto r = cc::compile(src);
+    // A jump table means a compiler-generated indirect jump exists.
+    bool has_indirect = false;
+    for (const auto& c : r.code) {
+        if (c.kind == cc::CodeItem::Kind::kInst &&
+            c.inst.op == Opcode::kJmp &&
+            c.inst.bmode == BranchMode::kIndSp) {
+            has_indirect = true;
+        }
+    }
+    EXPECT_TRUE(has_indirect);
+
+    Interpreter interp(r.program);
+    EXPECT_TRUE(interp.run(1'000'000).halted);
+    EXPECT_EQ(interp.accum(), 100 + 102 + 104 - 1);
+
+    // And the pipeline pays its indirect-transfer bubbles but gets the
+    // same answer.
+    CrispCpu cpu(r.program);
+    const SimStats& s = cpu.run();
+    EXPECT_EQ(cpu.accum(), interp.accum());
+    EXPECT_GT(s.indirectStallCycles, 0u);
+}
+
+TEST(Switch, SparseUsesCompareChain)
+{
+    const char* src = R"(
+        int f(int x) {
+            switch (x) {
+            case 10: return 1;
+            case 1000: return 2;
+            case 100000: return 3;
+            default: return 0;
+            }
+        }
+        int main() { return f(1000) * 10 + f(7); }
+    )";
+    const auto r = cc::compile(src);
+    for (const auto& c : r.code) {
+        if (c.kind == cc::CodeItem::Kind::kInst) {
+            EXPECT_FALSE(isBranch(c.inst.op)) << "unexpected jump table";
+        }
+    }
+    EXPECT_EQ(ret(src), 20);
+}
+
+TEST(Switch, FallThrough)
+{
+    const char* src = R"(
+        int main() {
+            int r = 0;
+            switch (2) {
+            case 1: r += 1;
+            case 2: r += 2;      // entry point
+            case 3: r += 4;      // falls through
+                break;
+            case 4: r += 8;
+            }
+            return r;
+        }
+    )";
+    EXPECT_EQ(ret(src), 6);
+}
+
+TEST(Switch, DefaultOnlyAndNoDefault)
+{
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int r = 5;
+            switch (r) { default: r = 9; }
+            return r;
+        }
+    )"),
+              9);
+    EXPECT_EQ(ret(R"(
+        int main() {
+            int r = 5;
+            switch (r) { case 1: r = 9; break; }
+            return r;          // no match, no default: skip the body
+        }
+    )"),
+              5);
+}
+
+TEST(Switch, NegativeAndOffsetRanges)
+{
+    const char* src = R"(
+        int f(int x) {
+            switch (x) {
+            case -2: return 1;
+            case -1: return 2;
+            case 0: return 3;
+            case 1: return 4;
+            default: return 9;
+            }
+        }
+        int main() {
+            return f(-2) * 1000 + f(0) * 100 + f(1) * 10 + f(5);
+        }
+    )";
+    EXPECT_EQ(ret(src), 1349);
+}
+
+TEST(Switch, OutOfRangeBelowAndAbove)
+{
+    // The unsigned bound check must route both directions of
+    // out-of-range values to the default.
+    const char* src = R"(
+        int f(int x) {
+            switch (x) {
+            case 5: return 1;
+            case 6: return 2;
+            case 7: return 3;
+            case 8: return 4;
+            default: return 0;
+            }
+        }
+        int main() { return f(-1000) + f(4) + f(9) + f(1000000) + f(6); }
+    )";
+    EXPECT_EQ(ret(src), 2);
+}
+
+TEST(Switch, BreakAndNestedLoops)
+{
+    const char* src = R"(
+        int main() {
+            int r = 0;
+            for (int i = 0; i < 10; i++) {
+                switch (i & 3) {
+                case 0: r += 1; break;
+                case 1: continue;     // continues the for loop
+                case 2: r += 10; break;
+                default: r += 100;
+                }
+                r += 1000;
+            }
+            return r;
+        }
+    )";
+    int r = 0;
+    for (int i = 0; i < 10; i++) {
+        switch (i & 3) {
+          case 0: r += 1; break;
+          case 1: continue;
+          case 2: r += 10; break;
+          default: r += 100;
+        }
+        r += 1000;
+    }
+    EXPECT_EQ(ret(src), r);
+}
+
+TEST(Switch, WorksOnPipelineAndDelayedMachines)
+{
+    const char* src = R"(
+        int total;
+        int main() {
+            total = 0;
+            for (int i = 0; i < 40; i++) {
+                switch (i % 5) {
+                case 0: total += 1; break;
+                case 1: total += 2; break;
+                case 2: total += 3; break;
+                case 3: total -= 1; break;
+                case 4: total ^= 7; break;
+                }
+            }
+            return total;
+        }
+    )";
+    Interpreter interp(cc::compile(src).program);
+    interp.run(1'000'000);
+
+    CrispCpu cpu(cc::compile(src).program);
+    cpu.run();
+    EXPECT_EQ(cpu.accum(), interp.accum());
+
+    cc::CompileOptions del;
+    del.delaySlots = true;
+    DelayedBranchCpu dcpu(cc::compile(src, del).program);
+    dcpu.run(1'000'000);
+    EXPECT_EQ(dcpu.accum(), interp.accum());
+}
+
+TEST(Switch, Errors)
+{
+    EXPECT_THROW(cc::compile(R"(
+        int main() { switch (1) { case 1: case 1: return 0; } }
+    )"),
+                 CrispError);
+    EXPECT_THROW(cc::compile(R"(
+        int main() { switch (1) { default: ; default: ; } return 0; }
+    )"),
+                 CrispError);
+    EXPECT_THROW(cc::compile("int main() { case 1: return 0; }"),
+                 CrispError);
+}
+
+} // namespace
+} // namespace crisp

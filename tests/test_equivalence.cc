@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Property tests: for random programs, every machine configuration
+ * must produce the same architectural behaviour.
+ *
+ *  - The pipelined CRISP simulator's retire-order event stream equals
+ *    the functional interpreter's execution stream, for every fold
+ *    policy, DIC size and memory latency. Branch Folding, prediction
+ *    and squash/recovery must be architecturally invisible.
+ *  - Branch Spreading preserves program semantics (same final state as
+ *    the unspread compile).
+ *  - Delay-slot compilation + the delayed-branch machine compute the
+ *    same results as CRISP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/delayed.hh"
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+#include "support/random_program.hh"
+
+namespace crisp
+{
+namespace
+{
+
+struct EventRecorder : ExecObserver
+{
+    std::vector<std::pair<Addr, Opcode>> seq;
+    std::vector<BranchEvent> branches;
+
+    void
+    onInstruction(Addr pc, Opcode op) override
+    {
+        seq.emplace_back(pc, op);
+    }
+
+    void onBranch(const BranchEvent& ev) override { branches.push_back(ev); }
+};
+
+constexpr std::uint64_t kStepLimit = 3'000'000;
+
+/** Full architectural comparison of interpreter and pipeline. */
+void
+expectPipelineMatchesInterp(const Program& prog, const SimConfig& cfg)
+{
+    Interpreter interp(prog);
+    EventRecorder ei;
+    const InterpResult ri = interp.run(kStepLimit, &ei);
+    ASSERT_TRUE(ri.halted) << "program did not terminate";
+
+    CrispCpu cpu(prog, cfg);
+    EventRecorder es;
+    const SimStats& rs = cpu.run(&es);
+    ASSERT_TRUE(rs.halted);
+
+    // Retire-order event stream identical, instruction for instruction.
+    ASSERT_EQ(ei.seq.size(), es.seq.size());
+    for (std::size_t i = 0; i < ei.seq.size(); ++i) {
+        ASSERT_EQ(ei.seq[i], es.seq[i]) << "divergence at instruction "
+                                        << i;
+    }
+
+    // Branch events identical (pc, direction, target).
+    ASSERT_EQ(ei.branches.size(), es.branches.size());
+    for (std::size_t i = 0; i < ei.branches.size(); ++i) {
+        EXPECT_EQ(ei.branches[i].pc, es.branches[i].pc);
+        EXPECT_EQ(ei.branches[i].taken, es.branches[i].taken);
+        EXPECT_EQ(ei.branches[i].target, es.branches[i].target);
+    }
+
+    // Final architectural state identical.
+    EXPECT_EQ(rs.apparent, ri.instructions);
+    EXPECT_EQ(cpu.accum(), interp.accum());
+    EXPECT_EQ(cpu.flag(), interp.flag());
+    EXPECT_EQ(cpu.sp(), interp.sp());
+    EXPECT_EQ(cpu.memory().bytes(), interp.memory().bytes());
+
+    // Folding bookkeeping is self-consistent.
+    EXPECT_EQ(rs.apparent - rs.issued, rs.foldedBranches);
+    for (int i = 0; i < kOpcodeCount; ++i)
+        EXPECT_EQ(rs.opcodeCounts[i], ri.opcodeCounts[i]);
+}
+
+/** Issued-instruction monotonicity across fold policies. */
+void
+expectFoldMonotonicity(const Program& prog)
+{
+    std::uint64_t issued[3];
+    int i = 0;
+    for (FoldPolicy fold : {FoldPolicy::kNone, FoldPolicy::kCrisp,
+                            FoldPolicy::kAll}) {
+        SimConfig cfg;
+        cfg.foldPolicy = fold;
+        CrispCpu cpu(prog, cfg);
+        issued[i++] = cpu.run().issued;
+    }
+    EXPECT_GE(issued[0], issued[1]); // kCrisp folds a subset away
+    EXPECT_GE(issued[1], issued[2]); // kAll folds at least as much
+}
+
+class RandomEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomEquivalence, PipelineMatchesInterpreterAcrossConfigs)
+{
+    const std::string src =
+        testing::randomProgram(static_cast<std::uint32_t>(GetParam()));
+    SCOPED_TRACE(src);
+
+    for (bool spread : {false, true}) {
+        cc::CompileOptions opts;
+        opts.spread = spread;
+        const auto r = cc::compile(src, opts);
+
+        for (FoldPolicy fold : {FoldPolicy::kNone, FoldPolicy::kCrisp,
+                                FoldPolicy::kAll}) {
+            SimConfig cfg;
+            cfg.foldPolicy = fold;
+            expectPipelineMatchesInterp(r.program, cfg);
+        }
+        expectFoldMonotonicity(r.program);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalence,
+                         ::testing::Range(0, 40));
+
+class RandomConfigSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomConfigSweep, CacheAndLatencyAreInvisible)
+{
+    const std::string src =
+        testing::randomProgram(1000u + static_cast<std::uint32_t>(
+                                           GetParam()));
+    SCOPED_TRACE(src);
+    const auto r = cc::compile(src);
+
+    for (int dic : {8, 32, 128}) {
+        for (int lat : {1, 7}) {
+            SimConfig cfg;
+            cfg.dicEntries = dic;
+            cfg.memLatency = lat;
+            expectPipelineMatchesInterp(r.program, cfg);
+        }
+    }
+    // Dynamic hardware predictors change timing only.
+    for (PredictorKind k :
+         {PredictorKind::kDynamic1, PredictorKind::kDynamic2}) {
+        SimConfig cfg;
+        cfg.predictor = k;
+        cfg.predictorEntries = 64;
+        expectPipelineMatchesInterp(r.program, cfg);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigSweep,
+                         ::testing::Range(0, 12));
+
+class SpreadingPreservesSemantics : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SpreadingPreservesSemantics, SameFinalState)
+{
+    const std::string src = testing::randomProgram(
+        2000u + static_cast<std::uint32_t>(GetParam()));
+    SCOPED_TRACE(src);
+
+    cc::CompileOptions a;
+    a.spread = false;
+    cc::CompileOptions b;
+    b.spread = true;
+
+    Interpreter ia(cc::compile(src, a).program);
+    Interpreter ib(cc::compile(src, b).program);
+    ASSERT_TRUE(ia.run(kStepLimit).halted);
+    ASSERT_TRUE(ib.run(kStepLimit).halted);
+
+    // Spreading reorders code but must not change results.
+    EXPECT_EQ(ia.accum(), ib.accum());
+    // Every named global must match. (Raw data-segment bytes cannot be
+    // compared: switch jump tables hold code addresses, which differ
+    // between layouts.)
+    for (const auto& [name, sym] :
+         cc::compile(src, a).program.symbols) {
+        if (sym.kind != Symbol::Kind::kGlobal ||
+            name.find("_jumptab_") != std::string::npos) {
+            continue;
+        }
+        ASSERT_EQ(ia.wordAt(name), ib.wordAt(name)) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpreadingPreservesSemantics,
+                         ::testing::Range(0, 40));
+
+class DelayedMachineAgrees : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DelayedMachineAgrees, SameResultsAsCrisp)
+{
+    const std::string src = testing::randomProgram(
+        3000u + static_cast<std::uint32_t>(GetParam()));
+    SCOPED_TRACE(src);
+
+    const auto crisp_prog = cc::compile(src);
+    Interpreter interp(crisp_prog.program);
+    ASSERT_TRUE(interp.run(kStepLimit).halted);
+
+    cc::CompileOptions del;
+    del.delaySlots = true;
+    const auto delayed_prog = cc::compile(src, del);
+    DelayedBranchCpu cpu(delayed_prog.program);
+    const DelayedStats& s = cpu.run(kStepLimit);
+    ASSERT_TRUE(s.halted);
+
+    EXPECT_EQ(cpu.accum(), interp.accum());
+    // Every named global must agree (raw bytes cannot be compared: the
+    // delay-slot layout shifts the code addresses inside jump tables).
+    for (const auto& [name, sym] : crisp_prog.program.symbols) {
+        if (sym.kind != Symbol::Kind::kGlobal ||
+            name.find("_jumptab_") != std::string::npos) {
+            continue;
+        }
+        ASSERT_EQ(interp.wordAt(name), cpu.wordAt(name)) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayedMachineAgrees,
+                         ::testing::Range(0, 30));
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for opcode properties and ALU/compare semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "isa/types.hh"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(Opcode, Names)
+{
+    EXPECT_EQ(opcodeName(Opcode::kAdd), "add");
+    EXPECT_EQ(opcodeName(Opcode::kAnd3), "and3");
+    EXPECT_EQ(opcodeName(Opcode::kCmpEq), "cmp.=");
+    EXPECT_EQ(opcodeName(Opcode::kCmpLt), "cmp.s<");
+    EXPECT_EQ(opcodeName(Opcode::kCmpGeU), "cmp.u>=");
+    EXPECT_EQ(opcodeName(Opcode::kIfTJmp), "iftjmp");
+    EXPECT_EQ(opcodeName(Opcode::kLeave), "leave");
+    // Every opcode has a distinct, non-error name.
+    std::set<std::string_view> seen;
+    for (int i = 0; i < kOpcodeCount; ++i) {
+        const auto n = opcodeName(static_cast<Opcode>(i));
+        EXPECT_NE(n, "<bad-opcode>");
+        EXPECT_TRUE(seen.insert(n).second) << n;
+    }
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isBranch(Opcode::kJmp));
+    EXPECT_TRUE(isBranch(Opcode::kIfTJmp));
+    EXPECT_TRUE(isBranch(Opcode::kIfFJmp));
+    EXPECT_TRUE(isBranch(Opcode::kCall));
+    EXPECT_FALSE(isBranch(Opcode::kReturn));
+    EXPECT_FALSE(isBranch(Opcode::kAdd));
+
+    EXPECT_TRUE(isConditionalBranch(Opcode::kIfTJmp));
+    EXPECT_TRUE(isConditionalBranch(Opcode::kIfFJmp));
+    EXPECT_FALSE(isConditionalBranch(Opcode::kJmp));
+    EXPECT_FALSE(isConditionalBranch(Opcode::kCall));
+
+    EXPECT_TRUE(isCompare(Opcode::kCmpEq));
+    EXPECT_TRUE(isCompare(Opcode::kCmpGeU));
+    EXPECT_FALSE(isCompare(Opcode::kAnd));
+    EXPECT_FALSE(isCompare(Opcode::kMov));
+
+    EXPECT_TRUE(isAlu2(Opcode::kAdd));
+    EXPECT_TRUE(isAlu2(Opcode::kRem));
+    EXPECT_FALSE(isAlu2(Opcode::kAdd3));
+    EXPECT_TRUE(isAlu3(Opcode::kAnd3));
+    EXPECT_FALSE(isAlu3(Opcode::kAnd));
+}
+
+TEST(Opcode, OnlyComparesWriteTheFlag)
+{
+    // The paper's design rule: the condition code is written only by
+    // compare instructions.
+    for (int i = 0; i < kOpcodeCount; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        Instruction inst;
+        inst.op = op;
+        EXPECT_EQ(inst.writesCc(), isCompare(op)) << opcodeName(op);
+    }
+}
+
+TEST(Opcode, FoldableBodies)
+{
+    // Branches, return and halt cannot carry a folded branch.
+    EXPECT_FALSE(isFoldableBody(Opcode::kJmp));
+    EXPECT_FALSE(isFoldableBody(Opcode::kCall));
+    EXPECT_FALSE(isFoldableBody(Opcode::kReturn));
+    EXPECT_FALSE(isFoldableBody(Opcode::kHalt));
+    EXPECT_TRUE(isFoldableBody(Opcode::kAdd));
+    EXPECT_TRUE(isFoldableBody(Opcode::kCmpEq)); // cmp+branch folding
+    EXPECT_TRUE(isFoldableBody(Opcode::kEnter));
+    EXPECT_TRUE(isFoldableBody(Opcode::kLeave));
+    EXPECT_TRUE(isFoldableBody(Opcode::kNop));
+}
+
+TEST(Alu, Arithmetic)
+{
+    EXPECT_EQ(evalAlu(Opcode::kAdd, 2, 3), 5);
+    EXPECT_EQ(evalAlu(Opcode::kSub, 2, 3), -1);
+    EXPECT_EQ(evalAlu(Opcode::kMul, -4, 3), -12);
+    EXPECT_EQ(evalAlu(Opcode::kDiv, 7, 2), 3);
+    EXPECT_EQ(evalAlu(Opcode::kDiv, -7, 2), -3);
+    EXPECT_EQ(evalAlu(Opcode::kRem, 7, 3), 1);
+    EXPECT_EQ(evalAlu(Opcode::kRem, -7, 3), -1);
+}
+
+TEST(Alu, WrapAround)
+{
+    EXPECT_EQ(evalAlu(Opcode::kAdd, INT32_MAX, 1), INT32_MIN);
+    EXPECT_EQ(evalAlu(Opcode::kSub, INT32_MIN, 1), INT32_MAX);
+    EXPECT_EQ(evalAlu(Opcode::kMul, 1 << 30, 4), 0);
+}
+
+TEST(Alu, DivisionEdgeCases)
+{
+    // Architecturally defined: x/0 == 0, x%0 == 0, INT_MIN/-1 == INT_MIN.
+    EXPECT_EQ(evalAlu(Opcode::kDiv, 5, 0), 0);
+    EXPECT_EQ(evalAlu(Opcode::kRem, 5, 0), 0);
+    EXPECT_EQ(evalAlu(Opcode::kDiv, INT32_MIN, -1), INT32_MIN);
+    EXPECT_EQ(evalAlu(Opcode::kRem, INT32_MIN, -1), 0);
+}
+
+TEST(Alu, ShiftsAreLogicalAndMasked)
+{
+    EXPECT_EQ(evalAlu(Opcode::kShl, 1, 4), 16);
+    EXPECT_EQ(evalAlu(Opcode::kShr, -1, 28), 15);
+    EXPECT_EQ(evalAlu(Opcode::kShl, 1, 33), 2);  // count masked to 5 bits
+    EXPECT_EQ(evalAlu(Opcode::kShr, 256, 40), 1);
+}
+
+TEST(Alu, Bitwise)
+{
+    EXPECT_EQ(evalAlu(Opcode::kAnd, 0b1100, 0b1010), 0b1000);
+    EXPECT_EQ(evalAlu(Opcode::kOr, 0b1100, 0b1010), 0b1110);
+    EXPECT_EQ(evalAlu(Opcode::kXor, 0b1100, 0b1010), 0b0110);
+}
+
+TEST(Alu, ThreeOperandFormsMatchTwoOperand)
+{
+    const std::pair<Opcode, Opcode> pairs[] = {
+        {Opcode::kAdd, Opcode::kAdd3}, {Opcode::kSub, Opcode::kSub3},
+        {Opcode::kAnd, Opcode::kAnd3}, {Opcode::kOr, Opcode::kOr3},
+        {Opcode::kXor, Opcode::kXor3}, {Opcode::kMul, Opcode::kMul3},
+    };
+    for (const auto& [two, three] : pairs) {
+        for (int a : {-7, 0, 13, 100000}) {
+            for (int b : {-3, 1, 29}) {
+                EXPECT_EQ(evalAlu(two, a, b), evalAlu(three, a, b))
+                    << opcodeName(two);
+            }
+        }
+    }
+}
+
+TEST(Compare, AllRelations)
+{
+    EXPECT_TRUE(evalCompare(Opcode::kCmpEq, 5, 5));
+    EXPECT_FALSE(evalCompare(Opcode::kCmpEq, 5, 6));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpNe, 5, 6));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpLt, -1, 0));
+    EXPECT_FALSE(evalCompare(Opcode::kCmpLt, 0, 0));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpLe, 0, 0));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpGt, 1, 0));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpGe, 0, 0));
+    // Unsigned relations treat -1 as UINT32_MAX.
+    EXPECT_FALSE(evalCompare(Opcode::kCmpLtU, -1, 0));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpLtU, 0, -1));
+    EXPECT_TRUE(evalCompare(Opcode::kCmpGeU, -1, 0));
+}
+
+TEST(Compare, ThrowsOnNonCompare)
+{
+    EXPECT_THROW(evalCompare(Opcode::kAdd, 1, 2), CrispError);
+    EXPECT_THROW(evalAlu(Opcode::kCmpEq, 1, 2), CrispError);
+    EXPECT_THROW(evalAlu(Opcode::kJmp, 1, 2), CrispError);
+}
+
+TEST(Types, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x1FF, 9), -1);
+    EXPECT_EQ(signExtend(0x0FF, 9), 255);
+    EXPECT_EQ(signExtend(0x200, 10), -512);
+    EXPECT_EQ(signExtend(0x1FF, 10), 511);
+    EXPECT_EQ(signExtend(0xFFFF, 16), -1);
+    EXPECT_EQ(signExtend(0x7FFF, 16), 32767);
+    EXPECT_EQ(signExtend(0xFFFFFFFFu, 32), -1);
+}
+
+TEST(Instruction, LengthsFollowOperandShapes)
+{
+    // One parcel: small stack slots and tiny immediates.
+    EXPECT_EQ(Instruction::alu(Opcode::kAdd, Operand::stack(3),
+                               Operand::stack(4))
+                  .lengthParcels(),
+              1);
+    EXPECT_EQ(Instruction::alu(Opcode::kAdd, Operand::stack(30),
+                               Operand::imm(7))
+                  .lengthParcels(),
+              1);
+    EXPECT_EQ(Instruction::cmp(Opcode::kCmpEq, Operand::accum(),
+                               Operand::imm(0))
+                  .lengthParcels(),
+              1);
+    // Three parcels: 16-bit specifiers.
+    EXPECT_EQ(Instruction::alu(Opcode::kAdd, Operand::stack(31),
+                               Operand::imm(7))
+                  .lengthParcels(),
+              3);
+    EXPECT_EQ(Instruction::alu(Opcode::kAdd, Operand::stack(0),
+                               Operand::imm(8))
+                  .lengthParcels(),
+              3);
+    EXPECT_EQ(Instruction::cmp(Opcode::kCmpLt, Operand::stack(0),
+                               Operand::imm(1024))
+                  .lengthParcels(),
+              3);
+    EXPECT_EQ(Instruction::mov(Operand::abs(0x8000), Operand::imm(-5))
+                  .lengthParcels(),
+              3);
+    // Five parcels: 32-bit specifiers.
+    EXPECT_EQ(Instruction::mov(Operand::abs(0x10000), Operand::imm(0))
+                  .lengthParcels(),
+              5);
+    EXPECT_EQ(Instruction::mov(Operand::stack(0), Operand::imm(70000))
+                  .lengthParcels(),
+              5);
+    // Branches.
+    EXPECT_EQ(Instruction::branchRel(Opcode::kJmp, 100).lengthParcels(),
+              1);
+    EXPECT_EQ(Instruction::branchFar(Opcode::kJmp, BranchMode::kAbs,
+                                     0x4000)
+                  .lengthParcels(),
+              3);
+    EXPECT_EQ(Instruction::branchFar(Opcode::kCall, BranchMode::kAbs,
+                                     0x4000)
+                  .lengthParcels(),
+              3);
+    // Fixed short forms.
+    EXPECT_EQ(Instruction::nop().lengthParcels(), 1);
+    EXPECT_EQ(Instruction::halt().lengthParcels(), 1);
+    EXPECT_EQ(Instruction::enter(100).lengthParcels(), 1);
+    EXPECT_EQ(Instruction::ret(100).lengthParcels(), 1);
+    EXPECT_EQ(Instruction::leave(3).lengthParcels(), 1);
+}
+
+TEST(Instruction, ShortBranchRangeMatchesPaper)
+{
+    // The paper: one-parcel branches reach -1024 .. +1022 bytes.
+    EXPECT_TRUE(fitsShortBranch(-1024));
+    EXPECT_TRUE(fitsShortBranch(1022));
+    EXPECT_FALSE(fitsShortBranch(-1026));
+    EXPECT_FALSE(fitsShortBranch(1024));
+    EXPECT_FALSE(fitsShortBranch(3)); // parcel alignment
+    EXPECT_TRUE(fitsShortBranch(0));
+}
+
+TEST(Operand, Printing)
+{
+    EXPECT_EQ(Operand::stack(5).toString(), "sp[5]");
+    EXPECT_EQ(Operand::imm(-3).toString(), "-3");
+    EXPECT_EQ(Operand::accum().toString(), "Accum");
+    EXPECT_EQ(Operand::ind(2).toString(), "[sp[2]]");
+    EXPECT_EQ(Operand::abs(0x8000).toString(), "@0x8000");
+}
+
+TEST(Operand, Writability)
+{
+    EXPECT_TRUE(Operand::stack(0).isWritable());
+    EXPECT_TRUE(Operand::abs(0x8000).isWritable());
+    EXPECT_TRUE(Operand::ind(0).isWritable());
+    EXPECT_TRUE(Operand::accum().isWritable());
+    EXPECT_FALSE(Operand::imm(5).isWritable());
+    EXPECT_FALSE(Operand::none().isWritable());
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Coverage for the smaller public APIs: Program statistics and
+ * disassembly, interpreter stepping, single-cycle CPU ticking, stats
+ * printing, and stats invariants across machines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "baseline/delayed.hh"
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+#include "workloads/workloads.hh"
+
+namespace crisp
+{
+namespace
+{
+
+TEST(ProgramApi, StaticCountsAndLengths)
+{
+    const Program p = assemble(R"(
+        .entry s
+        .global g 0
+s:      add sp[0], 1            ; 1 parcel
+        mov g, 70000             ; 5 parcels (32-bit immediate)
+        cmp.s< sp[0], 1024       ; 3 parcels
+        jmp s                    ; 1 parcel
+    )");
+    EXPECT_EQ(p.staticInstructionCount(), 4);
+    const auto hist = p.staticLengthHistogram();
+    EXPECT_EQ(hist.at(1), 2);
+    EXPECT_EQ(hist.at(3), 1);
+    EXPECT_EQ(hist.at(5), 1);
+    EXPECT_EQ(p.textEnd() - p.textBase, (1u + 5u + 3u + 1u) * 2u);
+}
+
+TEST(ProgramApi, FetchErrors)
+{
+    const Program p = assemble(".entry s\ns: halt\n");
+    EXPECT_THROW(p.parcelAt(p.textBase + 1), CrispError); // unaligned
+    EXPECT_THROW(p.parcelAt(p.textEnd()), CrispError);    // past end
+    EXPECT_THROW(p.parcelAt(0), CrispError);              // before text
+}
+
+TEST(ProgramApi, AppendBuildsRunnablePrograms)
+{
+    Program p;
+    p.entry = p.textBase;
+    p.append(Instruction::mov(Operand::abs(kDataBase), Operand::imm(7)));
+    p.append(Instruction::halt());
+    p.data.assign(4, 0);
+    p.symbols["out"] = {Symbol::Kind::kGlobal, kDataBase};
+
+    Interpreter interp(p);
+    EXPECT_TRUE(interp.run().halted);
+    EXPECT_EQ(interp.wordAt("out"), 7);
+}
+
+TEST(InterpApi, SingleStepping)
+{
+    const Program p = assemble(R"(
+        .entry s
+        .global g 0
+s:      mov g, 1
+        add g, 2
+        halt
+    )");
+    Interpreter interp(p);
+    EXPECT_EQ(interp.pc(), p.entry);
+    EXPECT_TRUE(interp.step());
+    EXPECT_EQ(interp.wordAt("g"), 1);
+    EXPECT_TRUE(interp.step());
+    EXPECT_EQ(interp.wordAt("g"), 3);
+    EXPECT_FALSE(interp.step()); // halt
+    EXPECT_TRUE(interp.halted());
+    EXPECT_FALSE(interp.step()); // idempotent after halt
+    EXPECT_EQ(interp.result().instructions, 3u);
+}
+
+TEST(CpuApi, ManualTickingMatchesRun)
+{
+    const auto r = cc::compile(fig3Source(32));
+    CrispCpu a(r.program);
+    const std::uint64_t cycles = a.run().cycles;
+
+    CrispCpu b(r.program);
+    std::uint64_t ticks = 0;
+    while (b.tick())
+        ++ticks;
+    ++ticks; // the final tick returned false but still counted
+    EXPECT_EQ(b.stats().cycles, cycles);
+    EXPECT_EQ(b.accum(), a.accum());
+}
+
+TEST(StatsApi, ToStringMentionsEveryHeadline)
+{
+    const auto r = cc::compile(fig3Source(64));
+    CrispCpu cpu(r.program);
+    const std::string text = cpu.run().toString();
+    for (const char* key :
+         {"cycles", "issued", "apparent", "folded branches",
+          "mispredicts", "DIC hits/misses", "stack cache",
+          "halted:              yes"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(StatsApi, FaultAppearsInToString)
+{
+    const Program p = assemble(R"(
+        .entry s
+s:      mov @0x3FFFF, 1
+        halt
+    )");
+    CrispCpu cpu(p);
+    const std::string text = cpu.run().toString();
+    EXPECT_NE(text.find("FAULT at 0x"), std::string::npos);
+}
+
+TEST(Invariants, ApparentCountIsMachineIndependent)
+{
+    // The architectural instruction count must be identical on the
+    // interpreter and every pipeline configuration.
+    const auto r = cc::compile(workload("sieve").source);
+    Interpreter interp(r.program);
+    const std::uint64_t arch = interp.run(500'000'000).instructions;
+
+    for (int dic : {8, 32}) {
+        for (FoldPolicy f : {FoldPolicy::kNone, FoldPolicy::kCrisp}) {
+            SimConfig cfg;
+            cfg.dicEntries = dic;
+            cfg.foldPolicy = f;
+            CrispCpu cpu(r.program, cfg);
+            EXPECT_EQ(cpu.run().apparent, arch);
+        }
+    }
+}
+
+TEST(Invariants, CyclesNeverBelowIssued)
+{
+    for (const Workload& w : allWorkloads()) {
+        const auto r = cc::compile(w.source);
+        CrispCpu cpu(r.program);
+        const SimStats& s = cpu.run();
+        EXPECT_GE(s.cycles, s.issued) << w.name;
+        EXPECT_GE(s.apparent, s.issued) << w.name;
+        EXPECT_EQ(s.issued + s.foldedBranches, s.apparent) << w.name;
+    }
+}
+
+TEST(Invariants, StallAccountingAddsUp)
+{
+    const auto r = cc::compile(workload("puzzle").source);
+    CrispCpu cpu(r.program);
+    const SimStats& s = cpu.run();
+    // Every cycle either issued or stalled (squashed issues also
+    // occupied issue slots, so cycles >= issued + stalls - squashed).
+    EXPECT_EQ(s.cycles, s.issued + s.squashed + s.issueStallCycles);
+    EXPECT_GE(s.issueStallCycles,
+              s.dicMissStallCycles + s.indirectStallCycles);
+}
+
+TEST(Invariants, DelayedMachineCycleAccounting)
+{
+    cc::CompileOptions opts;
+    opts.delaySlots = true;
+    const auto r = cc::compile(workload("cwhet").source, opts);
+    DelayedBranchCpu cpu(r.program);
+    const DelayedStats& s = cpu.run();
+    EXPECT_EQ(s.cycles, s.instructions + s.interlockStalls +
+                            s.annulledSlots);
+}
+
+} // namespace
+} // namespace crisp

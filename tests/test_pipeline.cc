@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Cycle-accurate tests of the CRISP pipeline model: folded branches
+ * execute in zero time, the mispredict staircase matches the paper,
+ * spreading eliminates prediction, indirect transfers pay two bubbles.
+ *
+ * Absolute cycle counts include startup (crt0 + cold DIC misses), so
+ * steady-state costs are measured differentially: run a loop at two
+ * trip counts and divide the cycle delta by the iteration delta.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asm/assembler.hh"
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+
+namespace crisp
+{
+namespace
+{
+
+/** Replace every "%N%" in @p tmpl with @p n. */
+std::string
+withCount(const std::string& tmpl, int n)
+{
+    std::string out = tmpl;
+    const std::string key = "%N%";
+    std::size_t at = 0;
+    while ((at = out.find(key, at)) != std::string::npos)
+        out.replace(at, key.size(), std::to_string(n));
+    return out;
+}
+
+SimStats
+runAsm(const std::string& src, const SimConfig& cfg = {})
+{
+    const Program p = assemble(src);
+    CrispCpu cpu(p, cfg);
+    SimStats s = cpu.run();
+    EXPECT_TRUE(s.halted);
+    return s;
+}
+
+/** Steady-state cycles per loop iteration (startup cancelled out). */
+double
+perIter(const std::string& tmpl, const SimConfig& cfg = {},
+        int n1 = 500, int n2 = 1500)
+{
+    const SimStats a = runAsm(withCount(tmpl, n1), cfg);
+    const SimStats b = runAsm(withCount(tmpl, n2), cfg);
+    return static_cast<double>(b.cycles - a.cycles) / (n2 - n1);
+}
+
+/** Steady-state issued instructions per iteration. */
+double
+issuedPerIter(const std::string& tmpl, const SimConfig& cfg = {},
+              int n1 = 500, int n2 = 1500)
+{
+    const SimStats a = runAsm(withCount(tmpl, n1), cfg);
+    const SimStats b = runAsm(withCount(tmpl, n2), cfg);
+    return static_cast<double>(b.issued - a.issued) / (n2 - n1);
+}
+
+// A simple counted loop with a predicted-taken backedge.
+const char* kCountedLoop = R"(
+    .entry s
+    .local i 0
+s:  enter 1
+    mov i, 0
+top:
+    add i, 1
+    cmp.s< i, %N%
+    iftjmpy top
+    halt
+)";
+
+TEST(Pipeline, PredictedBackedgeLoopRunsAtOneIssuePerCycle)
+{
+    // add + (cmp folded-with-branch) = 2 issues per iteration, and the
+    // correctly predicted folded backedge costs zero cycles.
+    EXPECT_DOUBLE_EQ(issuedPerIter(kCountedLoop), 2.0);
+    EXPECT_DOUBLE_EQ(perIter(kCountedLoop), 2.0);
+}
+
+TEST(Pipeline, FoldedBranchesVanishFromIssueStream)
+{
+    const SimStats s = runAsm(withCount(kCountedLoop, 100));
+    // One folded conditional branch per iteration.
+    EXPECT_EQ(s.foldedBranches, 100u);
+    EXPECT_EQ(s.apparent - s.issued, s.foldedBranches);
+}
+
+TEST(Pipeline, UnfoldedLoopPaysOneSlotPerBranch)
+{
+    SimConfig nofold;
+    nofold.foldPolicy = FoldPolicy::kNone;
+    // Same loop: 3 issues per iteration (add, cmp, branch), still no
+    // bubbles because the backedge is predicted correctly.
+    EXPECT_DOUBLE_EQ(issuedPerIter(kCountedLoop, nofold), 3.0);
+    EXPECT_DOUBLE_EQ(perIter(kCountedLoop, nofold), 3.0);
+}
+
+TEST(Pipeline, UncondFoldedBranchZeroCost)
+{
+    // Loop body with an unconditional jump inside: the jmp folds and
+    // costs nothing.
+    const char* tmpl = R"(
+        .entry s
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:
+        add i, 1
+        jmp join
+join:
+        cmp.s< i, %N%
+        iftjmpy top
+        halt
+    )";
+    // add (+folded jmp) + cmp (+folded backedge) = 2 issues/iter.
+    EXPECT_DOUBLE_EQ(issuedPerIter(tmpl), 2.0);
+    EXPECT_DOUBLE_EQ(perIter(tmpl), 2.0);
+}
+
+/**
+ * The paper's staircase: a folded conditional branch whose compare is
+ * k issue slots ahead loses 3/2/1/0 cycles on a mispredict.
+ */
+class MispredictStaircase : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MispredictStaircase, FoldedPenaltyMatchesPaper)
+{
+    const int k = GetParam();
+    std::ostringstream os;
+    os << ".entry s\n.local i 0\n.local f 1\n"
+       << "s:  enter 2\n    mov i, 0\n"
+       << "top:\n    add i, 1\n    cmp.s< i, %N%\n";
+    for (int j = 0; j < k; ++j)
+        os << "    add f, 1\n";
+    os << "    iftjmpn top\n    halt\n"; // bit says not-taken: wrong
+
+    const double issued = issuedPerIter(os.str());
+    const double cycles = perIter(os.str());
+    const int expected_penalty[] = {3, 2, 1, 0, 0};
+    EXPECT_DOUBLE_EQ(issued, 2.0 + k);
+    EXPECT_DOUBLE_EQ(cycles - issued, expected_penalty[k]);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, MispredictStaircase, ::testing::Range(0, 5));
+
+class LonePenalty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LonePenalty, UnfoldedBranchVerifiesAtItsOwnRR)
+{
+    const int k = GetParam();
+    std::ostringstream os;
+    os << ".entry s\n.local i 0\n.local f 1\n"
+       << "s:  enter 2\n    mov i, 0\n"
+       << "top:\n    add i, 1\n    cmp.s< i, %N%\n";
+    for (int j = 0; j < k; ++j)
+        os << "    add f, 1\n";
+    os << "    iftjmpn top\n    halt\n";
+
+    SimConfig nofold;
+    nofold.foldPolicy = FoldPolicy::kNone;
+    const double issued = issuedPerIter(os.str(), nofold);
+    const double cycles = perIter(os.str(), nofold);
+    // Lone branches resolve in their own RR stage: 3 cycles lost until
+    // the compare is far enough ahead that the flag is final at issue.
+    const int expected_penalty[] = {3, 3, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(issued, 3.0 + k);
+    EXPECT_DOUBLE_EQ(cycles - issued, expected_penalty[k]);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, LonePenalty, ::testing::Range(0, 5));
+
+TEST(Pipeline, SpreadingMakesWrongBitFree)
+{
+    // Three useful instructions between cmp and branch: the branch
+    // outcome is known at issue; the wrong static bit costs nothing.
+    const char* tmpl = R"(
+        .entry s
+        .local i 0
+        .local a 1
+        .local b 2
+        .local c 3
+s:      enter 4
+        mov i, 0
+top:
+        add i, 1
+        cmp.s< i, %N%
+        add a, 1
+        add b, 1
+        add c, 1
+        iftjmpn top
+        halt
+    )";
+    EXPECT_DOUBLE_EQ(perIter(tmpl), 5.0); // = issued, zero penalty
+
+    const SimStats s = runAsm(withCount(tmpl, 200));
+    EXPECT_GE(s.resolvedAtIssue, 199u);
+    EXPECT_LE(s.mispredicts, 1u);
+}
+
+TEST(Pipeline, StatsDistinguishSpeculatedFromResolved)
+{
+    const SimStats s = runAsm(withCount(kCountedLoop, 100));
+    // cmp is folded with the branch itself: always speculative.
+    EXPECT_EQ(s.speculated, 100u);
+    EXPECT_EQ(s.resolvedAtIssue, 0u);
+    EXPECT_EQ(s.condBranches, 100u);
+    // Predicted taken, taken 99 times, falls through once at exit.
+    EXPECT_EQ(s.mispredicts, 1u);
+}
+
+TEST(Pipeline, RespectPredictionBitOff)
+{
+    SimConfig cfg;
+    cfg.respectPredictionBit = false; // hardware predicts not-taken
+    const double cycles = perIter(kCountedLoop, cfg);
+    // Backedge now mispredicts every iteration: 2 issues + 3 penalty.
+    EXPECT_DOUBLE_EQ(cycles, 5.0);
+}
+
+TEST(Pipeline, ReturnCostsTwoBubbles)
+{
+    // Returns read their target from the stack at retirement: the
+    // paper's stack-cache / data_in path for indirect transfers.
+    const char* call_tmpl = R"(
+        .entry s
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:
+        add i, 1
+        call fn
+        cmp.s< i, %N%
+        iftjmpy top
+        halt
+fn:     enter 0
+        return 0
+    )";
+    const double cycles = perIter(call_tmpl);
+    const double issued = issuedPerIter(call_tmpl);
+    // Per iteration: add, call, enter, return, cmp(+folded backedge)
+    // = 5 issues; the return's target is read at retirement: 2 bubbles.
+    EXPECT_DOUBLE_EQ(issued, 5.0);
+    EXPECT_DOUBLE_EQ(cycles - issued, 2.0);
+
+    const SimStats s = runAsm(withCount(call_tmpl, 100));
+    EXPECT_GE(s.indirectStallCycles, 2u * 100u);
+    EXPECT_LE(s.indirectStallCycles, 2u * 100u + 4u);
+}
+
+TEST(Pipeline, CallTargetKnownAtIssueNoBubble)
+{
+    // An unconditional call with a static target adds only its own
+    // issue slot (+ the callee's enter/return cost), no fetch bubble on
+    // the way in.
+    const char* tmpl = R"(
+        .entry s
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:
+        add i, 1
+        cmp.s< i, %N%
+        iftjmpy top
+        halt
+    )";
+    const char* tmpl_with_jmp = R"(
+        .entry s
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:
+        add i, 1
+        jmp mid
+mid:
+        cmp.s< i, %N%
+        iftjmpy top
+        halt
+    )";
+    // The folded jmp adds zero cycles.
+    EXPECT_DOUBLE_EQ(perIter(tmpl), perIter(tmpl_with_jmp));
+}
+
+TEST(Pipeline, WrongPathEffectsNeverRetire)
+{
+    // The taken path of a mispredicted branch writes `poison`; the
+    // architectural result must be unaffected.
+    const SimStats s = runAsm(R"(
+        .entry s
+        .global poison 0
+        .local i 0
+s:      enter 1
+        mov i, 5
+        cmp.s< i, 3          ; false
+        iftjmpy bad          ; predicted taken, actually not taken
+        jmp good
+bad:    mov poison, 1
+        halt
+good:   halt
+    )");
+    EXPECT_GE(s.mispredicts, 1u);
+
+    const Program p = assemble(R"(
+        .entry s
+        .global poison 0
+        .local i 0
+s:      enter 1
+        mov i, 5
+        cmp.s< i, 3
+        iftjmpy bad
+        jmp good
+bad:    mov poison, 1
+        halt
+good:   halt
+    )");
+    CrispCpu cpu(p);
+    cpu.run();
+    EXPECT_EQ(cpu.wordAt("poison"), 0);
+}
+
+TEST(Pipeline, WarmWrongPathGetsSquashed)
+{
+    // An alternating branch keeps both paths warm in the DIC, so the
+    // wrong path actually enters the pipeline and is squashed.
+    const SimStats s = runAsm(withCount(R"(
+        .entry s
+        .global g 0
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:    add i, 1
+        and3 i, 1
+        cmp.= Accum, 0
+        iftjmpy even
+        add g, 1
+        jmp join
+even:   add g, 2
+join:   cmp.s< i, %N%
+        iftjmpy top
+        halt
+    )", 100));
+    EXPECT_GE(s.mispredicts, 49u);
+    EXPECT_GT(s.squashed, 50u);
+    EXPECT_EQ(s.apparent - s.issued, s.foldedBranches);
+}
+
+TEST(Pipeline, DicThrashOnLargeLoop)
+{
+    // A loop body larger than a small DIC thrashes; a big DIC does not.
+    std::string body;
+    for (int i = 0; i < 40; ++i)
+        body += "    add sp[1], 1\n"; // 40 one-parcel instructions
+    const std::string tmpl = ".entry s\n.local i 0\ns:  enter 2\n"
+                             "    mov i, 0\ntop:\n    add i, 1\n" +
+                             body +
+                             "    cmp.s< i, %N%\n    iftjmpy top\n"
+                             "    halt\n";
+    SimConfig small;
+    small.dicEntries = 8;
+    SimConfig big;
+    big.dicEntries = 256;
+    const SimStats ssmall = runAsm(withCount(tmpl, 200), small);
+    const SimStats sbig = runAsm(withCount(tmpl, 200), big);
+    EXPECT_GT(ssmall.dicMissStallCycles, 100u);
+    EXPECT_GT(sbig.cycles, 0u);
+    EXPECT_LT(sbig.dicMissStallCycles, ssmall.dicMissStallCycles / 4);
+    EXPECT_LT(sbig.cycles, ssmall.cycles);
+    // Architectural behaviour identical either way.
+    EXPECT_EQ(ssmall.apparent, sbig.apparent);
+}
+
+TEST(Pipeline, MaxCyclesGuardStopsRunaways)
+{
+    SimConfig cfg;
+    cfg.maxCycles = 5000;
+    const Program p = assemble(".entry s\ns: jmp s\n");
+    CrispCpu cpu(p, cfg);
+    const SimStats& s = cpu.run();
+    EXPECT_FALSE(s.halted);
+    EXPECT_EQ(s.cycles, 5000u);
+}
+
+TEST(Pipeline, RetireOrderMatchesInterpreter)
+{
+    const char* src = R"(
+        .entry s
+        .global g 0
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:    add i, 1
+        and3 i, 1
+        cmp.= Accum, 0
+        iftjmpn odd
+        add g, 2
+        jmp join
+odd:    add g, 5
+join:   cmp.s< i, 40
+        iftjmpy top
+        halt
+    )";
+    const Program p = assemble(src);
+
+    struct Recorder : ExecObserver
+    {
+        std::vector<std::pair<Addr, Opcode>> seq;
+        void
+        onInstruction(Addr pc, Opcode op) override
+        {
+            seq.emplace_back(pc, op);
+        }
+    };
+
+    Recorder ri;
+    Interpreter interp(p);
+    interp.run(1'000'000, &ri);
+
+    Recorder rs;
+    CrispCpu cpu(p);
+    cpu.run(&rs);
+
+    ASSERT_EQ(ri.seq.size(), rs.seq.size());
+    EXPECT_EQ(ri.seq, rs.seq);
+    EXPECT_EQ(cpu.wordAt("g"), interp.wordAt("g"));
+    EXPECT_EQ(cpu.flag(), interp.flag());
+    EXPECT_EQ(cpu.accum(), interp.accum());
+    EXPECT_EQ(cpu.sp(), interp.sp());
+}
+
+TEST(Pipeline, MemoryLatencyOnlyAffectsStartupForCachedLoops)
+{
+    SimConfig fast;
+    fast.memLatency = 1;
+    SimConfig slow;
+    slow.memLatency = 20;
+    // Steady state identical; only the (cancelled) startup differs.
+    EXPECT_DOUBLE_EQ(perIter(kCountedLoop, fast),
+                     perIter(kCountedLoop, slow));
+    // But total cycles differ because of cold misses.
+    const SimStats a = runAsm(withCount(kCountedLoop, 100), fast);
+    const SimStats b = runAsm(withCount(kCountedLoop, 100), slow);
+    EXPECT_LT(a.cycles, b.cycles);
+}
+
+TEST(Pipeline, HaltDrainsPipeline)
+{
+    const SimStats s = runAsm(R"(
+        .entry s
+        .global g 0
+s:      mov g, 1
+        add g, 2
+        halt
+    )");
+    EXPECT_TRUE(s.halted);
+    EXPECT_EQ(s.issued, 3u);
+    EXPECT_EQ(s.apparent, 3u);
+}
+
+} // namespace
+} // namespace crisp

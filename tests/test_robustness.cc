@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Robustness and deep-pipeline corner cases: assembler/compiler fuzz
+ * (malformed input must raise CrispError, never crash), back-to-back
+ * speculation, folded branches on frame instructions, and the
+ * two-level predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asm/assembler.hh"
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "predict/predictors.hh"
+#include "sim/cpu.hh"
+
+namespace crisp
+{
+namespace
+{
+
+// ------------------------------------------------------------- fuzzing
+
+class AsmFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AsmFuzz, MalformedInputNeverCrashes)
+{
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    const std::string alphabet =
+        "abcdefghijklmnopqrstuvwxyz0123456789 \t\n.,:;[]()*#@-+$";
+    const char* fragments[] = {
+        "add ",     "sp[",      "jmp ",    ".global ", "cmp.s< ",
+        "iftjmpy ", ".entry ",  "Accum",   "halt\n",   ".local ",
+        "enter ",   "mov ",     "label:",  "*sp[0]",   "0x",
+    };
+
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string src;
+        const int pieces =
+            std::uniform_int_distribution<int>(1, 20)(rng);
+        for (int p = 0; p < pieces; ++p) {
+            if (std::uniform_int_distribution<int>(0, 1)(rng)) {
+                src += fragments[std::uniform_int_distribution<int>(
+                    0, 14)(rng)];
+            } else {
+                const int len =
+                    std::uniform_int_distribution<int>(1, 8)(rng);
+                for (int c = 0; c < len; ++c) {
+                    src += alphabet[std::uniform_int_distribution<
+                        std::size_t>(0, alphabet.size() - 1)(rng)];
+                }
+            }
+        }
+        try {
+            const Program p = assemble(src);
+            // If it assembled, it must at least disassemble cleanly.
+            (void)p.disassemble();
+        } catch (const CrispError&) {
+            // expected for garbage
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsmFuzz, ::testing::Range(0, 4));
+
+class CcFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CcFuzz, MalformedSourceNeverCrashes)
+{
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    const char* fragments[] = {
+        "int ",   "main",  "() {",   "}",     "return ", ";",
+        "if (",   ")",     "for (",  "while", "a",       "= 5",
+        "+",      "(",     "[3]",    "{",     "switch",  "case 1:",
+        "?",      ":",     "&&",     "++",    "break;",  "/* x */",
+    };
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string src;
+        const int pieces =
+            std::uniform_int_distribution<int>(1, 30)(rng);
+        for (int p = 0; p < pieces; ++p) {
+            src += fragments[std::uniform_int_distribution<int>(0, 23)(
+                rng)];
+            src += " ";
+        }
+        try {
+            (void)cc::compile(src);
+        } catch (const CrispError&) {
+            // expected
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcFuzz, ::testing::Range(0, 4));
+
+// ----------------------------------------------- deep pipeline corners
+
+TEST(PipelineCorner, BackToBackSpeculativeBranches)
+{
+    // Two folded conditional branches in consecutive issue slots, both
+    // speculative; the older's verification must not corrupt the
+    // younger's.
+    const char* src = R"(
+        .entry s
+        .global a 0
+        .global b 0
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:    add i, 1
+        cmp.s< i, 200
+        iftjmpn exit         ; wrong bit: mispredicts every iteration
+exit2:  cmp.s> i, 100
+        iftjmpn top          ; wrong bit for i>100... and correct before
+        jmp top
+exit:   halt
+    )";
+    const Program p = assemble(src);
+    Interpreter interp(p);
+    const InterpResult ri = interp.run(1'000'000);
+    ASSERT_TRUE(ri.halted);
+
+    CrispCpu cpu(p);
+    const SimStats& s = cpu.run();
+    ASSERT_TRUE(s.halted);
+    EXPECT_EQ(s.apparent, ri.instructions);
+}
+
+TEST(PipelineCorner, FoldIntoEnterAndLeave)
+{
+    // enter/leave are foldable carriers; a branch folded into an SP
+    // adjustment must still sequence architectural state correctly.
+    const char* src = R"(
+        .entry s
+        .global r 0
+s:      enter 4
+        jmp next            ; folds into enter
+next:   mov sp[0], 7
+        leave 4
+        jmp fin             ; folds into leave
+fin:    mov r, 1
+        halt
+    )";
+    const Program p = assemble(src);
+    CrispCpu cpu(p);
+    const SimStats& s = cpu.run();
+    EXPECT_TRUE(s.halted);
+    EXPECT_GE(s.foldedBranches, 2u);
+    EXPECT_EQ(cpu.wordAt("r"), 1);
+    EXPECT_EQ(cpu.sp(), (kDefaultMemBytes - kWordBytes) &
+                            ~(kWordBytes - 1));
+}
+
+TEST(PipelineCorner, BranchIntoMiddleOfFoldedPair)
+{
+    // A branch targeting the folded-away branch itself: the DIC holds
+    // a separate lone entry for that address.
+    const char* src = R"(
+        .entry s
+        .global r 0
+        .local i 0
+s:      enter 1
+        mov i, 0
+top:    mov r, i            ; carrier: jmp join folds into this
+mid:    jmp join            ; also a direct branch target
+join:   add i, 1
+        cmp.s< i, 10
+        iftjmpy mid         ; jumps INTO the folded pair's branch half
+        halt
+    )";
+    const Program p = assemble(src);
+    Interpreter interp(p);
+    ASSERT_TRUE(interp.run(1'000'000).halted);
+
+    CrispCpu cpu(p);
+    const SimStats& s = cpu.run();
+    ASSERT_TRUE(s.halted);
+    EXPECT_EQ(cpu.wordAt("r"), interp.wordAt("r"));
+    EXPECT_EQ(s.apparent, interp.result().instructions);
+}
+
+TEST(PipelineCorner, ConditionalAtFunctionTailThenReturn)
+{
+    const char* src = R"(
+        int abs(int x) {
+            if (x < 0)
+                return -x;
+            return x;
+        }
+        int main() {
+            int s = 0;
+            for (int i = -5; i < 5; i++)
+                s += abs(i);
+            return s;
+        }
+    )";
+    const auto r = cc::compile(src);
+    CrispCpu cpu(r.program);
+    cpu.run();
+    EXPECT_EQ(cpu.accum(), 25);
+}
+
+TEST(PipelineCorner, TinyDicStillCorrectUnderMisprediction)
+{
+    // 1-entry DIC: every issue is essentially a miss; mispredict
+    // recovery paths must still be architecturally exact.
+    const char* src = R"(
+        int main() {
+            int a = 0;
+            for (int i = 0; i < 30; i++)
+                if (i & 1) a += i;
+            return a;
+        }
+    )";
+    const auto r = cc::compile(src);
+    SimConfig cfg;
+    cfg.dicEntries = 1;
+    CrispCpu cpu(r.program, cfg);
+    const SimStats& s = cpu.run();
+    ASSERT_TRUE(s.halted);
+    EXPECT_EQ(cpu.accum(), 1 + 3 + 5 + 7 + 9 + 11 + 13 + 15 + 17 + 19 +
+                               21 + 23 + 25 + 27 + 29);
+    EXPECT_GT(s.dicMissStallCycles, s.cycles / 3);
+}
+
+// ------------------------------------------------- two-level predictor
+
+TEST(TwoLevel, LearnsAlternationPerfectly)
+{
+    TwoLevelPredictor p(4);
+    const auto acc = alternatingAccuracy(p, 2000);
+    // After a short warmup the pattern table locks in.
+    EXPECT_GT(acc.rate(), 0.98);
+}
+
+TEST(TwoLevel, LearnsShortPeriodicPatterns)
+{
+    TwoLevelPredictor p(6);
+    PredictionAccuracy acc;
+    BranchEvent ev;
+    ev.pc = 0x100;
+    ev.conditional = true;
+    const std::string pattern = "TTFTF"; // period 5
+    for (int i = 0; i < 3000; ++i) {
+        ev.taken = pattern[static_cast<std::size_t>(i) %
+                           pattern.size()] == 'T';
+        ++acc.total;
+        if (p.predict(ev) == ev.taken)
+            ++acc.correct;
+        p.update(ev);
+    }
+    EXPECT_GT(acc.rate(), 0.95);
+}
+
+TEST(TwoLevel, RejectsBadHistoryWidth)
+{
+    EXPECT_THROW(TwoLevelPredictor(0), CrispError);
+    EXPECT_THROW(TwoLevelPredictor(13), CrispError);
+}
+
+} // namespace
+} // namespace crisp

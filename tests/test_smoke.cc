@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end smoke tests: assemble, interpret, simulate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+
+namespace crisp
+{
+namespace
+{
+
+const char* kCountdown = R"(
+    .entry start
+    .global counter 0
+start:
+    mov counter, 5
+loop:
+    sub counter, 1
+    cmp.s> counter, 0
+    iftjmpy loop
+    halt
+)";
+
+TEST(Smoke, InterpreterRunsCountdown)
+{
+    const Program prog = assemble(kCountdown);
+    Interpreter interp(prog);
+    const InterpResult r = interp.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(interp.wordAt("counter"), 0);
+    // mov + 5 * (sub, cmp, branch) + halt
+    EXPECT_EQ(r.instructions, 1u + 15u + 1u);
+}
+
+TEST(Smoke, PipelineMatchesInterpreter)
+{
+    const Program prog = assemble(kCountdown);
+    Interpreter interp(prog);
+    const InterpResult ri = interp.run();
+
+    CrispCpu cpu(prog);
+    const SimStats& rs = cpu.run();
+    EXPECT_TRUE(rs.halted);
+    EXPECT_EQ(rs.apparent, ri.instructions);
+    EXPECT_EQ(cpu.wordAt("counter"), 0);
+    EXPECT_EQ(cpu.flag(), interp.flag());
+}
+
+TEST(Smoke, FoldingReducesIssuedInstructions)
+{
+    const Program prog = assemble(kCountdown);
+
+    SimConfig folded;
+    folded.foldPolicy = FoldPolicy::kCrisp;
+    CrispCpu cpu1(prog, folded);
+    const SimStats s1 = cpu1.run();
+
+    SimConfig unfolded;
+    unfolded.foldPolicy = FoldPolicy::kNone;
+    CrispCpu cpu2(prog, unfolded);
+    const SimStats s2 = cpu2.run();
+
+    EXPECT_EQ(s1.apparent, s2.apparent);
+    EXPECT_LT(s1.issued, s2.issued);
+    EXPECT_EQ(s2.issued, s2.apparent);
+    EXPECT_EQ(s1.issued + s1.foldedBranches, s1.apparent);
+}
+
+} // namespace
+} // namespace crisp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * crispcc — command-line driver for the CRISP-C compiler.
+ *
+ *   crispcc input.c [-o out.obj] [-S] [--no-spread] [--no-peephole]
+ *           [--predict=naive|heuristic] [--delay-slots] [--disasm]
+ *
+ *   -S            print the assembly listing instead of writing output
+ *   -o FILE       write a linked CRISP object file
+ *   --disasm      print the binary disassembly
+ *   --no-spread   disable the Branch Spreading pass
+ *   --predict=    prediction-bit mode (default heuristic)
+ *   --delay-slots target the delayed-branch baseline machine
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cc/compiler.hh"
+#include "isa/objfile.hh"
+
+namespace
+{
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw crisp::CrispError("cannot open: " + path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: crispcc input.c [-o out.obj] [-S] [--disasm]\n"
+        "               [--no-spread] [--no-peephole]\n"
+        "               [--predict=naive|heuristic] [--delay-slots]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace crisp;
+
+    std::string input;
+    std::string output;
+    bool listing = false;
+    bool disasm = false;
+    cc::CompileOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "-S") {
+            listing = true;
+        } else if (a == "--disasm") {
+            disasm = true;
+        } else if (a == "-o") {
+            if (++i >= argc)
+                return usage();
+            output = argv[i];
+        } else if (a == "--no-spread") {
+            opts.spread = false;
+        } else if (a == "--no-peephole") {
+            opts.peephole = false;
+        } else if (a == "--delay-slots") {
+            opts.delaySlots = true;
+        } else if (a == "--predict=naive") {
+            opts.predict = cc::PredictMode::kAllNotTaken;
+        } else if (a == "--predict=heuristic") {
+            opts.predict = cc::PredictMode::kBackwardTaken;
+        } else if (!a.empty() && a[0] == '-') {
+            return usage();
+        } else if (input.empty()) {
+            input = a;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty())
+        return usage();
+
+    try {
+        const cc::CompileResult r = cc::compile(readFile(input), opts);
+        if (listing)
+            std::fputs(r.listing.c_str(), stdout);
+        if (disasm)
+            std::fputs(r.program.disassemble().c_str(), stdout);
+        if (!output.empty()) {
+            saveObjectFile(r.program, output);
+            std::fprintf(stderr, "wrote %s (%zu parcels, %zu data "
+                                 "bytes)\n",
+                         output.c_str(), r.program.text.size(),
+                         r.program.data.size());
+        }
+        if (!listing && !disasm && output.empty())
+            std::fputs(r.listing.c_str(), stdout);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "crispcc: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

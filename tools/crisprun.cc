@@ -1,0 +1,232 @@
+/**
+ * @file
+ * crisprun — run a CRISP program (C source, assembly or object file)
+ * on any of the three machines with full statistics.
+ *
+ *   crisprun program.{c,s,obj}
+ *            [--machine=pipeline|interp|delayed]
+ *            [--fold=none|crisp|all] [--dic=N] [--mem-latency=N]
+ *            [--stack-cache=N] [--stack-penalty=N]
+ *            [--no-predict-bit] [--profile-opt]
+ *            [--trace[=N]] [--stats] [--histogram]
+ *
+ *   --profile-opt  run once on the interpreter and patch profile-
+ *                  optimal prediction bits before the measured run
+ *   --annul        with --machine=delayed: squashing (annulling) delay
+ *                  slots, filled from branch targets
+ *   --trace[=N]    print a per-cycle pipeline trace (first N cycles)
+ *   --histogram    print the dynamic opcode histogram
+ *
+ * The program's exit value (main's return, i.e. the accumulator) is
+ * printed; a delayed-branch machine requires a program compiled with
+ * crispcc --delay-slots.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "baseline/delayed.hh"
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "isa/objfile.hh"
+#include "predict/profile.hh"
+#include "sim/cpu.hh"
+
+namespace
+{
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f)
+        throw crisp::CrispError("cannot open: " + path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+bool
+endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: crisprun program.{c,s,obj} [options]\n"
+        "  --machine=pipeline|interp|delayed   (default pipeline)\n"
+        "  --fold=none|crisp|all  --dic=N  --mem-latency=N\n"
+        "  --stack-cache=N  --stack-penalty=N  --no-predict-bit\n"
+        "  --profile-opt  --annul  --trace[=N]  --stats  "
+        "--histogram\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace crisp;
+
+    std::string input;
+    std::string machine = "pipeline";
+    SimConfig cfg;
+    bool want_stats = false;
+    bool want_histogram = false;
+    bool profile_opt = false;
+    long trace_cycles = 0;
+    bool delay_slots_hint = false;
+    bool annul = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&](const char* key) -> const char* {
+            const std::size_t n = std::strlen(key);
+            return a.compare(0, n, key) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char* v = val("--machine=")) {
+            machine = v;
+        } else if (const char* v2 = val("--fold=")) {
+            const std::string f = v2;
+            if (f == "none")
+                cfg.foldPolicy = FoldPolicy::kNone;
+            else if (f == "crisp")
+                cfg.foldPolicy = FoldPolicy::kCrisp;
+            else if (f == "all")
+                cfg.foldPolicy = FoldPolicy::kAll;
+            else
+                return usage();
+        } else if (const char* v3 = val("--dic=")) {
+            cfg.dicEntries = std::atoi(v3);
+        } else if (const char* v4 = val("--mem-latency=")) {
+            cfg.memLatency = std::atoi(v4);
+        } else if (const char* v5 = val("--stack-cache=")) {
+            cfg.stackCacheWords = std::atoi(v5);
+        } else if (const char* v6 = val("--stack-penalty=")) {
+            cfg.stackCacheMissPenalty = std::atoi(v6);
+        } else if (a == "--no-predict-bit") {
+            cfg.respectPredictionBit = false;
+        } else if (a == "--annul") {
+            annul = true;
+        } else if (a == "--profile-opt") {
+            profile_opt = true;
+        } else if (a == "--stats") {
+            want_stats = true;
+        } else if (a == "--histogram") {
+            want_histogram = true;
+        } else if (a == "--trace") {
+            trace_cycles = 200;
+        } else if (const char* v7 = val("--trace=")) {
+            trace_cycles = std::atol(v7);
+        } else if (!a.empty() && a[0] == '-') {
+            return usage();
+        } else if (input.empty()) {
+            input = a;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty())
+        return usage();
+    if (machine == "delayed")
+        delay_slots_hint = true;
+
+    try {
+        Program prog;
+        if (endsWith(input, ".obj")) {
+            prog = loadObjectFile(input);
+        } else if (endsWith(input, ".s") || endsWith(input, ".asm")) {
+            prog = assemble(readFile(input));
+        } else {
+            cc::CompileOptions opts;
+            opts.delaySlots = delay_slots_hint;
+            opts.annulSlots = annul;
+            prog = cc::compile(readFile(input), opts).program;
+        }
+
+        if (profile_opt) {
+            prog = profileOptimize(prog);
+            std::fprintf(stderr, "crisprun: applied profile-optimal "
+                                 "prediction bits\n");
+        }
+
+        if (machine == "interp") {
+            Interpreter interp(prog);
+            const InterpResult r = interp.run();
+            std::printf("exit value: %d\n",
+                        static_cast<int>(interp.accum()));
+            if (want_stats) {
+                std::printf("instructions: %llu\nbranches: %llu "
+                            "(one-parcel %llu)\n",
+                            static_cast<unsigned long long>(
+                                r.instructions),
+                            static_cast<unsigned long long>(r.branches),
+                            static_cast<unsigned long long>(
+                                r.shortBranches));
+            }
+            if (want_histogram)
+                std::fputs(r.histogramTable().c_str(), stdout);
+            return r.halted ? 0 : 3;
+        }
+
+        if (machine == "delayed") {
+            DelayedBranchCpu cpu(prog, annul);
+            const DelayedStats& s = cpu.run();
+            std::printf("exit value: %d\n",
+                        static_cast<int>(cpu.accum()));
+            if (want_stats) {
+                std::printf("cycles: %llu\ninstructions: %llu\nnop "
+                            "slots: %llu\ninterlock stalls: %llu\n"
+                            "annulled slots: %llu\nCPI: %.3f\n",
+                            static_cast<unsigned long long>(s.cycles),
+                            static_cast<unsigned long long>(
+                                s.instructions),
+                            static_cast<unsigned long long>(s.nopSlots),
+                            static_cast<unsigned long long>(
+                                s.interlockStalls),
+                            static_cast<unsigned long long>(
+                                s.annulledSlots),
+                            s.cpi());
+            }
+            return s.halted ? 0 : 3;
+        }
+
+        if (machine != "pipeline")
+            return usage();
+
+        CrispCpu cpu(prog, cfg);
+        if (trace_cycles > 0) {
+            long remaining = trace_cycles;
+            cpu.setTraceSink([&remaining](const std::string& line) {
+                if (remaining-- > 0)
+                    std::puts(line.c_str());
+            });
+        }
+        const SimStats& s = cpu.run();
+        std::printf("exit value: %d\n", static_cast<int>(cpu.accum()));
+        if (want_stats)
+            std::fputs(s.toString().c_str(), stdout);
+        if (want_histogram) {
+            InterpResult hist;
+            hist.instructions = s.apparent;
+            hist.opcodeCounts = s.opcodeCounts;
+            std::fputs(hist.histogramTable().c_str(), stdout);
+        }
+        return s.halted ? 0 : 3;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "crisprun: %s\n", e.what());
+        return 1;
+    }
+}
