@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_basic_block.dir/ablation_basic_block.cc.o"
+  "CMakeFiles/ablation_basic_block.dir/ablation_basic_block.cc.o.d"
+  "ablation_basic_block"
+  "ablation_basic_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_basic_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dic_size.dir/ablation_dic_size.cc.o"
+  "CMakeFiles/ablation_dic_size.dir/ablation_dic_size.cc.o.d"
+  "ablation_dic_size"
+  "ablation_dic_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dic_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_loop_count.cc" "bench/CMakeFiles/ablation_loop_count.dir/ablation_loop_count.cc.o" "gcc" "bench/CMakeFiles/ablation_loop_count.dir/ablation_loop_count.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/crisp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/crisp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/crisp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/crisp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/crisp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/crisp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/crisp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/vax/CMakeFiles/crisp_vax.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

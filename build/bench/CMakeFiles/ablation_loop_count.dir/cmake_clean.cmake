@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loop_count.dir/ablation_loop_count.cc.o"
+  "CMakeFiles/ablation_loop_count.dir/ablation_loop_count.cc.o.d"
+  "ablation_loop_count"
+  "ablation_loop_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loop_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profile_bits.dir/ablation_profile_bits.cc.o"
+  "CMakeFiles/ablation_profile_bits.dir/ablation_profile_bits.cc.o.d"
+  "ablation_profile_bits"
+  "ablation_profile_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spread_distance.dir/ablation_spread_distance.cc.o"
+  "CMakeFiles/ablation_spread_distance.dir/ablation_spread_distance.cc.o.d"
+  "ablation_spread_distance"
+  "ablation_spread_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spread_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

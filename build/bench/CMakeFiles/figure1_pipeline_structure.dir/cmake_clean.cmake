@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_pipeline_structure.dir/figure1_pipeline_structure.cc.o"
+  "CMakeFiles/figure1_pipeline_structure.dir/figure1_pipeline_structure.cc.o.d"
+  "figure1_pipeline_structure"
+  "figure1_pipeline_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_pipeline_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

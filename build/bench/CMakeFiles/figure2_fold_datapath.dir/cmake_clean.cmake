@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_fold_datapath.dir/figure2_fold_datapath.cc.o"
+  "CMakeFiles/figure2_fold_datapath.dir/figure2_fold_datapath.cc.o.d"
+  "figure2_fold_datapath"
+  "figure2_fold_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_fold_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_hosts.dir/microbench_hosts.cc.o"
+  "CMakeFiles/microbench_hosts.dir/microbench_hosts.cc.o.d"
+  "microbench_hosts"
+  "microbench_hosts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_hosts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_prediction.dir/table1_prediction.cc.o"
+  "CMakeFiles/table1_prediction.dir/table1_prediction.cc.o.d"
+  "table1_prediction"
+  "table1_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

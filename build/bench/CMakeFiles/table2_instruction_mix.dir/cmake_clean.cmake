@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_instruction_mix.dir/table2_instruction_mix.cc.o"
+  "CMakeFiles/table2_instruction_mix.dir/table2_instruction_mix.cc.o.d"
+  "table2_instruction_mix"
+  "table2_instruction_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_instruction_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

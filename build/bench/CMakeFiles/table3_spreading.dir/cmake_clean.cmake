@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_spreading.dir/table3_spreading.cc.o"
+  "CMakeFiles/table3_spreading.dir/table3_spreading.cc.o.d"
+  "table3_spreading"
+  "table3_spreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_spreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_execution.dir/table4_execution.cc.o"
+  "CMakeFiles/table4_execution.dir/table4_execution.cc.o.d"
+  "table4_execution"
+  "table4_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

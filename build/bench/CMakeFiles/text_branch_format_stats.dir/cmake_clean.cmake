@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_branch_format_stats.dir/text_branch_format_stats.cc.o"
+  "CMakeFiles/text_branch_format_stats.dir/text_branch_format_stats.cc.o.d"
+  "text_branch_format_stats"
+  "text_branch_format_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_branch_format_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_branch_format_stats.
+# This may be replaced when dependencies are built.

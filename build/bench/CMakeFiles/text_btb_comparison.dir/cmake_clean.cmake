@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_btb_comparison.dir/text_btb_comparison.cc.o"
+  "CMakeFiles/text_btb_comparison.dir/text_btb_comparison.cc.o.d"
+  "text_btb_comparison"
+  "text_btb_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_btb_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_study.dir/branch_study.cpp.o"
+  "CMakeFiles/branch_study.dir/branch_study.cpp.o.d"
+  "branch_study"
+  "branch_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

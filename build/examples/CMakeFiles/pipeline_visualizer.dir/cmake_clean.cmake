@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_visualizer.dir/pipeline_visualizer.cpp.o"
+  "CMakeFiles/pipeline_visualizer.dir/pipeline_visualizer.cpp.o.d"
+  "pipeline_visualizer"
+  "pipeline_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

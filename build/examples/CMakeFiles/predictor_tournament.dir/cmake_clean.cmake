@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_tournament.dir/predictor_tournament.cpp.o"
+  "CMakeFiles/predictor_tournament.dir/predictor_tournament.cpp.o.d"
+  "predictor_tournament"
+  "predictor_tournament.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_tournament.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_asm.dir/assembler.cc.o"
+  "CMakeFiles/crisp_asm.dir/assembler.cc.o.d"
+  "libcrisp_asm.a"
+  "libcrisp_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

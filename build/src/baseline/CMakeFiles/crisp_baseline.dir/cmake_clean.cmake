@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_baseline.dir/delayed.cc.o"
+  "CMakeFiles/crisp_baseline.dir/delayed.cc.o.d"
+  "libcrisp_baseline.a"
+  "libcrisp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

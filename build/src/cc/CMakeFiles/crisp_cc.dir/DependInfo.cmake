@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/code.cc" "src/cc/CMakeFiles/crisp_cc.dir/code.cc.o" "gcc" "src/cc/CMakeFiles/crisp_cc.dir/code.cc.o.d"
+  "/root/repo/src/cc/codegen.cc" "src/cc/CMakeFiles/crisp_cc.dir/codegen.cc.o" "gcc" "src/cc/CMakeFiles/crisp_cc.dir/codegen.cc.o.d"
+  "/root/repo/src/cc/compiler.cc" "src/cc/CMakeFiles/crisp_cc.dir/compiler.cc.o" "gcc" "src/cc/CMakeFiles/crisp_cc.dir/compiler.cc.o.d"
+  "/root/repo/src/cc/lexer.cc" "src/cc/CMakeFiles/crisp_cc.dir/lexer.cc.o" "gcc" "src/cc/CMakeFiles/crisp_cc.dir/lexer.cc.o.d"
+  "/root/repo/src/cc/parser.cc" "src/cc/CMakeFiles/crisp_cc.dir/parser.cc.o" "gcc" "src/cc/CMakeFiles/crisp_cc.dir/parser.cc.o.d"
+  "/root/repo/src/cc/passes.cc" "src/cc/CMakeFiles/crisp_cc.dir/passes.cc.o" "gcc" "src/cc/CMakeFiles/crisp_cc.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/crisp_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_cc.dir/code.cc.o"
+  "CMakeFiles/crisp_cc.dir/code.cc.o.d"
+  "CMakeFiles/crisp_cc.dir/codegen.cc.o"
+  "CMakeFiles/crisp_cc.dir/codegen.cc.o.d"
+  "CMakeFiles/crisp_cc.dir/compiler.cc.o"
+  "CMakeFiles/crisp_cc.dir/compiler.cc.o.d"
+  "CMakeFiles/crisp_cc.dir/lexer.cc.o"
+  "CMakeFiles/crisp_cc.dir/lexer.cc.o.d"
+  "CMakeFiles/crisp_cc.dir/parser.cc.o"
+  "CMakeFiles/crisp_cc.dir/parser.cc.o.d"
+  "CMakeFiles/crisp_cc.dir/passes.cc.o"
+  "CMakeFiles/crisp_cc.dir/passes.cc.o.d"
+  "libcrisp_cc.a"
+  "libcrisp_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_interp.dir/interpreter.cc.o"
+  "CMakeFiles/crisp_interp.dir/interpreter.cc.o.d"
+  "CMakeFiles/crisp_interp.dir/memory_image.cc.o"
+  "CMakeFiles/crisp_interp.dir/memory_image.cc.o.d"
+  "libcrisp_interp.a"
+  "libcrisp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

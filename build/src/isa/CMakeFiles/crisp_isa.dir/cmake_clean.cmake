@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_isa.dir/encoding.cc.o"
+  "CMakeFiles/crisp_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/crisp_isa.dir/instruction.cc.o"
+  "CMakeFiles/crisp_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/crisp_isa.dir/objfile.cc.o"
+  "CMakeFiles/crisp_isa.dir/objfile.cc.o.d"
+  "CMakeFiles/crisp_isa.dir/opcode.cc.o"
+  "CMakeFiles/crisp_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/crisp_isa.dir/program.cc.o"
+  "CMakeFiles/crisp_isa.dir/program.cc.o.d"
+  "libcrisp_isa.a"
+  "libcrisp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/predictors.cc" "src/predict/CMakeFiles/crisp_predict.dir/predictors.cc.o" "gcc" "src/predict/CMakeFiles/crisp_predict.dir/predictors.cc.o.d"
+  "/root/repo/src/predict/profile.cc" "src/predict/CMakeFiles/crisp_predict.dir/profile.cc.o" "gcc" "src/predict/CMakeFiles/crisp_predict.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/crisp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_predict.dir/predictors.cc.o"
+  "CMakeFiles/crisp_predict.dir/predictors.cc.o.d"
+  "CMakeFiles/crisp_predict.dir/profile.cc.o"
+  "CMakeFiles/crisp_predict.dir/profile.cc.o.d"
+  "libcrisp_predict.a"
+  "libcrisp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

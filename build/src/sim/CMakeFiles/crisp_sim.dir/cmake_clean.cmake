@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_sim.dir/cpu.cc.o"
+  "CMakeFiles/crisp_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/crisp_sim.dir/decoded.cc.o"
+  "CMakeFiles/crisp_sim.dir/decoded.cc.o.d"
+  "CMakeFiles/crisp_sim.dir/pdu.cc.o"
+  "CMakeFiles/crisp_sim.dir/pdu.cc.o.d"
+  "libcrisp_sim.a"
+  "libcrisp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

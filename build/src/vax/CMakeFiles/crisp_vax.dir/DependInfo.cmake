@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vax/vax.cc" "src/vax/CMakeFiles/crisp_vax.dir/vax.cc.o" "gcc" "src/vax/CMakeFiles/crisp_vax.dir/vax.cc.o.d"
+  "/root/repo/src/vax/vaxgen.cc" "src/vax/CMakeFiles/crisp_vax.dir/vaxgen.cc.o" "gcc" "src/vax/CMakeFiles/crisp_vax.dir/vaxgen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/crisp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/crisp_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/crisp_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

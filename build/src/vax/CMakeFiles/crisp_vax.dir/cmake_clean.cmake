@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_vax.dir/vax.cc.o"
+  "CMakeFiles/crisp_vax.dir/vax.cc.o.d"
+  "CMakeFiles/crisp_vax.dir/vaxgen.cc.o"
+  "CMakeFiles/crisp_vax.dir/vaxgen.cc.o.d"
+  "libcrisp_vax.a"
+  "libcrisp_vax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_vax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

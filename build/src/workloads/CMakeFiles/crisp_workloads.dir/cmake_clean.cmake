@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisp_workloads.dir/workloads.cc.o"
+  "CMakeFiles/crisp_workloads.dir/workloads.cc.o.d"
+  "libcrisp_workloads.a"
+  "libcrisp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

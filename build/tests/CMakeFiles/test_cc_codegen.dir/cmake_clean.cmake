@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_codegen.dir/test_cc_codegen.cc.o"
+  "CMakeFiles/test_cc_codegen.dir/test_cc_codegen.cc.o.d"
+  "test_cc_codegen"
+  "test_cc_codegen.pdb"
+  "test_cc_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

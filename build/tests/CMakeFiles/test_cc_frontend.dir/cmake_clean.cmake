@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_frontend.dir/test_cc_frontend.cc.o"
+  "CMakeFiles/test_cc_frontend.dir/test_cc_frontend.cc.o.d"
+  "test_cc_frontend"
+  "test_cc_frontend.pdb"
+  "test_cc_frontend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

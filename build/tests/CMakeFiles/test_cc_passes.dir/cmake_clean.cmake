@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_passes.dir/test_cc_passes.cc.o"
+  "CMakeFiles/test_cc_passes.dir/test_cc_passes.cc.o.d"
+  "test_cc_passes"
+  "test_cc_passes.pdb"
+  "test_cc_passes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

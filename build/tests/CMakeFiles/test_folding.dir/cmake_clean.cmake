@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_folding.dir/test_folding.cc.o"
+  "CMakeFiles/test_folding.dir/test_folding.cc.o.d"
+  "test_folding"
+  "test_folding.pdb"
+  "test_folding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdu.dir/test_pdu.cc.o"
+  "CMakeFiles/test_pdu.dir/test_pdu.cc.o.d"
+  "test_pdu"
+  "test_pdu.pdb"
+  "test_pdu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

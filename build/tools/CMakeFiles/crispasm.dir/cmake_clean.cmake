@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispasm.dir/crispasm.cc.o"
+  "CMakeFiles/crispasm.dir/crispasm.cc.o.d"
+  "crispasm"
+  "crispasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

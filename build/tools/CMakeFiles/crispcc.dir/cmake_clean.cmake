@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispcc.dir/crispcc.cc.o"
+  "CMakeFiles/crispcc.dir/crispcc.cc.o.d"
+  "crispcc"
+  "crispcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crispdbg.dir/crispdbg.cc.o"
+  "CMakeFiles/crispdbg.dir/crispdbg.cc.o.d"
+  "crispdbg"
+  "crispdbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crispdbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

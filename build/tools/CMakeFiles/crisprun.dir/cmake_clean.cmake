@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crisprun.dir/crisprun.cc.o"
+  "CMakeFiles/crisprun.dir/crisprun.cc.o.d"
+  "crisprun"
+  "crisprun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crisprun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
