@@ -83,17 +83,23 @@ class Reader
         return s;
     }
 
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
   private:
     void
     need(std::size_t n) const
     {
-        if (pos_ + n > bytes_.size())
+        if (n > remaining())
             throw CrispError("object file truncated");
     }
 
     const std::vector<std::uint8_t>& bytes_;
     std::size_t pos_ = 0;
 };
+
+/** Largest memory image a loaded object may request (sanity bound: a
+ *  corrupted header must raise CrispError, not exhaust the heap). */
+constexpr std::uint64_t kMaxLoadableMemBytes = 1u << 30;
 
 } // namespace
 
@@ -146,6 +152,33 @@ loadObject(const std::vector<std::uint8_t>& bytes)
     const std::uint32_t data_len = r.u32();
     const std::uint32_t sym_count = r.u32();
 
+    // Validate every declared size against what the file actually
+    // holds BEFORE reserving anything: a bit-flipped length field must
+    // produce a clean CrispError, never an allocation explosion. Each
+    // symbol record is at least 7 bytes (kind + name length + value).
+    const std::uint64_t declared = 2ull * text_len + data_len +
+                                   7ull * sym_count;
+    if (declared > r.remaining()) {
+        throw CrispError(
+            "object file truncated: declared section sizes exceed "
+            "the bytes present");
+    }
+    if (prog.memBytes > kMaxLoadableMemBytes) {
+        throw CrispError("object file corrupt: unreasonable memory "
+                         "image size " +
+                         std::to_string(prog.memBytes));
+    }
+    if (prog.textBase % kParcelBytes != 0) {
+        throw CrispError(
+            "object file corrupt: text base is not parcel aligned");
+    }
+    if (prog.textBase + 2ull * text_len > prog.memBytes ||
+        prog.dataBase + static_cast<std::uint64_t>(data_len) >
+            prog.memBytes) {
+        throw CrispError("object file corrupt: segments do not fit "
+                         "in the declared memory image");
+    }
+
     prog.text.reserve(text_len);
     for (std::uint32_t i = 0; i < text_len; ++i)
         prog.text.push_back(r.u16());
@@ -153,7 +186,12 @@ loadObject(const std::vector<std::uint8_t>& bytes)
     for (std::uint32_t i = 0; i < data_len; ++i)
         prog.data.push_back(r.u8());
     for (std::uint32_t i = 0; i < sym_count; ++i) {
-        const auto kind = static_cast<Symbol::Kind>(r.u8());
+        const std::uint8_t kind_raw = r.u8();
+        if (kind_raw > static_cast<std::uint8_t>(Symbol::Kind::kLocalSlot)) {
+            throw CrispError("object file corrupt: bad symbol kind " +
+                             std::to_string(kind_raw));
+        }
+        const auto kind = static_cast<Symbol::Kind>(kind_raw);
         const std::uint16_t len = r.u16();
         const std::string name = r.str(len);
         const std::uint32_t value = r.u32();

@@ -57,8 +57,23 @@ struct SimConfig
     /** Instruction queue capacity in parcels (the paper's is 8). */
     int queueParcels = 8;
 
-    /** Give up after this many cycles (runaway-program guard). */
+    /** Give up after this many cycles (runaway-program guard). When the
+     *  limit expires SimStats::timedOut is set — a typed diagnostic, not
+     *  a silent early return. */
     std::uint64_t maxCycles = 2'000'000'000ULL;
+
+    /**
+     * Retire-time decode checker: before an entry retires, re-derive the
+     * golden decode of the program text at its PC and verify the cached
+     * Next-PC / Alternate-PC / body / modifies-CC metadata against it.
+     * Mismatches raise DicCorruptionError as a precise machine fault
+     * before any architectural state is touched. Hint state (the static
+     * prediction bit, the fold decision itself) is deliberately excluded:
+     * faults there are architecturally benign by design. Off by default
+     * (it re-decodes on every retire); torture/fault-injection runs
+     * enable it.
+     */
+    bool checkDecode = false;
 
     /**
      * Hardware prediction scheme for conditional branches whose

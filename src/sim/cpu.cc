@@ -21,6 +21,13 @@ CrispCpu::CrispCpu(const Program& prog, const SimConfig& cfg)
     nextIssuePc_ = prog.entry;
 }
 
+void
+CrispCpu::setFaultHooks(FaultHooks* hooks)
+{
+    hooks_ = hooks;
+    pdu_.setFaultHooks(hooks);
+}
+
 Word
 CrispCpu::readOperand(const Operand& o) const
 {
@@ -181,14 +188,19 @@ CrispCpu::issueStage()
     irS_ = Stage{};
     irS_.valid = true;
     irS_.di = *e;
+    if (hooks_ != nullptr)
+        hooks_->onIssue(irS_.di);
 
-    switch (e->ctl) {
+    // Control decisions read the IR-stage copy, not the cache: an
+    // issue-time fault hook corrupts exactly what the EU acts on.
+    const DecodedInst& d = irS_.di;
+    switch (d.ctl) {
       case Ctl::kSeq:
-        nextIssuePc_ = e->seqPc;
+        nextIssuePc_ = d.seqPc;
         break;
       case Ctl::kJmp:
       case Ctl::kCall:
-        nextIssuePc_ = e->takenPc;
+        nextIssuePc_ = d.takenPc;
         break;
       case Ctl::kHalt:
         block_ = Block::kHalt;
@@ -201,25 +213,25 @@ CrispCpu::issueStage()
       case Ctl::kCondF: {
         const bool cc_busy = (orS_.valid && orS_.di.writesCc) ||
                              (rrS_.valid && rrS_.di.writesCc) ||
-                             e->writesCc;
+                             d.writesCc;
         if (!cc_busy) {
             // No compare in the pipeline: the flag is architecturally
             // final, so the branch "has effectively been turned into an
             // unconditional branch" — zero cycles lost regardless of
             // the prediction bit.
-            const bool taken = e->condTaken(flag_);
+            const bool taken = d.condTaken(flag_);
             irS_.resolvedAtIssue = true;
             irS_.actualTaken = taken;
             irS_.predictedTaken = taken;
-            nextIssuePc_ = taken ? e->takenPc : e->seqPc;
+            nextIssuePc_ = taken ? d.takenPc : d.seqPc;
             note("resolved-at-issue");
         } else {
             const bool pred =
                 cfg_.respectPredictionBit &&
-                hwPredictor_.predict(e->branchPc, e->predictTaken);
+                hwPredictor_.predict(d.branchPc, d.predictTaken);
             irS_.specCond = true;
             irS_.predictedTaken = pred;
-            nextIssuePc_ = pred ? e->takenPc : e->seqPc;
+            nextIssuePc_ = pred ? d.takenPc : d.seqPc;
         }
         break;
       }
@@ -260,28 +272,133 @@ CrispCpu::emitRetireEvents(const Stage& s, ExecObserver* observer)
 }
 
 void
+CrispCpu::recordFault(Addr pc, const std::string& reason)
+{
+    stats_.faulted = true;
+    stats_.faultPc = pc;
+    stats_.faultReason = reason;
+    halted_ = true;
+    note("fault");
+}
+
+void
 CrispCpu::retireStage(ExecObserver* observer)
 {
     if (!rrS_.valid)
         return;
     try {
         retireImpl(observer);
+    } catch (const DicCorruptionError& e) {
+        // The decode checker caught corrupted DIC metadata before the
+        // entry could touch architectural state.
+        stats_.dicCorruption = true;
+        recordFault(rrS_.di.pc, e.what());
     } catch (const CrispError& e) {
         // Precise machine fault: architectural effects happen only at
         // retirement, so the faulting instruction is exactly
         // identified and nothing younger has touched state.
-        stats_.faulted = true;
-        stats_.faultPc = rrS_.di.pc;
-        stats_.faultReason = e.what();
-        halted_ = true;
-        note("fault");
+        recordFault(rrS_.di.pc, e.what());
     }
+}
+
+DecodedInst
+CrispCpu::goldenDecodeAt(Addr pc, FoldPolicy policy) const
+{
+    if (pc % kParcelBytes != 0 || !prog_.inText(pc)) {
+        throw DicCorruptionError(
+            "DIC corruption: retiring entry claims PC 0x" +
+            std::to_string(pc) + " outside the text segment");
+    }
+    std::vector<Parcel> window;
+    const Addr end = prog_.textEnd();
+    for (Addr a = pc;
+         a < end && window.size() < static_cast<std::size_t>(kMaxParcels + 1);
+         a += kParcelBytes) {
+        window.push_back(prog_.parcelAt(a));
+    }
+    const Addr wend =
+        pc + static_cast<Addr>(window.size()) * kParcelBytes;
+    const FoldDecoder dec(policy);
+    const auto di = dec.decodeAt(pc, window, wend >= end);
+    if (!di) {
+        throw DicCorruptionError(
+            "DIC corruption: no valid decode exists at PC 0x" +
+            std::to_string(pc));
+    }
+    return *di;
+}
+
+namespace
+{
+
+/**
+ * Architectural equivalence of a pipeline entry against a golden
+ * decode. Hint state — the static prediction bit, the one-parcel
+ * branch-format flag — is excluded: faults there must stay benign.
+ */
+bool
+sameDecode(const DecodedInst& a, const DecodedInst& g)
+{
+    if (a.loneBranch != g.loneBranch || a.folded != g.folded ||
+        a.ctl != g.ctl || a.seqPc != g.seqPc ||
+        a.writesCc != g.writesCc || a.totalParcels != g.totalParcels)
+        return false;
+    if (!a.loneBranch && !(a.body == g.body))
+        return false;
+    switch (a.ctl) {
+      case Ctl::kJmp:
+      case Ctl::kCondT:
+      case Ctl::kCondF:
+        if (a.takenPc != g.takenPc)
+            return false;
+        break;
+      case Ctl::kCall:
+        if (a.takenPc != g.takenPc || a.callRetPc != g.callRetPc)
+            return false;
+        break;
+      case Ctl::kIndirect:
+        if (a.bmode != g.bmode || a.spec != g.spec)
+            return false;
+        break;
+      default:
+        break;
+    }
+    if ((a.folded || a.loneBranch) &&
+        (a.branchPc != g.branchPc || a.branchOp != g.branchOp))
+        return false;
+    return true;
+}
+
+} // namespace
+
+void
+CrispCpu::checkDecodedEntry(const DecodedInst& di) const
+{
+    const DecodedInst golden = goldenDecodeAt(di.pc, cfg_.foldPolicy);
+    if (sameDecode(di, golden))
+        return;
+    // A fold decision is a hint: an entry that decodes the same
+    // instruction unfolded (the no-fold golden) is architecturally
+    // valid too, it just costs an extra EU slot for the branch.
+    if (golden.folded &&
+        sameDecode(di, goldenDecodeAt(di.pc, FoldPolicy::kNone)))
+        return;
+    throw DicCorruptionError(
+        "DIC corruption detected at retire: cached entry [" +
+        di.toString() + "] is not a valid decode of the text at 0x" +
+        std::to_string(di.pc) + " (golden: [" + golden.toString() +
+        "])");
 }
 
 void
 CrispCpu::retireImpl(ExecObserver* observer)
 {
     const DecodedInst& di = rrS_.di;
+    // Verify the entry against a fresh decode of the program text
+    // BEFORE any architectural effect: corruption of non-hint DIC
+    // metadata becomes a precise fault, never a wrong answer.
+    if (cfg_.checkDecode)
+        checkDecodedEntry(di);
     const std::uint64_t misses_before = stackCache_.misses();
     executeBody(di);
     if (cfg_.stackCacheMissPenalty > 0) {
@@ -399,8 +516,18 @@ CrispCpu::tick(ExecObserver* observer)
     orS_ = irS_;
     irS_ = Stage{};
 
-    pdu_.tick(now_);
-    issueStage();
+    try {
+        pdu_.tick(now_);
+        issueStage();
+    } catch (const CrispError& e) {
+        // A corrupted Next-PC can steer fetch/decode somewhere no
+        // instruction stream exists (off the text segment, mid-parcel
+        // garbage). Surface it as a precise machine fault rather than
+        // letting the exception escape the cycle loop.
+        stats_.dicCorruption = true;
+        recordFault(nextIssuePc_,
+                    std::string("fetch/decode: ") + e.what());
+    }
     retireStage(observer);
     emitTraceLine();
 
@@ -416,6 +543,8 @@ CrispCpu::run(ExecObserver* observer)
 {
     while (!halted_ && now_ < cfg_.maxCycles)
         tick(observer);
+    if (!halted_)
+        stats_.timedOut = true;
     return stats_;
 }
 
@@ -494,9 +623,12 @@ SimStats::toString() const
        << "stack cache h/m:     " << stackCacheHits << "/"
        << stackCacheMisses << "\n"
        << "halted:              " << (halted ? "yes" : "no") << "\n";
+    if (timedOut)
+        os << "TIMED OUT at the cycle limit\n";
     if (faulted) {
-        os << "FAULT at 0x" << std::hex << faultPc << std::dec << ": "
-           << faultReason << "\n";
+        os << (dicCorruption ? "DIC CORRUPTION" : "FAULT") << " at 0x"
+           << std::hex << faultPc << std::dec << ": " << faultReason
+           << "\n";
     }
     return os.str();
 }

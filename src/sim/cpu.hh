@@ -41,6 +41,7 @@
 #include "config.hh"
 #include "decoded.hh"
 #include "dic.hh"
+#include "fault_hooks.hh"
 #include "interp/interpreter.hh"
 #include "interp/memory_image.hh"
 #include "hw_predictor.hh"
@@ -96,6 +97,15 @@ class CrispCpu
         traceSink_ = std::move(sink);
     }
 
+    /**
+     * Install microarchitectural fault-injection hooks (not owned).
+     * Fill-time hooks corrupt/drop entries as the PDU writes the DIC;
+     * issue-time hooks corrupt the EU's private IR copy. Combine with
+     * SimConfig::checkDecode to assert that non-hint corruption is
+     * detected before it can touch architectural state.
+     */
+    void setFaultHooks(FaultHooks* hooks);
+
   private:
     /** Why issue is blocked beyond stallUntil_. */
     enum class Block : std::uint8_t { kNone, kIndirect, kHalt };
@@ -119,6 +129,9 @@ class CrispCpu
     void issueStage();
     void retireStage(ExecObserver* observer);
     void retireImpl(ExecObserver* observer);
+    void recordFault(Addr pc, const std::string& reason);
+    DecodedInst goldenDecodeAt(Addr pc, FoldPolicy policy) const;
+    void checkDecodedEntry(const DecodedInst& di) const;
     void executeBody(const DecodedInst& di);
     Word readOperand(const Operand& o) const;
     void writeOperand(const Operand& o, Word v);
@@ -153,6 +166,9 @@ class CrispCpu
 
     // Speculation source for conditional branches.
     HwPredictor hwPredictor_;
+
+    // Optional fault-injection hooks (not owned).
+    FaultHooks* hooks_ = nullptr;
 
     // Operand-side stack cache (statistics; optional miss penalty).
     mutable StackCache stackCache_;

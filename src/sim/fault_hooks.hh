@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Microarchitectural fault-injection hooks for the cycle-level
+ * simulator, plus the typed diagnostic raised when injected (or real)
+ * corruption of Decoded Instruction Cache metadata is detected.
+ *
+ * The hooks sit at the two points where decoded-instruction metadata
+ * crosses a trust boundary:
+ *
+ *  - onDicFill: the PDU is about to install a decoded entry into the
+ *    DIC. A hook may mutate the entry (poison Next-PC / Alternate-PC,
+ *    flip the static prediction bit, undo a fold decision, clear the
+ *    modifies-CC bit) or veto the fill entirely (forced eviction).
+ *  - onIssue: the EU copied a DIC hit into its IR stage. A hook may
+ *    mutate the pipeline's private copy without touching the cache.
+ *
+ * The paper's core claim is that prediction bits and fold decisions are
+ * *hints*: faults in them may change cycle counts but never results.
+ * Faults in Next-PC / Alternate-PC / modifies-CC are real corruption;
+ * with SimConfig::checkDecode enabled the retire-stage checker re-derives
+ * the golden decode from the text image and raises DicCorruptionError
+ * before any architectural state is touched.
+ */
+
+#ifndef CRISP_SIM_FAULT_HOOKS_HH
+#define CRISP_SIM_FAULT_HOOKS_HH
+
+#include "decoded.hh"
+#include "isa/types.hh"
+
+namespace crisp
+{
+
+/** Injection points for microarchitectural faults. */
+class FaultHooks
+{
+  public:
+    virtual ~FaultHooks() = default;
+
+    /**
+     * The PDU is about to install @p di into the DIC; the hook may
+     * mutate it in place. @return false to drop the fill (the entry is
+     * discarded and the EU will demand-miss again).
+     */
+    virtual bool
+    onDicFill(DecodedInst& di)
+    {
+        (void)di;
+        return true;
+    }
+
+    /** The EU latched a copy of a DIC hit into IR; may mutate it. */
+    virtual void
+    onIssue(DecodedInst& di)
+    {
+        (void)di;
+    }
+};
+
+/**
+ * Raised (and recorded as a precise machine fault) when the retire-time
+ * checker finds a decoded entry that is not an architecturally valid
+ * decode of the program text — i.e. cached Next-PC / Alternate-PC /
+ * body / modifies-CC state that no legal decode could have produced.
+ */
+class DicCorruptionError : public CrispError
+{
+  public:
+    using CrispError::CrispError;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_FAULT_HOOKS_HH

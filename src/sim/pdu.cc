@@ -53,11 +53,14 @@ Pdu::demand(Addr pc)
 void
 Pdu::tick(std::uint64_t now)
 {
-    // Stage 3 (PIR): write last cycle's decoded entry into the DIC.
+    // Stage 3 (PIR): write last cycle's decoded entry into the DIC. A
+    // fault hook may corrupt the entry or veto the fill entirely.
     if (pirValid_) {
-        dic_.fill(pir_);
-        ++stats_.pduFills;
         pirValid_ = false;
+        if (hooks_ == nullptr || hooks_->onDicFill(pir_)) {
+            dic_.fill(pir_);
+            ++stats_.pduFills;
+        }
     }
 
     // Memory completion: parcels arrive at the queue tail. A block that

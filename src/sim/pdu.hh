@@ -20,6 +20,7 @@
 #include "config.hh"
 #include "decoded.hh"
 #include "dic.hh"
+#include "fault_hooks.hh"
 #include "isa/program.hh"
 #include "stats.hh"
 
@@ -51,6 +52,9 @@ class Pdu
      */
     void demand(Addr pc);
 
+    /** Install fault-injection hooks (applied at DIC fill time). */
+    void setFaultHooks(FaultHooks* hooks) { hooks_ = hooks; }
+
   private:
     void redirect(Addr pc);
 
@@ -79,6 +83,9 @@ class Pdu
     /** PIR latch: entry decoded last cycle, to be written to the DIC. */
     bool pirValid_ = false;
     DecodedInst pir_;
+
+    /** Optional fault-injection hooks (not owned). */
+    FaultHooks* hooks_ = nullptr;
 
     /**
      * The stream pauses once it decodes into code whose DIC entry is

@@ -97,6 +97,9 @@ struct SimStats
     /** True when the program retired a halt (vs. hitting maxCycles). */
     bool halted = false;
 
+    /** True when run() gave up at SimConfig::maxCycles (watchdog). */
+    bool timedOut = false;
+
     /**
      * Precise machine fault: an instruction raised an error (e.g. a
      * wild memory access) at retirement. faultPc identifies the exact
@@ -107,6 +110,10 @@ struct SimStats
     bool faulted = false;
     std::uint32_t faultPc = 0;
     std::string faultReason;
+
+    /** The fault was the retire-time decode checker catching corrupted
+     *  DIC metadata (SimConfig::checkDecode). */
+    bool dicCorruption = false;
 
     double
     issuedCpi() const

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fault injector implementation.
+ */
+
+#include "faults.hh"
+
+namespace crisp::verify
+{
+
+bool
+faultIsBenignHint(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kFlipPredictBit:
+      case FaultKind::kUnfoldPair:
+      case FaultKind::kDropFill:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string_view
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kNone:
+        return "none";
+      case FaultKind::kFlipPredictBit:
+        return "flip-predict-bit";
+      case FaultKind::kUnfoldPair:
+        return "unfold-pair";
+      case FaultKind::kDropFill:
+        return "drop-fill";
+      case FaultKind::kCorruptNextPc:
+        return "corrupt-next-pc";
+      case FaultKind::kCorruptAltPc:
+        return "corrupt-alt-pc";
+      case FaultKind::kCorruptCcBit:
+        return "corrupt-cc-bit";
+      case FaultKind::kArchBug:
+        return "arch-bug";
+    }
+    return "?";
+}
+
+std::optional<FaultKind>
+parseFaultKind(std::string_view name)
+{
+    const FaultKind all[] = {
+        FaultKind::kNone,          FaultKind::kFlipPredictBit,
+        FaultKind::kUnfoldPair,    FaultKind::kDropFill,
+        FaultKind::kCorruptNextPc, FaultKind::kCorruptAltPc,
+        FaultKind::kCorruptCcBit,  FaultKind::kArchBug,
+    };
+    for (FaultKind k : all) {
+        if (faultKindName(k) == name)
+            return k;
+    }
+    return std::nullopt;
+}
+
+bool
+FaultInjector::shouldFire()
+{
+    if (fires_ >= cfg_.maxFires || cfg_.period == 0)
+        return false;
+    const bool fire = (opportunities_ % cfg_.period) == phase_;
+    ++opportunities_;
+    if (fire)
+        ++fires_;
+    return fire;
+}
+
+bool
+FaultInjector::onDicFill(DecodedInst& di)
+{
+    switch (cfg_.kind) {
+      case FaultKind::kUnfoldPair:
+        if (di.folded && shouldFire()) {
+            // Undo the fold decision: the entry becomes exactly what
+            // the no-fold decoder would have produced for the carrier.
+            // The branch parcel is re-fetched and executes as a lone
+            // entry — an extra EU slot, identical architecture.
+            di.folded = false;
+            di.ctl = Ctl::kSeq;
+            di.seqPc = di.branchPc;
+            di.totalParcels -= 1; // folded branches are one parcel
+            di.predictTaken = false;
+            di.takenPc = 0;
+            di.branchPc = 0;
+            di.branchOp = Opcode::kJmp;
+            di.branchShortForm = false;
+        }
+        break;
+      case FaultKind::kDropFill:
+        if (shouldFire())
+            return false;
+        break;
+      case FaultKind::kCorruptNextPc:
+        if ((di.ctl == Ctl::kSeq || di.hasCondBranch()) &&
+            shouldFire()) {
+            di.seqPc += kParcelBytes *
+                        (1 + static_cast<Addr>(opportunities_ % 5));
+        }
+        break;
+      case FaultKind::kCorruptAltPc:
+        if ((di.ctl == Ctl::kJmp || di.ctl == Ctl::kCall ||
+             di.hasCondBranch()) &&
+            shouldFire()) {
+            di.takenPc += kParcelBytes *
+                          (1 + static_cast<Addr>(opportunities_ % 5));
+        }
+        break;
+      case FaultKind::kCorruptCcBit:
+        if (di.writesCc && shouldFire())
+            di.writesCc = false;
+        break;
+      default:
+        break;
+    }
+    return true;
+}
+
+void
+FaultInjector::onIssue(DecodedInst& di)
+{
+    switch (cfg_.kind) {
+      case FaultKind::kFlipPredictBit:
+        if (di.hasCondBranch() && shouldFire())
+            di.predictTaken = !di.predictTaken;
+        break;
+      case FaultKind::kArchBug:
+        // A simulated implementation bug: an issued immediate operand
+        // is off by one. Run with checkDecode disabled so it stays
+        // silent and only differential testing catches it — the
+        // shrinker's demo workload.
+        if (!di.loneBranch && di.body.src.mode == AddrMode::kImm &&
+            shouldFire()) {
+            di.body.src.value += 1;
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace crisp::verify

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic microarchitectural fault injection.
+ *
+ * The fault model splits DIC state into two classes, following the
+ * paper's design argument:
+ *
+ *  - HINTS (static prediction bit, the fold decision itself, whether a
+ *    decoded entry gets cached at all): corrupting these may change
+ *    cycle counts but can never change architectural results. The
+ *    pipeline verifies every speculative decision at retire time.
+ *  - METADATA (Next-PC, Alternate-PC, the modifies-CC bit, the decoded
+ *    body): corrupting these would change results, so the retire-time
+ *    decode checker (SimConfig::checkDecode) must detect them and raise
+ *    a structured DicCorruptionError before architectural state is
+ *    touched.
+ *
+ * kArchBug is neither: it simulates a genuine implementation bug
+ * (silent corruption of an issued operand) and exists to give the
+ * shrinker a real divergence to minimize.
+ */
+
+#ifndef CRISP_VERIFY_FAULTS_HH
+#define CRISP_VERIFY_FAULTS_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "sim/fault_hooks.hh"
+
+namespace crisp::verify
+{
+
+enum class FaultKind : std::uint8_t {
+    kNone = 0,
+    kFlipPredictBit, //!< hint: invert the static prediction bit
+    kUnfoldPair,     //!< hint: undo a fold decision at fill time
+    kDropFill,       //!< hint: veto DIC fills (forced eviction)
+    kCorruptNextPc,  //!< metadata: skew the entry's Next-PC
+    kCorruptAltPc,   //!< metadata: skew the Alternate (taken) PC
+    kCorruptCcBit,   //!< metadata: clear the modifies-CC bit
+    kArchBug,        //!< seeded implementation bug (for the shrinker)
+};
+
+/** Hints may only change timing; metadata corruption must be caught. */
+bool faultIsBenignHint(FaultKind k);
+
+std::string_view faultKindName(FaultKind k);
+std::optional<FaultKind> parseFaultKind(std::string_view name);
+
+/** All injectable kinds (excluding kNone), for sweep loops. */
+inline constexpr FaultKind kInjectableFaults[] = {
+    FaultKind::kFlipPredictBit, FaultKind::kUnfoldPair,
+    FaultKind::kDropFill,       FaultKind::kCorruptNextPc,
+    FaultKind::kCorruptAltPc,   FaultKind::kCorruptCcBit,
+};
+
+struct FaultConfig
+{
+    FaultKind kind = FaultKind::kNone;
+    /** Varies which opportunities fire across runs. */
+    std::uint64_t seed = 0;
+    /** Fire on every period-th applicable opportunity. */
+    std::uint64_t period = 7;
+    /**
+     * Upper bound on fires. Matters for kDropFill: vetoing every fill
+     * of a demand-missed PC would stall the EU forever, which is a
+     * harness artifact, not a property of the machine.
+     */
+    int maxFires = 16;
+};
+
+/** FaultHooks implementation driven by a FaultConfig. */
+class FaultInjector : public FaultHooks
+{
+  public:
+    explicit FaultInjector(const FaultConfig& cfg)
+        : cfg_(cfg), phase_(cfg.period ? cfg.seed % cfg.period : 0)
+    {
+    }
+
+    bool onDicFill(DecodedInst& di) override;
+    void onIssue(DecodedInst& di) override;
+
+    /** How many times the fault actually fired. */
+    int fires() const { return fires_; }
+
+  private:
+    bool shouldFire();
+
+    FaultConfig cfg_;
+    std::uint64_t phase_;
+    std::uint64_t opportunities_ = 0;
+    int fires_ = 0;
+};
+
+} // namespace crisp::verify
+
+#endif // CRISP_VERIFY_FAULTS_HH

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Random program generator implementation.
+ */
+
+#include "generator.hh"
+
+#include <random>
+#include <string>
+
+#include "asm/assembler.hh"
+
+namespace crisp::verify
+{
+
+namespace
+{
+
+/**
+ * Deterministic random source. Values are taken from the raw mt19937
+ * stream with modulo reduction: std::uniform_int_distribution is
+ * implementation-defined, and a torture seed must reproduce the same
+ * program on every toolchain.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+        : eng_(static_cast<std::uint32_t>(seed ^ (seed >> 32) ^
+                                          0x9e3779b9u))
+    {
+    }
+
+    std::uint32_t
+    next(std::uint32_t n)
+    {
+        return n == 0 ? 0 : eng_() % n;
+    }
+
+    bool chance(std::uint32_t percent) { return next(100) < percent; }
+
+    std::int32_t
+    fullWord()
+    {
+        return static_cast<std::int32_t>(eng_());
+    }
+
+  private:
+    std::mt19937 eng_;
+};
+
+/** What a random instruction block is allowed to touch. */
+struct InstCtx
+{
+    bool allowCc = true;
+    bool allowInd = true;
+    bool allowGlobals = true;
+    int stackSlots = kGenScratchSlots;
+};
+
+Operand
+randomWritable(Rng& rng, const InstCtx& ctx)
+{
+    const std::uint32_t r = rng.next(100);
+    if (r < 40 && ctx.stackSlots > 0) {
+        return Operand::stack(static_cast<std::int32_t>(
+            rng.next(static_cast<std::uint32_t>(ctx.stackSlots))));
+    }
+    if (r < 65 && ctx.allowGlobals) {
+        return Operand::abs(kDataBase +
+                            kWordBytes * rng.next(kGenGlobals));
+    }
+    if (r < 80 && ctx.allowInd) {
+        return Operand::ind(kGenPtrSlot0 +
+                            static_cast<std::int32_t>(rng.next(2)));
+    }
+    return Operand::accum();
+}
+
+Operand
+randomReadable(Rng& rng, const InstCtx& ctx)
+{
+    if (rng.chance(35)) {
+        // Immediate tiers exercise all three encoded lengths: a b-field
+        // value (one parcel for short-form ops), a 16-bit specifier
+        // (three parcels) and a full word (five parcels).
+        switch (rng.next(3)) {
+          case 0:
+            return Operand::imm(static_cast<std::int32_t>(rng.next(8)));
+          case 1:
+            return Operand::imm(
+                static_cast<std::int32_t>(rng.next(4001)) - 2000);
+          default:
+            return Operand::imm(rng.fullWord());
+        }
+    }
+    return randomWritable(rng, ctx);
+}
+
+constexpr Opcode kAlu2Ops[] = {
+    Opcode::kAdd, Opcode::kSub, Opcode::kAnd, Opcode::kOr,
+    Opcode::kXor, Opcode::kShl, Opcode::kShr, Opcode::kMul,
+    Opcode::kDiv, Opcode::kRem,
+};
+
+constexpr Opcode kAlu3Ops[] = {
+    Opcode::kAdd3, Opcode::kSub3, Opcode::kAnd3,
+    Opcode::kOr3,  Opcode::kXor3, Opcode::kMul3,
+};
+
+constexpr Opcode kCmpOps[] = {
+    Opcode::kCmpEq, Opcode::kCmpNe,  Opcode::kCmpLt,  Opcode::kCmpLe,
+    Opcode::kCmpGt, Opcode::kCmpGe,  Opcode::kCmpLtU, Opcode::kCmpGeU,
+};
+
+Instruction
+randomCompare(Rng& rng, const InstCtx& ctx)
+{
+    return Instruction::cmp(
+        kCmpOps[rng.next(static_cast<std::uint32_t>(std::size(kCmpOps)))],
+        randomReadable(rng, ctx), randomReadable(rng, ctx));
+}
+
+Instruction
+randomInst(Rng& rng, const InstCtx& ctx)
+{
+    const std::uint32_t r = rng.next(100);
+    if (r < 35)
+        return Instruction::mov(randomWritable(rng, ctx),
+                                randomReadable(rng, ctx));
+    if (r < 70) {
+        return Instruction::alu(
+            kAlu2Ops[rng.next(
+                static_cast<std::uint32_t>(std::size(kAlu2Ops)))],
+            randomWritable(rng, ctx), randomReadable(rng, ctx));
+    }
+    if (r < 88 || !ctx.allowCc) {
+        return Instruction::alu(
+            kAlu3Ops[rng.next(
+                static_cast<std::uint32_t>(std::size(kAlu3Ops)))],
+            randomReadable(rng, ctx), randomReadable(rng, ctx));
+    }
+    return randomCompare(rng, ctx);
+}
+
+std::vector<Instruction>
+randomBlock(Rng& rng, std::uint32_t min_len, std::uint32_t max_len,
+            const InstCtx& ctx)
+{
+    const std::uint32_t n =
+        min_len + rng.next(max_len - min_len + 1);
+    std::vector<Instruction> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        out.push_back(randomInst(rng, ctx));
+    return out;
+}
+
+void
+emitBlock(AsmBuilder& b, const std::vector<Instruction>& block)
+{
+    for (const auto& inst : block)
+        b.emit(inst);
+}
+
+} // namespace
+
+GenProgram
+generate(std::uint64_t seed, const GenOptions& opt)
+{
+    Rng rng(seed);
+    GenProgram gp;
+    gp.seed = seed;
+
+    for (int i = 0; i < kGenGlobals; ++i)
+        gp.globalInit[i] = static_cast<Word>(rng.next(201)) - 100;
+
+    const int nfns =
+        opt.allowCalls
+            ? static_cast<int>(rng.next(
+                  static_cast<std::uint32_t>(opt.maxLeafFns + 1)))
+            : 0;
+    InstCtx leaf_ctx;
+    leaf_ctx.allowInd = false; // leaf frames hold no pointers
+    for (int j = 0; j < nfns; ++j) {
+        LeafFn fn;
+        fn.frameWords = 2 + static_cast<int>(rng.next(5));
+        leaf_ctx.stackSlots = fn.frameWords;
+        fn.body = randomBlock(
+            rng, 1, static_cast<std::uint32_t>(opt.maxBlockLen),
+            leaf_ctx);
+        gp.fns.push_back(std::move(fn));
+    }
+
+    InstCtx ctx; // main's context: full operand coverage
+    InstCtx cc_free = ctx;
+    cc_free.allowCc = false;
+
+    const auto span = static_cast<std::uint32_t>(
+        opt.maxSegments - opt.minSegments + 1);
+    const int nsegs =
+        opt.minSegments + static_cast<int>(rng.next(span));
+    const auto blk_max = static_cast<std::uint32_t>(opt.maxBlockLen);
+    for (int si = 0; si < nsegs; ++si) {
+        Segment s;
+        const std::uint32_t r = rng.next(100);
+        if (r < 25)
+            s.kind = Segment::Kind::kStraight;
+        else if (r < 50)
+            s.kind = Segment::Kind::kLoop;
+        else if (r < 70)
+            s.kind = Segment::Kind::kDiamond;
+        else if (r < 85 && nfns > 0)
+            s.kind = Segment::Kind::kCallLeaf;
+        else if (opt.allowIndirect)
+            s.kind = Segment::Kind::kSwitch;
+        else
+            s.kind = Segment::Kind::kDiamond;
+
+        s.pre = randomBlock(rng, 0, blk_max, ctx);
+        switch (s.kind) {
+          case Segment::Kind::kStraight:
+            break;
+          case Segment::Kind::kLoop:
+            s.arm1 = randomBlock(rng, 1, blk_max, ctx);
+            // The spread between the counter compare and the back-edge
+            // branch must leave the flag alone.
+            s.fillers = randomBlock(rng, 0, 2, cc_free);
+            s.trip = 1 + static_cast<int>(rng.next(6));
+            s.predictBit = rng.chance(70);
+            break;
+          case Segment::Kind::kDiamond:
+            s.compare = randomCompare(rng, ctx);
+            s.condOp =
+                rng.chance(50) ? Opcode::kIfTJmp : Opcode::kIfFJmp;
+            s.predictBit = rng.chance(50);
+            s.fillers = randomBlock(rng, 0, 3, cc_free);
+            s.arm1 = randomBlock(rng, 1, blk_max, ctx);
+            s.arm2 = randomBlock(rng, 0, blk_max, ctx);
+            if (opt.allowFarBranches && rng.chance(10)) {
+                // Pad the fall-through arm past the one-parcel branch
+                // range (+-1022 bytes) so the conditional branch over
+                // it must relax to the three-parcel absolute form.
+                s.farPad = true;
+                for (int j = 0; j < 175; ++j) {
+                    s.arm1.push_back(Instruction::mov(
+                        Operand::stack(0),
+                        Operand::imm(1000 + j)));
+                }
+            }
+            break;
+          case Segment::Kind::kCallLeaf:
+            s.callee = static_cast<int>(
+                rng.next(static_cast<std::uint32_t>(nfns)));
+            break;
+          case Segment::Kind::kSwitch: {
+            const int ncases = 2 + static_cast<int>(rng.next(3));
+            for (int c = 0; c < ncases; ++c)
+                s.cases.push_back(randomBlock(rng, 0, blk_max, ctx));
+            s.selector = static_cast<int>(
+                rng.next(static_cast<std::uint32_t>(ncases)));
+            s.indirectViaSp = rng.chance(50);
+            break;
+          }
+        }
+        gp.segs.push_back(std::move(s));
+    }
+    return gp;
+}
+
+Program
+GenProgram::link() const
+{
+    AsmBuilder b;
+
+    // g0..g5 are declared first so their addresses (kDataBase + 4*i)
+    // never move, no matter what the shrinker removes later.
+    for (int i = 0; i < kGenGlobals; ++i)
+        b.global("g" + std::to_string(i), globalInit[i]);
+
+    // Per-segment data: loop counters and switch jump tables. Their
+    // addresses are resolved through globalOperand at emission time.
+    for (std::size_t si = 0; si < segs.size(); ++si) {
+        const Segment& s = segs[si];
+        const std::string id = std::to_string(si);
+        if (s.kind == Segment::Kind::kLoop) {
+            b.global("c" + id, 0);
+        } else if (s.kind == Segment::Kind::kSwitch) {
+            std::vector<std::string> labels;
+            for (std::size_t c = 0; c < s.cases.size(); ++c) {
+                labels.push_back("S" + id + "_c" + std::to_string(c));
+            }
+            b.labelTable("tab" + id, std::move(labels));
+        }
+    }
+
+    b.label("main");
+    b.entry("main");
+    b.emit(Instruction::enter(kGenFrameWords));
+    b.emit(Instruction::mov(
+        Operand::stack(kGenPtrSlot0),
+        Operand::imm(b.globalOperand("g4").value)));
+    b.emit(Instruction::mov(
+        Operand::stack(kGenPtrSlot0 + 1),
+        Operand::imm(b.globalOperand("g5").value)));
+
+    for (std::size_t si = 0; si < segs.size(); ++si) {
+        const Segment& s = segs[si];
+        const std::string id = std::to_string(si);
+        emitBlock(b, s.pre);
+        switch (s.kind) {
+          case Segment::Kind::kStraight:
+            break;
+          case Segment::Kind::kLoop: {
+            const Operand c = b.globalOperand("c" + id);
+            b.emit(Instruction::mov(c, Operand::imm(s.trip)));
+            b.label("L" + id + "_top");
+            emitBlock(b, s.arm1);
+            b.emit(Instruction::alu(Opcode::kSub, c, Operand::imm(1)));
+            b.emit(Instruction::cmp(Opcode::kCmpGt, c,
+                                    Operand::imm(0)));
+            emitBlock(b, s.fillers);
+            b.branch(Opcode::kIfTJmp, "L" + id + "_top", s.predictBit);
+            break;
+          }
+          case Segment::Kind::kDiamond:
+            b.emit(s.compare);
+            emitBlock(b, s.fillers);
+            b.branch(s.condOp, "D" + id + "_alt", s.predictBit);
+            emitBlock(b, s.arm1);
+            b.branch(Opcode::kJmp, "D" + id + "_end");
+            b.label("D" + id + "_alt");
+            emitBlock(b, s.arm2);
+            b.label("D" + id + "_end");
+            break;
+          case Segment::Kind::kCallLeaf:
+            b.branch(Opcode::kCall,
+                     "fn" + std::to_string(s.callee));
+            break;
+          case Segment::Kind::kSwitch: {
+            const auto tab = static_cast<std::uint32_t>(
+                b.globalOperand("tab" + id).value);
+            const auto slot =
+                tab + static_cast<std::uint32_t>(kWordBytes) *
+                          static_cast<std::uint32_t>(s.selector);
+            if (s.indirectViaSp) {
+                b.emit(Instruction::mov(
+                    Operand::stack(kGenScratchSlots - 1),
+                    Operand::abs(slot)));
+                b.branchIndirect(
+                    Opcode::kJmp, BranchMode::kIndSp,
+                    static_cast<std::uint32_t>(kGenScratchSlots - 1));
+            } else {
+                b.branchIndirect(Opcode::kJmp, BranchMode::kIndAbs,
+                                 slot);
+            }
+            for (std::size_t c = 0; c < s.cases.size(); ++c) {
+                b.label("S" + id + "_c" + std::to_string(c));
+                emitBlock(b, s.cases[c]);
+                b.branch(Opcode::kJmp, "S" + id + "_end");
+            }
+            b.label("S" + id + "_end");
+            break;
+          }
+        }
+    }
+    b.emit(Instruction::halt());
+
+    for (std::size_t j = 0; j < fns.size(); ++j) {
+        const LeafFn& fn = fns[j];
+        b.label("fn" + std::to_string(j));
+        b.emit(Instruction::enter(fn.frameWords));
+        emitBlock(b, fn.body);
+        b.emit(Instruction::ret(fn.frameWords));
+    }
+
+    return b.link();
+}
+
+int
+GenProgram::instructionCount() const
+{
+    return link().staticInstructionCount();
+}
+
+std::string
+GenProgram::listing() const
+{
+    return link().disassemble();
+}
+
+} // namespace crisp::verify

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Seeded random CRISP program generator for the torture harness.
+ *
+ * Programs are built from a small structured IR (GenProgram) rather than
+ * emitted directly as text, for two reasons:
+ *
+ *  - termination by construction: the only backward branches are the
+ *    back-edges of counted down-count loops; calls go only to leaf
+ *    functions; indirect jumps dispatch through link-time jump tables
+ *    whose entries are all forward case labels. Every generated program
+ *    halts in a bounded number of architectural steps.
+ *  - shrinkability: when a seed diverges, the delta-debugging shrinker
+ *    (shrink.hh) edits the IR (drop segments, clear instruction blocks,
+ *    reduce trip counts) and re-links, which keeps every shrink
+ *    candidate well-formed.
+ *
+ * Coverage: all three encoding lengths (1/3/5 parcels), all operand
+ * addressing modes (stack, absolute, immediate, indirect, accumulator),
+ * folded and unfolded branch shapes, spread compares (filler
+ * instructions between a compare and its branch), both prediction-bit
+ * polarities, short and relaxed long branches, calls/returns, and
+ * table-driven indirect jumps.
+ */
+
+#ifndef CRISP_VERIFY_GENERATOR_HH
+#define CRISP_VERIFY_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+
+namespace crisp::verify
+{
+
+/** Shared mutable globals: g0..g5 at kDataBase + 4*i (declared first,
+ *  so their addresses survive any shrink of later data). */
+inline constexpr int kGenGlobals = 6;
+
+/** Scratch stack slots sp[0..5] in main's frame. */
+inline constexpr int kGenScratchSlots = 6;
+
+/** sp[6] and sp[7] hold &g4 and &g5 for indirect operand coverage. */
+inline constexpr int kGenPtrSlot0 = kGenScratchSlots;
+
+/** Main's frame size in words (scratch + the two pointer slots). */
+inline constexpr int kGenFrameWords = 8;
+
+/** Generator knobs. Defaults give a few hundred static instructions. */
+struct GenOptions
+{
+    int minSegments = 2;
+    int maxSegments = 9;
+    /** Max random instructions per basic block. */
+    int maxBlockLen = 5;
+    int maxLeafFns = 2;
+    bool allowIndirect = true;
+    bool allowCalls = true;
+    /** Occasionally pad an arm so a branch relaxes to the long form. */
+    bool allowFarBranches = true;
+};
+
+/** One top-level control-flow segment of the generated main function. */
+struct Segment
+{
+    enum class Kind : std::uint8_t {
+        kStraight, //!< a straight-line block
+        kLoop,     //!< counted down-count loop (the only back-edges)
+        kDiamond,  //!< if/else on a random compare
+        kCallLeaf, //!< call one of the leaf functions
+        kSwitch,   //!< indirect jump through a link-time label table
+    };
+
+    Kind kind = Kind::kStraight;
+
+    /** Straight-line prefix (all kinds). */
+    std::vector<Instruction> pre;
+    /** Loop body / taken arm / the selected switch case's siblings. */
+    std::vector<Instruction> arm1;
+    /** Not-taken arm (kDiamond). */
+    std::vector<Instruction> arm2;
+    /** Spread between the compare and its branch (never write CC). */
+    std::vector<Instruction> fillers;
+    /** kSwitch case bodies (>= 1). */
+    std::vector<std::vector<Instruction>> cases;
+
+    /** kLoop / kDiamond: the compare feeding the conditional branch. */
+    Instruction compare;
+    /** kLoop / kDiamond: kIfTJmp or kIfFJmp. */
+    Opcode condOp = Opcode::kIfTJmp;
+    /** Static prediction bit on the conditional branch. */
+    bool predictBit = false;
+    /** kLoop: iteration count (>= 1). */
+    int trip = 1;
+    /** kDiamond: pad arm1 so the branch needs the long form. */
+    bool farPad = false;
+    /** kCallLeaf: index into GenProgram::fns. */
+    int callee = 0;
+    /** kSwitch: which case the jump table entry selects. */
+    int selector = 0;
+    /** kSwitch: dispatch via SP-relative (vs. absolute) indirection. */
+    bool indirectViaSp = false;
+};
+
+/** A callable leaf function (no further calls inside). */
+struct LeafFn
+{
+    int frameWords = 2;
+    std::vector<Instruction> body;
+};
+
+/** The generated program in shrinkable IR form. */
+struct GenProgram
+{
+    std::uint64_t seed = 0;
+    Word globalInit[kGenGlobals] = {};
+    std::vector<LeafFn> fns;
+    std::vector<Segment> segs;
+
+    /** Assemble and link into an executable image. */
+    Program link() const;
+
+    /** Static instruction count of the linked image. */
+    int instructionCount() const;
+
+    /** Disassembly of the linked image (for divergence reports). */
+    std::string listing() const;
+};
+
+/** Generate the program for @p seed (deterministic across platforms). */
+GenProgram generate(std::uint64_t seed, const GenOptions& opt = {});
+
+} // namespace crisp::verify
+
+#endif // CRISP_VERIFY_GENERATOR_HH

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Lockstep differential runner implementation.
+ */
+
+#include "lockstep.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "interp/interpreter.hh"
+#include "isa/program.hh"
+#include "sim/cpu.hh"
+
+namespace crisp::verify
+{
+
+namespace
+{
+
+/** One architectural event: an instruction retirement or a branch. */
+struct Ev
+{
+    bool branch = false;
+    Addr pc = 0;
+    Opcode op = Opcode::kNop;
+    bool conditional = false;
+    bool taken = false;
+    Addr target = 0;
+    Addr fallThrough = 0;
+
+    bool
+    operator==(const Ev&) const = default;
+
+    std::string
+    toString() const
+    {
+        std::ostringstream os;
+        os << (branch ? "branch " : "inst ") << opcodeName(op) << " @0x"
+           << std::hex << pc;
+        if (branch) {
+            os << std::dec << (conditional ? " cond" : " uncond");
+            if (taken)
+                os << " taken->0x" << std::hex << target;
+            else
+                os << " not-taken (target 0x" << std::hex << target
+                   << ")";
+        }
+        return os.str();
+    }
+};
+
+/** Records the reference interpreter's event stream. */
+class RefRecorder : public ExecObserver
+{
+  public:
+    void
+    onInstruction(Addr pc, Opcode op) override
+    {
+        events.push_back(Ev{false, pc, op, false, false, 0, 0});
+    }
+
+    void
+    onBranch(const BranchEvent& ev) override
+    {
+        events.push_back(Ev{true, ev.pc, ev.op, ev.conditional,
+                            ev.taken, ev.target, ev.fallThrough});
+    }
+
+    std::vector<Ev> events;
+};
+
+/** Compares the pipeline's retire stream against the reference. */
+class CheckingObserver : public ExecObserver
+{
+  public:
+    explicit CheckingObserver(const std::vector<Ev>& ref) : ref_(ref) {}
+
+    void
+    onInstruction(Addr pc, Opcode op) override
+    {
+        check(Ev{false, pc, op, false, false, 0, 0});
+    }
+
+    void
+    onBranch(const BranchEvent& ev) override
+    {
+        check(Ev{true, ev.pc, ev.op, ev.conditional, ev.taken,
+                 ev.target, ev.fallThrough});
+    }
+
+    bool mismatch = false;
+    std::size_t index = 0;
+    std::string detail;
+
+  private:
+    void
+    check(const Ev& got)
+    {
+        if (mismatch)
+            return;
+        if (index >= ref_.size()) {
+            mismatch = true;
+            detail = "pipeline retired an event past the end of the "
+                     "reference stream: " +
+                     got.toString();
+            return;
+        }
+        if (!(ref_[index] == got)) {
+            mismatch = true;
+            detail = "expected " + ref_[index].toString() + ", got " +
+                     got.toString();
+            return;
+        }
+        ++index;
+    }
+
+    const std::vector<Ev>& ref_;
+};
+
+} // namespace
+
+std::string_view
+divergenceName(Divergence d)
+{
+    switch (d) {
+      case Divergence::kNone:
+        return "none";
+      case Divergence::kEventMismatch:
+        return "event-mismatch";
+      case Divergence::kEventCountMismatch:
+        return "event-count-mismatch";
+      case Divergence::kFinalStateMismatch:
+        return "final-state-mismatch";
+      case Divergence::kMachineFault:
+        return "machine-fault";
+      case Divergence::kDicCorruptionDetected:
+        return "dic-corruption-detected";
+      case Divergence::kCycleLimit:
+        return "cycle-limit";
+      case Divergence::kGeneratorNonTerminating:
+        return "generator-non-terminating";
+    }
+    return "?";
+}
+
+std::string
+LockstepReport::toString() const
+{
+    std::ostringstream os;
+    os << "lockstep: " << divergenceName(kind);
+    if (kind == Divergence::kEventMismatch ||
+        kind == Divergence::kEventCountMismatch) {
+        os << " at event #" << eventIndex;
+    }
+    if (!detail.empty())
+        os << "\n  " << detail;
+    os << "\n  ref instructions: " << refInstructions
+       << ", sim apparent: " << sim.apparent
+       << ", cycles: " << sim.cycles;
+    if (sim.faulted) {
+        os << "\n  fault at 0x" << std::hex << sim.faultPc << std::dec
+           << ": " << sim.faultReason;
+    }
+    return os.str();
+}
+
+LockstepReport
+runLockstep(const Program& prog, const LockstepOptions& opt)
+{
+    LockstepReport rep;
+
+    Interpreter interp(prog);
+    RefRecorder ref;
+    const InterpResult ires = interp.run(opt.maxSteps, &ref);
+    rep.refInstructions = ires.instructions;
+    if (!ires.halted) {
+        rep.kind = Divergence::kGeneratorNonTerminating;
+        rep.detail = "reference interpreter hit the step limit";
+        return rep;
+    }
+
+    SimConfig cfg = opt.cfg;
+    const std::uint64_t budget =
+        opt.cycleBudget != 0 ? opt.cycleBudget
+                             : ires.instructions * 48 + 50'000;
+    cfg.maxCycles = budget;
+
+    CrispCpu cpu(prog, cfg);
+    if (opt.hooks != nullptr)
+        cpu.setFaultHooks(opt.hooks);
+    CheckingObserver obs(ref.events);
+    while (cpu.tick(&obs)) {
+        if (obs.mismatch || cpu.stats().cycles >= budget)
+            break;
+    }
+    rep.sim = cpu.stats();
+
+    std::ostringstream ctx;
+    ctx << " [sim: accum=" << cpu.accum()
+        << " flag=" << (cpu.flag() ? 1 : 0) << " sp=0x" << std::hex
+        << cpu.sp() << std::dec << " next-pc=0x" << std::hex
+        << cpu.nextIssuePc() << std::dec << "]";
+
+    if (rep.sim.dicCorruption) {
+        rep.kind = Divergence::kDicCorruptionDetected;
+        rep.detail = rep.sim.faultReason;
+        return rep;
+    }
+    if (rep.sim.faulted) {
+        rep.kind = Divergence::kMachineFault;
+        rep.detail = rep.sim.faultReason;
+        return rep;
+    }
+    if (obs.mismatch) {
+        rep.kind = Divergence::kEventMismatch;
+        rep.eventIndex = obs.index;
+        rep.detail = obs.detail + ctx.str();
+        return rep;
+    }
+    if (!cpu.halted()) {
+        rep.kind = Divergence::kCycleLimit;
+        rep.detail = "pipeline did not halt within " +
+                     std::to_string(budget) + " cycles" + ctx.str();
+        return rep;
+    }
+    if (obs.index != ref.events.size()) {
+        rep.kind = Divergence::kEventCountMismatch;
+        rep.eventIndex = obs.index;
+        rep.detail = "pipeline halted after " +
+                     std::to_string(obs.index) + " of " +
+                     std::to_string(ref.events.size()) +
+                     " reference events" + ctx.str();
+        return rep;
+    }
+
+    // Streams agree; verify final architectural state.
+    std::ostringstream diff;
+    if (cpu.accum() != interp.accum()) {
+        diff << "accum " << cpu.accum() << " != " << interp.accum()
+             << "; ";
+    }
+    if (cpu.flag() != interp.flag())
+        diff << "flag " << cpu.flag() << " != " << interp.flag() << "; ";
+    if (cpu.sp() != interp.sp()) {
+        diff << "sp 0x" << std::hex << cpu.sp() << " != 0x"
+             << interp.sp() << std::dec << "; ";
+    }
+    if (rep.sim.apparent != ires.instructions) {
+        diff << "apparent " << rep.sim.apparent
+             << " != " << ires.instructions << "; ";
+    }
+    const auto& ms = cpu.memory().bytes();
+    const auto& mi = interp.memory().bytes();
+    if (ms.size() != mi.size()) {
+        diff << "memory size " << ms.size() << " != " << mi.size()
+             << "; ";
+    } else {
+        for (std::size_t a = 0; a < ms.size(); ++a) {
+            if (ms[a] != mi[a]) {
+                diff << "memory[0x" << std::hex << a << "] 0x"
+                     << static_cast<int>(ms[a]) << " != 0x"
+                     << static_cast<int>(mi[a]) << std::dec << "; ";
+                break;
+            }
+        }
+    }
+    const std::string d = diff.str();
+    if (!d.empty()) {
+        rep.kind = Divergence::kFinalStateMismatch;
+        rep.detail = d + ctx.str();
+    }
+    return rep;
+}
+
+} // namespace crisp::verify

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Delta-debugging shrinker implementation.
+ */
+
+#include "shrink.hh"
+
+#include <utility>
+
+namespace crisp::verify
+{
+
+namespace
+{
+
+class Shrinker
+{
+  public:
+    Shrinker(GenProgram best, const FailPredicate& pred, int max_tests)
+        : best_(std::move(best)), pred_(pred), maxTests_(max_tests)
+    {
+    }
+
+    ShrinkResult
+    run()
+    {
+        bool changed = true;
+        while (changed && tests_ < maxTests_) {
+            changed = false;
+            changed |= dropSegments();
+            changed |= dropLeafFns();
+            changed |= reduceTrips();
+            changed |= collapseSwitches();
+            changed |= shrinkBlocks();
+        }
+        return ShrinkResult{std::move(best_), tests_};
+    }
+
+  private:
+    /** Adopt @p cand if the failure survives. */
+    bool
+    accept(GenProgram cand)
+    {
+        if (tests_ >= maxTests_)
+            return false;
+        ++tests_;
+        if (!pred_(cand))
+            return false;
+        best_ = std::move(cand);
+        return true;
+    }
+
+    bool
+    dropSegments()
+    {
+        bool changed = false;
+        for (int i = static_cast<int>(best_.segs.size()) - 1; i >= 0;
+             --i) {
+            GenProgram cand = best_;
+            cand.segs.erase(cand.segs.begin() + i);
+            changed |= accept(std::move(cand));
+        }
+        return changed;
+    }
+
+    bool
+    dropLeafFns()
+    {
+        bool changed = false;
+        for (int j = static_cast<int>(best_.fns.size()) - 1; j >= 0;
+             --j) {
+            GenProgram cand = best_;
+            cand.fns.erase(cand.fns.begin() + j);
+            for (Segment& s : cand.segs) {
+                if (s.kind != Segment::Kind::kCallLeaf)
+                    continue;
+                if (s.callee == j)
+                    s.kind = Segment::Kind::kStraight;
+                else if (s.callee > j)
+                    --s.callee;
+            }
+            changed |= accept(std::move(cand));
+        }
+        return changed;
+    }
+
+    bool
+    reduceTrips()
+    {
+        bool changed = false;
+        for (std::size_t si = 0; si < best_.segs.size(); ++si) {
+            if (best_.segs[si].kind != Segment::Kind::kLoop ||
+                best_.segs[si].trip <= 1) {
+                continue;
+            }
+            GenProgram cand = best_;
+            cand.segs[si].trip = 1;
+            changed |= accept(std::move(cand));
+        }
+        return changed;
+    }
+
+    bool
+    collapseSwitches()
+    {
+        bool changed = false;
+        for (std::size_t si = 0; si < best_.segs.size(); ++si) {
+            const Segment& s = best_.segs[si];
+            if (s.kind != Segment::Kind::kSwitch ||
+                s.cases.size() <= 1) {
+                continue;
+            }
+            GenProgram cand = best_;
+            Segment& cs = cand.segs[si];
+            cs.cases = {s.cases[static_cast<std::size_t>(s.selector)]};
+            cs.selector = 0;
+            changed |= accept(std::move(cand));
+        }
+        return changed;
+    }
+
+    /**
+     * Shrink one instruction block: clear it, then try keeping each
+     * half, then remove single instructions back-to-front. @p get and
+     * @p set address the block inside a GenProgram — accept() replaces
+     * best_ wholesale, so the block is re-read through get(best_)
+     * before every candidate rather than held by reference.
+     */
+    template <typename Get, typename Set>
+    bool
+    shrinkField(const Get& get, const Set& set)
+    {
+        bool changed = false;
+        if (!get(best_).empty()) {
+            GenProgram cand = best_;
+            set(cand, {});
+            changed |= accept(std::move(cand));
+        }
+        for (int half = 0; half < 2; ++half) {
+            const std::vector<Instruction>& cur = get(best_);
+            const std::size_t n = cur.size();
+            if (n < 2)
+                break;
+            const auto mid = static_cast<long>(n / 2);
+            std::vector<Instruction> kept(
+                cur.begin() + (half == 0 ? mid : 0),
+                half == 0 ? cur.end() : cur.begin() + mid);
+            GenProgram cand = best_;
+            set(cand, std::move(kept));
+            changed |= accept(std::move(cand));
+        }
+        for (int i = static_cast<int>(get(best_).size()) - 1; i >= 0;
+             --i) {
+            const std::vector<Instruction>& cur = get(best_);
+            if (i >= static_cast<int>(cur.size()))
+                continue;
+            std::vector<Instruction> kept = cur;
+            kept.erase(kept.begin() + i);
+            GenProgram cand = best_;
+            set(cand, std::move(kept));
+            changed |= accept(std::move(cand));
+        }
+        return changed;
+    }
+
+    bool
+    shrinkBlocks()
+    {
+        bool changed = false;
+        using Block = std::vector<Instruction>;
+        const auto seg_field = [](std::size_t si, Block Segment::* f) {
+            return std::pair{
+                [si, f](const GenProgram& g) -> const Block& {
+                    return g.segs[si].*f;
+                },
+                [si, f](GenProgram& g, Block v) {
+                    g.segs[si].*f = std::move(v);
+                }};
+        };
+        for (std::size_t si = 0; si < best_.segs.size(); ++si) {
+            for (Block Segment::* f :
+                 {&Segment::pre, &Segment::arm1, &Segment::arm2,
+                  &Segment::fillers}) {
+                const auto [get, set] = seg_field(si, f);
+                changed |= shrinkField(get, set);
+            }
+            for (std::size_t c = 0;
+                 c < best_.segs[si].cases.size(); ++c) {
+                changed |= shrinkField(
+                    [si, c](const GenProgram& g) -> const Block& {
+                        return g.segs[si].cases[c];
+                    },
+                    [si, c](GenProgram& g, Block v) {
+                        g.segs[si].cases[c] = std::move(v);
+                    });
+            }
+            if (tests_ >= maxTests_)
+                break;
+        }
+        for (std::size_t j = 0; j < best_.fns.size(); ++j) {
+            changed |= shrinkField(
+                [j](const GenProgram& g) -> const Block& {
+                    return g.fns[j].body;
+                },
+                [j](GenProgram& g, Block v) {
+                    g.fns[j].body = std::move(v);
+                });
+        }
+        return changed;
+    }
+
+    GenProgram best_;
+    const FailPredicate& pred_;
+    int maxTests_;
+    int tests_ = 0;
+};
+
+} // namespace
+
+ShrinkResult
+shrinkProgram(const GenProgram& gp, const FailPredicate& stillFails,
+              int maxTests)
+{
+    return Shrinker(gp, stillFails, maxTests).run();
+}
+
+} // namespace crisp::verify

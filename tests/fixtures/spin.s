@@ -1,0 +1,4 @@
+; Deliberately non-terminating: exercises the cycle-limit watchdog.
+    .entry spin
+spin:
+    jmp spin

@@ -13,6 +13,7 @@
 #include "asm/assembler.hh"
 #include "cc/compiler.hh"
 #include "interp/interpreter.hh"
+#include "isa/objfile.hh"
 #include "predict/predictors.hh"
 #include "sim/cpu.hh"
 
@@ -98,6 +99,140 @@ TEST_P(CcFuzz, MalformedSourceNeverCrashes)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CcFuzz, ::testing::Range(0, 4));
+
+class ObjFuzz : public ::testing::TestWithParam<int>
+{
+  protected:
+    /** A real object image to mutate. */
+    static std::vector<std::uint8_t>
+    goodObject()
+    {
+        const char* src = R"(
+            .entry s
+            .global a 7
+s:          enter 1
+            mov a, 3
+            halt
+        )";
+        return saveObject(assemble(src));
+    }
+
+    /** Loading must yield a Program or a CrispError — nothing else. */
+    static void
+    mustNotCrash(const std::vector<std::uint8_t>& bytes)
+    {
+        try {
+            const Program p = loadObject(bytes);
+            // A program that loaded must also be safe to run: the
+            // interpreter may fault with CrispError but not crash.
+            Interpreter interp(p);
+            interp.run(10'000);
+        } catch (const CrispError&) {
+            // expected for corrupt input
+        }
+    }
+};
+
+TEST_P(ObjFuzz, TruncatedObjectNeverCrashes)
+{
+    const auto good = goodObject();
+    // Every prefix, including the empty file.
+    for (std::size_t n = 0; n <= good.size(); ++n) {
+        mustNotCrash({good.begin(),
+                      good.begin() + static_cast<std::ptrdiff_t>(n)});
+    }
+}
+
+TEST_P(ObjFuzz, BitFlippedObjectNeverCrashes)
+{
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 17u);
+    const auto good = goodObject();
+    for (int iter = 0; iter < 300; ++iter) {
+        auto bytes = good;
+        const int flips =
+            std::uniform_int_distribution<int>(1, 8)(rng);
+        for (int f = 0; f < flips; ++f) {
+            const auto at = std::uniform_int_distribution<std::size_t>(
+                0, bytes.size() - 1)(rng);
+            bytes[at] ^= static_cast<std::uint8_t>(
+                1u << std::uniform_int_distribution<int>(0, 7)(rng));
+        }
+        mustNotCrash(bytes);
+    }
+}
+
+TEST_P(ObjFuzz, RandomGarbageNeverCrashes)
+{
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 104729u + 3u);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<std::uint8_t> bytes(
+            std::uniform_int_distribution<std::size_t>(0, 256)(rng));
+        for (auto& b : bytes) {
+            b = static_cast<std::uint8_t>(
+                std::uniform_int_distribution<int>(0, 255)(rng));
+        }
+        // Half the time, make it look like a CRISP object so the
+        // header parser gets past the magic check.
+        if (bytes.size() >= 4 &&
+            std::uniform_int_distribution<int>(0, 1)(rng)) {
+            bytes[0] = 'C';
+            bytes[1] = 'R';
+            bytes[2] = 'S';
+            bytes[3] = 'P';
+        }
+        mustNotCrash(bytes);
+    }
+}
+
+TEST(ObjHardening, OversizedDeclaredSectionsRejected)
+{
+    // A 36-byte header claiming a huge text section must be rejected
+    // up front, not tail-recursed into a multi-gigabyte reserve.
+    std::vector<std::uint8_t> bytes = {'C', 'R', 'S', 'P'};
+    const auto put32 = [&bytes](std::uint32_t v) {
+        bytes.push_back(static_cast<std::uint8_t>(v));
+        bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+        bytes.push_back(static_cast<std::uint8_t>(v >> 16));
+        bytes.push_back(static_cast<std::uint8_t>(v >> 24));
+    };
+    put32(1);          // version
+    put32(kTextBase);  // textBase
+    put32(kTextBase);  // entry
+    put32(kDataBase);  // dataBase
+    put32(kDefaultMemBytes);
+    put32(0xFFFFFFFFu); // textLen: absurd
+    put32(0);           // dataLen
+    put32(0);           // symCount
+    EXPECT_THROW(loadObject(bytes), CrispError);
+}
+
+TEST(ObjHardening, UnreasonableMemBytesRejected)
+{
+    Program p = assemble(".entry s\ns: halt\n");
+    auto bytes = saveObject(p);
+    // memBytes field lives at offset 4+4+4+4+4 = 20.
+    bytes[20] = 0xFF;
+    bytes[21] = 0xFF;
+    bytes[22] = 0xFF;
+    bytes[23] = 0xFF;
+    EXPECT_THROW(loadObject(bytes), CrispError);
+}
+
+TEST(ObjHardening, BadSymbolKindRejected)
+{
+    Program p = assemble(".entry s\n.global g 1\ns: halt\n");
+    const auto good = saveObject(p);
+    ASSERT_FALSE(p.symbols.empty());
+    // The first symbol record starts right after text+data.
+    const std::size_t sym_at =
+        36 + 2 * p.text.size() + p.data.size();
+    ASSERT_LT(sym_at, good.size());
+    auto bytes = good;
+    bytes[sym_at] = 0x7F; // not a valid Symbol::Kind
+    EXPECT_THROW(loadObject(bytes), CrispError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjFuzz, ::testing::Range(0, 4));
 
 // ----------------------------------------------- deep pipeline corners
 

@@ -68,8 +68,10 @@ usage()
         "  --machine=pipeline|interp|delayed   (default pipeline)\n"
         "  --fold=none|crisp|all  --dic=N  --mem-latency=N\n"
         "  --stack-cache=N  --stack-penalty=N  --no-predict-bit\n"
-        "  --profile-opt  --annul  --trace[=N]  --stats  "
-        "--histogram\n");
+        "  --max-cycles=N  --profile-opt  --annul  --trace[=N]  "
+        "--stats  --histogram\n"
+        "exit status: 0 ok, 1 load/internal error, 2 usage,\n"
+        "             3 cycle limit exceeded, 4 machine fault\n");
     return 2;
 }
 
@@ -116,6 +118,10 @@ main(int argc, char** argv)
             cfg.stackCacheWords = std::atoi(v5);
         } else if (const char* v6 = val("--stack-penalty=")) {
             cfg.stackCacheMissPenalty = std::atoi(v6);
+        } else if (const char* v8 = val("--max-cycles=")) {
+            cfg.maxCycles = std::strtoull(v8, nullptr, 10);
+            if (cfg.maxCycles == 0)
+                return usage();
         } else if (a == "--no-predict-bit") {
             cfg.respectPredictionBit = false;
         } else if (a == "--annul") {
@@ -178,7 +184,12 @@ main(int argc, char** argv)
             }
             if (want_histogram)
                 std::fputs(r.histogramTable().c_str(), stdout);
-            return r.halted ? 0 : 3;
+            if (!r.halted) {
+                std::fprintf(stderr, "crisprun: step limit exceeded "
+                                     "without reaching halt\n");
+                return 3;
+            }
+            return 0;
         }
 
         if (machine == "delayed") {
@@ -224,7 +235,21 @@ main(int argc, char** argv)
             hist.opcodeCounts = s.opcodeCounts;
             std::fputs(hist.histogramTable().c_str(), stdout);
         }
-        return s.halted ? 0 : 3;
+        if (s.faulted) {
+            std::fprintf(stderr,
+                         "crisprun: machine fault at 0x%x: %s\n",
+                         static_cast<unsigned>(s.faultPc),
+                         s.faultReason.c_str());
+            return 4;
+        }
+        if (!s.halted) {
+            std::fprintf(stderr,
+                         "crisprun: cycle limit exceeded "
+                         "(%llu cycles) without reaching halt\n",
+                         static_cast<unsigned long long>(s.cycles));
+            return 3;
+        }
+        return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "crisprun: %s\n", e.what());
         return 1;

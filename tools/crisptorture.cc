@@ -1,0 +1,320 @@
+/**
+ * @file
+ * crisptorture — seeded random differential torture for the CRISP
+ * pipeline, with fault injection and automatic test-case shrinking.
+ *
+ *   crisptorture [--seeds=N] [--seed0=K] [--configs=quick|full]
+ *                [--faults [--fault-kind=NAME]] [--shrink-demo]
+ *                [--max-steps=N] [-v]
+ *
+ * Modes:
+ *  - default: every seed's program runs in lockstep against the
+ *    functional interpreter across a matrix of pipeline configurations
+ *    (fold policies; --configs=full adds DIC sizes and memory
+ *    latencies). Any divergence is shrunk to a minimal reproducer and
+ *    printed with its listing. Exit 1 on any divergence.
+ *  - --faults: every seed also runs under each fault injector. Benign
+ *    hint faults (flip-predict-bit, unfold-pair, drop-fill) must leave
+ *    the architectural event stream and final state bit-identical
+ *    (only cycle counts may change). Metadata corruption
+ *    (corrupt-next-pc, corrupt-alt-pc, corrupt-cc-bit) runs with the
+ *    retire-time decode checker enabled and must either never take
+ *    effect or be reported as a structured DIC-corruption diagnostic —
+ *    never a hang or a wrong answer.
+ *  - --shrink-demo: seeds an artificial implementation bug (arch-bug
+ *    injector, checker off), finds a diverging seed, and shrinks it,
+ *    demonstrating the reducer on a real architectural divergence.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/faults.hh"
+#include "verify/generator.hh"
+#include "verify/lockstep.hh"
+#include "verify/shrink.hh"
+
+namespace
+{
+
+using namespace crisp;
+using namespace crisp::verify;
+
+struct Options
+{
+    std::uint64_t seeds = 100;
+    std::uint64_t seed0 = 1;
+    bool full = false;
+    bool faults = false;
+    bool shrinkDemo = false;
+    FaultKind onlyFault = FaultKind::kNone;
+    std::uint64_t maxSteps = 1'000'000;
+    bool verbose = false;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: crisptorture [--seeds=N] [--seed0=K]\n"
+        "                    [--configs=quick|full]\n"
+        "                    [--faults [--fault-kind=NAME]]\n"
+        "                    [--shrink-demo] [--max-steps=N] [-v]\n"
+        "fault kinds: flip-predict-bit unfold-pair drop-fill\n"
+        "             corrupt-next-pc corrupt-alt-pc corrupt-cc-bit\n");
+    return 2;
+}
+
+/** The lockstep configuration matrix. */
+std::vector<SimConfig>
+configMatrix(bool full)
+{
+    std::vector<SimConfig> out;
+    for (FoldPolicy fp :
+         {FoldPolicy::kNone, FoldPolicy::kCrisp, FoldPolicy::kAll}) {
+        if (!full) {
+            SimConfig c;
+            c.foldPolicy = fp;
+            out.push_back(c);
+            continue;
+        }
+        for (int dic : {8, 32}) {
+            for (int lat : {1, 5}) {
+                SimConfig c;
+                c.foldPolicy = fp;
+                c.dicEntries = dic;
+                c.memLatency = lat;
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+printDivergence(std::uint64_t seed, const SimConfig& cfg,
+                const LockstepReport& rep, const GenProgram& shrunk,
+                int shrink_tests)
+{
+    std::printf("=== DIVERGENCE seed=%llu fold=%d dic=%d "
+                "mem-latency=%d ===\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<int>(cfg.foldPolicy), cfg.dicEntries,
+                cfg.memLatency);
+    std::printf("%s\n", rep.toString().c_str());
+    std::printf("--- shrunk to %d instructions (%d shrink tests) ---\n",
+                shrunk.instructionCount(), shrink_tests);
+    std::printf("%s", shrunk.listing().c_str());
+}
+
+/** Lockstep one generated program under one config (+ maybe faults). */
+LockstepReport
+runOne(const GenProgram& gp, const SimConfig& cfg,
+       const FaultConfig* fault, std::uint64_t max_steps)
+{
+    LockstepOptions opt;
+    opt.cfg = cfg;
+    opt.maxSteps = max_steps;
+    if (fault == nullptr)
+        return runLockstep(gp.link(), opt);
+    FaultInjector inj(*fault);
+    opt.hooks = &inj;
+    return runLockstep(gp.link(), opt);
+}
+
+/** Plain differential sweep. @return number of divergences. */
+int
+plainSweep(const Options& opt)
+{
+    const auto cfgs = configMatrix(opt.full);
+    int bad = 0;
+    for (std::uint64_t s = opt.seed0; s < opt.seed0 + opt.seeds; ++s) {
+        const GenProgram gp = generate(s);
+        for (const SimConfig& cfg : cfgs) {
+            const LockstepReport rep =
+                runOne(gp, cfg, nullptr, opt.maxSteps);
+            if (rep.ok())
+                continue;
+            ++bad;
+            const auto still_fails = [&](const GenProgram& cand) {
+                return !runOne(cand, cfg, nullptr, opt.maxSteps).ok();
+            };
+            const ShrinkResult sh = shrinkProgram(gp, still_fails);
+            printDivergence(s, cfg, rep, sh.program, sh.tests);
+        }
+        if (opt.verbose && (s - opt.seed0 + 1) % 50 == 0) {
+            std::fprintf(stderr, "crisptorture: %llu seeds done\n",
+                         static_cast<unsigned long long>(
+                             s - opt.seed0 + 1));
+        }
+    }
+    std::printf("torture: %llu seeds x %zu configs, %d divergences\n",
+                static_cast<unsigned long long>(opt.seeds),
+                cfgs.size(), bad);
+    return bad;
+}
+
+/** Fault-injection sweep. @return number of property violations. */
+int
+faultSweep(const Options& opt)
+{
+    int bad = 0;
+    std::uint64_t benign_cycle_diffs = 0;
+    std::uint64_t detections = 0;
+    for (std::uint64_t s = opt.seed0; s < opt.seed0 + opt.seeds; ++s) {
+        const GenProgram gp = generate(s);
+        SimConfig cfg; // defaults: the CRISP configuration
+        const LockstepReport base =
+            runOne(gp, cfg, nullptr, opt.maxSteps);
+        if (!base.ok()) {
+            std::printf("seed %llu diverges with no fault injected:\n"
+                        "%s\n",
+                        static_cast<unsigned long long>(s),
+                        base.toString().c_str());
+            ++bad;
+            continue;
+        }
+        for (FaultKind k : kInjectableFaults) {
+            if (opt.onlyFault != FaultKind::kNone && k != opt.onlyFault)
+                continue;
+            FaultConfig fc;
+            fc.kind = k;
+            fc.seed = s;
+            SimConfig fcfg = cfg;
+            // The checker is the detection mechanism for metadata
+            // corruption; it must also stay silent on benign hints.
+            fcfg.checkDecode = true;
+            const LockstepReport rep =
+                runOne(gp, fcfg, &fc, opt.maxSteps);
+            bool ok;
+            if (faultIsBenignHint(k)) {
+                // Hints: bit-identical architecture, timing may move.
+                ok = rep.ok();
+                if (ok && rep.sim.cycles != base.sim.cycles)
+                    ++benign_cycle_diffs;
+            } else {
+                // Metadata: either the fault never reached a retiring
+                // entry, or it was detected as structured corruption.
+                ok = rep.ok() ||
+                     rep.kind == Divergence::kDicCorruptionDetected;
+                if (rep.kind == Divergence::kDicCorruptionDetected)
+                    ++detections;
+            }
+            if (!ok) {
+                ++bad;
+                std::printf(
+                    "=== FAULT PROPERTY VIOLATION seed=%llu "
+                    "fault=%s ===\n%s\n",
+                    static_cast<unsigned long long>(s),
+                    std::string(faultKindName(k)).c_str(),
+                    rep.toString().c_str());
+            }
+        }
+    }
+    std::printf("fault torture: %llu seeds, %d violations "
+                "(%llu benign runs changed cycle counts, "
+                "%llu corruptions detected)\n",
+                static_cast<unsigned long long>(opt.seeds), bad,
+                static_cast<unsigned long long>(benign_cycle_diffs),
+                static_cast<unsigned long long>(detections));
+    return bad;
+}
+
+/** Shrinker demo on a seeded architectural bug. @return 0 on success. */
+int
+shrinkDemo(const Options& opt)
+{
+    SimConfig cfg;
+    cfg.checkDecode = false; // the bug must stay silent
+    const auto fails = [&](const GenProgram& cand) {
+        FaultConfig fc;
+        fc.kind = FaultKind::kArchBug;
+        fc.seed = cand.seed;
+        fc.maxFires = 1;
+        return !runOne(cand, cfg, &fc, opt.maxSteps).ok();
+    };
+    for (std::uint64_t s = opt.seed0; s < opt.seed0 + opt.seeds; ++s) {
+        const GenProgram gp = generate(s);
+        if (!fails(gp))
+            continue;
+        const ShrinkResult sh = shrinkProgram(gp, fails);
+        const int before = gp.instructionCount();
+        const int after = sh.program.instructionCount();
+        std::printf("shrink demo: seed %llu, %d -> %d instructions "
+                    "(%d tests)\n",
+                    static_cast<unsigned long long>(s), before, after,
+                    sh.tests);
+        std::printf("%s", sh.program.listing().c_str());
+        if (after > 20) {
+            std::printf("shrink demo: FAILED, reproducer larger than "
+                        "20 instructions\n");
+            return 1;
+        }
+        std::printf("shrink demo: ok\n");
+        return 0;
+    }
+    std::printf("shrink demo: no seed in [%llu, %llu) tripped the "
+                "seeded bug\n",
+                static_cast<unsigned long long>(opt.seed0),
+                static_cast<unsigned long long>(opt.seed0 + opt.seeds));
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&](const char* key) -> const char* {
+            const std::size_t n = std::strlen(key);
+            return a.compare(0, n, key) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (const char* v = val("--seeds=")) {
+            opt.seeds = std::strtoull(v, nullptr, 10);
+        } else if (const char* v2 = val("--seed0=")) {
+            opt.seed0 = std::strtoull(v2, nullptr, 10);
+        } else if (const char* v3 = val("--configs=")) {
+            const std::string c = v3;
+            if (c == "quick")
+                opt.full = false;
+            else if (c == "full")
+                opt.full = true;
+            else
+                return usage();
+        } else if (a == "--faults") {
+            opt.faults = true;
+        } else if (const char* v4 = val("--fault-kind=")) {
+            const auto k = crisp::verify::parseFaultKind(v4);
+            if (!k)
+                return usage();
+            opt.onlyFault = *k;
+            opt.faults = true;
+        } else if (a == "--shrink-demo") {
+            opt.shrinkDemo = true;
+        } else if (const char* v5 = val("--max-steps=")) {
+            opt.maxSteps = std::strtoull(v5, nullptr, 10);
+        } else if (a == "-v") {
+            opt.verbose = true;
+        } else {
+            return usage();
+        }
+    }
+
+    try {
+        if (opt.shrinkDemo)
+            return shrinkDemo(opt) == 0 ? 0 : 1;
+        const int bad =
+            opt.faults ? faultSweep(opt) : plainSweep(opt);
+        return bad == 0 ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "crisptorture: %s\n", e.what());
+        return 1;
+    }
+}
