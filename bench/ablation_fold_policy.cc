@@ -6,12 +6,18 @@
  * non-branching instructions with one parcel branches. Doing the
  * remaining cases significantly increases the amount of hardware
  * required, with only a marginal increase in performance."
+ *
+ * The (workload x policy) grid points are independent simulations, so
+ * they fan out over a thread pool; results are stored by grid index
+ * and printed in workload order, identical for any worker count.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "cc/compiler.hh"
 #include "sim/cpu.hh"
+#include "util/thread_pool.hh"
 #include "workloads/workloads.hh"
 
 int
@@ -19,26 +25,32 @@ main()
 {
     using namespace crisp;
 
+    constexpr FoldPolicy kPolicies[] = {
+        FoldPolicy::kNone, FoldPolicy::kCrisp, FoldPolicy::kAll};
+    const std::vector<Workload>& ws = allWorkloads();
+    std::vector<SimStats> grid(ws.size() * 3);
+
+    util::ThreadPool pool(util::ThreadPool::defaultThreads());
+    pool.parallelFor(grid.size(), [&](std::size_t i) {
+        const Workload& w = ws[i / 3];
+        const auto r = cc::compile(w.source);
+        SimConfig cfg;
+        cfg.foldPolicy = kPolicies[i % 3];
+        CrispCpu cpu(r.program, cfg);
+        grid[i] = cpu.run();
+    });
+
     std::printf("Fold-policy ablation (cycles / issued instructions)\n");
     std::printf("%-8s | %12s %9s | %12s %9s | %12s %9s | %s\n",
                 "Program", "none:cyc", "issued", "crisp:cyc", "issued",
                 "all:cyc", "issued", "all-vs-crisp speedup");
 
-    for (const Workload& w : allWorkloads()) {
-        const auto r = cc::compile(w.source);
-        SimStats s[3];
-        int i = 0;
-        for (FoldPolicy p :
-             {FoldPolicy::kNone, FoldPolicy::kCrisp, FoldPolicy::kAll}) {
-            SimConfig cfg;
-            cfg.foldPolicy = p;
-            CrispCpu cpu(r.program, cfg);
-            s[i++] = cpu.run();
-        }
+    for (std::size_t wi = 0; wi < ws.size(); ++wi) {
+        const SimStats* s = &grid[wi * 3];
         std::printf(
             "%-8s | %12llu %9llu | %12llu %9llu | %12llu %9llu | "
             "%+.2f%%\n",
-            w.name.c_str(),
+            ws[wi].name.c_str(),
             static_cast<unsigned long long>(s[0].cycles),
             static_cast<unsigned long long>(s[0].issued),
             static_cast<unsigned long long>(s[1].cycles),

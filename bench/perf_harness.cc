@@ -1,0 +1,497 @@
+/**
+ * @file
+ * bench_perf — host-performance harness for the cycle-level simulator.
+ *
+ *   bench_perf [--smoke] [--out=FILE | --out FILE] [--jobs=N]
+ *              [--reps=N]
+ *
+ * Times three workload families with std::chrono::steady_clock, each
+ * under both decode paths (the predecode fast path and the
+ * SimConfig::usePredecode = false legacy path):
+ *
+ *  - torture_replay: replays the torture generator's programs (the same
+ *    seeds the differential suite sweeps) on the default CRISP
+ *    configuration. Each program is replayed several times, the way
+ *    crisptorture actually uses them (one run per lockstep config, per
+ *    fault kind, per shrinking step): one CrispCpu per program,
+ *    CrispCpu::reset() between replays (timed as hot-loop work), and on
+ *    the fast path all replays share one PredecodeCache, so runs after
+ *    the first do no decode work at all. torture_replay_checked adds
+ *    the retire-time decode checker, the worst case for decode
+ *    overhead.
+ *  - table4_fig3: the paper's Figure 3 program compiled for all five
+ *    Table 4 cases.
+ *  - dic_thrash: a loop whose body far exceeds the 32-entry DIC, so the
+ *    PDU re-decodes the working set every iteration.
+ *
+ * Two times are reported per measurement: hotSeconds (CrispCpu::run
+ * only — the hot loop the PR optimizes) and endToEndSeconds (adds
+ * CrispCpu construction, which is dominated by zeroing the 256 KiB
+ * memory image). Rates are simulated instructions (architectural) and
+ * simulated cycles per host second, best of --reps repetitions.
+ *
+ * Program preparation (generation, linking, compilation) fans out over
+ * a thread pool (--jobs) and is never timed. The measured runs are
+ * strictly sequential so one run never steals cycles from another.
+ *
+ * Output: a single JSON object (schema "crisp-bench-perf/1", described
+ * in docs/PERFORMANCE.md) written to --out (default BENCH_PERF.json)
+ * and validated by re-parsing before exit. --smoke shrinks every
+ * workload to fractions of a second and is wired into ctest.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "sim/cpu.hh"
+#include "sim/predecode.hh"
+#include "util/thread_pool.hh"
+#include "verify/generator.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace crisp;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** One program + configuration to simulate. */
+struct Unit
+{
+    Program prog;
+    SimConfig cfg;
+};
+
+struct Measure
+{
+    double hotSeconds = 0.0;
+    double endToEndSeconds = 0.0;
+    std::uint64_t simInstructions = 0;
+    std::uint64_t simCycles = 0;
+};
+
+/**
+ * Run every unit @p replays times, timing construction and run
+ * separately. On the predecode path all replays of a unit share one
+ * PredecodeCache (the crisptorture usage pattern: the same program runs
+ * once per lockstep config / fault kind / shrink step), so replays
+ * after the first skip decode work entirely. The stats must describe a
+ * clean halt: a fault or timeout means the harness is measuring a
+ * broken simulation and must say so.
+ */
+Measure
+runOnce(const std::vector<Unit>& units, int replays)
+{
+    Measure m;
+    for (const Unit& u : units) {
+        std::unique_ptr<PredecodeCache> shared;
+        if (u.cfg.usePredecode)
+            shared = std::make_unique<PredecodeCache>(u.prog);
+        const auto t0 = Clock::now();
+        CrispCpu cpu(u.prog, u.cfg, shared.get());
+        const double ctor =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        for (int r = 0; r < replays; ++r) {
+            // Replays reuse the machine: reset() is the per-replay
+            // setup cost, so it is timed as part of the hot loop.
+            const auto t1 = Clock::now();
+            if (r != 0)
+                cpu.reset();
+            const SimStats& s = cpu.run();
+            const double hot = secondsSince(t1);
+            m.hotSeconds += hot;
+            m.endToEndSeconds += hot + (r == 0 ? ctor : 0.0);
+            m.simInstructions += s.apparent;
+            m.simCycles += s.cycles;
+            if (s.faulted)
+                throw CrispError("bench_perf: unit faulted: " +
+                                 s.faultReason);
+            if (!s.halted)
+                throw CrispError("bench_perf: unit hit the cycle limit");
+        }
+    }
+    return m;
+}
+
+/** Best (fastest hot loop) of @p reps repetitions. */
+Measure
+measure(const std::vector<Unit>& units, int replays, int reps)
+{
+    Measure best;
+    for (int r = 0; r < reps; ++r) {
+        const Measure m = runOnce(units, replays);
+        if (r == 0 || m.hotSeconds < best.hotSeconds)
+            best = m;
+    }
+    return best;
+}
+
+std::vector<Unit>
+withPath(std::vector<Unit> units, bool use_predecode)
+{
+    for (Unit& u : units)
+        u.cfg.usePredecode = use_predecode;
+    return units;
+}
+
+/** Loop body of ~@p stmts distinct instructions: far over the DIC. */
+std::string
+dicThrashSource(int stmts, int iters)
+{
+    std::ostringstream os;
+    os << "int g;\nint main()\n{\n    int i;\n    g = 0;\n"
+       << "    for (i = 0; i < " << iters << "; i++) {\n";
+    for (int k = 0; k < stmts; ++k)
+        os << "        g = g + " << (k + 1) << ";\n";
+    os << "    }\n    return g;\n}\n";
+    return os.str();
+}
+
+void
+jsonMeasure(std::ostringstream& os, const char* key, const Measure& m)
+{
+    const double hot = m.hotSeconds > 0 ? m.hotSeconds : 1e-12;
+    const double e2e =
+        m.endToEndSeconds > 0 ? m.endToEndSeconds : 1e-12;
+    os << "\"" << key << "\":{"
+       << "\"hotSeconds\":" << m.hotSeconds
+       << ",\"endToEndSeconds\":" << m.endToEndSeconds
+       << ",\"simInstructions\":" << m.simInstructions
+       << ",\"simCycles\":" << m.simCycles
+       << ",\"instrPerHostSec\":"
+       << static_cast<double>(m.simInstructions) / hot
+       << ",\"cyclesPerHostSec\":"
+       << static_cast<double>(m.simCycles) / hot
+       << ",\"instrPerHostSecEndToEnd\":"
+       << static_cast<double>(m.simInstructions) / e2e << "}";
+}
+
+// ------------------------------------------------------- JSON checking
+
+/**
+ * Minimal recursive-descent JSON well-formedness check, so the harness
+ * can validate its own output without external dependencies.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string& text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        return literal("true") || literal("false") || literal("null");
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // {
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // [
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char* start = s_.c_str() + pos_;
+        char* end = nullptr;
+        std::strtod(start, &end);
+        if (end == start)
+            return false;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                s_[pos_] == '\t' || s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_perf [--smoke] [--out=FILE] [--jobs=N] "
+                 "[--reps=N]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_PERF.json";
+    int jobs = util::ThreadPool::defaultThreads();
+    int reps = 0; // 0: pick by mode
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto val = [&](const char* key) -> const char* {
+            const std::size_t n = std::strlen(key);
+            return a.compare(0, n, key) == 0 ? a.c_str() + n : nullptr;
+        };
+        if (a == "--smoke") {
+            smoke = true;
+        } else if (const char* v = val("--out=")) {
+            out_path = v;
+        } else if (a == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (const char* v2 = val("--jobs=")) {
+            jobs = std::atoi(v2);
+        } else if (const char* v3 = val("--reps=")) {
+            reps = std::atoi(v3);
+        } else {
+            return usage();
+        }
+    }
+    if (jobs < 1)
+        return usage();
+    if (reps <= 0)
+        reps = smoke ? 1 : 3;
+
+    const int torture_seeds = smoke ? 12 : 200;
+    const int torture_replays = smoke ? 3 : 25;
+    const int fig3_loops = smoke ? 64 : 1024;
+    const int thrash_stmts = smoke ? 60 : 120;
+    const int thrash_iters = smoke ? 20 : 400;
+
+    try {
+        util::ThreadPool pool(jobs);
+
+        // Untimed preparation, fanned out per seed.
+        std::vector<Unit> torture(
+            static_cast<std::size_t>(torture_seeds));
+        pool.parallelFor(torture.size(), [&](std::size_t i) {
+            torture[i].prog =
+                verify::generate(1 + static_cast<std::uint64_t>(i))
+                    .link();
+            torture[i].cfg = SimConfig{};
+        });
+
+        std::vector<Unit> torture_checked = torture;
+        for (Unit& u : torture_checked)
+            u.cfg.checkDecode = true;
+
+        std::vector<Unit> table4(std::size(bench::kTable4Cases));
+        const std::string fig3 = fig3Source(fig3_loops);
+        pool.parallelFor(table4.size(), [&](std::size_t i) {
+            const bench::Table4Case& c = bench::kTable4Cases[i];
+            cc::CompileOptions opts;
+            opts.spread = c.spread;
+            opts.predict = c.predict;
+            table4[i].prog = cc::compile(fig3, opts).program;
+            table4[i].cfg = SimConfig{};
+            table4[i].cfg.foldPolicy = c.fold;
+        });
+
+        std::vector<Unit> thrash(1);
+        thrash[0].prog =
+            cc::compile(dicThrashSource(thrash_stmts, thrash_iters), {})
+                .program;
+        thrash[0].cfg = SimConfig{};
+
+        struct Row
+        {
+            const char* name;
+            const std::vector<Unit>* units;
+            int replays;
+        };
+        const Row rows[] = {
+            {"torture_replay", &torture, torture_replays},
+            {"torture_replay_checked", &torture_checked,
+             torture_replays},
+            {"table4_fig3", &table4, 1},
+            {"dic_thrash", &thrash, 1},
+        };
+
+        std::ostringstream os;
+        os << "{\"schema\":\"crisp-bench-perf/1\""
+           << ",\"mode\":\"" << (smoke ? "smoke" : "full") << "\""
+           << ",\"jobs\":" << jobs << ",\"reps\":" << reps
+           << ",\"workloads\":[";
+        bool first = true;
+        for (const Row& row : rows) {
+            const Measure fast =
+                measure(withPath(*row.units, true), row.replays, reps);
+            const Measure legacy =
+                measure(withPath(*row.units, false), row.replays, reps);
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"name\":\"" << row.name << "\""
+               << ",\"units\":" << row.units->size()
+               << ",\"replays\":" << row.replays << ",";
+            jsonMeasure(os, "fast", fast);
+            os << ",";
+            jsonMeasure(os, "legacy", legacy);
+            os << ",\"hotSpeedupFastOverLegacy\":"
+               << (fast.hotSeconds > 0
+                       ? legacy.hotSeconds / fast.hotSeconds
+                       : 0.0)
+               << "}";
+            std::fprintf(
+                stderr,
+                "bench_perf: %-24s fast %8.2f Minstr/s "
+                "(%8.2f Mcyc/s), legacy %8.2f Minstr/s, x%.2f\n",
+                row.name,
+                static_cast<double>(fast.simInstructions) /
+                    fast.hotSeconds / 1e6,
+                static_cast<double>(fast.simCycles) /
+                    fast.hotSeconds / 1e6,
+                static_cast<double>(legacy.simInstructions) /
+                    legacy.hotSeconds / 1e6,
+                legacy.hotSeconds / fast.hotSeconds);
+        }
+        os << "]}";
+
+        const std::string json = os.str();
+        if (!JsonChecker(json).valid())
+            throw CrispError(
+                "bench_perf: generated JSON failed validation");
+        std::ofstream out(out_path);
+        if (!out)
+            throw CrispError("bench_perf: cannot write: " + out_path);
+        out << json << "\n";
+        out.close();
+        std::fprintf(stderr, "bench_perf: wrote %s (%zu bytes)\n",
+                     out_path.c_str(), json.size() + 1);
+        if (smoke)
+            std::printf("bench_perf smoke: ok\n");
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_perf: %s\n", e.what());
+        return 1;
+    }
+}

@@ -7,7 +7,9 @@
 #ifndef CRISP_INTERP_MEMORY_IMAGE_HH
 #define CRISP_INTERP_MEMORY_IMAGE_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "isa/program.hh"
@@ -31,6 +33,16 @@ class MemoryImage
     /** (Re)initialize from a program. */
     void load(const Program& prog);
 
+    /**
+     * Restore the image to the state load(@p prog) would produce,
+     * where @p prog is the program already loaded: zero the window of
+     * addresses written since, then re-copy the text and data
+     * segments. O(bytes actually written) instead of O(memBytes) —
+     * the difference between reusing a machine for a replay and
+     * re-zeroing a 256 KiB image per run.
+     */
+    void revert(const Program& prog);
+
     Addr size() const { return static_cast<Addr>(bytes_.size()); }
 
     std::uint8_t
@@ -40,10 +52,19 @@ class MemoryImage
         return bytes_[a];
     }
 
+    // Loads/stores memcpy the value on little-endian hosts (a single
+    // unaligned machine load after optimization — these sit on the
+    // simulator's hot path) and fall back to byte shifts elsewhere.
+
     std::uint16_t
     read16(Addr a) const
     {
         check(a, 2);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint16_t v;
+            std::memcpy(&v, bytes_.data() + a, 2);
+            return v;
+        }
         return static_cast<std::uint16_t>(bytes_[a]) |
                (static_cast<std::uint16_t>(bytes_[a + 1]) << 8);
     }
@@ -52,6 +73,11 @@ class MemoryImage
     read32(Addr a) const
     {
         check(a, 4);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint32_t v;
+            std::memcpy(&v, bytes_.data() + a, 4);
+            return v;
+        }
         return static_cast<std::uint32_t>(bytes_[a]) |
                (static_cast<std::uint32_t>(bytes_[a + 1]) << 8) |
                (static_cast<std::uint32_t>(bytes_[a + 2]) << 16) |
@@ -62,6 +88,11 @@ class MemoryImage
     write32(Addr a, std::uint32_t v)
     {
         check(a, 4);
+        markDirty(a);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(bytes_.data() + a, &v, 4);
+            return;
+        }
         bytes_[a] = static_cast<std::uint8_t>(v);
         bytes_[a + 1] = static_cast<std::uint8_t>(v >> 8);
         bytes_[a + 2] = static_cast<std::uint8_t>(v >> 16);
@@ -71,6 +102,26 @@ class MemoryImage
     const std::vector<std::uint8_t>& bytes() const { return bytes_; }
 
   private:
+    /** Copy into the image whichever of @p prog's text and data
+     *  segments overlap [@p lo, @p hi) — the address window a revert
+     *  zeroed (the default covers everything, i.e. a full load). */
+    void copySegments(const Program& prog, Addr lo = 0,
+                      Addr hi = ~Addr{0});
+
+    /** Dirty granule: 64-byte lines, one bit each in dirty_. */
+    static constexpr int kLineShift = 6;
+
+    /** Mark the line(s) covered by a 4-byte store at @p a. */
+    void
+    markDirty(Addr a)
+    {
+        dirty_[a >> (kLineShift + 6)] |=
+            std::uint64_t{1} << ((a >> kLineShift) & 63);
+        const Addr b = a + 3;
+        dirty_[b >> (kLineShift + 6)] |=
+            std::uint64_t{1} << ((b >> kLineShift) & 63);
+    }
+
     void
     check(Addr a, Addr n) const
     {
@@ -80,6 +131,12 @@ class MemoryImage
     }
 
     std::vector<std::uint8_t> bytes_;
+
+    /** One bit per 64-byte line written since the last load() /
+     *  revert(): exactly what a revert has to undo. A run touches a
+     *  few dozen lines (its stack frames and globals), so reverting is
+     *  orders of magnitude cheaper than re-zeroing the whole image. */
+    std::vector<std::uint64_t> dirty_;
 };
 
 } // namespace crisp

@@ -13,10 +13,6 @@ namespace crisp
 namespace
 {
 
-constexpr Parcel kMajorJmp = 0xC;
-constexpr Parcel kMajorIfT = 0xD;
-constexpr Parcel kMajorIfF = 0xE;
-
 constexpr int kModeNone = 0;
 constexpr int kModeStack = 1;
 constexpr int kModeAbs = 2;
@@ -133,24 +129,6 @@ unshortB(int b, int m)
 }
 
 } // namespace
-
-int
-instructionLength(Parcel parcel0)
-{
-    const int major = parcel0 >> 12;
-    if (major == kMajorJmp || major == kMajorIfT || major == kMajorIfF)
-        return 1;
-
-    const auto op = static_cast<Opcode>(parcel0 >> 10);
-    if (isBranch(op))
-        return 3;
-
-    const bool long_form = (parcel0 >> 9) & 1;
-    if (!long_form)
-        return 1;
-    const bool wide = (parcel0 >> 8) & 1;
-    return wide ? 5 : 3;
-}
 
 int
 encode(const Instruction& inst, Parcel* out)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "instruction.hh"
+#include "opcode.hh"
 #include "types.hh"
 
 namespace crisp
@@ -45,8 +46,32 @@ namespace crisp
 /** Maximum instruction length in parcels. */
 inline constexpr int kMaxParcels = 5;
 
-/** Instruction length in parcels (1, 3 or 5), from the first parcel. */
-int instructionLength(Parcel parcel0);
+/** Dedicated one-parcel branch majors (top nibble of parcel 0). */
+inline constexpr Parcel kMajorJmp = 0xC;
+inline constexpr Parcel kMajorIfT = 0xD;
+inline constexpr Parcel kMajorIfF = 0xE;
+
+/**
+ * Instruction length in parcels (1, 3 or 5), from the first parcel.
+ * Inline: the PDU's decode-window gate asks this every cycle.
+ */
+inline int
+instructionLength(Parcel parcel0)
+{
+    const int major = parcel0 >> 12;
+    if (major == kMajorJmp || major == kMajorIfT || major == kMajorIfF)
+        return 1;
+
+    const auto op = static_cast<Opcode>(parcel0 >> 10);
+    if (isBranch(op))
+        return 3;
+
+    const bool long_form = (parcel0 >> 9) & 1;
+    if (!long_form)
+        return 1;
+    const bool wide = (parcel0 >> 8) & 1;
+    return wide ? 5 : 3;
+}
 
 /**
  * Encode @p inst into @p out (room for kMaxParcels parcels).

@@ -40,46 +40,6 @@ opcodeName(Opcode op)
 }
 
 bool
-isBranch(Opcode op)
-{
-    return op == Opcode::kJmp || op == Opcode::kIfTJmp ||
-           op == Opcode::kIfFJmp || op == Opcode::kCall;
-}
-
-bool
-isConditionalBranch(Opcode op)
-{
-    return op == Opcode::kIfTJmp || op == Opcode::kIfFJmp;
-}
-
-bool
-isCompare(Opcode op)
-{
-    return op >= Opcode::kCmpEq && op <= Opcode::kCmpGeU;
-}
-
-bool
-isAlu2(Opcode op)
-{
-    return op >= Opcode::kAdd && op <= Opcode::kRem;
-}
-
-bool
-isAlu3(Opcode op)
-{
-    return op >= Opcode::kAdd3 && op <= Opcode::kMul3;
-}
-
-bool
-isFoldableBody(Opcode op)
-{
-    // Branches, returns and halts transfer (or end) control themselves,
-    // so a following branch would be unreachable; everything else is a
-    // legitimate carrier for a folded branch.
-    return !isBranch(op) && op != Opcode::kReturn && op != Opcode::kHalt;
-}
-
-bool
 evalCompare(Opcode op, std::int32_t a, std::int32_t b)
 {
     const auto ua = static_cast<std::uint32_t>(a);

@@ -81,26 +81,56 @@ inline constexpr int kOpcodeCount =
 /** Mnemonic, as accepted/produced by the assembler/disassembler. */
 std::string_view opcodeName(Opcode op);
 
+// The opcode predicates below sit on the simulator's per-cycle decode
+// and retire paths, so they are defined inline.
+
 /** True for jmp / iftjmp / iffjmp / call. */
-bool isBranch(Opcode op);
+inline bool
+isBranch(Opcode op)
+{
+    return op == Opcode::kJmp || op == Opcode::kIfTJmp ||
+           op == Opcode::kIfFJmp || op == Opcode::kCall;
+}
 
 /** True for the two conditional branch opcodes. */
-bool isConditionalBranch(Opcode op);
+inline bool
+isConditionalBranch(Opcode op)
+{
+    return op == Opcode::kIfTJmp || op == Opcode::kIfFJmp;
+}
 
 /** True for the compare opcodes (the only condition-flag writers). */
-bool isCompare(Opcode op);
+inline bool
+isCompare(Opcode op)
+{
+    return op >= Opcode::kCmpEq && op <= Opcode::kCmpGeU;
+}
 
 /** True for two-operand ALU ops (dst = dst OP src). */
-bool isAlu2(Opcode op);
+inline bool
+isAlu2(Opcode op)
+{
+    return op >= Opcode::kAdd && op <= Opcode::kRem;
+}
 
 /** True for three-operand accumulator ALU ops (Accum = a OP b). */
-bool isAlu3(Opcode op);
+inline bool
+isAlu3(Opcode op)
+{
+    return op >= Opcode::kAdd3 && op <= Opcode::kMul3;
+}
 
 /**
  * True if the opcode may be the non-branch half of a folded pair.
  * Branches cannot fold with branches; return transfers control too.
+ * (Branches, returns and halts transfer — or end — control themselves,
+ * so a following branch would be unreachable.)
  */
-bool isFoldableBody(Opcode op);
+inline bool
+isFoldableBody(Opcode op)
+{
+    return !isBranch(op) && op != Opcode::kReturn && op != Opcode::kHalt;
+}
 
 /** Evaluate a compare opcode on two words. */
 bool evalCompare(Opcode op, std::int32_t a, std::int32_t b);

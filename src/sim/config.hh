@@ -76,6 +76,17 @@ struct SimConfig
     bool checkDecode = false;
 
     /**
+     * Use the whole-program predecode cache (predecode.hh): the PDR
+     * stage and the checkDecode golden re-decode memoize decode results
+     * per (address, fold policy) instead of re-running the decoder.
+     * Purely a host-speed optimization — cycle-accurate timing and all
+     * statistics are bit-identical either way (tests/test_perf_paths.cc
+     * proves it). Off is the escape hatch that forces the legacy
+     * re-decoding path.
+     */
+    bool usePredecode = true;
+
+    /**
      * Hardware prediction scheme for conditional branches whose
      * outcome is unknown at issue. CRISP shipped kStaticBit; the
      * dynamic options model the "more complex schemes" the paper

@@ -11,14 +11,47 @@
 namespace crisp
 {
 
-CrispCpu::CrispCpu(const Program& prog, const SimConfig& cfg)
+CrispCpu::CrispCpu(const Program& prog, const SimConfig& cfg,
+                   PredecodeCache* shared_predecode)
     : prog_(prog), cfg_(cfg), mem_(prog_), dic_(cfg.dicEntries),
-      pdu_(prog_, cfg_, dic_, stats_),
+      ownedPredecode_(shared_predecode != nullptr || !cfg.usePredecode
+                          ? nullptr
+                          : std::make_unique<PredecodeCache>(prog_)),
+      predecode_(shared_predecode != nullptr ? shared_predecode
+                                             : ownedPredecode_.get()),
+      pdu_(prog_, cfg_, dic_, stats_, predecode_),
       hwPredictor_(cfg.predictor, cfg.predictorEntries),
       stackCache_(cfg.stackCacheWords)
 {
     sp_ = (prog.memBytes - kWordBytes) & ~(kWordBytes - 1);
     nextIssuePc_ = prog.entry;
+}
+
+void
+CrispCpu::reset()
+{
+    mem_.revert(prog_); // O(bytes written), not O(memBytes)
+    dic_.invalidateAll();
+    stats_ = SimStats{};
+    pdu_.reset();
+    hwPredictor_.reset();
+    stackCache_.reset();
+    sp_ = (prog_.memBytes - kWordBytes) & ~(kWordBytes - 1);
+    accum_ = 0;
+    flag_ = false;
+    halted_ = false;
+    for (Stage& s : stages_)
+        s.valid = false;
+    irP_ = &stages_[0];
+    orP_ = &stages_[1];
+    rrP_ = &stages_[2];
+    nextIssuePc_ = prog_.entry;
+    stallUntil_ = 0;
+    block_ = Block::kNone;
+    now_ = 0;
+    lastMissPc_ = ~Addr{0};
+    penaltyStall_ = 0;
+    traceNote_.clear();
 }
 
 void
@@ -121,8 +154,8 @@ void
 CrispCpu::squashYounger(Stage* upto_exclusive)
 {
     // Squash everything younger than the stage holding the mispredicted
-    // branch. Stage age order (oldest first): rrS_, orS_, irS_.
-    Stage* const order[] = {&rrS_, &orS_, &irS_};
+    // branch. Stage age order (oldest first): RR, OR, IR.
+    Stage* const order[] = {rrP_, orP_, irP_};
     bool younger = false;
     for (Stage* s : order) {
         if (s == upto_exclusive) {
@@ -185,15 +218,23 @@ CrispCpu::issueStage()
     ++stats_.dicHits;
     lastMissPc_ = ~Addr{0};
 
-    irS_ = Stage{};
-    irS_.valid = true;
-    irS_.di = *e;
+    // The IR slot is recycled from the stage that just retired; reset
+    // it field by field rather than assigning a fresh Stage (the di
+    // copy below overwrites the only non-flag member).
+    Stage& ir = irS();
+    ir.valid = true;
+    ir.di = *e;
+    ir.specCond = false;
+    ir.predictedTaken = false;
+    ir.resolvedAtIssue = false;
+    ir.actualTaken = false;
+    ir.mispredicted = false;
     if (hooks_ != nullptr)
-        hooks_->onIssue(irS_.di);
+        hooks_->onIssue(ir.di);
 
     // Control decisions read the IR-stage copy, not the cache: an
     // issue-time fault hook corrupts exactly what the EU acts on.
-    const DecodedInst& d = irS_.di;
+    const DecodedInst& d = ir.di;
     switch (d.ctl) {
       case Ctl::kSeq:
         nextIssuePc_ = d.seqPc;
@@ -211,8 +252,8 @@ CrispCpu::issueStage()
         break;
       case Ctl::kCondT:
       case Ctl::kCondF: {
-        const bool cc_busy = (orS_.valid && orS_.di.writesCc) ||
-                             (rrS_.valid && rrS_.di.writesCc) ||
+        const bool cc_busy = (orS().valid && orS().di.writesCc) ||
+                             (rrS().valid && rrS().di.writesCc) ||
                              d.writesCc;
         if (!cc_busy) {
             // No compare in the pipeline: the flag is architecturally
@@ -220,17 +261,17 @@ CrispCpu::issueStage()
             // unconditional branch" — zero cycles lost regardless of
             // the prediction bit.
             const bool taken = d.condTaken(flag_);
-            irS_.resolvedAtIssue = true;
-            irS_.actualTaken = taken;
-            irS_.predictedTaken = taken;
+            ir.resolvedAtIssue = true;
+            ir.actualTaken = taken;
+            ir.predictedTaken = taken;
             nextIssuePc_ = taken ? d.takenPc : d.seqPc;
             note("resolved-at-issue");
         } else {
             const bool pred =
                 cfg_.respectPredictionBit &&
                 hwPredictor_.predict(d.branchPc, d.predictTaken);
-            irS_.specCond = true;
-            irS_.predictedTaken = pred;
+            ir.specCond = true;
+            ir.predictedTaken = pred;
             nextIssuePc_ = pred ? d.takenPc : d.seqPc;
         }
         break;
@@ -284,7 +325,7 @@ CrispCpu::recordFault(Addr pc, const std::string& reason)
 void
 CrispCpu::retireStage(ExecObserver* observer)
 {
-    if (!rrS_.valid)
+    if (!rrS().valid)
         return;
     try {
         retireImpl(observer);
@@ -292,16 +333,20 @@ CrispCpu::retireStage(ExecObserver* observer)
         // The decode checker caught corrupted DIC metadata before the
         // entry could touch architectural state.
         stats_.dicCorruption = true;
-        recordFault(rrS_.di.pc, e.what());
+        recordFault(rrS().di.pc, e.what());
     } catch (const CrispError& e) {
         // Precise machine fault: architectural effects happen only at
         // retirement, so the faulting instruction is exactly
         // identified and nothing younger has touched state.
-        recordFault(rrS_.di.pc, e.what());
+        recordFault(rrS().di.pc, e.what());
     }
+    // The stack-cache counters only move while an instruction retires,
+    // so the published stats need refreshing only here, not per cycle.
+    stats_.stackCacheHits = stackCache_.hits();
+    stats_.stackCacheMisses = stackCache_.misses();
 }
 
-DecodedInst
+const DecodedInst*
 CrispCpu::goldenDecodeAt(Addr pc, FoldPolicy policy) const
 {
     if (pc % kParcelBytes != 0 || !prog_.inText(pc)) {
@@ -309,23 +354,36 @@ CrispCpu::goldenDecodeAt(Addr pc, FoldPolicy policy) const
             "DIC corruption: retiring entry claims PC 0x" +
             std::to_string(pc) + " outside the text segment");
     }
-    std::vector<Parcel> window;
+    if (cfg_.usePredecode) {
+        // The same memoized tables the PDU decodes from: the golden
+        // re-decode is a table lookup after the first retire at a PC.
+        const PredecodeCache::Entry& e = predecode_->at(pc, policy);
+        if (!e.valid) {
+            throw DicCorruptionError(
+                "DIC corruption: no valid decode exists at PC 0x" +
+                std::to_string(pc));
+        }
+        return &e.di;
+    }
+    goldenWindow_.clear();
     const Addr end = prog_.textEnd();
     for (Addr a = pc;
-         a < end && window.size() < static_cast<std::size_t>(kMaxParcels + 1);
+         a < end &&
+         goldenWindow_.size() < static_cast<std::size_t>(kMaxParcels + 1);
          a += kParcelBytes) {
-        window.push_back(prog_.parcelAt(a));
+        goldenWindow_.push_back(prog_.parcelAt(a));
     }
     const Addr wend =
-        pc + static_cast<Addr>(window.size()) * kParcelBytes;
+        pc + static_cast<Addr>(goldenWindow_.size()) * kParcelBytes;
     const FoldDecoder dec(policy);
-    const auto di = dec.decodeAt(pc, window, wend >= end);
+    const auto di = dec.decodeAt(pc, goldenWindow_, wend >= end);
     if (!di) {
         throw DicCorruptionError(
             "DIC corruption: no valid decode exists at PC 0x" +
             std::to_string(pc));
     }
-    return *di;
+    goldenScratch_ = *di;
+    return &goldenScratch_;
 }
 
 namespace
@@ -374,26 +432,31 @@ sameDecode(const DecodedInst& a, const DecodedInst& g)
 void
 CrispCpu::checkDecodedEntry(const DecodedInst& di) const
 {
-    const DecodedInst golden = goldenDecodeAt(di.pc, cfg_.foldPolicy);
-    if (sameDecode(di, golden))
+    const DecodedInst* golden = goldenDecodeAt(di.pc, cfg_.foldPolicy);
+    if (sameDecode(di, *golden))
         return;
     // A fold decision is a hint: an entry that decodes the same
     // instruction unfolded (the no-fold golden) is architecturally
     // valid too, it just costs an extra EU slot for the branch.
-    if (golden.folded &&
-        sameDecode(di, goldenDecodeAt(di.pc, FoldPolicy::kNone)))
-        return;
+    if (golden->folded) {
+        if (sameDecode(di, *goldenDecodeAt(di.pc, FoldPolicy::kNone)))
+            return;
+        // On the legacy path the no-fold decode clobbered the shared
+        // scratch slot; re-derive the policy golden for the message.
+        golden = goldenDecodeAt(di.pc, cfg_.foldPolicy);
+    }
     throw DicCorruptionError(
         "DIC corruption detected at retire: cached entry [" +
         di.toString() + "] is not a valid decode of the text at 0x" +
-        std::to_string(di.pc) + " (golden: [" + golden.toString() +
+        std::to_string(di.pc) + " (golden: [" + golden->toString() +
         "])");
 }
 
 void
 CrispCpu::retireImpl(ExecObserver* observer)
 {
-    const DecodedInst& di = rrS_.di;
+    Stage& rr = rrS();
+    const DecodedInst& di = rr.di;
     // Verify the entry against a fresh decode of the program text
     // BEFORE any architectural effect: corruption of non-hint DIC
     // metadata becomes a precise fault, never a wrong answer.
@@ -442,23 +505,23 @@ CrispCpu::retireImpl(ExecObserver* observer)
                           kWordBytes);
         }
         nextIssuePc_ = target;
-        rrS_.di.takenPc = target; // for the retire-order branch event
+        rr.di.takenPc = target; // for the retire-order branch event
         block_ = Block::kNone;
         stallUntil_ = now_ + 1;
         break;
       }
       case Ctl::kCondT:
       case Ctl::kCondF:
-        if (rrS_.specCond) {
+        if (rr.specCond) {
             // A lone conditional branch (or a folded compare+branch
             // pair) resolves in its own RR stage. The flag is final
             // here: its compare retired no later than this cycle.
-            rrS_.specCond = false;
-            rrS_.actualTaken = di.condTaken(flag_);
-            if (rrS_.actualTaken != rrS_.predictedTaken) {
-                rrS_.mispredicted = true;
-                squashYounger(&rrS_);
-                redirectAfterMispredict(rrS_);
+            rr.specCond = false;
+            rr.actualTaken = di.condTaken(flag_);
+            if (rr.actualTaken != rr.predictedTaken) {
+                rr.mispredicted = true;
+                squashYounger(&rr);
+                redirectAfterMispredict(rr);
             }
         }
         break;
@@ -469,25 +532,25 @@ CrispCpu::retireImpl(ExecObserver* observer)
     // Statistics for a surviving conditional branch, and history
     // training for the (optional) dynamic hardware predictor.
     if (di.hasCondBranch()) {
-        if (rrS_.resolvedAtIssue)
+        if (rr.resolvedAtIssue)
             ++stats_.resolvedAtIssue;
         else
             ++stats_.speculated;
-        if (rrS_.mispredicted)
+        if (rr.mispredicted)
             ++stats_.mispredicts;
-        hwPredictor_.update(di.branchPc, rrS_.actualTaken);
+        hwPredictor_.update(di.branchPc, rr.actualTaken);
     }
 
-    emitRetireEvents(rrS_, observer);
+    emitRetireEvents(rr, observer);
 
     // Case (b): a retiring compare verifies speculative FOLDED branches
     // still in the pipeline, oldest first, recovering from that stage's
     // Alternate-PC register.
-    if (di.writesCc && !rrS_.mispredicted) {
-        for (Stage* s : {&orS_, &irS_}) {
+    if (di.writesCc && !rr.mispredicted) {
+        for (Stage* s : {orP_, irP_}) {
             if (!s->valid)
                 continue;
-            if (s == &irS_ && orS_.valid && orS_.di.writesCc)
+            if (s == irP_ && orS().valid && orS().di.writesCc)
                 break; // the IR branch depends on the newer compare
             if (!s->specCond || !s->di.hasCondBranch() ||
                 s->di.loneBranch || s->di.writesCc) {
@@ -511,10 +574,13 @@ CrispCpu::tick(ExecObserver* observer)
     if (halted_)
         return false;
 
-    // Advance the pipeline: RR <- OR <- IR <- (issue below).
-    rrS_ = orS_;
-    orS_ = irS_;
-    irS_ = Stage{};
+    // Advance the pipeline: RR <- OR <- IR, recycling the just-retired
+    // RR slot as the new (empty) IR. Pointer rotation, no Stage copies.
+    Stage* const retired = rrP_;
+    rrP_ = orP_;
+    orP_ = irP_;
+    irP_ = retired;
+    irP_->valid = false;
 
     try {
         pdu_.tick(now_);
@@ -529,30 +595,65 @@ CrispCpu::tick(ExecObserver* observer)
                     std::string("fetch/decode: ") + e.what());
     }
     retireStage(observer);
-    emitTraceLine();
+    if (traceSink_)
+        emitTraceLine();
 
     ++now_;
     stats_.cycles = now_;
-    stats_.stackCacheHits = stackCache_.hits();
-    stats_.stackCacheMisses = stackCache_.misses();
     return !halted_;
+}
+
+void
+CrispCpu::maybeSkipStalls()
+{
+    // Fast-forward a provable run of DIC-miss stall cycles. The state
+    // must be exactly the steady miss-wait: EU pipeline drained, issue
+    // unblocked but missing at nextIssuePc_ (with the miss already
+    // counted, so lastMissPc_ matches), and every PDU stage idle until
+    // its in-flight fetch lands. Each such cycle does precisely
+    //   ++issueStallCycles; ++dicMissStallCycles; (demand is a no-op)
+    // so a batch of n cycles is n of each counter plus the clock, and
+    // the simulation is cycle-for-cycle identical to ticking through.
+    // Tracing disables the skip (each stall cycle emits a line).
+    if (halted_ || traceSink_ != nullptr)
+        return;
+    if (irS().valid || orS().valid || rrS().valid)
+        return;
+    if (penaltyStall_ != 0 || block_ != Block::kNone ||
+        now_ < stallUntil_) {
+        return;
+    }
+    if (lastMissPc_ != nextIssuePc_ ||
+        dic_.lookup(nextIssuePc_) != nullptr) {
+        return;
+    }
+    std::uint64_t until = pdu_.pureWaitUntil(nextIssuePc_);
+    if (until > cfg_.maxCycles)
+        until = cfg_.maxCycles; // run() stops there; don't overshoot
+    if (until <= now_)
+        return;
+    const std::uint64_t n = until - now_;
+    stats_.issueStallCycles += n;
+    stats_.dicMissStallCycles += n;
+    now_ = until;
+    stats_.cycles = now_;
 }
 
 const SimStats&
 CrispCpu::run(ExecObserver* observer)
 {
-    while (!halted_ && now_ < cfg_.maxCycles)
+    while (!halted_ && now_ < cfg_.maxCycles) {
         tick(observer);
+        maybeSkipStalls();
+    }
     if (!halted_)
         stats_.timedOut = true;
     return stats_;
 }
 
 void
-CrispCpu::note(const char* what)
+CrispCpu::noteSlow(const char* what)
 {
-    if (!traceSink_)
-        return;
     if (!traceNote_.empty())
         traceNote_ += ' ';
     traceNote_ += what;
@@ -561,8 +662,6 @@ CrispCpu::note(const char* what)
 void
 CrispCpu::emitTraceLine()
 {
-    if (!traceSink_)
-        return;
     auto stage_text = [](const Stage& s) -> std::string {
         if (!s.valid)
             return "--";
@@ -580,9 +679,9 @@ CrispCpu::emitTraceLine()
     };
     std::ostringstream os;
     os << std::setw(7) << now_ << " | IR " << std::setw(22) << std::left
-       << stage_text(irS_) << "| OR " << std::setw(22)
-       << stage_text(orS_) << "| RR " << std::setw(22)
-       << stage_text(rrS_) << "| " << traceNote_;
+       << stage_text(irS()) << "| OR " << std::setw(22)
+       << stage_text(orS()) << "| RR " << std::setw(22)
+       << stage_text(rrS()) << "| " << traceNote_;
     traceSink_(os.str());
     traceNote_.clear();
 }
@@ -594,43 +693,6 @@ CrispCpu::wordAt(const std::string& symbol) const
     if (!a)
         throw CrispError("unknown symbol: " + symbol);
     return static_cast<Word>(mem_.read32(*a));
-}
-
-std::string
-SimStats::toString() const
-{
-    std::ostringstream os;
-    os << "cycles:              " << cycles << "\n"
-       << "issued:              " << issued << "\n"
-       << "apparent:            " << apparent << "\n"
-       << "issued CPI:          " << issuedCpi() << "\n"
-       << "apparent CPI:        " << apparentCpi() << "\n"
-       << "branches:            " << branches << "\n"
-       << "folded branches:     " << foldedBranches << "\n"
-       << "cond branches:       " << condBranches << "\n"
-       << "resolved at issue:   " << resolvedAtIssue << "\n"
-       << "speculated:          " << speculated << "\n"
-       << "mispredicts:         " << mispredicts << "\n"
-       << "squashed:            " << squashed << "\n"
-       << "issue stalls:        " << issueStallCycles << "\n"
-       << "  DIC miss stalls:   " << dicMissStallCycles << "\n"
-       << "  redirect stalls:   " << redirectStallCycles << "\n"
-       << "  indirect stalls:   " << indirectStallCycles << "\n"
-       << "DIC hits/misses:     " << dicHits << "/" << dicMisses << "\n"
-       << "PDU fills (folded):  " << pduFills << " (" << pduFoldedPairs
-       << ")\n"
-       << "memory fetches:      " << memFetches << "\n"
-       << "stack cache h/m:     " << stackCacheHits << "/"
-       << stackCacheMisses << "\n"
-       << "halted:              " << (halted ? "yes" : "no") << "\n";
-    if (timedOut)
-        os << "TIMED OUT at the cycle limit\n";
-    if (faulted) {
-        os << (dicCorruption ? "DIC CORRUPTION" : "FAULT") << " at 0x"
-           << std::hex << faultPc << std::dec << ": " << faultReason
-           << "\n";
-    }
-    return os.str();
 }
 
 } // namespace crisp

@@ -29,6 +29,11 @@
  *    issue resumes the following cycle (2 bubbles).
  *  - Architectural effects happen in order at retirement, which models
  *    perfect operand bypassing (the paper's cases show no RAW stalls).
+ *
+ * Host-performance notes (docs/PERFORMANCE.md): the cycle loop is
+ * allocation-free — the three EU stages rotate by pointer instead of
+ * copying, decode results come from the whole-program predecode cache,
+ * and tracing/fault hooks cost one branch each when disabled.
  */
 
 #ifndef CRISP_SIM_CPU_HH
@@ -36,7 +41,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "config.hh"
 #include "decoded.hh"
@@ -46,6 +53,7 @@
 #include "interp/memory_image.hh"
 #include "hw_predictor.hh"
 #include "pdu.hh"
+#include "predecode.hh"
 #include "stack_cache.hh"
 #include "stats.hh"
 
@@ -55,7 +63,18 @@ namespace crisp
 class CrispCpu
 {
   public:
-    CrispCpu(const Program& prog, const SimConfig& cfg = {});
+    /**
+     * @p shared_predecode optionally supplies an external predecode
+     * cache so repeated runs of the same program (lockstep sweeps,
+     * shrinking, fault campaigns, benchmarking replays) skip all decode
+     * work after the first run. The cache is a pure memoization of
+     * (text, fold policy) -> decoded entry, so sharing it cannot change
+     * simulated behaviour — but it MUST have been built over a Program
+     * with the same text segment as @p prog. Pass nullptr (the default)
+     * for a private per-run cache.
+     */
+    CrispCpu(const Program& prog, const SimConfig& cfg = {},
+             PredecodeCache* shared_predecode = nullptr);
 
     // The PDU holds references into this object.
     CrispCpu(const CrispCpu&) = delete;
@@ -72,6 +91,18 @@ class CrispCpu
 
     /** Advance exactly one cycle. @return false once halted. */
     bool tick(ExecObserver* observer = nullptr);
+
+    /**
+     * Return the machine to its power-on state over the same program
+     * and configuration, exactly as if freshly constructed: memory
+     * image reloaded, DIC invalidated, pipeline drained, statistics
+     * zeroed. Nothing is reallocated, so replay loops (lockstep
+     * sweeps, fault campaigns, benchmark replays) can reuse one
+     * CrispCpu instead of paying construction per run. Installed
+     * trace sinks and fault hooks are retained, as is the predecode
+     * cache (a pure memoization of the immutable text segment).
+     */
+    void reset();
 
     // Architectural state (valid after run / between ticks) -----------
     /** Address the EU will try to issue from next (IR.Next-PC). */
@@ -127,10 +158,12 @@ class CrispCpu
     };
 
     void issueStage();
+    /** Bulk-skip cycles that are provably identical miss stalls. */
+    void maybeSkipStalls();
     void retireStage(ExecObserver* observer);
     void retireImpl(ExecObserver* observer);
     void recordFault(Addr pc, const std::string& reason);
-    DecodedInst goldenDecodeAt(Addr pc, FoldPolicy policy) const;
+    const DecodedInst* goldenDecodeAt(Addr pc, FoldPolicy policy) const;
     void checkDecodedEntry(const DecodedInst& di) const;
     void executeBody(const DecodedInst& di);
     Word readOperand(const Operand& o) const;
@@ -146,6 +179,11 @@ class CrispCpu
     MemoryImage mem_;
     DecodedCache dic_;
     SimStats stats_;
+    /** Predecode tables shared by the PDU's PDR stage and the
+     *  retire-time checker. Owned unless the caller supplied a shared
+     *  cache (or the legacy path is forced, leaving it null). */
+    std::unique_ptr<PredecodeCache> ownedPredecode_;
+    PredecodeCache* predecode_;
     Pdu pdu_;
 
     // Architectural state.
@@ -154,10 +192,19 @@ class CrispCpu
     bool flag_ = false;
     bool halted_ = false;
 
-    // Pipeline state.
-    Stage irS_;
-    Stage orS_;
-    Stage rrS_;
+    // Pipeline state. The three stages live in a fixed array and
+    // advance by pointer rotation: the old RR slot is recycled as the
+    // new (empty) IR slot, so a pipeline step copies nothing.
+    Stage stages_[3];
+    Stage* irP_ = &stages_[0];
+    Stage* orP_ = &stages_[1];
+    Stage* rrP_ = &stages_[2];
+    Stage& irS() { return *irP_; }
+    Stage& orS() { return *orP_; }
+    Stage& rrS() { return *rrP_; }
+    const Stage& irS() const { return *irP_; }
+    const Stage& orS() const { return *orP_; }
+    const Stage& rrS() const { return *rrP_; }
     Addr nextIssuePc_ = 0;
     std::uint64_t stallUntil_ = 0;
     Block block_ = Block::kNone;
@@ -174,10 +221,22 @@ class CrispCpu
     mutable StackCache stackCache_;
     std::uint64_t penaltyStall_ = 0;
 
+    // Reused decode window for the legacy (usePredecode = false)
+    // golden-decode path, plus a scratch slot for its result — the
+    // checker allocates nothing per retire on either path.
+    mutable std::vector<Parcel> goldenWindow_;
+    mutable DecodedInst goldenScratch_;
+
     // Optional per-cycle tracing.
     std::function<void(const std::string&)> traceSink_;
     std::string traceNote_;
-    void note(const char* what);
+    void noteSlow(const char* what);
+    void
+    note(const char* what)
+    {
+        if (traceSink_)
+            noteSlow(what);
+    }
     void emitTraceLine();
 };
 

@@ -41,7 +41,12 @@ carrierLengthOk(FoldPolicy policy, int parcels)
 int
 FoldDecoder::windowNeed(Parcel parcel0) const
 {
-    const int len = instructionLength(parcel0);
+    return windowNeed(parcel0, instructionLength(parcel0));
+}
+
+int
+FoldDecoder::windowNeed(Parcel parcel0, int len) const
+{
     const auto major = parcel0 >> 12;
     const bool is_short_branch =
         major == 0xC || major == 0xD || major == 0xE;

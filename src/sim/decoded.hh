@@ -131,6 +131,10 @@ class FoldDecoder
      */
     int windowNeed(Parcel parcel0) const;
 
+    /** As above with instructionLength(parcel0) already in hand, so the
+     *  per-cycle PDR gate derives the length exactly once. */
+    int windowNeed(Parcel parcel0, int len) const;
+
     /**
      * Decode one (possibly folded) entry.
      *

@@ -69,6 +69,14 @@ class HwPredictor
             c = c > 0 ? c - 1 : 0;
     }
 
+    /** Restore every counter to its power-on value (weakly taken). */
+    void
+    reset()
+    {
+        table_.assign(table_.size(),
+                      kind_ == PredictorKind::kDynamic2 ? 2 : 1);
+    }
+
   private:
     static std::size_t
     checkedEntries(PredictorKind kind, int entries)

@@ -5,10 +5,25 @@
 
 #include "pdu.hh"
 
-#include <vector>
-
 namespace crisp
 {
+
+Pdu::Pdu(const Program& prog, const SimConfig& cfg, DecodedCache& dic,
+         SimStats& stats, PredecodeCache* predecode)
+    : prog_(prog), cfg_(cfg), dic_(dic), stats_(stats),
+      decoder_(cfg.foldPolicy), textEnd_(prog.textEnd())
+{
+    if (cfg.queueParcels < 1 || cfg.queueParcels > ParcelRing::kStorage)
+        throw CrispError("PDU: queueParcels must be in [1, 64]");
+    if (cfg.usePredecode) {
+        predecode_ = predecode;
+        if (predecode_ == nullptr) {
+            ownedPredecode_ = std::make_unique<PredecodeCache>(prog);
+            predecode_ = ownedPredecode_.get();
+        }
+    }
+    redirect(prog.entry);
+}
 
 void
 Pdu::redirect(Addr pc)
@@ -24,7 +39,7 @@ Pdu::redirect(Addr pc)
 bool
 Pdu::streaming_toward(Addr pc) const
 {
-    if (pirValid_ && pir_.pc == pc)
+    if (pirValid_ && pirSrc_->pc == pc)
         return true;
     if (paused_)
         return false;
@@ -50,31 +65,81 @@ Pdu::demand(Addr pc)
     redirect(pc);
 }
 
+std::uint64_t
+Pdu::pureWaitUntil(Addr issue_pc) const
+{
+    if (!memBusy_ || pirValid_ || paused_)
+        return 0;
+    if (!streaming_toward(issue_pc))
+        return 0; // a demand this cycle would redirect the stream
+    if (!queue_.empty()) {
+        if (dic_.lookup(decodePc_) != nullptr)
+            return 0; // the PDR stage would park
+        // Mirror of the PDR window gate: if enough parcels are queued
+        // the PDR would decode (a state change); otherwise it waits for
+        // the fetch no matter which decode path is configured.
+        const Parcel p0 = queue_.front();
+        const int len = instructionLength(p0);
+        const int q = queue_.size();
+        const bool at_end =
+            decodePc_ + static_cast<Addr>(q) * kParcelBytes >= textEnd_;
+        if (q >= len && (at_end || q >= decoder_.windowNeed(p0, len)))
+            return 0;
+    }
+    // PIR empty, PDR starved, prefetch blocked on the busy port: ticks
+    // strictly before memReadyCycle_ cannot change any modelled state.
+    return memReadyCycle_;
+}
+
 void
 Pdu::tick(std::uint64_t now)
 {
+    // Parked with nothing in flight: every stage below is a no-op (the
+    // PDR and prefetch stages are gated on !paused_, the PIR latch and
+    // the memory port are empty), so the whole tick can return early.
+    // Pure host-speed: no modelled state can change this cycle.
+    if (paused_ && !pirValid_ && !memBusy_)
+        return;
+
     // Stage 3 (PIR): write last cycle's decoded entry into the DIC. A
-    // fault hook may corrupt the entry or veto the fill entirely.
+    // fault hook may corrupt the entry or veto the fill entirely (it
+    // gets a private copy: the predecode tables stay golden).
     if (pirValid_) {
         pirValid_ = false;
-        if (hooks_ == nullptr || hooks_->onDicFill(pir_)) {
-            dic_.fill(pir_);
+        if (hooks_ == nullptr) {
+            dic_.fill(*pirSrc_);
             ++stats_.pduFills;
+        } else {
+            if (pirSrc_ != &pirCopy_)
+                pirCopy_ = *pirSrc_;
+            if (hooks_->onDicFill(pirCopy_)) {
+                dic_.fill(pirCopy_);
+                ++stats_.pduFills;
+            }
         }
     }
 
     // Memory completion: parcels arrive at the queue tail. A block that
     // no longer extends the queue (the stream was redirected while it
-    // was in flight) is discarded.
+    // was in flight) is discarded. The block was validated against the
+    // text segment when the fetch was issued, so it lands as one copy.
     if (memBusy_ && now >= memReadyCycle_) {
         memBusy_ = false;
         const Addr end =
             decodePc_ + static_cast<Addr>(queue_.size()) * kParcelBytes;
         if (memAddr_ == end) {
-            for (int i = 0; i < memParcels_; ++i) {
-                queue_.push_back(prog_.parcelAt(
-                    memAddr_ + static_cast<Addr>(i) * kParcelBytes));
-            }
+            // Same guards (and fault messages) parcelAt applied per
+            // parcel, hoisted to the block: a corrupted redirect can
+            // park the fetch address anywhere. A block starting aligned
+            // and inside text stays inside it (length was clipped to
+            // the segment when the fetch was issued).
+            if (memAddr_ % kParcelBytes != 0)
+                throw CrispError("unaligned parcel fetch");
+            if (!prog_.inText(memAddr_))
+                throw CrispError("parcel fetch outside text segment");
+            queue_.append(prog_.text.data() +
+                              (memAddr_ - prog_.textBase) / kParcelBytes,
+                          memParcels_);
         }
     }
 
@@ -85,20 +150,43 @@ Pdu::tick(std::uint64_t now)
             // park until a demand miss re-awakens the stream.
             paused_ = true;
         } else {
-            std::vector<Parcel> window(queue_.begin(), queue_.end());
+            const int q = queue_.size();
             const Addr window_end =
-                decodePc_ +
-                static_cast<Addr>(window.size()) * kParcelBytes;
-            const bool at_end = window_end >= prog_.textEnd();
-            const auto di =
-                decoder_.decodeAt(decodePc_, window, at_end);
-            if (di) {
-                pir_ = *di;
+                decodePc_ + static_cast<Addr>(q) * kParcelBytes;
+            const bool at_end = window_end >= textEnd_;
+
+            // decodeAt reads at most windowNeed(parcel0) parcels, so
+            // its result is independent of the window size once the
+            // queue holds that many (or runs to the end of text).
+            // Gating on occupancy here and reading the memoized decode
+            // is cycle-for-cycle identical to re-decoding the window.
+            const DecodedInst* di = nullptr;
+            std::optional<DecodedInst> redecoded;
+            if (predecode_ != nullptr) {
+                const Parcel p0 = queue_.front();
+                const int len = instructionLength(p0);
+                if (q >= len &&
+                    (at_end || q >= decoder_.windowNeed(p0, len))) {
+                    di = &predecode_->at(decodePc_, cfg_.foldPolicy).di;
+                }
+            } else {
+                redecoded = decoder_.decodeAt(decodePc_, queue_.window(),
+                                              at_end);
+                if (redecoded)
+                    di = &*redecoded;
+            }
+
+            if (di != nullptr) {
+                if (predecode_ != nullptr) {
+                    pirSrc_ = di; // stable predecode-table storage
+                } else {
+                    pirCopy_ = *di; // the re-decode dies this cycle
+                    pirSrc_ = &pirCopy_;
+                }
                 pirValid_ = true;
                 if (di->folded)
                     ++stats_.pduFoldedPairs;
-                for (int i = 0; i < di->totalParcels; ++i)
-                    queue_.pop_front();
+                queue_.pop_front(di->totalParcels);
                 decodePc_ +=
                     static_cast<Addr>(di->totalParcels) * kParcelBytes;
 
@@ -116,8 +204,7 @@ Pdu::tick(std::uint64_t now)
                            di->ctl == Ctl::kHalt) {
                     paused_ = true;
                 }
-            } else if (at_end && !memBusy_ &&
-                       prefetchPc_ >= prog_.textEnd()) {
+            } else if (at_end && !memBusy_ && prefetchPc_ >= textEnd_) {
                 throw CrispError("PDU: truncated instruction at end of "
                                  "text segment");
             }
@@ -129,9 +216,17 @@ Pdu::tick(std::uint64_t now)
     // deadlock a 6-parcel folded decode window against an 8-parcel
     // queue).
     if (!paused_ && !memBusy_) {
-        const Addr text_end = prog_.textEnd();
-        const int room =
-            cfg_.queueParcels - static_cast<int>(queue_.size());
+        const Addr text_end = textEnd_;
+        if (queue_.empty() && prefetchPc_ >= text_end) {
+            // The stream ran off the end of text and everything fetched
+            // has been consumed: no stage can ever make progress again
+            // without a redirect. Park so idle ticks take the early-out
+            // above. demand() treats an exhausted stream and a parked
+            // one identically (streaming_toward is false either way).
+            paused_ = true;
+            return;
+        }
+        const int room = cfg_.queueParcels - queue_.size();
         if (prefetchPc_ < text_end && room > 0) {
             const Addr remaining =
                 (text_end - prefetchPc_) / kParcelBytes;

@@ -9,19 +9,27 @@
  * predicted instruction path (following unconditional and
  * predicted-taken folded branches), pauses when it wraps into already
  * decoded code, and is redirected by EU-side DIC misses.
+ *
+ * The PDR stage normally reads decode results from a whole-program
+ * predecode cache (predecode.hh) — decode work happens once per
+ * address, the cycle-accurate gating on queue occupancy is unchanged.
+ * SimConfig::usePredecode = false forces the legacy re-decoding path.
  */
 
 #ifndef CRISP_SIM_PDU_HH
 #define CRISP_SIM_PDU_HH
 
 #include <cstdint>
-#include <deque>
+#include <cstring>
+#include <memory>
+#include <span>
 
 #include "config.hh"
 #include "decoded.hh"
 #include "dic.hh"
 #include "fault_hooks.hh"
 #include "isa/program.hh"
+#include "predecode.hh"
 #include "stats.hh"
 
 namespace crisp
@@ -30,13 +38,14 @@ namespace crisp
 class Pdu
 {
   public:
+    /**
+     * @p predecode optionally shares a predecode cache with the owning
+     * CPU (so the PDR stage and the retire-time checker memoize into
+     * the same tables). When null and cfg.usePredecode is set, the PDU
+     * owns a private cache.
+     */
     Pdu(const Program& prog, const SimConfig& cfg, DecodedCache& dic,
-        SimStats& stats)
-        : prog_(prog), cfg_(cfg), dic_(dic), stats_(stats),
-          decoder_(cfg.foldPolicy)
-    {
-        redirect(prog.entry);
-    }
+        SimStats& stats, PredecodeCache* predecode = nullptr);
 
     /**
      * Advance one cycle. Order of operations models the three stages:
@@ -55,7 +64,90 @@ class Pdu
     /** Install fault-injection hooks (applied at DIC fill time). */
     void setFaultHooks(FaultHooks* hooks) { hooks_ = hooks; }
 
+    /** Power-on state: empty queue, latches, and memory port, stream
+     *  redirected to the program entry. Allocation-free. */
+    void
+    reset()
+    {
+        memBusy_ = false;
+        pirValid_ = false;
+        redirect(prog_.entry);
+    }
+
+    /**
+     * If every PDU stage is provably idle until the in-flight memory
+     * fetch lands — the PIR latch is empty, the PDR stage is gated
+     * waiting for more parcels, the prefetcher is blocked on the busy
+     * memory port, and a demand at @p issue_pc would be a no-op because
+     * the stream is already headed there — return the cycle the fetch
+     * completes. Otherwise return 0. The CPU uses this to fast-forward
+     * over pure miss-stall cycles without simulating them one by one.
+     */
+    std::uint64_t pureWaitUntil(Addr issue_pc) const;
+
   private:
+    /**
+     * The instruction queue as a fixed-capacity, allocation-free
+     * buffer. Parcels stay physically contiguous (the head is
+     * compacted to the front when a push would run off the storage
+     * end), so the decode window is a plain span — no per-decode copy.
+     */
+    class ParcelRing
+    {
+      public:
+        static constexpr int kStorage = 64;
+
+        int size() const { return size_; }
+        bool empty() const { return size_ == 0; }
+        void clear() { head_ = 0; size_ = 0; }
+        Parcel front() const { return buf_[head_]; }
+
+        void
+        push_back(Parcel p)
+        {
+            if (head_ + size_ == kStorage) {
+                std::memmove(buf_, buf_ + head_,
+                             static_cast<std::size_t>(size_) *
+                                 sizeof(Parcel));
+                head_ = 0;
+            }
+            buf_[head_ + size_++] = p;
+        }
+
+        /** Append @p n contiguous parcels (one arriving fetch block). */
+        void
+        append(const Parcel* p, int n)
+        {
+            if (head_ + size_ + n > kStorage) {
+                std::memmove(buf_, buf_ + head_,
+                             static_cast<std::size_t>(size_) *
+                                 sizeof(Parcel));
+                head_ = 0;
+            }
+            std::memcpy(buf_ + head_ + size_, p,
+                        static_cast<std::size_t>(n) * sizeof(Parcel));
+            size_ += n;
+        }
+
+        void
+        pop_front(int n)
+        {
+            head_ += n;
+            size_ -= n;
+        }
+
+        std::span<const Parcel>
+        window() const
+        {
+            return {buf_ + head_, static_cast<std::size_t>(size_)};
+        }
+
+      private:
+        Parcel buf_[kStorage];
+        int head_ = 0;
+        int size_ = 0;
+    };
+
     void redirect(Addr pc);
 
     /** Is @p pc already covered by the queue or the decode stream? */
@@ -66,13 +158,20 @@ class Pdu
     DecodedCache& dic_;
     SimStats& stats_;
     FoldDecoder decoder_;
+    /** prog_.textEnd(), hoisted out of the per-cycle stages. */
+    const Addr textEnd_;
+
+    /** Predecode tables consulted by the PDR stage (null: legacy
+     *  re-decoding path). Not owned unless ownedPredecode_ is set. */
+    PredecodeCache* predecode_ = nullptr;
+    std::unique_ptr<PredecodeCache> ownedPredecode_;
 
     /** Byte address of the next parcel the prefetcher will request. */
     Addr prefetchPc_ = 0;
     /** Byte address of the first parcel in the queue (decode point). */
     Addr decodePc_ = 0;
     /** The instruction queue (parcels at decodePc_, decodePc_+2, ...). */
-    std::deque<Parcel> queue_;
+    ParcelRing queue_;
 
     /** In-flight memory fetch. */
     bool memBusy_ = false;
@@ -80,9 +179,17 @@ class Pdu
     Addr memAddr_ = 0;
     int memParcels_ = 0;
 
-    /** PIR latch: entry decoded last cycle, to be written to the DIC. */
+    /**
+     * PIR latch: entry decoded last cycle, to be written to the DIC.
+     * On the predecode path pirSrc_ points straight into the (stable)
+     * predecode table — the entry is copied once, into the DIC. The
+     * legacy path re-decoded into a temporary, so it latches a copy in
+     * pirCopy_; fault hooks also corrupt a private copy, never the
+     * shared tables.
+     */
     bool pirValid_ = false;
-    DecodedInst pir_;
+    const DecodedInst* pirSrc_ = nullptr;
+    DecodedInst pirCopy_;
 
     /** Optional fault-injection hooks (not owned). */
     FaultHooks* hooks_ = nullptr;

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Predecode cache implementation.
+ */
+
+#include "predecode.hh"
+
+#include <span>
+
+namespace crisp
+{
+
+void
+PredecodeCache::compute(Entry& e, Addr pc, FoldPolicy policy)
+{
+    const std::size_t idx = (pc - prog_.textBase) / kParcelBytes;
+    const std::span<const Parcel> window(prog_.text.data() + idx,
+                                         prog_.text.size() - idx);
+    const FoldDecoder dec(policy);
+    // The maximal window ends exactly at the end of text, so at_end is
+    // always true here; decodeAt fails only for an instruction whose
+    // encoding runs off the segment. A decode error thrown here leaves
+    // the entry uncomputed on purpose (see at()).
+    const auto di = dec.decodeAt(pc, window, /*at_end=*/true);
+    e.valid = di.has_value();
+    if (di)
+        e.di = *di;
+    e.computed = true;
+}
+
+} // namespace crisp

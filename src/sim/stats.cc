@@ -1,0 +1,137 @@
+/**
+ * @file
+ * SimStats text and JSON rendering.
+ */
+
+#include "stats.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace crisp
+{
+
+std::string
+SimStats::toString() const
+{
+    std::ostringstream os;
+    os << "cycles:              " << cycles << "\n"
+       << "issued:              " << issued << "\n"
+       << "apparent:            " << apparent << "\n"
+       << "issued CPI:          " << issuedCpi() << "\n"
+       << "apparent CPI:        " << apparentCpi() << "\n"
+       << "branches:            " << branches << "\n"
+       << "folded branches:     " << foldedBranches << "\n"
+       << "cond branches:       " << condBranches << "\n"
+       << "resolved at issue:   " << resolvedAtIssue << "\n"
+       << "speculated:          " << speculated << "\n"
+       << "mispredicts:         " << mispredicts << "\n"
+       << "squashed:            " << squashed << "\n"
+       << "issue stalls:        " << issueStallCycles << "\n"
+       << "  DIC miss stalls:   " << dicMissStallCycles << "\n"
+       << "  redirect stalls:   " << redirectStallCycles << "\n"
+       << "  indirect stalls:   " << indirectStallCycles << "\n"
+       << "DIC hits/misses:     " << dicHits << "/" << dicMisses << "\n"
+       << "PDU fills (folded):  " << pduFills << " (" << pduFoldedPairs
+       << ")\n"
+       << "memory fetches:      " << memFetches << "\n"
+       << "stack cache h/m:     " << stackCacheHits << "/"
+       << stackCacheMisses << "\n"
+       << "halted:              " << (halted ? "yes" : "no") << "\n";
+    if (timedOut)
+        os << "TIMED OUT at the cycle limit\n";
+    if (faulted) {
+        os << (dicCorruption ? "DIC CORRUPTION" : "FAULT") << " at 0x"
+           << std::hex << faultPc << std::dec << ": " << faultReason
+           << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::ostringstream os;
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(c)
+                   << std::dec << std::setfill(' ');
+            } else {
+                os << c;
+            }
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+SimStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"cycles\":" << cycles;
+    os << ",\"issued\":" << issued;
+    os << ",\"apparent\":" << apparent;
+    os << ",\"issuedCpi\":" << issuedCpi();
+    os << ",\"apparentCpi\":" << apparentCpi();
+    os << ",\"branches\":" << branches;
+    os << ",\"foldedBranches\":" << foldedBranches;
+    os << ",\"condBranches\":" << condBranches;
+    os << ",\"resolvedAtIssue\":" << resolvedAtIssue;
+    os << ",\"speculated\":" << speculated;
+    os << ",\"mispredicts\":" << mispredicts;
+    os << ",\"squashed\":" << squashed;
+    os << ",\"issueStallCycles\":" << issueStallCycles;
+    os << ",\"dicMissStallCycles\":" << dicMissStallCycles;
+    os << ",\"redirectStallCycles\":" << redirectStallCycles;
+    os << ",\"indirectStallCycles\":" << indirectStallCycles;
+    os << ",\"dicHits\":" << dicHits;
+    os << ",\"dicMisses\":" << dicMisses;
+    os << ",\"pduFoldedPairs\":" << pduFoldedPairs;
+    os << ",\"pduFills\":" << pduFills;
+    os << ",\"memFetches\":" << memFetches;
+    os << ",\"stackCacheHits\":" << stackCacheHits;
+    os << ",\"stackCacheMisses\":" << stackCacheMisses;
+    os << ",\"stackPenaltyCycles\":" << stackPenaltyCycles;
+    os << ",\"halted\":" << (halted ? "true" : "false");
+    os << ",\"timedOut\":" << (timedOut ? "true" : "false");
+    os << ",\"faulted\":" << (faulted ? "true" : "false");
+    os << ",\"faultPc\":" << faultPc;
+    os << ",\"faultReason\":\"" << jsonEscape(faultReason) << "\"";
+    os << ",\"dicCorruption\":" << (dicCorruption ? "true" : "false");
+    os << ",\"opcodeCounts\":[";
+    for (std::size_t i = 0; i < opcodeCounts.size(); ++i) {
+        if (i)
+            os << ",";
+        os << opcodeCounts[i];
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace crisp

@@ -131,8 +131,22 @@ struct SimStats
                         : 0.0;
     }
 
+    /**
+     * Bitwise-exact equality over every counter, flag and the fault
+     * string. The differential tests (tests/test_perf_paths.cc) use it
+     * to pin the predecode fast path to the legacy decode path.
+     */
+    bool operator==(const SimStats&) const = default;
+
     /** Multi-line human-readable dump. */
     std::string toString() const;
+
+    /**
+     * Single JSON object with every field (opcodeCounts as an array
+     * indexed by opcode value, fault strings escaped). Consumed by
+     * `crisprun --stats-json` and the bench harness.
+     */
+    std::string toJson() const;
 };
 
 } // namespace crisp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+
+#include "thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+
+namespace crisp::util
+{
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 1)
+        threads = 1;
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        tasks_.push(std::move(task));
+        ++inFlight_;
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idleCv_.wait(lk, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --inFlight_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)>& fn)
+{
+    if (count == 0)
+        return;
+    // Per-index exception slots: the lowest-index failure wins, no
+    // matter which task crashed first in wall-clock order.
+    std::vector<std::exception_ptr> errors(count);
+    // Work stealing by atomic counter: tasks are cheap to hand out and
+    // sweep items have wildly different run lengths.
+    std::atomic<std::size_t> next{0};
+    const std::size_t lanes =
+        std::min(count, static_cast<std::size_t>(threadCount()));
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        submit([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    wait();
+    for (const std::exception_ptr& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace crisp::util

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A small fixed-size thread pool for embarrassingly parallel
+ * simulation sweeps (torture seeds, ablation grid points).
+ *
+ * Determinism contract: the pool only schedules work; it never merges
+ * results. Callers index results by input position (parallelFor hands
+ * each task its index), so the assembled output is identical for any
+ * worker count — `crisptorture --jobs 8` must report byte-for-byte what
+ * `--jobs 1` reports. Each task must own its world (its own CrispCpu,
+ * its own RNG seeded from the task index); the pool provides no shared
+ * state on purpose.
+ */
+
+#ifndef CRISP_UTIL_THREAD_POOL_HH
+#define CRISP_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace crisp::util
+{
+
+class ThreadPool
+{
+  public:
+    /** @p threads is clamped to at least 1. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue one task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run fn(0) .. fn(count - 1) across the pool and wait. Exceptions
+     * from tasks are captured and the first one (by index, not by
+     * completion time — determinism again) is rethrown here.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)>& fn);
+
+    /** Reasonable default for --jobs: hardware concurrency, min 1. */
+    static int defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace crisp::util
+
+#endif // CRISP_UTIL_THREAD_POOL_HH

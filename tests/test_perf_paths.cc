@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Differential tests pinning the predecode fast path to the legacy
+ * re-decoding path (SimConfig::usePredecode = false).
+ *
+ * The predecode cache and the allocation-free PDU queue are host-speed
+ * optimizations only: for every program, configuration and cycle they
+ * must produce bit-identical statistics and an identical architectural
+ * retire stream. These tests sweep the torture generator's seeds across
+ * all fold policies, with and without the retire-time decode checker,
+ * and assert exact SimStats equality (operator==, which includes every
+ * counter and the fault string) plus an event-for-event match of the
+ * retire-order instruction and branch traces.
+ *
+ * Unit tests at the bottom pin the PredecodeCache itself: per-policy
+ * table isolation and agreement with a fresh FoldDecoder pass over the
+ * whole text segment.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "interp/trace.hh"
+#include "sim/cpu.hh"
+#include "sim/predecode.hh"
+#include "verify/generator.hh"
+
+namespace
+{
+
+using namespace crisp;
+using verify::generate;
+
+/** Records the architectural retire stream for exact comparison. */
+class RetireRecorder : public ExecObserver
+{
+  public:
+    void
+    onInstruction(Addr pc, Opcode op) override
+    {
+        instrs.emplace_back(pc, op);
+    }
+
+    void onBranch(const BranchEvent& ev) override { branches.push_back(ev); }
+
+    std::vector<std::pair<Addr, Opcode>> instrs;
+    std::vector<BranchEvent> branches;
+};
+
+bool
+sameBranchEvent(const BranchEvent& a, const BranchEvent& b)
+{
+    return a.pc == b.pc && a.op == b.op &&
+           a.conditional == b.conditional && a.taken == b.taken &&
+           a.predictTaken == b.predictTaken && a.target == b.target &&
+           a.fallThrough == b.fallThrough && a.shortForm == b.shortForm;
+}
+
+struct RunResult
+{
+    SimStats stats;
+    RetireRecorder trace;
+};
+
+RunResult
+runWith(const Program& prog, SimConfig cfg, bool use_predecode)
+{
+    cfg.usePredecode = use_predecode;
+    cfg.maxCycles = 1'000'000;
+    RunResult r;
+    CrispCpu cpu(prog, cfg);
+    r.stats = cpu.run(&r.trace);
+    return r;
+}
+
+void
+expectIdentical(const RunResult& fast, const RunResult& legacy,
+                const std::string& label)
+{
+    EXPECT_TRUE(fast.stats == legacy.stats)
+        << label << "\nfast:\n"
+        << fast.stats.toString() << "\nlegacy:\n"
+        << legacy.stats.toString();
+    ASSERT_EQ(fast.trace.instrs.size(), legacy.trace.instrs.size())
+        << label;
+    for (std::size_t i = 0; i < fast.trace.instrs.size(); ++i) {
+        ASSERT_EQ(fast.trace.instrs[i], legacy.trace.instrs[i])
+            << label << " instruction " << i;
+    }
+    ASSERT_EQ(fast.trace.branches.size(), legacy.trace.branches.size())
+        << label;
+    for (std::size_t i = 0; i < fast.trace.branches.size(); ++i) {
+        ASSERT_TRUE(sameBranchEvent(fast.trace.branches[i],
+                                    legacy.trace.branches[i]))
+            << label << " branch " << i;
+    }
+}
+
+// ------------------------------------------------ differential sweeps
+
+/** 100+ seeds x all fold policies: stats and traces bit-identical. */
+TEST(PerfPaths, DifferentialTortureSweep)
+{
+    constexpr std::uint64_t kSeeds = 100;
+    for (std::uint64_t s = 1; s <= kSeeds; ++s) {
+        const Program prog = generate(s).link();
+        for (FoldPolicy fp : {FoldPolicy::kNone, FoldPolicy::kCrisp,
+                              FoldPolicy::kAll}) {
+            SimConfig cfg;
+            cfg.foldPolicy = fp;
+            const RunResult fast = runWith(prog, cfg, true);
+            const RunResult legacy = runWith(prog, cfg, false);
+            expectIdentical(fast, legacy,
+                            "seed " + std::to_string(s) + " fold " +
+                                std::to_string(static_cast<int>(fp)));
+        }
+    }
+}
+
+/** The checker's golden re-decode also goes through the cache: the
+ *  checked configuration must stay bit-identical too. */
+TEST(PerfPaths, DifferentialWithDecodeChecker)
+{
+    for (std::uint64_t s = 1; s <= 30; ++s) {
+        const Program prog = generate(s).link();
+        SimConfig cfg;
+        cfg.checkDecode = true;
+        const RunResult fast = runWith(prog, cfg, true);
+        const RunResult legacy = runWith(prog, cfg, false);
+        expectIdentical(fast, legacy,
+                        "checked seed " + std::to_string(s));
+        EXPECT_FALSE(fast.stats.faulted);
+    }
+}
+
+/** Non-default machine shapes (tiny DIC, long memory latency, dynamic
+ *  predictor) keep the paths identical as well. */
+TEST(PerfPaths, DifferentialConfigCorners)
+{
+    for (std::uint64_t s = 1; s <= 20; ++s) {
+        const Program prog = generate(s).link();
+        SimConfig cfg;
+        cfg.dicEntries = 8;
+        cfg.memLatency = 5;
+        cfg.queueParcels = 6;
+        cfg.predictor = PredictorKind::kDynamic2;
+        const RunResult fast = runWith(prog, cfg, true);
+        const RunResult legacy = runWith(prog, cfg, false);
+        expectIdentical(fast, legacy,
+                        "corner seed " + std::to_string(s));
+    }
+}
+
+/** Replays through a shared PredecodeCache and through CrispCpu::reset()
+ *  must be indistinguishable from fresh machines: identical stats,
+ *  traces, and final architectural state, run after run, on both decode
+ *  paths. This pins the crisptorture / bench_perf replay pattern. */
+TEST(PerfPaths, SharedCacheAndResetReplaysIdentical)
+{
+    for (std::uint64_t s = 1; s <= 25; ++s) {
+        const Program prog = generate(s).link();
+        for (bool use_predecode : {true, false}) {
+            SimConfig cfg;
+            cfg.usePredecode = use_predecode;
+            cfg.checkDecode = (s % 3 == 0);
+            cfg.maxCycles = 1'000'000;
+
+            PredecodeCache shared(prog);
+            CrispCpu reused(prog, cfg,
+                            use_predecode ? &shared : nullptr);
+            for (int replay = 0; replay < 3; ++replay) {
+                RunResult fresh;
+                CrispCpu ref(prog, cfg);
+                fresh.stats = ref.run(&fresh.trace);
+
+                RunResult replayed;
+                if (replay != 0)
+                    reused.reset();
+                replayed.stats = reused.run(&replayed.trace);
+
+                expectIdentical(replayed, fresh,
+                                "seed " + std::to_string(s) +
+                                    " replay " + std::to_string(replay) +
+                                    (use_predecode ? " fast" : " legacy"));
+                EXPECT_EQ(reused.sp(), ref.sp());
+                EXPECT_EQ(reused.accum(), ref.accum());
+                EXPECT_EQ(reused.flag(), ref.flag());
+                EXPECT_EQ(reused.nextIssuePc(), ref.nextIssuePc());
+            }
+        }
+    }
+}
+
+// ------------------------------------------------ predecode unit tests
+
+/** Per-policy tables must not bleed into each other: the same address
+ *  folds under kCrisp and must stay unfolded under kNone, in either
+ *  query order. */
+TEST(PredecodeCache, PolicyTablesAreIsolated)
+{
+    const Program prog = generate(7).link();
+    PredecodeCache cache(prog);
+
+    // Find a foldable pair via the kCrisp table.
+    const FoldDecoder crispDec(FoldPolicy::kCrisp);
+    Addr folded_pc = 0;
+    bool found = false;
+    Addr pc = prog.textBase;
+    while (pc < prog.textEnd()) {
+        const auto& e = cache.at(pc, FoldPolicy::kCrisp);
+        ASSERT_TRUE(e.valid);
+        if (e.di.folded && !found) {
+            folded_pc = pc;
+            found = true;
+        }
+        pc += static_cast<Addr>(e.di.totalParcels) * kParcelBytes;
+    }
+    ASSERT_TRUE(found) << "seed 7 produced no foldable pair";
+
+    // kNone at the same address: unfolded, shorter entry.
+    const auto& none = cache.at(folded_pc, FoldPolicy::kNone);
+    ASSERT_TRUE(none.valid);
+    EXPECT_FALSE(none.di.folded);
+    const auto& crisp = cache.at(folded_pc, FoldPolicy::kCrisp);
+    ASSERT_TRUE(crisp.valid);
+    EXPECT_TRUE(crisp.di.folded);
+    EXPECT_EQ(crisp.di.totalParcels, none.di.totalParcels + 1);
+}
+
+/** Every memoized entry equals a fresh maximal-window decode. */
+TEST(PredecodeCache, AgreesWithFreshDecode)
+{
+    for (std::uint64_t s : {3u, 11u, 42u}) {
+        const Program prog = generate(s).link();
+        PredecodeCache cache(prog);
+        for (FoldPolicy fp : {FoldPolicy::kNone, FoldPolicy::kCrisp,
+                              FoldPolicy::kAll}) {
+            const FoldDecoder dec(fp);
+            Addr pc = prog.textBase;
+            while (pc < prog.textEnd()) {
+                const std::size_t idx =
+                    (pc - prog.textBase) / kParcelBytes;
+                const std::span<const Parcel> window(
+                    prog.text.data() + idx, prog.text.size() - idx);
+                const auto fresh = dec.decodeAt(pc, window, true);
+                ASSERT_TRUE(fresh.has_value());
+                const auto& cached = cache.at(pc, fp);
+                ASSERT_TRUE(cached.valid);
+                EXPECT_EQ(cached.di.toString(), fresh->toString());
+                EXPECT_EQ(cached.di.totalParcels, fresh->totalParcels);
+                EXPECT_EQ(cached.di.writesCc, fresh->writesCc);
+                EXPECT_EQ(cached.di.predictTaken, fresh->predictTaken);
+                pc += static_cast<Addr>(fresh->totalParcels) *
+                      kParcelBytes;
+            }
+        }
+    }
+}
+
+/** Misaligned or out-of-text queries are rejected, never table reads. */
+TEST(PredecodeCache, RejectsBadAddresses)
+{
+    const Program prog = generate(1).link();
+    PredecodeCache cache(prog);
+    EXPECT_THROW(cache.at(prog.textBase + 1, FoldPolicy::kCrisp),
+                 CrispError);
+    EXPECT_THROW(cache.at(prog.textEnd(), FoldPolicy::kCrisp),
+                 CrispError);
+}
+
+/** The queue ring has fixed storage; configs beyond it must be caught
+ *  at construction, not corrupt memory later. */
+TEST(PerfPaths, OversizedQueueRejected)
+{
+    const Program prog = generate(1).link();
+    SimConfig cfg;
+    cfg.queueParcels = 65;
+    EXPECT_THROW(CrispCpu cpu(prog, cfg), CrispError);
+    cfg.queueParcels = 0;
+    EXPECT_THROW(CrispCpu cpu2(prog, cfg), CrispError);
+}
+
+} // namespace

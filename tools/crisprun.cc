@@ -9,6 +9,7 @@
  *            [--stack-cache=N] [--stack-penalty=N]
  *            [--no-predict-bit] [--profile-opt]
  *            [--trace[=N]] [--stats] [--histogram]
+ *            [--stats-json FILE]
  *
  *   --profile-opt  run once on the interpreter and patch profile-
  *                  optimal prediction bits before the measured run
@@ -16,6 +17,8 @@
  *                  slots, filled from branch targets
  *   --trace[=N]    print a per-cycle pipeline trace (first N cycles)
  *   --histogram    print the dynamic opcode histogram
+ *   --stats-json FILE  (pipeline machine) write the full SimStats as a
+ *                  JSON object to FILE ("-" for stdout)
  *
  * The program's exit value (main's return, i.e. the accumulator) is
  * printed; a delayed-branch machine requires a program compiled with
@@ -70,6 +73,7 @@ usage()
         "  --stack-cache=N  --stack-penalty=N  --no-predict-bit\n"
         "  --max-cycles=N  --profile-opt  --annul  --trace[=N]  "
         "--stats  --histogram\n"
+        "  --stats-json FILE  (pipeline only; \"-\" for stdout)\n"
         "exit status: 0 ok, 1 load/internal error, 2 usage,\n"
         "             3 cycle limit exceeded, 4 machine fault\n");
     return 2;
@@ -87,6 +91,7 @@ main(int argc, char** argv)
     SimConfig cfg;
     bool want_stats = false;
     bool want_histogram = false;
+    std::string stats_json_path;
     bool profile_opt = false;
     long trace_cycles = 0;
     bool delay_slots_hint = false;
@@ -130,6 +135,10 @@ main(int argc, char** argv)
             profile_opt = true;
         } else if (a == "--stats") {
             want_stats = true;
+        } else if (const char* v9 = val("--stats-json=")) {
+            stats_json_path = v9;
+        } else if (a == "--stats-json" && i + 1 < argc) {
+            stats_json_path = argv[++i];
         } else if (a == "--histogram") {
             want_histogram = true;
         } else if (a == "--trace") {
@@ -229,6 +238,18 @@ main(int argc, char** argv)
         std::printf("exit value: %d\n", static_cast<int>(cpu.accum()));
         if (want_stats)
             std::fputs(s.toString().c_str(), stdout);
+        if (!stats_json_path.empty()) {
+            const std::string json = s.toJson() + "\n";
+            if (stats_json_path == "-") {
+                std::fputs(json.c_str(), stdout);
+            } else {
+                std::ofstream out(stats_json_path);
+                if (!out)
+                    throw CrispError("cannot write: " +
+                                     stats_json_path);
+                out << json;
+            }
+        }
         if (want_histogram) {
             InterpResult hist;
             hist.instructions = s.apparent;

@@ -5,7 +5,7 @@
  *
  *   crisptorture [--seeds=N] [--seed0=K] [--configs=quick|full]
  *                [--faults [--fault-kind=NAME]] [--shrink-demo]
- *                [--max-steps=N] [-v]
+ *                [--max-steps=N] [--jobs=N] [-v]
  *
  * Modes:
  *  - default: every seed's program runs in lockstep against the
@@ -24,14 +24,22 @@
  *  - --shrink-demo: seeds an artificial implementation bug (arch-bug
  *    injector, checker off), finds a diverging seed, and shrinks it,
  *    demonstrating the reducer on a real architectural divergence.
+ *
+ * Seeds are independent, so the sweeps fan out across a thread pool
+ * (--jobs, default: hardware concurrency). Each worker owns its
+ * program, simulator and shrinker; per-seed output is buffered and
+ * emitted in seed order, so the report (and the exit verdict) is
+ * byte-identical for any job count.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "util/thread_pool.hh"
 #include "verify/faults.hh"
 #include "verify/generator.hh"
 #include "verify/lockstep.hh"
@@ -52,6 +60,7 @@ struct Options
     bool shrinkDemo = false;
     FaultKind onlyFault = FaultKind::kNone;
     std::uint64_t maxSteps = 1'000'000;
+    int jobs = util::ThreadPool::defaultThreads();
     bool verbose = false;
 };
 
@@ -63,7 +72,8 @@ usage()
         "usage: crisptorture [--seeds=N] [--seed0=K]\n"
         "                    [--configs=quick|full]\n"
         "                    [--faults [--fault-kind=NAME]]\n"
-        "                    [--shrink-demo] [--max-steps=N] [-v]\n"
+        "                    [--shrink-demo] [--max-steps=N]\n"
+        "                    [--jobs=N] [-v]\n"
         "fault kinds: flip-predict-bit unfold-pair drop-fill\n"
         "             corrupt-next-pc corrupt-alt-pc corrupt-cc-bit\n");
     return 2;
@@ -95,20 +105,25 @@ configMatrix(bool full)
     return out;
 }
 
-void
-printDivergence(std::uint64_t seed, const SimConfig& cfg,
-                const LockstepReport& rep, const GenProgram& shrunk,
-                int shrink_tests)
+std::string
+divergenceText(std::uint64_t seed, const SimConfig& cfg,
+               const LockstepReport& rep, const GenProgram& shrunk,
+               int shrink_tests)
 {
-    std::printf("=== DIVERGENCE seed=%llu fold=%d dic=%d "
-                "mem-latency=%d ===\n",
-                static_cast<unsigned long long>(seed),
-                static_cast<int>(cfg.foldPolicy), cfg.dicEntries,
-                cfg.memLatency);
-    std::printf("%s\n", rep.toString().c_str());
-    std::printf("--- shrunk to %d instructions (%d shrink tests) ---\n",
-                shrunk.instructionCount(), shrink_tests);
-    std::printf("%s", shrunk.listing().c_str());
+    char head[128];
+    std::snprintf(head, sizeof(head),
+                  "=== DIVERGENCE seed=%llu fold=%d dic=%d "
+                  "mem-latency=%d ===\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<int>(cfg.foldPolicy), cfg.dicEntries,
+                  cfg.memLatency);
+    char mid[96];
+    std::snprintf(mid, sizeof(mid),
+                  "--- shrunk to %d instructions (%d shrink tests) "
+                  "---\n",
+                  shrunk.instructionCount(), shrink_tests);
+    return std::string(head) + rep.toString() + "\n" + mid +
+           shrunk.listing();
 }
 
 /** Lockstep one generated program under one config (+ maybe faults). */
@@ -126,31 +141,63 @@ runOne(const GenProgram& gp, const SimConfig& cfg,
     return runLockstep(gp.link(), opt);
 }
 
+/**
+ * Run fn(seed_index) for every seed across the pool, tick the verbose
+ * progress counter, then return. Results land in caller-owned per-seed
+ * slots; nothing is printed from the workers except progress (stderr).
+ */
+void
+sweepSeeds(const Options& opt,
+           const std::function<void(std::size_t)>& fn)
+{
+    util::ThreadPool pool(opt.jobs);
+    std::atomic<std::uint64_t> done{0};
+    pool.parallelFor(
+        static_cast<std::size_t>(opt.seeds), [&](std::size_t i) {
+            fn(i);
+            const std::uint64_t n =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (opt.verbose && n % 50 == 0) {
+                std::fprintf(stderr, "crisptorture: %llu seeds done\n",
+                             static_cast<unsigned long long>(n));
+            }
+        });
+}
+
 /** Plain differential sweep. @return number of divergences. */
 int
 plainSweep(const Options& opt)
 {
     const auto cfgs = configMatrix(opt.full);
-    int bad = 0;
-    for (std::uint64_t s = opt.seed0; s < opt.seed0 + opt.seeds; ++s) {
+    struct SeedOut
+    {
+        int bad = 0;
+        std::string text;
+    };
+    std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
+
+    sweepSeeds(opt, [&](std::size_t i) {
+        const std::uint64_t s = opt.seed0 + i;
         const GenProgram gp = generate(s);
         for (const SimConfig& cfg : cfgs) {
             const LockstepReport rep =
                 runOne(gp, cfg, nullptr, opt.maxSteps);
             if (rep.ok())
                 continue;
-            ++bad;
+            ++results[i].bad;
             const auto still_fails = [&](const GenProgram& cand) {
                 return !runOne(cand, cfg, nullptr, opt.maxSteps).ok();
             };
             const ShrinkResult sh = shrinkProgram(gp, still_fails);
-            printDivergence(s, cfg, rep, sh.program, sh.tests);
+            results[i].text +=
+                divergenceText(s, cfg, rep, sh.program, sh.tests);
         }
-        if (opt.verbose && (s - opt.seed0 + 1) % 50 == 0) {
-            std::fprintf(stderr, "crisptorture: %llu seeds done\n",
-                         static_cast<unsigned long long>(
-                             s - opt.seed0 + 1));
-        }
+    });
+
+    int bad = 0;
+    for (const SeedOut& r : results) {
+        std::fputs(r.text.c_str(), stdout);
+        bad += r.bad;
     }
     std::printf("torture: %llu seeds x %zu configs, %d divergences\n",
                 static_cast<unsigned long long>(opt.seeds),
@@ -162,21 +209,31 @@ plainSweep(const Options& opt)
 int
 faultSweep(const Options& opt)
 {
-    int bad = 0;
-    std::uint64_t benign_cycle_diffs = 0;
-    std::uint64_t detections = 0;
-    for (std::uint64_t s = opt.seed0; s < opt.seed0 + opt.seeds; ++s) {
+    struct SeedOut
+    {
+        int bad = 0;
+        std::uint64_t benignCycleDiffs = 0;
+        std::uint64_t detections = 0;
+        std::string text;
+    };
+    std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
+
+    sweepSeeds(opt, [&](std::size_t i) {
+        const std::uint64_t s = opt.seed0 + i;
+        SeedOut& out = results[i];
         const GenProgram gp = generate(s);
         SimConfig cfg; // defaults: the CRISP configuration
         const LockstepReport base =
             runOne(gp, cfg, nullptr, opt.maxSteps);
         if (!base.ok()) {
-            std::printf("seed %llu diverges with no fault injected:\n"
-                        "%s\n",
-                        static_cast<unsigned long long>(s),
-                        base.toString().c_str());
-            ++bad;
-            continue;
+            char head[96];
+            std::snprintf(head, sizeof(head),
+                          "seed %llu diverges with no fault "
+                          "injected:\n",
+                          static_cast<unsigned long long>(s));
+            out.text += std::string(head) + base.toString() + "\n";
+            ++out.bad;
+            return;
         }
         for (FaultKind k : kInjectableFaults) {
             if (opt.onlyFault != FaultKind::kNone && k != opt.onlyFault)
@@ -195,25 +252,37 @@ faultSweep(const Options& opt)
                 // Hints: bit-identical architecture, timing may move.
                 ok = rep.ok();
                 if (ok && rep.sim.cycles != base.sim.cycles)
-                    ++benign_cycle_diffs;
+                    ++out.benignCycleDiffs;
             } else {
                 // Metadata: either the fault never reached a retiring
                 // entry, or it was detected as structured corruption.
                 ok = rep.ok() ||
                      rep.kind == Divergence::kDicCorruptionDetected;
                 if (rep.kind == Divergence::kDicCorruptionDetected)
-                    ++detections;
+                    ++out.detections;
             }
             if (!ok) {
-                ++bad;
-                std::printf(
+                ++out.bad;
+                char head[96];
+                std::snprintf(
+                    head, sizeof(head),
                     "=== FAULT PROPERTY VIOLATION seed=%llu "
-                    "fault=%s ===\n%s\n",
+                    "fault=%s ===\n",
                     static_cast<unsigned long long>(s),
-                    std::string(faultKindName(k)).c_str(),
-                    rep.toString().c_str());
+                    std::string(faultKindName(k)).c_str());
+                out.text += std::string(head) + rep.toString() + "\n";
             }
         }
+    });
+
+    int bad = 0;
+    std::uint64_t benign_cycle_diffs = 0;
+    std::uint64_t detections = 0;
+    for (const SeedOut& r : results) {
+        std::fputs(r.text.c_str(), stdout);
+        bad += r.bad;
+        benign_cycle_diffs += r.benignCycleDiffs;
+        detections += r.detections;
     }
     std::printf("fault torture: %llu seeds, %d violations "
                 "(%llu benign runs changed cycle counts, "
@@ -300,12 +369,18 @@ main(int argc, char** argv)
             opt.shrinkDemo = true;
         } else if (const char* v5 = val("--max-steps=")) {
             opt.maxSteps = std::strtoull(v5, nullptr, 10);
+        } else if (const char* v6 = val("--jobs=")) {
+            opt.jobs = std::atoi(v6);
+        } else if (a == "--jobs" && i + 1 < argc) {
+            opt.jobs = std::atoi(argv[++i]);
         } else if (a == "-v") {
             opt.verbose = true;
         } else {
             return usage();
         }
     }
+    if (opt.jobs < 1)
+        return usage();
 
     try {
         if (opt.shrinkDemo)
