@@ -1,0 +1,72 @@
+/**
+ * @file
+ * crispcc --verify: audit a compilation against the static analyzer.
+ *
+ * The compiler and the analyzer reach the same binary through two
+ * independent routes — crispcc reasons over the linear CodeList before
+ * layout, the analyzer decodes the linked text with the PDU's own
+ * decoder — so every claim the passes make can be cross-examined:
+ *
+ *  - the binary must analyze clean: no decode errors, no wild branch
+ *    targets, no below-frame stack operands;
+ *  - prediction bits must follow the convention the driver asked for
+ *    (backward-taken heuristic or all-not-taken), on every reachable
+ *    conditional branch;
+ *  - every branch passSpread claims fully spread must be a
+ *    spread-guaranteed site in the analyzer's reaching-compare pass
+ *    (catches later passes disturbing the separation, and separations
+ *    counted across paths the CodeList view cannot see);
+ *  - fold classification must match an independent CodeList-side
+ *    recount of the paper's fold rules (one-parcel branch, carrier
+ *    length, carrier not a control transfer).
+ *
+ * The bridge between the two views is the 1:1 pairing of CodeList
+ * instruction items with the binary's linear decode: the linker emits
+ * exactly one instruction per kInst/kBranch item, in order.
+ */
+
+#ifndef CRISP_ANALYSIS_CCVERIFY_HH
+#define CRISP_ANALYSIS_CCVERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "cc/compiler.hh"
+#include "checks.hh"
+
+namespace crisp::analysis
+{
+
+/** Outcome of auditing one compilation. */
+struct VerifyReport
+{
+    /** Checks were applied (false for delay-slot baseline builds,
+     *  whose binaries target a different machine model). */
+    bool applicable = true;
+    std::vector<std::string> problems;
+
+    /** Analyzer result over the linked program (valid when applicable). */
+    AnalysisResult analysis;
+
+    /** Branches passSpread claimed fully spread, after layout. */
+    int claimedSpread = 0;
+    /** Claimed branches the analyzer confirms spread-guaranteed. */
+    int confirmedSpread = 0;
+
+    bool ok() const { return problems.empty(); }
+
+    std::string toString() const;
+};
+
+/**
+ * Audit @p res, compiled under @p opts, against the static analyzer.
+ * Delay-slot builds come back not applicable (their prediction bits and
+ * timing contract belong to the delayed-branch baseline machine).
+ */
+VerifyReport verifyCompile(const cc::CompileResult& res,
+                           const cc::CompileOptions& opts,
+                           FoldPolicy policy = FoldPolicy::kCrisp);
+
+} // namespace crisp::analysis
+
+#endif // CRISP_ANALYSIS_CCVERIFY_HH

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Diagnostic generation and report serialization.
+ */
+
+#include "checks.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace crisp::analysis
+{
+
+std::string_view
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::kInfo:
+        return "info";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kError:
+        return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << " [" << rule << "] 0x" << std::hex
+       << pc << std::dec << ": " << message;
+    if (!hint.empty())
+        os << " (hint: " << hint << ")";
+    return os.str();
+}
+
+bool
+AnalysisResult::hasErrors() const
+{
+    return count(Severity::kError) > 0;
+}
+
+bool
+AnalysisResult::hasWarnings() const
+{
+    return count(Severity::kWarning) > 0;
+}
+
+int
+AnalysisResult::count(Severity s) const
+{
+    int n = 0;
+    for (const Diagnostic& d : diags)
+        n += d.severity == s ? 1 : 0;
+    return n;
+}
+
+namespace
+{
+
+void
+emit(std::vector<Diagnostic>& out, Severity sev, Addr pc,
+     std::string rule, std::string message, std::string hint = {})
+{
+    Diagnostic d;
+    d.severity = sev;
+    d.pc = pc;
+    d.rule = std::move(rule);
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    out.push_back(std::move(d));
+}
+
+std::string
+hexPc(Addr pc)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    return os.str();
+}
+
+void
+checkCfg(const Cfg& cfg, std::vector<Diagnostic>& diags)
+{
+    for (const auto& [pc, what] : cfg.decodeErrors()) {
+        emit(diags, Severity::kError, pc, "cfg.decode-error", what);
+    }
+    for (const auto& [pc, target] : cfg.badTargets()) {
+        emit(diags, Severity::kError, pc, "cfg.bad-target",
+             "branch target " + hexPc(target) +
+                 " is outside the text segment or unaligned");
+    }
+    if (cfg.hasIndirect() && cfg.indirectTargets().empty()) {
+        emit(diags, Severity::kError, cfg.program().entry,
+             "cfg.indirect-no-table",
+             "program contains an indirect jump but no data word names "
+             "a text address",
+             "emit a .table of case labels for the dispatch");
+    }
+    for (const auto& [lo, hi] : cfg.unreachableRanges()) {
+        std::ostringstream msg;
+        msg << (hi - lo) / kParcelBytes << " unreachable parcel(s) at ["
+            << hexPc(lo) << ", " << hexPc(hi) << ")";
+        emit(diags, Severity::kWarning, lo, "cfg.unreachable", msg.str(),
+             "dead code wastes DIC reach; let the peephole pass drop it");
+    }
+    // Structural ISA invariant: the condition flag is written only by
+    // compares. The decoder derives writesCc from isCompare, so this
+    // can only fire if the decode layer itself regresses — which is
+    // exactly why the oracle keeps it.
+    for (const auto& [pc, n] : cfg.nodes()) {
+        if (n.di.totalParcels > 0 && !n.di.loneBranch &&
+            n.di.writesCc != isCompare(n.di.body.op)) {
+            emit(diags, Severity::kError, pc, "cc.writer-not-compare",
+                 "modifies-CC bit disagrees with the opcode class");
+        }
+    }
+}
+
+void
+checkSpread(const Cfg& cfg, const std::map<Addr, SpreadInfo>& spread,
+            std::vector<Diagnostic>& diags)
+{
+    for (const auto& [pc, s] : spread) {
+        if (!s.guaranteedResolved) {
+            std::ostringstream msg;
+            msg << "conditional branch at " << hexPc(s.branchPc)
+                << " has only " << s.issueSlots
+                << " issue slot(s) from its compare (needs "
+                << kResolveSlots << "); it may speculate";
+            emit(diags, Severity::kWarning, s.branchPc, "spread.short",
+                 msg.str(),
+                 "move independent instructions between the compare and "
+                 "the branch (Branch Spreading)");
+        }
+        if (s.compareMayBeMissing && !cfg.node(pc).di.writesCc) {
+            emit(diags, Severity::kWarning, s.branchPc,
+                 "cc.maybe-missing-compare",
+                 "a path reaches this conditional branch with no compare "
+                 "executed; it tests the power-on flag",
+                 "insert a compare that dominates the branch");
+        }
+    }
+}
+
+void
+checkPredict(const std::map<Addr, BranchSite>& sites,
+             PredictConvention mode, std::vector<Diagnostic>& diags)
+{
+    if (mode == PredictConvention::kNone)
+        return;
+    for (const auto& [pc, s] : sites) {
+        if (!s.conditional || s.indirect)
+            continue;
+        const bool backward = s.takenPc < s.branchPc;
+        if (mode == PredictConvention::kAllNotTaken) {
+            if (s.predictTaken) {
+                emit(diags, Severity::kWarning, pc,
+                     "predict.backward-not-taken",
+                     "prediction bit set under the all-not-taken "
+                     "convention");
+            }
+            continue;
+        }
+        if (backward && !s.predictTaken) {
+            emit(diags, Severity::kWarning, pc,
+                 "predict.backward-not-taken",
+                 "backward (loop) branch predicted not-taken",
+                 "loop back-edges are overwhelmingly taken (Table 1); "
+                 "set the bit");
+        } else if (!backward && s.predictTaken) {
+            emit(diags, Severity::kWarning, pc, "predict.forward-taken",
+                 "forward branch predicted taken against the heuristic",
+                 "forward branches default to not-taken unless profiled");
+        }
+    }
+}
+
+void
+checkFold(const std::map<Addr, BranchSite>& sites,
+          std::vector<Diagnostic>& diags)
+{
+    for (const auto& [pc, s] : sites) {
+        if (s.cls == FoldClass::kLone &&
+            s.reason != NoFoldReason::kNone) {
+            emit(diags, Severity::kInfo, pc, "fold.lone-branch",
+                 std::string(opcodeName(s.op)) +
+                     " occupies its own EU slot: " +
+                     std::string(noFoldReasonName(s.reason)));
+        } else if (s.cls == FoldClass::kMixed) {
+            emit(diags, Severity::kInfo, pc, "fold.mixed",
+                 "branch folds on fall-in but is also a direct entry "
+                 "point");
+        }
+    }
+}
+
+void
+checkStack(const std::vector<StackIssue>& issues, int window,
+           std::vector<Diagnostic>& diags)
+{
+    for (const StackIssue& i : issues) {
+        std::ostringstream msg;
+        if (i.negative) {
+            msg << "stack operand sp[" << i.slot
+                << "] addresses below the frame";
+            emit(diags, Severity::kError, i.pc, "stack.negative-slot",
+                 msg.str());
+        } else {
+            msg << "stack operand sp[" << i.slot << "] is outside the "
+                << window << "-word stack-cache window";
+            emit(diags, Severity::kWarning, i.pc, "stack.outside-window",
+                 msg.str(),
+                 "every access misses the stack cache; shrink the frame "
+                 "or raise SimConfig::stackCacheWords");
+        }
+    }
+}
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+AnalysisResult
+analyzeProgram(const Program& prog, const AnalysisOptions& opt)
+{
+    AnalysisResult r;
+    r.cfg = std::make_shared<Cfg>(prog, opt.policy);
+    r.spread = analyzeSpread(*r.cfg);
+    r.sites = collectBranchSites(*r.cfg, r.spread);
+
+    checkCfg(*r.cfg, r.diags);
+    checkSpread(*r.cfg, r.spread, r.diags);
+    checkPredict(r.sites, opt.predict, r.diags);
+    if (opt.foldInfo)
+        checkFold(r.sites, r.diags);
+    checkStack(analyzeStackWindow(*r.cfg, opt.stackCacheWords),
+               opt.stackCacheWords, r.diags);
+
+    std::stable_sort(r.diags.begin(), r.diags.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                         return a.pc < b.pc;
+                     });
+
+    r.staticEntries = static_cast<int>(r.cfg->nodes().size());
+    for (const auto& [pc, s] : r.sites) {
+        ++r.staticBranchSites;
+        if (s.conditional)
+            ++r.staticCondSites;
+        if (s.cls != FoldClass::kLone)
+            ++r.staticFoldedSites;
+        if (s.cls != FoldClass::kFolded)
+            ++r.staticLoneSites;
+        if (s.guaranteedResolved)
+            ++r.staticGuaranteedCondSites;
+    }
+    return r;
+}
+
+std::string
+AnalysisResult::toString() const
+{
+    std::ostringstream os;
+    os << "analysis: " << staticEntries << " issue points, "
+       << staticBranchSites << " branch sites (" << staticCondSites
+       << " conditional, " << staticFoldedSites << " folding, "
+       << staticGuaranteedCondSites << " spread-guaranteed), "
+       << count(Severity::kError) << " errors, "
+       << count(Severity::kWarning) << " warnings, "
+       << count(Severity::kInfo) << " notes\n";
+    for (const Diagnostic& d : diags)
+        os << "  " << d.toString() << "\n";
+    return os.str();
+}
+
+std::string
+AnalysisResult::toJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    os << "\"staticEntries\":" << staticEntries;
+    os << ",\"staticBranchSites\":" << staticBranchSites;
+    os << ",\"staticCondSites\":" << staticCondSites;
+    os << ",\"staticFoldedSites\":" << staticFoldedSites;
+    os << ",\"staticLoneSites\":" << staticLoneSites;
+    os << ",\"staticGuaranteedCondSites\":" << staticGuaranteedCondSites;
+    os << ",\"errors\":" << count(Severity::kError);
+    os << ",\"warnings\":" << count(Severity::kWarning);
+    os << ",\"notes\":" << count(Severity::kInfo);
+
+    os << ",\"sites\":[";
+    bool first = true;
+    for (const auto& [pc, s] : sites) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"pc\":" << pc << ",\"op\":\"" << opcodeName(s.op)
+           << "\",\"conditional\":" << (s.conditional ? "true" : "false")
+           << ",\"predictTaken\":" << (s.predictTaken ? "true" : "false")
+           << ",\"shortForm\":" << (s.shortForm ? "true" : "false")
+           << ",\"indirect\":" << (s.indirect ? "true" : "false")
+           << ",\"fold\":\""
+           << (s.cls == FoldClass::kFolded
+                   ? "folded"
+                   : s.cls == FoldClass::kLone ? "lone" : "mixed")
+           << "\",\"noFoldReason\":\""
+           << jsonEscape(std::string(noFoldReasonName(s.reason)))
+           << "\",\"guaranteedResolved\":"
+           << (s.guaranteedResolved ? "true" : "false") << "}";
+    }
+    os << "]";
+
+    os << ",\"spread\":[";
+    first = true;
+    for (const auto& [pc, s] : spread) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"entryPc\":" << pc << ",\"branchPc\":" << s.branchPc
+           << ",\"issueSlots\":" << s.issueSlots
+           << ",\"guaranteedResolved\":"
+           << (s.guaranteedResolved ? "true" : "false") << "}";
+    }
+    os << "]";
+
+    os << ",\"diagnostics\":[";
+    first = true;
+    for (const Diagnostic& d : diags) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"severity\":\"" << severityName(d.severity)
+           << "\",\"pc\":" << d.pc << ",\"rule\":\""
+           << jsonEscape(d.rule) << "\",\"message\":\""
+           << jsonEscape(d.message) << "\",\"hint\":\""
+           << jsonEscape(d.hint) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+} // namespace crisp::analysis

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Diagnostics over the CFG + dataflow results: a machine-readable rule
+ * catalogue with severities, PCs, fix hints and a JSON report.
+ *
+ * Rule catalogue (docs/ANALYSIS.md keeps the prose version):
+ *
+ *   error   cfg.decode-error        reachable address fails to decode
+ *   error   cfg.bad-target          branch target outside text/unaligned
+ *   error   cfg.indirect-no-table   indirect jump but no candidate set
+ *   error   cc.writer-not-compare   CC-writing body is not a compare
+ *   error   stack.negative-slot     stack operand below the frame
+ *   warning cfg.unreachable         text bytes no issue point covers
+ *   warning spread.short            cond branch may have to speculate
+ *   warning cc.maybe-missing-compare cond branch before any compare
+ *   warning predict.backward-not-taken  loop branch predicted not-taken
+ *   warning predict.forward-taken   forward branch predicted taken
+ *   warning stack.outside-window    stack slot past the cache window
+ *   info    fold.lone-branch        branch occupies its own EU slot
+ *   info    fold.mixed              branch both folds and issues alone
+ *
+ * Severity contract: errors mean the program will fault or the decode
+ * contract is broken; warnings mean a paper invariant (spreading,
+ * prediction, stack-cache residency) is not met; info marks missed
+ * fold opportunities. crisplint exits nonzero on warnings and errors.
+ */
+
+#ifndef CRISP_ANALYSIS_CHECKS_HH
+#define CRISP_ANALYSIS_CHECKS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfg.hh"
+#include "dataflow.hh"
+
+namespace crisp::analysis
+{
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarning, kError };
+
+std::string_view severityName(Severity s);
+
+struct Diagnostic
+{
+    Severity severity = Severity::kInfo;
+    Addr pc = 0;
+    /** Stable rule id ("spread.short", ...). */
+    std::string rule;
+    std::string message;
+    /** Actionable remediation, empty when none applies. */
+    std::string hint;
+
+    std::string toString() const;
+};
+
+/** Which prediction-bit convention the program claims to follow. */
+enum class PredictConvention : std::uint8_t {
+    kNone = 0,    //!< bits are free (generated/torture programs)
+    kHeuristic,   //!< backward taken, forward not taken
+    kAllNotTaken, //!< every bit clear (Table 4 case A builds)
+};
+
+struct AnalysisOptions
+{
+    FoldPolicy policy = FoldPolicy::kCrisp;
+    PredictConvention predict = PredictConvention::kHeuristic;
+    /** Stack-cache window to check operands against (config default). */
+    int stackCacheWords = 32;
+    /** Emit info-level fold classification diagnostics. */
+    bool foldInfo = true;
+};
+
+/** Everything the analyzer derived, plus the diagnostics. */
+struct AnalysisResult
+{
+    std::shared_ptr<const Cfg> cfg;
+    /** Keyed by issue-point pc. */
+    std::map<Addr, SpreadInfo> spread;
+    /** Keyed by branch parcel pc. */
+    std::map<Addr, BranchSite> sites;
+    std::vector<Diagnostic> diags;
+
+    // Aggregates (the counters the dynamic cross-check consumes).
+    int staticEntries = 0;
+    int staticBranchSites = 0;
+    int staticCondSites = 0;
+    int staticFoldedSites = 0; //!< cls kFolded or kMixed
+    int staticGuaranteedCondSites = 0;
+    int staticLoneSites = 0;   //!< cls kLone or kMixed
+
+    bool hasErrors() const;
+    bool hasWarnings() const;
+    int count(Severity s) const;
+
+    /** One line per diagnostic plus a summary header. */
+    std::string toString() const;
+
+    /** The full report as one JSON object (schema: docs/ANALYSIS.md). */
+    std::string toJson() const;
+};
+
+/** Build the CFG, run every pass, produce diagnostics. */
+AnalysisResult analyzeProgram(const Program& prog,
+                              const AnalysisOptions& opt = {});
+
+} // namespace crisp::analysis
+
+#endif // CRISP_ANALYSIS_CHECKS_HH

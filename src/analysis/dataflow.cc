@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Concrete dataflow passes over the issue-point CFG.
+ */
+
+#include "dataflow.hh"
+
+#include <algorithm>
+
+namespace crisp::analysis
+{
+
+std::map<Addr, SpreadInfo>
+analyzeSpread(const Cfg& cfg)
+{
+    // Slot distance since the last CC writer, saturating at kSlotCap.
+    // Roots start at the cap: before the first compare ever executes
+    // the flag is architecturally final, so a branch there resolves at
+    // issue exactly like a fully spread one.
+    const auto dist = solveForward<int>(
+        cfg, /*boundary=*/kSlotCap, /*top=*/kSlotCap,
+        [](int a, int b) { return std::min(a, b); },
+        [](const CfgNode& n, int in) {
+            if (n.di.totalParcels > 0 && n.di.writesCc)
+                return 0;
+            return std::min(in + 1, kSlotCap);
+        });
+
+    // "Some path reaches this node with no compare executed at all."
+    const auto no_cmp = solveForward<bool>(
+        cfg, /*boundary=*/true, /*top=*/false,
+        [](bool a, bool b) { return a || b; },
+        [](const CfgNode& n, bool in) {
+            return in && !(n.di.totalParcels > 0 && n.di.writesCc);
+        });
+
+    std::map<Addr, SpreadInfo> out;
+    for (const auto& [pc, n] : cfg.nodes()) {
+        if (n.di.totalParcels == 0 || !n.di.hasCondBranch())
+            continue;
+        SpreadInfo s;
+        s.pc = pc;
+        s.branchPc = n.di.branchPc;
+        // A branch folded with its own compare issues in the same slot
+        // as the CC write: separation zero by definition.
+        s.issueSlots =
+            n.di.writesCc ? 0 : std::min(dist.at(pc) + 1, kSlotCap);
+        s.guaranteedResolved = s.issueSlots >= kResolveSlots;
+        s.compareMayBeMissing = no_cmp.at(pc);
+        out.emplace(pc, s);
+    }
+    return out;
+}
+
+std::string_view
+noFoldReasonName(NoFoldReason r)
+{
+    switch (r) {
+      case NoFoldReason::kNone:
+        return "folds";
+      case NoFoldReason::kPolicyNone:
+        return "folding disabled by policy";
+      case NoFoldReason::kNotOneParcel:
+        return "branch is not one parcel (calls and relaxed branches)";
+      case NoFoldReason::kIndirect:
+        return "indirect branches never fold";
+      case NoFoldReason::kNoCarrier:
+        return "only entered directly (jump target or entry point)";
+      case NoFoldReason::kCarrierTooLong:
+        return "carrier too long for the fold policy";
+      case NoFoldReason::kCarrierControl:
+        return "preceding instruction transfers control";
+    }
+    return "?";
+}
+
+namespace
+{
+
+NoFoldReason
+loneReason(const Cfg& cfg, const CfgNode& n)
+{
+    const DecodedInst& di = n.di;
+    if (di.ctl == Ctl::kIndirect)
+        return NoFoldReason::kIndirect;
+    if (di.totalParcels != 1)
+        return NoFoldReason::kNotOneParcel;
+    if (cfg.policy() == FoldPolicy::kNone)
+        return NoFoldReason::kPolicyNone;
+
+    // A one-parcel PC-relative branch that still issues alone: nothing
+    // upstream could carry it. Distinguish "the textual predecessor
+    // falls in without folding" (too-long carrier) from "control only
+    // ever arrives by transfer".
+    NoFoldReason r = NoFoldReason::kNoCarrier;
+    for (const Addr p : n.preds) {
+        const DecodedInst& pd = cfg.node(p).di;
+        if (pd.ctl == Ctl::kSeq && pd.seqPc == di.pc)
+            return NoFoldReason::kCarrierTooLong;
+        if (pd.ctl == Ctl::kCall && pd.callRetPc == di.pc)
+            r = NoFoldReason::kCarrierControl;
+    }
+    return r;
+}
+
+} // namespace
+
+std::map<Addr, BranchSite>
+collectBranchSites(const Cfg& cfg,
+                   const std::map<Addr, SpreadInfo>& spread)
+{
+    struct Occurrence
+    {
+        bool folded = false;
+        bool lone = false;
+        bool foldedGuaranteed = true;
+        bool loneGuaranteed = true;
+    };
+    std::map<Addr, BranchSite> sites;
+    std::map<Addr, Occurrence> occ;
+
+    for (const auto& [pc, n] : cfg.nodes()) {
+        const DecodedInst& di = n.di;
+        if (di.totalParcels == 0 || (!di.folded && !di.loneBranch))
+            continue;
+
+        BranchSite& s = sites[di.branchPc];
+        s.branchPc = di.branchPc;
+        s.op = di.branchOp;
+        s.conditional = di.hasCondBranch();
+        s.predictTaken = di.predictTaken;
+        s.shortForm = di.branchShortForm;
+        s.indirect = di.ctl == Ctl::kIndirect;
+        s.takenPc = di.takenPc;
+
+        Occurrence& o = occ[di.branchPc];
+        const bool guaranteed =
+            !di.hasCondBranch() ||
+            (spread.count(pc) != 0 && spread.at(pc).guaranteedResolved);
+        if (di.folded) {
+            o.folded = true;
+            o.foldedGuaranteed = o.foldedGuaranteed && guaranteed;
+            s.carrierPc = pc;
+        } else {
+            o.lone = true;
+            o.loneGuaranteed = o.loneGuaranteed && guaranteed;
+            s.reason = loneReason(cfg, n);
+        }
+    }
+
+    for (auto& [pc, s] : sites) {
+        const Occurrence& o = occ.at(pc);
+        if (o.folded && o.lone)
+            s.cls = FoldClass::kMixed;
+        else if (o.folded)
+            s.cls = FoldClass::kFolded;
+        else
+            s.cls = FoldClass::kLone;
+        if (s.cls == FoldClass::kFolded)
+            s.reason = NoFoldReason::kNone;
+        s.guaranteedResolved =
+            s.conditional && (!o.folded || o.foldedGuaranteed) &&
+            (!o.lone || o.loneGuaranteed);
+    }
+    return sites;
+}
+
+std::vector<StackIssue>
+analyzeStackWindow(const Cfg& cfg, int window_words)
+{
+    std::vector<StackIssue> out;
+    std::set<std::pair<Addr, std::int32_t>> seen;
+    for (const auto& [pc, n] : cfg.nodes()) {
+        if (n.di.totalParcels == 0 || n.di.loneBranch)
+            continue;
+        for (const Operand* o : {&n.di.body.dst, &n.di.body.src}) {
+            if (o->mode != AddrMode::kStack && o->mode != AddrMode::kInd)
+                continue;
+            if (o->value >= 0 && o->value < window_words)
+                continue;
+            if (!seen.emplace(pc, o->value).second)
+                continue;
+            StackIssue issue;
+            issue.pc = pc;
+            issue.slot = o->value;
+            issue.negative = o->value < 0;
+            out.push_back(issue);
+        }
+    }
+    return out;
+}
+
+} // namespace crisp::analysis

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Static-vs-dynamic oracle implementation.
+ */
+
+#include "oracle.hh"
+
+#include <sstream>
+
+#include "sim/cpu.hh"
+
+namespace crisp::analysis
+{
+
+namespace
+{
+
+std::string
+hexPc(Addr pc)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    return os.str();
+}
+
+void
+mismatch(std::vector<std::string>& out, Addr pc, const std::string& what)
+{
+    out.push_back(hexPc(pc) + ": " + what);
+}
+
+} // namespace
+
+std::string
+OracleReport::toString() const
+{
+    if (!applicable)
+        return "oracle: not applicable\n";
+    if (mismatches.empty())
+        return "oracle: static and dynamic views agree\n";
+    std::ostringstream os;
+    os << "oracle: " << mismatches.size() << " static mismatch(es)\n";
+    for (const std::string& m : mismatches)
+        os << "  " << m << "\n";
+    return os.str();
+}
+
+OracleReport
+crossCheck(const AnalysisResult& st, const SimStats& dyn,
+           const SiteRecorder& rec)
+{
+    OracleReport r;
+    // Error-level diagnostics mean the static model itself flagged the
+    // program as out of contract (decode failures, wild targets, stack
+    // underflow); none of the invariants are claimed there.
+    if (st.hasErrors()) {
+        r.applicable = false;
+        return r;
+    }
+
+    std::uint64_t sum_total = 0;
+    std::uint64_t sum_folded = 0;
+    std::uint64_t sum_cond = 0;
+    std::uint64_t sum_resolved = 0;
+
+    for (const auto& [pc, c] : rec.sites) {
+        sum_total += c.total;
+        sum_folded += c.folded;
+        sum_cond += c.cond;
+        sum_resolved += c.resolvedAtIssue;
+
+        const auto it = st.sites.find(pc);
+        if (it == st.sites.end()) {
+            mismatch(r.mismatches, pc,
+                     "branch executed at a pc the analyzer never "
+                     "reached");
+            continue;
+        }
+        const BranchSite& s = it->second;
+
+        if (c.sawConditional && !s.conditional) {
+            mismatch(r.mismatches, pc,
+                     "executed as conditional, static site is "
+                     "unconditional");
+        }
+        if (c.sawUnconditional && s.conditional) {
+            mismatch(r.mismatches, pc,
+                     "executed as unconditional, static site is "
+                     "conditional");
+        }
+        if (c.shortForm != s.shortForm) {
+            mismatch(r.mismatches, pc,
+                     "short-form encoding bit disagrees with the "
+                     "static decode");
+        }
+        if (c.sawConditional && c.predictTaken != s.predictTaken) {
+            mismatch(r.mismatches, pc,
+                     "prediction bit disagrees with the static decode");
+        }
+
+        switch (s.cls) {
+          case FoldClass::kFolded:
+            if (c.lone != 0) {
+                mismatch(r.mismatches, pc,
+                         "site classified always-folded issued alone " +
+                             std::to_string(c.lone) + " time(s)");
+            }
+            break;
+          case FoldClass::kLone:
+            if (c.folded != 0) {
+                mismatch(r.mismatches, pc,
+                         "site classified never-folded issued folded " +
+                             std::to_string(c.folded) + " time(s)");
+            }
+            break;
+          case FoldClass::kMixed:
+            break;
+        }
+
+        if (s.conditional && s.guaranteedResolved &&
+            c.resolvedAtIssue != c.cond) {
+            mismatch(r.mismatches, pc,
+                     "spread-guaranteed branch speculated " +
+                         std::to_string(c.cond - c.resolvedAtIssue) +
+                         " of " + std::to_string(c.cond) +
+                         " execution(s)");
+        }
+
+        if (s.indirect) {
+            const auto jt = rec.jumpTargets.find(pc);
+            if (jt != rec.jumpTargets.end()) {
+                for (const Addr t : jt->second) {
+                    if (st.cfg->indirectTargets().count(t) == 0) {
+                        mismatch(r.mismatches, pc,
+                                 "indirect jump reached " + hexPc(t) +
+                                     ", not in the static candidate "
+                                     "set");
+                    }
+                }
+            }
+        }
+    }
+
+    // Aggregate reconciliation: the recorder saw every retired branch,
+    // so its sums must equal the simulator's own counters exactly.
+    if (sum_total != dyn.branches) {
+        mismatch(r.mismatches, 0,
+                 "event branch count " + std::to_string(sum_total) +
+                     " != stats.branches " +
+                     std::to_string(dyn.branches));
+    }
+    if (sum_folded != dyn.foldedBranches) {
+        mismatch(r.mismatches, 0,
+                 "event folded count " + std::to_string(sum_folded) +
+                     " != stats.foldedBranches " +
+                     std::to_string(dyn.foldedBranches));
+    }
+    if (sum_cond != dyn.condBranches) {
+        mismatch(r.mismatches, 0,
+                 "event conditional count " + std::to_string(sum_cond) +
+                     " != stats.condBranches " +
+                     std::to_string(dyn.condBranches));
+    }
+    if (sum_resolved != dyn.resolvedAtIssue) {
+        mismatch(r.mismatches, 0,
+                 "event resolved-at-issue count " +
+                     std::to_string(sum_resolved) +
+                     " != stats.resolvedAtIssue " +
+                     std::to_string(dyn.resolvedAtIssue));
+    }
+    if (dyn.resolvedAtIssue + dyn.speculated != dyn.condBranches) {
+        mismatch(r.mismatches, 0,
+                 "resolvedAtIssue + speculated != condBranches");
+    }
+    return r;
+}
+
+OracleReport
+runStaticOracle(const Program& prog, const SimConfig& cfg)
+{
+    AnalysisOptions opt;
+    opt.policy = cfg.foldPolicy;
+    opt.predict = PredictConvention::kNone;
+    opt.stackCacheWords = cfg.stackCacheWords;
+    opt.foldInfo = false;
+    const AnalysisResult st = analyzeProgram(prog, opt);
+
+    SiteRecorder rec;
+    CrispCpu cpu(prog, cfg);
+    const SimStats& dyn = cpu.run(&rec);
+    if (dyn.faulted || dyn.timedOut) {
+        OracleReport r;
+        r.applicable = false;
+        return r;
+    }
+    return crossCheck(st, dyn, rec);
+}
+
+} // namespace crisp::analysis

@@ -26,6 +26,14 @@ struct CodeItem
     /** Instruction payload; for kBranch only op and predictTaken are
      *  meaningful (the displacement is resolved at link time). */
     Instruction inst;
+    /**
+     * Branch Spreading claims this conditional branch is fully spread
+     * (kBranch only; set by passSpread, audited by crispcc --verify
+     * against the static analyzer).
+     */
+    bool spreadClaim = false;
+    /** Issue-slot separation passSpread achieved for this branch. */
+    int spreadSep = 0;
 
     static CodeItem
     label(std::string n)

@@ -178,8 +178,9 @@ compile(const std::string& source, const CompileOptions& opts)
 
     if (opts.peephole)
         passPeephole(code, keep);
+    int fully_spread = 0;
     if (opts.spread)
-        passSpread(code, opts.spreadDistance);
+        fully_spread = passSpread(code, opts.spreadDistance);
     if (opts.peephole)
         passPeephole(code, keep);
     passPredictBits(code, opts.predict);
@@ -226,6 +227,7 @@ compile(const std::string& source, const CompileOptions& opts)
         builder.entry(tu.functions.front().name);
 
     CompileResult result;
+    result.fullySpread = fully_spread;
     result.program = builder.link();
     result.listing = makeListing(code, tu, slot_names, global_names,
                                  tables, opts.emitCrt0);

@@ -77,6 +77,13 @@ struct CompileResult
     CodeList code;
     /** Pretty listing with variable names (the paper's Table 3 form). */
     std::string listing;
+    /**
+     * Branch Spreading's claim: originally-adjacent compare/branch
+     * pairs that reached the requested separation. The claimed branch
+     * items carry CodeItem::spreadClaim; crispcc --verify audits both
+     * against the static analyzer.
+     */
+    int fullySpread = 0;
 };
 
 /**

@@ -483,8 +483,11 @@ passSpread(CodeList& code, int distance)
             // Hoisting inserted items between cmp and branch.
             br_idx += static_cast<std::size_t>(hoisted);
         }
-        if (sep >= distance)
+        code[br_idx].spreadSep = sep;
+        if (sep >= distance) {
             ++fully_spread;
+            code[br_idx].spreadClaim = true;
+        }
     }
     return fully_spread;
 }

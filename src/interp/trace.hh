@@ -32,6 +32,13 @@ struct BranchEvent
     Addr target = 0;          //!< taken-path address
     Addr fallThrough = 0;     //!< not-taken-path address
     bool shortForm = false;   //!< encoded in the one-parcel format
+
+    // Microarchitectural annotations, filled in only by the cycle-level
+    // simulator (always false from the functional interpreter). The
+    // lockstep equivalence checker deliberately ignores them; the
+    // static-analysis oracle (src/analysis/oracle.hh) consumes them.
+    bool folded = false;          //!< issued folded into a carrier
+    bool resolvedAtIssue = false; //!< outcome known at issue (cond only)
 };
 
 /** Observer hooks for interpreter execution. */

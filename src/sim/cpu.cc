@@ -307,6 +307,8 @@ CrispCpu::emitRetireEvents(const Stage& s, ExecObserver* observer)
             ev.target = di.takenPc;
             ev.fallThrough = di.seqPc;
             ev.shortForm = di.branchShortForm;
+            ev.folded = di.folded;
+            ev.resolvedAtIssue = s.resolvedAtIssue;
             observer->onBranch(ev);
         }
     }

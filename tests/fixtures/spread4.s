@@ -1,0 +1,17 @@
+; Fixture: a fully spread compare/branch pair (lints clean).
+; Three useful instructions separate the compare from its branch, so
+; the fold decoder resolves the branch at issue with zero delay.
+    .entry main
+    .local a 3
+    .local b 0
+main:
+    enter 2
+    cmp.= a, 3
+    add b, 1
+    add b, 2
+    add b, 3
+    iftjmpn done
+    add b, 4
+done:
+    mov Accum, b
+    halt

@@ -4,6 +4,7 @@
  *
  *   crispcc input.c [-o out.obj] [-S] [--no-spread] [--no-peephole]
  *           [--predict=naive|heuristic] [--delay-slots] [--disasm]
+ *           [--verify] [--stats-json]
  *
  *   -S            print the assembly listing instead of writing output
  *   -o FILE       write a linked CRISP object file
@@ -11,6 +12,11 @@
  *   --no-spread   disable the Branch Spreading pass
  *   --predict=    prediction-bit mode (default heuristic)
  *   --delay-slots target the delayed-branch baseline machine
+ *   --verify      audit the compilation against the static analyzer
+ *                 (exit 1 on any discrepancy)
+ *   --stats-json  print the compile-time statistics the analyzer can
+ *                 derive without simulating — per-branch spread
+ *                 distances, fold classes, prediction bits
  */
 
 #include <cstdio>
@@ -19,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/ccverify.hh"
 #include "cc/compiler.hh"
 #include "isa/objfile.hh"
 
@@ -43,7 +50,8 @@ usage()
         stderr,
         "usage: crispcc input.c [-o out.obj] [-S] [--disasm]\n"
         "               [--no-spread] [--no-peephole]\n"
-        "               [--predict=naive|heuristic] [--delay-slots]\n");
+        "               [--predict=naive|heuristic] [--delay-slots]\n"
+        "               [--verify] [--stats-json]\n");
     return 2;
 }
 
@@ -58,6 +66,8 @@ main(int argc, char** argv)
     std::string output;
     bool listing = false;
     bool disasm = false;
+    bool verify = false;
+    bool stats_json = false;
     cc::CompileOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -76,6 +86,10 @@ main(int argc, char** argv)
             opts.peephole = false;
         } else if (a == "--delay-slots") {
             opts.delaySlots = true;
+        } else if (a == "--verify") {
+            verify = true;
+        } else if (a == "--stats-json") {
+            stats_json = true;
         } else if (a == "--predict=naive") {
             opts.predict = cc::PredictMode::kAllNotTaken;
         } else if (a == "--predict=heuristic") {
@@ -104,8 +118,33 @@ main(int argc, char** argv)
                          output.c_str(), r.program.text.size(),
                          r.program.data.size());
         }
-        if (!listing && !disasm && output.empty())
+        if (verify || stats_json) {
+            const analysis::VerifyReport v =
+                analysis::verifyCompile(r, opts);
+            if (stats_json) {
+                if (!v.applicable) {
+                    std::printf("{\"applicable\": false}\n");
+                } else {
+                    std::printf("{\"applicable\": true, "
+                                "\"fullySpread\": %d, "
+                                "\"claimedSpread\": %d, "
+                                "\"confirmedSpread\": %d, "
+                                "\"analysis\": %s}\n",
+                                r.fullySpread, v.claimedSpread,
+                                v.confirmedSpread,
+                                v.analysis.toJson().c_str());
+                }
+            }
+            if (verify) {
+                std::fputs(v.toString().c_str(), stderr);
+                if (!v.ok())
+                    return 1;
+            }
+        }
+        if (!listing && !disasm && output.empty() && !verify &&
+            !stats_json) {
             std::fputs(r.listing.c_str(), stdout);
+        }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "crispcc: %s\n", e.what());
         return 1;

@@ -12,7 +12,12 @@
  *    functional interpreter across a matrix of pipeline configurations
  *    (fold policies; --configs=full adds DIC sizes and memory
  *    latencies). Any divergence is shrunk to a minimal reproducer and
- *    printed with its listing. Exit 1 on any divergence.
+ *    printed with its listing. Each (seed, config) pair also runs the
+ *    static analyzer as a pre-simulation oracle: the per-site fold /
+ *    prediction / resolved-at-issue counts it predicts must match what
+ *    the pipeline actually retires; a disagreement is a
+ *    "static mismatch" verdict and is shrunk just like a divergence.
+ *    Exit 1 on any divergence or static mismatch.
  *  - --faults: every seed also runs under each fault injector. Benign
  *    hint faults (flip-predict-bit, unfold-pair, drop-fill) must leave
  *    the architectural event stream and final state bit-identical
@@ -39,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/oracle.hh"
 #include "util/thread_pool.hh"
 #include "verify/faults.hh"
 #include "verify/generator.hh"
@@ -164,7 +170,7 @@ sweepSeeds(const Options& opt,
         });
 }
 
-/** Plain differential sweep. @return number of divergences. */
+/** Plain differential sweep. @return divergences + static mismatches. */
 int
 plainSweep(const Options& opt)
 {
@@ -172,6 +178,7 @@ plainSweep(const Options& opt)
     struct SeedOut
     {
         int bad = 0;
+        int staticBad = 0;
         std::string text;
     };
     std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
@@ -179,30 +186,64 @@ plainSweep(const Options& opt)
     sweepSeeds(opt, [&](std::size_t i) {
         const std::uint64_t s = opt.seed0 + i;
         const GenProgram gp = generate(s);
+        const Program prog = gp.link();
         for (const SimConfig& cfg : cfgs) {
             const LockstepReport rep =
                 runOne(gp, cfg, nullptr, opt.maxSteps);
-            if (rep.ok())
+            if (!rep.ok()) {
+                ++results[i].bad;
+                const auto still_fails = [&](const GenProgram& cand) {
+                    return !runOne(cand, cfg, nullptr, opt.maxSteps)
+                                .ok();
+                };
+                const ShrinkResult sh = shrinkProgram(gp, still_fails);
+                results[i].text +=
+                    divergenceText(s, cfg, rep, sh.program, sh.tests);
+            }
+
+            // Static-analysis oracle: what the analyzer proves about
+            // fold classes, prediction bits and resolved-at-issue
+            // guarantees must agree with what the pipeline retires.
+            const analysis::OracleReport orep =
+                analysis::runStaticOracle(prog, cfg);
+            if (orep.ok())
                 continue;
-            ++results[i].bad;
-            const auto still_fails = [&](const GenProgram& cand) {
-                return !runOne(cand, cfg, nullptr, opt.maxSteps).ok();
-            };
-            const ShrinkResult sh = shrinkProgram(gp, still_fails);
-            results[i].text +=
-                divergenceText(s, cfg, rep, sh.program, sh.tests);
+            ++results[i].staticBad;
+            const auto still_mismatches =
+                [&](const GenProgram& cand) {
+                    return !analysis::runStaticOracle(cand.link(), cfg)
+                                .ok();
+                };
+            const ShrinkResult sh = shrinkProgram(gp, still_mismatches);
+            char head[128];
+            std::snprintf(head, sizeof(head),
+                          "=== STATIC MISMATCH seed=%llu fold=%d "
+                          "dic=%d mem-latency=%d ===\n",
+                          static_cast<unsigned long long>(s),
+                          static_cast<int>(cfg.foldPolicy),
+                          cfg.dicEntries, cfg.memLatency);
+            char mid[96];
+            std::snprintf(mid, sizeof(mid),
+                          "--- shrunk to %d instructions (%d shrink "
+                          "tests) ---\n",
+                          sh.program.instructionCount(), sh.tests);
+            results[i].text += std::string(head) + orep.toString() +
+                               mid + sh.program.listing();
         }
     });
 
     int bad = 0;
+    int static_bad = 0;
     for (const SeedOut& r : results) {
         std::fputs(r.text.c_str(), stdout);
         bad += r.bad;
+        static_bad += r.staticBad;
     }
-    std::printf("torture: %llu seeds x %zu configs, %d divergences\n",
+    std::printf("torture: %llu seeds x %zu configs, %d divergences, "
+                "%d static mismatches\n",
                 static_cast<unsigned long long>(opt.seeds),
-                cfgs.size(), bad);
-    return bad;
+                cfgs.size(), bad, static_bad);
+    return bad + static_bad;
 }
 
 /** Fault-injection sweep. @return number of property violations. */
