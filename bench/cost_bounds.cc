@@ -1,0 +1,185 @@
+/**
+ * @file
+ * bench_cost — committed static-vs-dynamic branch-cost ledger.
+ *
+ * For every workload in the suite: compile with the default pass
+ * pipeline, run the abstract-interpretation cost engine to get the
+ * per-site static delay bounds, then simulate once under the default
+ * (paper) configuration and record where the dynamic cost actually
+ * landed inside the static envelope.
+ *
+ *   bench_cost [--out=PATH]     write the ledger (default
+ *                               BENCH_COST.json)
+ *   bench_cost --check=PATH     regenerate and require an exact match
+ *                               with the committed ledger (ctest runs
+ *                               this; every field is a deterministic
+ *                               integer, so any drift is a real
+ *                               behaviour change in the compiler, the
+ *                               cost engine, or the simulator)
+ *
+ * The tool also re-asserts the envelope invariant itself: a simulated
+ * branchDelayCycles outside [delayLowerBound, delayUpperBound] is an
+ * immediate failure, independent of the committed file.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/checks.hh"
+#include "analysis/oracle.hh"
+#include "cc/compiler.hh"
+#include "sim/cpu.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace crisp;
+using namespace crisp::analysis;
+
+std::string
+buildLedger(bool& ok)
+{
+    ok = true;
+    std::ostringstream os;
+    os << "{\"schema\":\"crisp-bench-cost/1\",\"predict\":\"static-bit\","
+          "\"workloads\":[";
+    bool first = true;
+    for (const Workload& w : allWorkloads()) {
+        const cc::CompileResult r = cc::compile(w.source, {});
+
+        AnalysisOptions opt;
+        opt.predict = PredictConvention::kNone;
+        opt.foldInfo = false;
+        const SimConfig cfg;
+        opt.costPredict = predictSourceFor(cfg);
+        const AnalysisResult st = analyzeProgram(r.program, opt);
+
+        SiteRecorder rec;
+        CrispCpu cpu(r.program, cfg);
+        const SimStats& dyn = cpu.run(&rec);
+
+        // Envelope over the sites that actually executed (unreached
+        // sites contribute zero executions on both ends).
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        for (const auto& [pc, c] : rec.sites) {
+            if (const SiteCost* sc = st.cost.find(pc)) {
+                lo += static_cast<std::uint64_t>(sc->bound.lo) * c.total;
+                hi += static_cast<std::uint64_t>(sc->bound.hi) * c.total;
+            } else {
+                ok = false;
+                std::fprintf(stderr,
+                             "bench_cost: %s: executed branch 0x%x has "
+                             "no static cost bound\n",
+                             w.name.c_str(), pc);
+            }
+        }
+        if (dyn.branchDelayCycles < lo || dyn.branchDelayCycles > hi) {
+            ok = false;
+            std::fprintf(stderr,
+                         "bench_cost: %s: branchDelayCycles %llu "
+                         "escapes the static envelope [%llu, %llu]\n",
+                         w.name.c_str(),
+                         static_cast<unsigned long long>(
+                             dyn.branchDelayCycles),
+                         static_cast<unsigned long long>(lo),
+                         static_cast<unsigned long long>(hi));
+        }
+
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"" << w.name << "\""
+           << ",\"branchSites\":" << st.staticBranchSites
+           << ",\"condSites\":" << st.staticCondSites
+           << ",\"zeroDelaySites\":" << st.cost.zeroDelaySites
+           << ",\"constantSites\":" << st.cost.constantSites
+           << ",\"maxDelayPerSite\":" << st.cost.maxDelayPerSite
+           << ",\"delayLowerBound\":" << lo
+           << ",\"delayUpperBound\":" << hi
+           << ",\"branchDelayCycles\":" << dyn.branchDelayCycles
+           << ",\"branches\":" << dyn.branches
+           << ",\"cycles\":" << dyn.cycles
+           << ",\"issued\":" << dyn.issued << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+readAll(const std::string& path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw CrispError("cannot open: " + path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+/** Strip trailing whitespace/newlines for the comparison. */
+std::string
+trimmed(std::string s)
+{
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                          s.back() == ' ')) {
+        s.pop_back();
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string out_path = "BENCH_COST.json";
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--out=", 0) == 0) {
+            out_path = a.substr(6);
+        } else if (a.rfind("--check=", 0) == 0) {
+            check_path = a.substr(8);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_cost [--out=PATH | "
+                         "--check=PATH]\n");
+            return 2;
+        }
+    }
+
+    try {
+        bool ok = true;
+        const std::string ledger = buildLedger(ok);
+        if (!ok)
+            return 1;
+        if (!check_path.empty()) {
+            const std::string want = trimmed(readAll(check_path));
+            if (trimmed(ledger) != want) {
+                std::fprintf(stderr,
+                             "bench_cost: ledger drifted from %s\n"
+                             "  committed: %s\n  current:   %s\n"
+                             "regenerate with bench_cost --out=%s if "
+                             "the change is intentional\n",
+                             check_path.c_str(), want.c_str(),
+                             ledger.c_str(), check_path.c_str());
+                return 1;
+            }
+            std::printf("bench_cost check: ok (%s)\n",
+                        check_path.c_str());
+            return 0;
+        }
+        std::ofstream f(out_path, std::ios::binary);
+        f << ledger << "\n";
+        std::printf("bench_cost: wrote %s\n", out_path.c_str());
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_cost: %s\n", e.what());
+        return 1;
+    }
+}

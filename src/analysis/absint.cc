@@ -1,0 +1,526 @@
+/**
+ * @file
+ * Worklist abstract interpreter over the issue-point CFG.
+ */
+
+#include "absint.hh"
+
+#include <deque>
+#include <set>
+
+namespace crisp::analysis
+{
+
+namespace
+{
+
+/** SP lives in the unsigned 32-bit address space. */
+constexpr std::int64_t kSpMax = 0xFFFFFFFFll;
+
+Interval
+spTop()
+{
+    return {0, kSpMax};
+}
+
+/** Shift an SP interval by a known byte delta; wrap risk means top. */
+Interval
+spAdd(const Interval& sp, std::int64_t delta)
+{
+    const Interval r{sp.lo + delta, sp.hi + delta};
+    if (r.lo < 0 || r.hi > kSpMax)
+        return spTop();
+    return r;
+}
+
+/** Joins after which a node's growing intervals are widened. */
+constexpr int kWidenJoins = 12;
+
+/** Tracked-memory size cap; past it the map degrades to top. */
+constexpr std::size_t kMemCap = 64;
+
+/** Transfer applications before the sound bail-out to all-top. */
+constexpr std::uint64_t kStepsPerNode = 64;
+
+bool
+intervalGrew(const Interval& prev, const Interval& next)
+{
+    return next.lo < prev.lo || next.hi > prev.hi;
+}
+
+Interval
+widenSp(const Interval& prev, const Interval& next)
+{
+    if (intervalGrew(prev, next))
+        return spTop();
+    return next;
+}
+
+/** Widen every growing component of @p next against @p prev. */
+AbsState
+widenState(const AbsState& prev, const AbsState& next, int& widenings)
+{
+    if (!prev.reachable)
+        return next;
+    AbsState w = next;
+    if (intervalGrew(prev.accum, next.accum)) {
+        w.accum = widenInterval(prev.accum, next.accum);
+        ++widenings;
+    }
+    if (intervalGrew(prev.sp, next.sp)) {
+        w.sp = widenSp(prev.sp, next.sp);
+        ++widenings;
+    }
+    for (auto it = w.mem.begin(); it != w.mem.end();) {
+        const auto p = prev.mem.find(it->first);
+        if (p == prev.mem.end()) {
+            // prev had no fact (top) here: next is narrower, fine.
+            ++it;
+            continue;
+        }
+        if (intervalGrew(p->second, it->second)) {
+            ++widenings;
+            it = w.mem.erase(it); // widen straight to top
+        } else {
+            ++it;
+        }
+    }
+    return w;
+}
+
+/** One abstract machine the transfer function mutates in place. */
+struct Machine
+{
+    AbsState st;
+
+    Interval
+    memAt(Addr a) const
+    {
+        const auto it = st.mem.find(a);
+        return it == st.mem.end() ? Interval::top() : it->second;
+    }
+
+    void
+    memSet(Addr a, const Interval& v)
+    {
+        if (v.isTop()) {
+            st.mem.erase(a);
+            return;
+        }
+        st.mem[a] = v;
+        if (st.mem.size() > kMemCap)
+            st.mem.clear();
+    }
+
+    /** Absolute byte address of a direct operand, if provable. */
+    std::optional<Addr>
+    address(const Operand& o) const
+    {
+        switch (o.mode) {
+          case AddrMode::kStack: {
+            const auto sp = st.sp.constant();
+            if (!sp)
+                return std::nullopt;
+            return static_cast<Addr>(*sp) +
+                   static_cast<Addr>(o.value) * kWordBytes;
+          }
+          case AddrMode::kAbs:
+            return static_cast<Addr>(o.value);
+          default:
+            return std::nullopt;
+        }
+    }
+
+    Interval
+    read(const Operand& o) const
+    {
+        switch (o.mode) {
+          case AddrMode::kImm:
+            return Interval::of(o.value);
+          case AddrMode::kAccum:
+            return st.accum;
+          case AddrMode::kNone:
+            return Interval::of(0);
+          case AddrMode::kStack:
+          case AddrMode::kAbs: {
+            const auto a = address(o);
+            return a ? memAt(*a) : Interval::top();
+          }
+          case AddrMode::kInd:
+            return Interval::top();
+        }
+        return Interval::top();
+    }
+
+    void
+    write(const Operand& o, const Interval& v)
+    {
+        switch (o.mode) {
+          case AddrMode::kAccum:
+            st.accum = v;
+            return;
+          case AddrMode::kStack:
+          case AddrMode::kAbs: {
+            const auto a = address(o);
+            if (a) {
+                memSet(*a, v);
+            } else {
+                // A store through an unprovable address may clobber
+                // any tracked word.
+                st.mem.clear();
+            }
+            return;
+          }
+          case AddrMode::kInd:
+            st.mem.clear();
+            return;
+          case AddrMode::kImm:
+          case AddrMode::kNone:
+            st.mem.clear(); // malformed writes never reach here
+            return;
+        }
+    }
+};
+
+/** Abstract OUT state of @p di applied to reachable state @p in. */
+AbsState
+transfer(const DecodedInst& di, const AbsState& in)
+{
+    Machine m{in};
+    const Instruction& b = di.body;
+    const Opcode op = b.op;
+
+    if (di.loneBranch || op == Opcode::kNop || op == Opcode::kHalt) {
+        // no body effect
+    } else if (op == Opcode::kEnter) {
+        m.st.sp = spAdd(m.st.sp,
+                        -static_cast<std::int64_t>(b.dst.value) *
+                            kWordBytes);
+    } else if (op == Opcode::kLeave) {
+        m.st.sp = spAdd(m.st.sp,
+                        static_cast<std::int64_t>(b.dst.value) *
+                            kWordBytes);
+    } else if (op == Opcode::kReturn) {
+        // Frame deallocation plus the return-address pop; the target
+        // itself is control, not state.
+        m.st.sp = spAdd(m.st.sp,
+                        static_cast<std::int64_t>(b.dst.value) *
+                                kWordBytes +
+                            kWordBytes);
+    } else if (op == Opcode::kMov) {
+        m.write(b.dst, m.read(b.src));
+    } else if (isCompare(op)) {
+        m.st.flag = absCompare(op, m.read(b.dst), m.read(b.src));
+    } else if (isAlu3(op)) {
+        m.st.accum = absAlu(op, m.read(b.dst), m.read(b.src));
+    } else if (isAlu2(op)) {
+        m.write(b.dst, absAlu(op, m.read(b.dst), m.read(b.src)));
+    }
+
+    if (di.ctl == Ctl::kCall) {
+        // This OUT models the call -> CALLEE edge only: the callee
+        // entry sees the caller's state exactly (call writes no CC and
+        // no accumulator), after one return-address word is pushed.
+        // The call -> return-site edge must instead summarize the
+        // whole unanalyzed callee body; interpret() substitutes
+        // all-top on that edge at join time.
+        m.st.sp = spAdd(m.st.sp, -static_cast<std::int64_t>(kWordBytes));
+        if (const auto spc = m.st.sp.constant()) {
+            m.memSet(static_cast<Addr>(*spc),
+                     Interval::of(static_cast<std::int32_t>(
+                         di.callRetPc)));
+        } else {
+            m.st.mem.clear(); // push through unknown sp may alias
+        }
+    }
+
+    return m.st;
+}
+
+} // namespace
+
+Interval
+hull(const Interval& a, const Interval& b)
+{
+    return {a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+}
+
+Interval
+widenInterval(const Interval& prev, const Interval& next)
+{
+    Interval w = next;
+    if (next.lo < prev.lo)
+        w.lo = INT32_MIN;
+    if (next.hi > prev.hi)
+        w.hi = INT32_MAX;
+    return w;
+}
+
+AbsState
+joinState(const AbsState& a, const AbsState& b)
+{
+    if (!a.reachable)
+        return b;
+    if (!b.reachable)
+        return a;
+    AbsState j;
+    j.reachable = true;
+    j.accum = hull(a.accum, b.accum);
+    j.sp = hull(a.sp, b.sp);
+    j.flag.mayTrue = a.flag.mayTrue || b.flag.mayTrue;
+    j.flag.mayFalse = a.flag.mayFalse || b.flag.mayFalse;
+    for (const auto& [addr, va] : a.mem) {
+        const auto it = b.mem.find(addr);
+        if (it == b.mem.end())
+            continue; // top on the other side: drop the fact
+        const Interval h = hull(va, it->second);
+        if (!h.isTop())
+            j.mem.emplace(addr, h);
+    }
+    return j;
+}
+
+FlagVal
+absCompare(Opcode op, const Interval& a, const Interval& b)
+{
+    const auto ca = a.constant();
+    const auto cb = b.constant();
+    if (ca && cb)
+        return FlagVal::known(evalCompare(op, *ca, *cb));
+
+    const bool disjoint = a.hi < b.lo || b.hi < a.lo;
+    switch (op) {
+      case Opcode::kCmpEq:
+        if (disjoint)
+            return FlagVal::known(false);
+        break;
+      case Opcode::kCmpNe:
+        if (disjoint)
+            return FlagVal::known(true);
+        break;
+      case Opcode::kCmpLt:
+        if (a.hi < b.lo)
+            return FlagVal::known(true);
+        if (a.lo >= b.hi)
+            return FlagVal::known(false);
+        break;
+      case Opcode::kCmpLe:
+        if (a.hi <= b.lo)
+            return FlagVal::known(true);
+        if (a.lo > b.hi)
+            return FlagVal::known(false);
+        break;
+      case Opcode::kCmpGt:
+        if (a.lo > b.hi)
+            return FlagVal::known(true);
+        if (a.hi <= b.lo)
+            return FlagVal::known(false);
+        break;
+      case Opcode::kCmpGe:
+        if (a.lo >= b.hi)
+            return FlagVal::known(true);
+        if (a.hi < b.lo)
+            return FlagVal::known(false);
+        break;
+      case Opcode::kCmpLtU:
+      case Opcode::kCmpGeU: {
+        // Unsigned order agrees with signed order when both operands
+        // share a sign; a negative word is unsigned-greater than any
+        // non-negative one.
+        const bool a_nn = a.lo >= 0;
+        const bool b_nn = b.lo >= 0;
+        const bool a_neg = a.hi < 0;
+        const bool b_neg = b.hi < 0;
+        std::optional<bool> lt;
+        if ((a_nn && b_nn) || (a_neg && b_neg)) {
+            if (a.hi < b.lo)
+                lt = true;
+            else if (a.lo >= b.hi)
+                lt = false;
+        } else if (a_nn && b_neg) {
+            lt = true;
+        } else if (a_neg && b_nn) {
+            lt = false;
+        }
+        if (lt)
+            return FlagVal::known(op == Opcode::kCmpLtU ? *lt : !*lt);
+        break;
+      }
+      default:
+        break;
+    }
+    return FlagVal::top();
+}
+
+Interval
+absAlu(Opcode op, const Interval& a, const Interval& b)
+{
+    const auto ca = a.constant();
+    const auto cb = b.constant();
+    if (ca && cb)
+        return Interval::of(evalAlu(op, *ca, *cb));
+
+    const auto fits = [](std::int64_t lo, std::int64_t hi) {
+        return lo >= INT32_MIN && hi <= INT32_MAX;
+    };
+
+    switch (op) {
+      case Opcode::kAdd:
+      case Opcode::kAdd3:
+        if (fits(a.lo + b.lo, a.hi + b.hi))
+            return {a.lo + b.lo, a.hi + b.hi};
+        break;
+      case Opcode::kSub:
+      case Opcode::kSub3:
+        if (fits(a.lo - b.hi, a.hi - b.lo))
+            return {a.lo - b.hi, a.hi - b.lo};
+        break;
+      case Opcode::kAnd:
+      case Opcode::kAnd3:
+        if (a.lo >= 0 && b.lo >= 0)
+            return {0, a.hi < b.hi ? a.hi : b.hi};
+        break;
+      case Opcode::kOr:
+      case Opcode::kOr3:
+      case Opcode::kXor:
+      case Opcode::kXor3:
+        if (a.lo >= 0 && b.lo >= 0) {
+            // Bits above the highest set bit of either bound stay 0.
+            std::int64_t m = a.hi | b.hi;
+            m |= m >> 1;
+            m |= m >> 2;
+            m |= m >> 4;
+            m |= m >> 8;
+            m |= m >> 16;
+            return {0, m};
+        }
+        break;
+      case Opcode::kShr:
+        if (a.lo >= 0)
+            return {0, a.hi};
+        break;
+      case Opcode::kMul:
+      case Opcode::kMul3: {
+        const std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi,
+                                   a.hi * b.lo, a.hi * b.hi};
+        std::int64_t lo = p[0];
+        std::int64_t hi = p[0];
+        for (const std::int64_t v : p) {
+            lo = v < lo ? v : lo;
+            hi = v > hi ? v : hi;
+        }
+        if (fits(lo, hi))
+            return {lo, hi};
+        break;
+      }
+      case Opcode::kMov:
+        return b;
+      default:
+        break;
+    }
+    return Interval::top();
+}
+
+const AbsState&
+AbsIntResult::outAt(Addr pc) const
+{
+    static const AbsState top = AbsState::anyState();
+    const auto it = out.find(pc);
+    return it == out.end() ? top : it->second;
+}
+
+AbsIntResult
+interpret(const Cfg& cfg)
+{
+    AbsIntResult r;
+    const Program& prog = cfg.program();
+
+    for (const auto& [pc, n] : cfg.nodes()) {
+        r.in.emplace(pc, AbsState{});
+        r.out.emplace(pc, AbsState{});
+    }
+
+    AbsState boundary;
+    boundary.reachable = true;
+    boundary.accum = Interval::of(0);
+    const std::int64_t sp0 =
+        (prog.memBytes - kWordBytes) & ~(kWordBytes - 1);
+    boundary.sp = {sp0, sp0};
+    // The flag powers on false and the EU honors exactly that value
+    // for a branch issued before any compare.
+    boundary.flag = FlagVal::known(false);
+
+    const bool entry_ok = cfg.has(prog.entry);
+    if (!entry_ok)
+        return r;
+
+    std::deque<Addr> work{prog.entry};
+    std::set<Addr> queued{prog.entry};
+    std::map<Addr, int> joins;
+
+    const std::uint64_t step_cap =
+        static_cast<std::uint64_t>(cfg.nodes().size()) * kStepsPerNode +
+        256;
+
+    while (!work.empty()) {
+        if (++r.steps > step_cap) {
+            // Sound bail-out: every discovered issue point is concretely
+            // reachable, so all-top over-approximates any fixpoint.
+            r.converged = false;
+            for (auto& [pc, st] : r.in)
+                st = AbsState::anyState();
+            for (auto& [pc, st] : r.out)
+                st = AbsState::anyState();
+            return r;
+        }
+
+        const Addr pc = work.front();
+        work.pop_front();
+        queued.erase(pc);
+        const CfgNode& n = cfg.node(pc);
+
+        AbsState i = pc == prog.entry ? boundary : AbsState{};
+        for (const Addr p : n.preds) {
+            const DecodedInst& pdi = cfg.node(p).di;
+            const AbsState& po = r.out.at(p);
+            if (pdi.ctl == Ctl::kCall && pc == pdi.callRetPc) {
+                // call -> return-site edge: the callee body between
+                // the two points is unanalyzed, so everything it could
+                // touch (CC, accumulator, memory, even SP discipline)
+                // is havocked. Reachability still flows through.
+                if (po.reachable)
+                    i = joinState(i, AbsState::anyState());
+            } else {
+                i = joinState(i, po);
+            }
+        }
+
+        AbsState& in_slot = r.in.at(pc);
+        if (!(i == in_slot)) {
+            if (++joins[pc] > kWidenJoins)
+                i = widenState(in_slot, i, r.widenings);
+            in_slot = i;
+        }
+
+        AbsState o;
+        if (!i.reachable) {
+            o = AbsState{};
+        } else if (n.di.totalParcels <= 0) {
+            o = i; // decode-error placeholder: no modeled effect
+        } else {
+            o = transfer(n.di, i);
+        }
+
+        AbsState& out_slot = r.out.at(pc);
+        if (o == out_slot)
+            continue;
+        out_slot = std::move(o);
+        for (const Addr s : n.succs) {
+            if (queued.insert(s).second)
+                work.push_back(s);
+        }
+    }
+    return r;
+}
+
+} // namespace crisp::analysis

@@ -84,9 +84,9 @@ VerifyReport::toString() const
     }
     os << "verify: " << (ok() ? "OK" : "FAILED") << " — "
        << claimedSpread << " spread claim(s), " << confirmedSpread
-       << " confirmed, " << analysis.staticBranchSites
-       << " branch sites, " << analysis.count(Severity::kError)
-       << " analyzer errors\n";
+       << " confirmed, " << costZeroBound << " cost-free, "
+       << analysis.staticBranchSites << " branch sites, "
+       << analysis.count(Severity::kError) << " analyzer errors\n";
     for (const std::string& p : problems)
         os << "  " << p << "\n";
     return os.str();
@@ -173,6 +173,26 @@ verifyCompile(const cc::CompileResult& res,
             continue;
         }
         ++r.confirmedSpread;
+
+        // Cost audit: a confirmed full spread means the branch resolves
+        // at issue on every path, so the cost engine must agree by
+        // collapsing its static delay interval to [0, 0].
+        const SiteCost* c = r.analysis.cost.find(pc);
+        if (c == nullptr) {
+            r.problems.push_back(hexPc(pc) +
+                                 ": spread-confirmed branch has no "
+                                 "static cost bound");
+            continue;
+        }
+        if (c->bound.lo != 0 || c->bound.hi != 0) {
+            r.problems.push_back(
+                hexPc(pc) + ": spread-confirmed branch carries a [" +
+                std::to_string(c->bound.lo) + ", " +
+                std::to_string(c->bound.hi) +
+                "] delay bound; the cost engine should prove it free");
+            continue;
+        }
+        ++r.costZeroBound;
     }
     if (r.claimedSpread != res.fullySpread) {
         r.problems.push_back(

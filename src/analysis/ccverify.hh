@@ -16,6 +16,10 @@
  *    spread-guaranteed site in the analyzer's reaching-compare pass
  *    (catches later passes disturbing the separation, and separations
  *    counted across paths the CodeList view cannot see);
+ *  - the cost audit: each of those claims must also collapse the cost
+ *    engine's static delay bound to [0, 0] — a compiler claim of
+ *    "fully spread" that leaves a nonzero bound means the two layers
+ *    disagree about what the hardware can lose at that site;
  *  - fold classification must match an independent CodeList-side
  *    recount of the paper's fold rules (one-parcel branch, carrier
  *    length, carrier not a control transfer).
@@ -52,6 +56,8 @@ struct VerifyReport
     int claimedSpread = 0;
     /** Claimed branches the analyzer confirms spread-guaranteed. */
     int confirmedSpread = 0;
+    /** Claimed branches whose static delay bound collapses to [0, 0]. */
+    int costZeroBound = 0;
 
     bool ok() const { return problems.empty(); }
 

@@ -6,6 +6,7 @@
 #include "checks.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 namespace crisp::analysis
@@ -219,6 +220,51 @@ checkStack(const std::vector<StackIssue>& issues, int window,
     }
 }
 
+void
+checkCost(const Cfg& cfg, const std::map<Addr, BranchSite>& sites,
+          const CostSummary& cost, const AbsIntResult& ai,
+          std::vector<Diagnostic>& diags)
+{
+    const std::set<Addr> dead = deadAfterConstantPruning(cfg, ai);
+    for (const auto& [pc, c] : cost.sites) {
+        if (!c.constantDirection)
+            continue;
+        std::ostringstream msg;
+        msg << "condition provably constant: branch "
+            << (c.alwaysTaken ? "always" : "never") << " taken"
+            << " (delay bound [" << c.bound.lo << ", " << c.bound.hi
+            << "] cycle(s))";
+        emit(diags, Severity::kInfo, pc, "cost.constant-cc", msg.str(),
+             c.predictionProvablyCorrect
+                 ? ""
+                 : "the prediction bit fights a constant condition; "
+                   "flip it (or drop the branch)");
+
+        // The pruned edge: does any issue point still reach it?
+        const auto st = sites.find(pc);
+        if (st == sites.end())
+            continue;
+        Addr dead_tgt = 0;
+        bool have_tgt = false;
+        const Addr ip = st->second.cls == FoldClass::kLone
+                            ? st->second.branchPc
+                            : st->second.carrierPc;
+        if (cfg.has(ip)) {
+            const DecodedInst& di = cfg.node(ip).di;
+            dead_tgt = c.alwaysTaken ? di.seqPc : di.takenPc;
+            have_tgt = true;
+        }
+        if (have_tgt && dead.count(dead_tgt) != 0) {
+            std::ostringstream dm;
+            dm << "the " << (c.alwaysTaken ? "fall-through" : "target")
+               << " at " << hexPc(dead_tgt)
+               << " is unreachable once the constant branch is pruned";
+            emit(diags, Severity::kInfo, pc, "cost.dead-branch",
+                 dm.str(), "delete the dead path; it wastes DIC reach");
+        }
+    }
+}
+
 std::string
 jsonEscape(const std::string& s)
 {
@@ -245,6 +291,9 @@ analyzeProgram(const Program& prog, const AnalysisOptions& opt)
     r.cfg = std::make_shared<Cfg>(prog, opt.policy);
     r.spread = analyzeSpread(*r.cfg);
     r.sites = collectBranchSites(*r.cfg, r.spread);
+    r.absint = interpret(*r.cfg);
+    r.cost = computeCost(*r.cfg, r.spread, r.sites, r.absint,
+                         opt.costPredict);
 
     checkCfg(*r.cfg, r.diags);
     checkSpread(*r.cfg, r.spread, r.diags);
@@ -253,6 +302,7 @@ analyzeProgram(const Program& prog, const AnalysisOptions& opt)
         checkFold(r.sites, r.diags);
     checkStack(analyzeStackWindow(*r.cfg, opt.stackCacheWords),
                opt.stackCacheWords, r.diags);
+    checkCost(*r.cfg, r.sites, r.cost, r.absint, r.diags);
 
     std::stable_sort(r.diags.begin(), r.diags.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
@@ -285,6 +335,11 @@ AnalysisResult::toString() const
        << count(Severity::kError) << " errors, "
        << count(Severity::kWarning) << " warnings, "
        << count(Severity::kInfo) << " notes\n";
+    os << "cost: max " << cost.maxDelayPerSite
+       << " delay cycle(s) per site, " << cost.zeroDelaySites
+       << " provably free, " << cost.constantSites
+       << " constant (predict " << predictSourceName(cost.predict)
+       << ")\n";
     for (const Diagnostic& d : diags)
         os << "  " << d.toString() << "\n";
     return os.str();
@@ -340,6 +395,30 @@ AnalysisResult::toJson() const
     }
     os << "]";
 
+    os << ",\"cost\":{";
+    os << "\"predict\":\"" << predictSourceName(cost.predict) << "\"";
+    os << ",\"absintConverged\":"
+       << (cost.absintConverged ? "true" : "false");
+    os << ",\"constantSites\":" << cost.constantSites;
+    os << ",\"zeroDelaySites\":" << cost.zeroDelaySites;
+    os << ",\"maxDelayPerSite\":" << cost.maxDelayPerSite;
+    os << ",\"sites\":[";
+    first = true;
+    for (const auto& [pc, c] : cost.sites) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"pc\":" << pc << ",\"lo\":" << c.bound.lo
+           << ",\"hi\":" << c.bound.hi
+           << ",\"minSpreadSlots\":" << c.minSpreadSlots
+           << ",\"constant\":"
+           << (c.constantDirection ? "true" : "false")
+           << ",\"alwaysTaken\":" << (c.alwaysTaken ? "true" : "false")
+           << ",\"predictionProvablyCorrect\":"
+           << (c.predictionProvablyCorrect ? "true" : "false") << "}";
+    }
+    os << "]}";
+
     os << ",\"diagnostics\":[";
     first = true;
     for (const Diagnostic& d : diags) {
@@ -353,6 +432,129 @@ AnalysisResult::toJson() const
            << jsonEscape(d.hint) << "\"}";
     }
     os << "]}";
+    return os.str();
+}
+
+std::string
+AnalysisResult::costTableText() const
+{
+    std::ostringstream os;
+    os << "cost: static per-site delay bounds (predict "
+       << predictSourceName(cost.predict) << ", absint "
+       << (cost.absintConverged ? "converged" : "bailed to top") << ")\n";
+    os << "  branch pc   kind          spread  bound   notes\n";
+    for (const auto& [pc, c] : cost.sites) {
+        std::ostringstream kind;
+        const auto it = sites.find(pc);
+        if (c.indirect) {
+            kind << "indirect";
+        } else if (!c.conditional) {
+            kind << "jump";
+        } else {
+            kind << "cond/"
+                 << (it != sites.end() &&
+                             it->second.cls == FoldClass::kFolded
+                         ? "folded"
+                         : it != sites.end() &&
+                                   it->second.cls == FoldClass::kLone
+                               ? "lone"
+                               : "mixed");
+        }
+        std::ostringstream spread_s;
+        if (c.conditional && !c.indirect)
+            spread_s << c.minSpreadSlots;
+        else
+            spread_s << "-";
+
+        std::ostringstream notes;
+        if (c.bound.lo == 0 && c.bound.hi == 0)
+            notes << "free";
+        if (c.constantDirection) {
+            notes << (notes.str().empty() ? "" : ", ")
+                  << (c.alwaysTaken ? "always-taken" : "never-taken");
+            if (!c.predictionProvablyCorrect)
+                notes << " (prediction fights it)";
+        }
+
+        char line[128];
+        std::snprintf(line, sizeof line,
+                      "  0x%08x  %-12s  %-6s  [%d,%d]   %s\n", pc,
+                      kind.str().c_str(), spread_s.str().c_str(),
+                      c.bound.lo, c.bound.hi, notes.str().c_str());
+        os << line;
+    }
+    os << "  whole-program envelope: [" << cost.sites.size()
+       << " site(s)] max " << cost.maxDelayPerSite
+       << " delay cycle(s) per execution, " << cost.zeroDelaySites
+       << " provably free, " << cost.constantSites << " constant\n";
+    return os.str();
+}
+
+std::string
+AnalysisResult::toSarif(const std::string& artifactUri) const
+{
+    // Rule metadata for every rule that actually fired, in first-seen
+    // order; results reference them by array index.
+    std::vector<std::string> rules;
+    auto ruleIndex = [&](const std::string& rule) -> std::size_t {
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+            if (rules[i] == rule)
+                return i;
+        }
+        rules.push_back(rule);
+        return rules.size() - 1;
+    };
+    for (const Diagnostic& d : diags)
+        ruleIndex(d.rule);
+
+    auto level = [](Severity s) -> const char* {
+        switch (s) {
+          case Severity::kError:
+            return "error";
+          case Severity::kWarning:
+            return "warning";
+          case Severity::kInfo:
+            return "note";
+        }
+        return "none";
+    };
+
+    std::ostringstream os;
+    os << "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+          "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\"";
+    os << ",\"version\":\"2.1.0\"";
+    os << ",\"runs\":[{";
+    os << "\"tool\":{\"driver\":{\"name\":\"crisplint\"";
+    os << ",\"informationUri\":\"docs/ANALYSIS.md\"";
+    os << ",\"rules\":[";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << "{\"id\":\"" << jsonEscape(rules[i]) << "\"}";
+    }
+    os << "]}}";
+    os << ",\"artifacts\":[{\"location\":{\"uri\":\""
+       << jsonEscape(artifactUri) << "\"}}]";
+    os << ",\"results\":[";
+    bool first = true;
+    for (const Diagnostic& d : diags) {
+        if (!first)
+            os << ",";
+        first = false;
+        std::string text = d.message;
+        if (!d.hint.empty())
+            text += " (hint: " + d.hint + ")";
+        os << "{\"ruleId\":\"" << jsonEscape(d.rule) << "\""
+           << ",\"ruleIndex\":" << ruleIndex(d.rule) << ",\"level\":\""
+           << level(d.severity) << "\""
+           << ",\"message\":{\"text\":\"" << jsonEscape(text) << "\"}"
+           << ",\"locations\":[{\"physicalLocation\":{"
+           << "\"artifactLocation\":{\"uri\":\""
+           << jsonEscape(artifactUri) << "\",\"index\":0}"
+           << ",\"region\":{\"byteOffset\":" << d.pc
+           << ",\"byteLength\":" << kParcelBytes << "}}}]}";
+    }
+    os << "]}]}";
     return os.str();
 }
 

@@ -18,11 +18,14 @@
  *   warning stack.outside-window    stack slot past the cache window
  *   info    fold.lone-branch        branch occupies its own EU slot
  *   info    fold.mixed              branch both folds and issues alone
+ *   info    cost.constant-cc        branch direction provably constant
+ *   info    cost.dead-branch        constant branch makes code dead
  *
  * Severity contract: errors mean the program will fault or the decode
  * contract is broken; warnings mean a paper invariant (spreading,
  * prediction, stack-cache residency) is not met; info marks missed
- * fold opportunities. crisplint exits nonzero on warnings and errors.
+ * fold opportunities and abstract-interpretation proofs. crisplint
+ * exits nonzero on warnings and errors.
  */
 
 #ifndef CRISP_ANALYSIS_CHECKS_HH
@@ -33,6 +36,7 @@
 #include <vector>
 
 #include "cfg.hh"
+#include "cost.hh"
 #include "dataflow.hh"
 
 namespace crisp::analysis
@@ -70,6 +74,12 @@ struct AnalysisOptions
     int stackCacheWords = 32;
     /** Emit info-level fold classification diagnostics. */
     bool foldInfo = true;
+    /**
+     * Prediction assumption for the cost engine's constant-branch
+     * refinement; must match the simulator configuration being
+     * bounded (predictSourceFor maps SimConfig to this).
+     */
+    PredictSource costPredict = PredictSource::kStaticBit;
 };
 
 /** Everything the analyzer derived, plus the diagnostics. */
@@ -80,6 +90,10 @@ struct AnalysisResult
     std::map<Addr, SpreadInfo> spread;
     /** Keyed by branch parcel pc. */
     std::map<Addr, BranchSite> sites;
+    /** Abstract fixpoint over the same CFG (value/flag facts). */
+    AbsIntResult absint;
+    /** Per-site static delay bounds derived from all of the above. */
+    CostSummary cost;
     std::vector<Diagnostic> diags;
 
     // Aggregates (the counters the dynamic cross-check consumes).
@@ -99,6 +113,18 @@ struct AnalysisResult
 
     /** The full report as one JSON object (schema: docs/ANALYSIS.md). */
     std::string toJson() const;
+
+    /** Human-readable per-site cost table (crisplint --cost,
+     *  crispcc --cost-audit). */
+    std::string costTableText() const;
+
+    /**
+     * The diagnostics as a SARIF 2.1.0 log (one run, one artifact).
+     * @p artifactUri names the analyzed input; PCs are reported as
+     * region byte offsets into that artifact. Severity maps
+     * error→"error", warning→"warning", info→"note".
+     */
+    std::string toSarif(const std::string& artifactUri) const;
 };
 
 /** Build the CFG, run every pass, produce diagnostics. */

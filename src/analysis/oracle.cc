@@ -36,12 +36,15 @@ OracleReport::toString() const
 {
     if (!applicable)
         return "oracle: not applicable\n";
-    if (mismatches.empty())
+    if (ok())
         return "oracle: static and dynamic views agree\n";
     std::ostringstream os;
-    os << "oracle: " << mismatches.size() << " static mismatch(es)\n";
+    os << "oracle: " << mismatches.size() << " static mismatch(es), "
+       << costViolations.size() << " cost-bound violation(s)\n";
     for (const std::string& m : mismatches)
         os << "  " << m << "\n";
+    for (const std::string& m : costViolations)
+        os << "  [cost] " << m << "\n";
     return os.str();
 }
 
@@ -62,12 +65,16 @@ crossCheck(const AnalysisResult& st, const SimStats& dyn,
     std::uint64_t sum_folded = 0;
     std::uint64_t sum_cond = 0;
     std::uint64_t sum_resolved = 0;
+    std::uint64_t sum_delay = 0;
+    std::uint64_t envelope_lo = 0;
+    std::uint64_t envelope_hi = 0;
 
     for (const auto& [pc, c] : rec.sites) {
         sum_total += c.total;
         sum_folded += c.folded;
         sum_cond += c.cond;
         sum_resolved += c.resolvedAtIssue;
+        sum_delay += c.delaySum;
 
         const auto it = st.sites.find(pc);
         if (it == st.sites.end()) {
@@ -126,6 +133,53 @@ crossCheck(const AnalysisResult& st, const SimStats& dyn,
                          " execution(s)");
         }
 
+        // Invariant 7: the observed delays of every execution of this
+        // site must fall inside its static cost interval, and a
+        // constant-direction proof must never be contradicted.
+        if (const SiteCost* cost = st.cost.find(pc)) {
+            envelope_lo +=
+                static_cast<std::uint64_t>(cost->bound.lo) * c.total;
+            envelope_hi +=
+                static_cast<std::uint64_t>(cost->bound.hi) * c.total;
+            if (c.delayMax > cost->bound.hi) {
+                mismatch(r.costViolations, pc,
+                         "observed delay " +
+                             std::to_string(c.delayMax) +
+                             " cycle(s) exceeds the static bound [" +
+                             std::to_string(cost->bound.lo) + ", " +
+                             std::to_string(cost->bound.hi) + "]");
+            }
+            if (c.delayMin < cost->bound.lo) {
+                mismatch(r.costViolations, pc,
+                         "observed delay " +
+                             std::to_string(c.delayMin) +
+                             " cycle(s) undershoots the static bound [" +
+                             std::to_string(cost->bound.lo) + ", " +
+                             std::to_string(cost->bound.hi) + "]");
+            }
+            if (cost->constantDirection) {
+                const std::uint64_t want =
+                    cost->alwaysTaken ? c.total : 0;
+                if (c.taken != want) {
+                    mismatch(r.costViolations, pc,
+                             "branch proven " +
+                                 std::string(cost->alwaysTaken
+                                                 ? "always"
+                                                 : "never") +
+                                 "-taken went the other way " +
+                                 std::to_string(cost->alwaysTaken
+                                                    ? c.total - c.taken
+                                                    : c.taken) +
+                                 " of " + std::to_string(c.total) +
+                                 " time(s)");
+                }
+            }
+        } else {
+            mismatch(r.costViolations, pc,
+                     "branch executed at a site with no static cost "
+                     "bound");
+        }
+
         if (s.indirect) {
             const auto jt = rec.jumpTargets.find(pc);
             if (jt != rec.jumpTargets.end()) {
@@ -172,6 +226,25 @@ crossCheck(const AnalysisResult& st, const SimStats& dyn,
         mismatch(r.mismatches, 0,
                  "resolvedAtIssue + speculated != condBranches");
     }
+
+    // Invariant 7, aggregates: the recorder's delay total must equal
+    // the simulator's counter exactly, and both must sit inside the
+    // whole-program envelope the static bounds imply.
+    if (sum_delay != dyn.branchDelayCycles) {
+        mismatch(r.costViolations, 0,
+                 "event delay total " + std::to_string(sum_delay) +
+                     " != stats.branchDelayCycles " +
+                     std::to_string(dyn.branchDelayCycles));
+    }
+    if (dyn.branchDelayCycles < envelope_lo ||
+        dyn.branchDelayCycles > envelope_hi) {
+        mismatch(r.costViolations, 0,
+                 "branchDelayCycles " +
+                     std::to_string(dyn.branchDelayCycles) +
+                     " escapes the static envelope [" +
+                     std::to_string(envelope_lo) + ", " +
+                     std::to_string(envelope_hi) + "]");
+    }
     return r;
 }
 
@@ -183,6 +256,7 @@ runStaticOracle(const Program& prog, const SimConfig& cfg)
     opt.predict = PredictConvention::kNone;
     opt.stackCacheWords = cfg.stackCacheWords;
     opt.foldInfo = false;
+    opt.costPredict = predictSourceFor(cfg);
     const AnalysisResult st = analyzeProgram(prog, opt);
 
     SiteRecorder rec;

@@ -19,10 +19,18 @@
  *     counters (branches, foldedBranches, condBranches,
  *     resolvedAtIssue + speculated);
  *  6. every dynamic indirect-jump target is in the static jump-table
- *     candidate set.
+ *     candidate set;
+ *  7. COST BOUNDS: every observed BranchEvent::delayCycles lies inside
+ *     the site's static delay interval (cost.hh), a constant-direction
+ *     proof is never contradicted by an execution, the per-site delay
+ *     sums reconcile exactly with SimStats::branchDelayCycles, and
+ *     that total lies inside the whole-program envelope
+ *     [sum lo*n, sum hi*n]. Bound escapes are reported separately in
+ *     costViolations so torture can shrink them as their own verdict.
  *
  * crisptorture runs this after every lockstep seed ("static-mismatch"
- * verdict); the 200-seed regression test runs it under asan/ubsan.
+ * and "cost-bound" verdicts); the 200-seed regression test runs it
+ * under asan/ubsan.
  */
 
 #ifndef CRISP_ANALYSIS_ORACLE_HH
@@ -52,6 +60,11 @@ struct SiteCounts
     bool sawUnconditional = false;
     bool predictTaken = false;
     bool shortForm = false;
+
+    /** Observed branch-delay cycles across this site's executions. */
+    std::uint64_t delaySum = 0;
+    int delayMin = 0;
+    int delayMax = 0;
 };
 
 /** Observer that aggregates simulator branch events per site. */
@@ -62,6 +75,15 @@ class SiteRecorder : public ExecObserver
     onBranch(const BranchEvent& ev) override
     {
         SiteCounts& c = sites[ev.pc];
+        const int d = static_cast<int>(ev.delayCycles);
+        if (c.total == 0) {
+            c.delayMin = d;
+            c.delayMax = d;
+        } else {
+            c.delayMin = d < c.delayMin ? d : c.delayMin;
+            c.delayMax = d > c.delayMax ? d : c.delayMax;
+        }
+        c.delaySum += static_cast<std::uint64_t>(d);
         ++c.total;
         if (ev.folded)
             ++c.folded;
@@ -96,9 +118,18 @@ struct OracleReport
     bool applicable = true;
     std::vector<std::string> mismatches;
 
-    bool ok() const { return mismatches.empty(); }
+    /** Static delay-bound escapes (invariant 7); kept apart from the
+     *  structural mismatches so torture reports them as their own
+     *  verdict. */
+    std::vector<std::string> costViolations;
 
-    /** One line per mismatch. */
+    bool
+    ok() const
+    {
+        return mismatches.empty() && costViolations.empty();
+    }
+
+    /** One line per mismatch / cost violation. */
     std::string toString() const;
 };
 

@@ -34,11 +34,20 @@ struct BranchEvent
     bool shortForm = false;   //!< encoded in the one-parcel format
 
     // Microarchitectural annotations, filled in only by the cycle-level
-    // simulator (always false from the functional interpreter). The
-    // lockstep equivalence checker deliberately ignores them; the
+    // simulator (always false/zero from the functional interpreter).
+    // The lockstep equivalence checker deliberately ignores them; the
     // static-analysis oracle (src/analysis/oracle.hh) consumes them.
     bool folded = false;          //!< issued folded into a carrier
     bool resolvedAtIssue = false; //!< outcome known at issue (cond only)
+    /**
+     * Cycles this execution lost to branch resolution: 0 when resolved
+     * at issue or correctly predicted, 3/2/1 for a mispredict verified
+     * in the branch's own RR stage / by a compare retiring while the
+     * branch sat in OR / in IR (the paper's staircase), and 2 for an
+     * indirect jump's retirement-read target bubbles. The cost engine
+     * (src/analysis/cost.hh) bounds this statically per site.
+     */
+    std::uint8_t delayCycles = 0;
 };
 
 /** Observer hooks for interpreter execution. */

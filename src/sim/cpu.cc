@@ -229,6 +229,7 @@ CrispCpu::issueStage()
     ir.resolvedAtIssue = false;
     ir.actualTaken = false;
     ir.mispredicted = false;
+    ir.delaySlots = 0;
     if (hooks_ != nullptr)
         hooks_->onIssue(ir.di);
 
@@ -292,6 +293,7 @@ CrispCpu::emitRetireEvents(const Stage& s, ExecObserver* observer)
     if (di.folded || di.loneBranch) {
         ++stats_.opcodeCounts[static_cast<std::size_t>(di.branchOp)];
         ++stats_.branches;
+        stats_.branchDelayCycles += s.delaySlots;
         if (di.folded)
             ++stats_.foldedBranches;
         if (di.hasCondBranch())
@@ -309,6 +311,7 @@ CrispCpu::emitRetireEvents(const Stage& s, ExecObserver* observer)
             ev.shortForm = di.branchShortForm;
             ev.folded = di.folded;
             ev.resolvedAtIssue = s.resolvedAtIssue;
+            ev.delayCycles = s.delaySlots;
             observer->onBranch(ev);
         }
     }
@@ -510,6 +513,7 @@ CrispCpu::retireImpl(ExecObserver* observer)
         rr.di.takenPc = target; // for the retire-order branch event
         block_ = Block::kNone;
         stallUntil_ = now_ + 1;
+        rr.delaySlots = 2; // target read at retirement: two bubbles
         break;
       }
       case Ctl::kCondT:
@@ -522,6 +526,7 @@ CrispCpu::retireImpl(ExecObserver* observer)
             rr.actualTaken = di.condTaken(flag_);
             if (rr.actualTaken != rr.predictedTaken) {
                 rr.mispredicted = true;
+                rr.delaySlots = 3;
                 squashYounger(&rr);
                 redirectAfterMispredict(rr);
             }
@@ -562,6 +567,10 @@ CrispCpu::retireImpl(ExecObserver* observer)
             s->actualTaken = s->di.condTaken(flag_);
             if (s->actualTaken != s->predictedTaken) {
                 s->mispredicted = true;
+                // Recovery uses the Alternate-PC of the stage the
+                // carrier occupies: one slot of separation leaves the
+                // branch in OR (2 lost), two slots leave it in IR (1).
+                s->delaySlots = s == orP_ ? 2 : 1;
                 squashYounger(s);
                 redirectAfterMispredict(*s);
                 break;

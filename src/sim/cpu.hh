@@ -155,6 +155,13 @@ class CrispCpu
         bool actualTaken = false;
         /** The static bit turned out wrong. */
         bool mispredicted = false;
+        /**
+         * Cycles this entry's branch lost (the paper's staircase):
+         * set where the branch is verified — 3 in its own RR, 2/1 when
+         * a retiring compare verifies it in OR/IR, 2 for an indirect
+         * jump's target read — and reported via BranchEvent at retire.
+         */
+        std::uint8_t delaySlots = 0;
     };
 
     void issueStage();

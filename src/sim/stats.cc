@@ -26,6 +26,7 @@ SimStats::toString() const
        << "resolved at issue:   " << resolvedAtIssue << "\n"
        << "speculated:          " << speculated << "\n"
        << "mispredicts:         " << mispredicts << "\n"
+       << "branch delay cycles: " << branchDelayCycles << "\n"
        << "squashed:            " << squashed << "\n"
        << "issue stalls:        " << issueStallCycles << "\n"
        << "  DIC miss stalls:   " << dicMissStallCycles << "\n"
@@ -105,6 +106,7 @@ SimStats::toJson() const
     os << ",\"resolvedAtIssue\":" << resolvedAtIssue;
     os << ",\"speculated\":" << speculated;
     os << ",\"mispredicts\":" << mispredicts;
+    os << ",\"branchDelayCycles\":" << branchDelayCycles;
     os << ",\"squashed\":" << squashed;
     os << ",\"issueStallCycles\":" << issueStallCycles;
     os << ",\"dicMissStallCycles\":" << dicMissStallCycles;

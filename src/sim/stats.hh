@@ -60,6 +60,17 @@ struct SimStats
     /** Speculative conditional branches whose static bit was wrong. */
     std::uint64_t mispredicts = 0;
 
+    /**
+     * Total cycles lost to branch resolution across retired branch-site
+     * executions: the mispredict staircase (3/2/1 by verification
+     * stage) plus the two target-read bubbles of each indirect jump.
+     * Exactly the sum of BranchEvent::delayCycles over the run; the
+     * static cost engine (src/analysis/cost.hh) brackets it from the
+     * binary alone. Return instructions are not branch sites — their
+     * target bubbles appear only in indirectStallCycles.
+     */
+    std::uint64_t branchDelayCycles = 0;
+
     /** Cycles in which the EU could not issue for any reason. */
     std::uint64_t issueStallCycles = 0;
 

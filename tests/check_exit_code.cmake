@@ -1,0 +1,16 @@
+# Run TOOL with ARGS and require the exact exit code EXPECT.
+#
+# ctest's WILL_FAIL only distinguishes zero from nonzero; crisplint's
+# documented contract distinguishes findings (1) from usage problems
+# (2) from load/decode failures (3), so the tool tests run through this
+# wrapper:
+#
+#   cmake -DTOOL=<binary> -DARGS="<args>" -DEXPECT=<N> \
+#         -P check_exit_code.cmake
+separate_arguments(arg_list NATIVE_COMMAND "${ARGS}")
+execute_process(COMMAND ${TOOL} ${arg_list}
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL "${EXPECT}")
+    message(FATAL_ERROR
+            "${TOOL} ${ARGS}: expected exit ${EXPECT}, got ${rc}")
+endif()

@@ -1,0 +1,22 @@
+; Fixture: a conditional branch whose direction the abstract
+; interpreter proves constant. x is 5 on every path, so cmp.= x, 6 is
+; provably false, the iftjmpn never goes to `error`, and the cost
+; engine both collapses the branch's delay bound and marks the taken
+; path dead (cost.constant-cc + cost.dead-branch, info level). The
+; compare is spread three slots so the pair also lints clean.
+    .entry main
+    .local x 0
+    .local b 0
+main:
+    enter 2
+    mov x, 5
+    cmp.= x, 6
+    add b, 1
+    add b, 2
+    add b, 3
+    iftjmpn error
+    mov Accum, x
+    halt
+error:
+    mov Accum, 0
+    halt

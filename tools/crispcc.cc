@@ -4,7 +4,7 @@
  *
  *   crispcc input.c [-o out.obj] [-S] [--no-spread] [--no-peephole]
  *           [--predict=naive|heuristic] [--delay-slots] [--disasm]
- *           [--verify] [--stats-json]
+ *           [--verify] [--stats-json] [--cost-audit]
  *
  *   -S            print the assembly listing instead of writing output
  *   -o FILE       write a linked CRISP object file
@@ -17,6 +17,10 @@
  *   --stats-json  print the compile-time statistics the analyzer can
  *                 derive without simulating — per-branch spread
  *                 distances, fold classes, prediction bits
+ *   --cost-audit  print the per-site static delay-bound table and
+ *                 audit the compiler's spread claims against it: every
+ *                 fully-spread branch must be provably free ([0, 0]
+ *                 cycles). Exit 1 when any claim escapes its bound.
  */
 
 #include <cstdio>
@@ -51,7 +55,7 @@ usage()
         "usage: crispcc input.c [-o out.obj] [-S] [--disasm]\n"
         "               [--no-spread] [--no-peephole]\n"
         "               [--predict=naive|heuristic] [--delay-slots]\n"
-        "               [--verify] [--stats-json]\n");
+        "               [--verify] [--stats-json] [--cost-audit]\n");
     return 2;
 }
 
@@ -68,6 +72,7 @@ main(int argc, char** argv)
     bool disasm = false;
     bool verify = false;
     bool stats_json = false;
+    bool cost_audit = false;
     cc::CompileOptions opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -90,6 +95,8 @@ main(int argc, char** argv)
             verify = true;
         } else if (a == "--stats-json") {
             stats_json = true;
+        } else if (a == "--cost-audit") {
+            cost_audit = true;
         } else if (a == "--predict=naive") {
             opts.predict = cc::PredictMode::kAllNotTaken;
         } else if (a == "--predict=heuristic") {
@@ -118,9 +125,26 @@ main(int argc, char** argv)
                          output.c_str(), r.program.text.size(),
                          r.program.data.size());
         }
-        if (verify || stats_json) {
+        if (verify || stats_json || cost_audit) {
             const analysis::VerifyReport v =
                 analysis::verifyCompile(r, opts);
+            if (cost_audit) {
+                if (!v.applicable) {
+                    std::printf("cost audit: not applicable "
+                                "(delay-slot baseline build)\n");
+                } else {
+                    std::fputs(v.analysis.costTableText().c_str(),
+                               stdout);
+                    std::printf("cost audit: %s — %d spread claim(s), "
+                                "%d proven free\n",
+                                v.ok() ? "OK" : "FAILED",
+                                v.claimedSpread, v.costZeroBound);
+                    for (const std::string& p : v.problems)
+                        std::printf("  %s\n", p.c_str());
+                    if (!v.ok())
+                        return 1;
+                }
+            }
             if (stats_json) {
                 if (!v.applicable) {
                     std::printf("{\"applicable\": false}\n");
@@ -142,7 +166,7 @@ main(int argc, char** argv)
             }
         }
         if (!listing && !disasm && output.empty() && !verify &&
-            !stats_json) {
+            !stats_json && !cost_audit) {
             std::fputs(r.listing.c_str(), stdout);
         }
     } catch (const std::exception& e) {

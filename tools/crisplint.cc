@@ -4,7 +4,8 @@
  *
  *   crisplint file.obj|file.s [--policy=none|crisp|all]
  *             [--predict=none|heuristic|naive] [--stack-words=N]
- *             [--dot] [--json] [--no-info] [--smoke]
+ *             [--dot] [--json] [--sarif] [--cost] [--no-info]
+ *             [--smoke]
  *
  * Builds the issue-point CFG with the PDU's own fold decoder, runs the
  * reaching-compare / fold-eligibility / stack-window dataflow passes,
@@ -13,6 +14,12 @@
  *
  *   --dot          print the basic-block CFG as Graphviz instead
  *   --json         print the full machine-readable report
+ *   --sarif        print the diagnostics as a SARIF 2.1.0 log
+ *                  (schema: docs/ANALYSIS.md; PCs become region byte
+ *                  offsets into the input artifact)
+ *   --cost         append the abstract-interpretation cost table —
+ *                  per-site static delay bounds in cycles — to the
+ *                  text report (--json already embeds the bounds)
  *   --policy=      fold policy to analyze under (default crisp)
  *   --predict=     prediction-bit convention to check (default
  *                  heuristic; `none` for generated/torture programs,
@@ -22,7 +29,8 @@
  *   --smoke        run the built-in self-test and exit
  *
  * Exit status: 0 clean (info diagnostics allowed), 1 when any warning
- * or error fires, 2 on usage or I/O problems.
+ * or error fires, 2 on usage problems, 3 when the input cannot be
+ * loaded or decoded.
  */
 
 #include <cstdio>
@@ -50,7 +58,7 @@ usage()
         "                 [--policy=none|crisp|all]\n"
         "                 [--predict=none|heuristic|naive]\n"
         "                 [--stack-words=N] [--dot] [--json]\n"
-        "                 [--no-info] [--smoke]\n");
+        "                 [--sarif] [--cost] [--no-info] [--smoke]\n");
     return 2;
 }
 
@@ -162,6 +170,8 @@ main(int argc, char** argv)
     std::string input;
     bool dot = false;
     bool json = false;
+    bool sarif = false;
+    bool show_cost = false;
     bool no_info = false;
     bool run_smoke = false;
     AnalysisOptions opt;
@@ -176,6 +186,10 @@ main(int argc, char** argv)
             dot = true;
         } else if (a == "--json") {
             json = true;
+        } else if (a == "--sarif") {
+            sarif = true;
+        } else if (a == "--cost") {
+            show_cost = true;
         } else if (a == "--no-info") {
             no_info = true;
         } else if (a == "--smoke") {
@@ -224,14 +238,18 @@ main(int argc, char** argv)
         const AnalysisResult r = analyzeProgram(prog, opt);
         if (dot) {
             std::fputs(r.cfg->toDot().c_str(), stdout);
+        } else if (sarif) {
+            std::printf("%s\n", r.toSarif(input).c_str());
         } else if (json) {
             std::printf("%s\n", r.toJson().c_str());
         } else {
             std::fputs(r.toString().c_str(), stdout);
         }
+        if (show_cost && !dot && !json && !sarif)
+            std::fputs(r.costTableText().c_str(), stdout);
         return r.hasErrors() || r.hasWarnings() ? 1 : 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "crisplint: %s\n", e.what());
-        return 2;
+        return 3;
     }
 }

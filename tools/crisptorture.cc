@@ -17,7 +17,10 @@
  *    prediction / resolved-at-issue counts it predicts must match what
  *    the pipeline actually retires; a disagreement is a
  *    "static mismatch" verdict and is shrunk just like a divergence.
- *    Exit 1 on any divergence or static mismatch.
+ *    The oracle also holds every retired branch's observed delay (and
+ *    the run's branchDelayCycles total) inside the cost engine's
+ *    static per-site bounds; an escape is a "cost bound violation"
+ *    verdict, shrunk the same way. Exit 1 on any verdict.
  *  - --faults: every seed also runs under each fault injector. Benign
  *    hint faults (flip-predict-bit, unfold-pair, drop-fill) must leave
  *    the architectural event stream and final state bit-identical
@@ -179,6 +182,7 @@ plainSweep(const Options& opt)
     {
         int bad = 0;
         int staticBad = 0;
+        int costBad = 0;
         std::string text;
     };
     std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
@@ -202,23 +206,35 @@ plainSweep(const Options& opt)
             }
 
             // Static-analysis oracle: what the analyzer proves about
-            // fold classes, prediction bits and resolved-at-issue
-            // guarantees must agree with what the pipeline retires.
+            // fold classes, prediction bits, resolved-at-issue
+            // guarantees and per-site delay bounds must agree with
+            // what the pipeline retires.
             const analysis::OracleReport orep =
                 analysis::runStaticOracle(prog, cfg);
             if (orep.ok())
                 continue;
-            ++results[i].staticBad;
-            const auto still_mismatches =
+            // A run can trip both verdicts; the structural mismatch
+            // dominates the label, the counters track each kind.
+            const bool structural = !orep.mismatches.empty();
+            if (structural)
+                ++results[i].staticBad;
+            if (!orep.costViolations.empty())
+                ++results[i].costBad;
+            const auto still_fails_oracle =
                 [&](const GenProgram& cand) {
-                    return !analysis::runStaticOracle(cand.link(), cfg)
-                                .ok();
+                    const analysis::OracleReport rr =
+                        analysis::runStaticOracle(cand.link(), cfg);
+                    return structural ? !rr.mismatches.empty()
+                                      : !rr.costViolations.empty();
                 };
-            const ShrinkResult sh = shrinkProgram(gp, still_mismatches);
+            const ShrinkResult sh =
+                shrinkProgram(gp, still_fails_oracle);
             char head[128];
             std::snprintf(head, sizeof(head),
-                          "=== STATIC MISMATCH seed=%llu fold=%d "
+                          "=== %s seed=%llu fold=%d "
                           "dic=%d mem-latency=%d ===\n",
+                          structural ? "STATIC MISMATCH"
+                                     : "COST BOUND VIOLATION",
                           static_cast<unsigned long long>(s),
                           static_cast<int>(cfg.foldPolicy),
                           cfg.dicEntries, cfg.memLatency);
@@ -234,16 +250,18 @@ plainSweep(const Options& opt)
 
     int bad = 0;
     int static_bad = 0;
+    int cost_bad = 0;
     for (const SeedOut& r : results) {
         std::fputs(r.text.c_str(), stdout);
         bad += r.bad;
         static_bad += r.staticBad;
+        cost_bad += r.costBad;
     }
     std::printf("torture: %llu seeds x %zu configs, %d divergences, "
-                "%d static mismatches\n",
+                "%d static mismatches, %d cost-bound violations\n",
                 static_cast<unsigned long long>(opt.seeds),
-                cfgs.size(), bad, static_bad);
-    return bad + static_bad;
+                cfgs.size(), bad, static_bad, cost_bad);
+    return bad + static_bad + cost_bad;
 }
 
 /** Fault-injection sweep. @return number of property violations. */
