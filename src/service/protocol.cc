@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Frame and payload (de)serialization for the crispd protocol.
+ */
+
+#include "protocol.hh"
+
+#include <cstring>
+
+namespace crisp::service
+{
+
+namespace
+{
+
+void
+put8(std::vector<std::uint8_t>& out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+put32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+put64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    put32(out, static_cast<std::uint32_t>(v));
+    put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/** Strict bounded reader over a payload (mirrors the objfile loader:
+ *  every length is validated before a byte is consumed). */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t>& bytes)
+        : bytes_(bytes)
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return bytes_[pos_++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | bytes_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const std::uint64_t lo = u32();
+        return lo | (static_cast<std::uint64_t>(u32()) << 32);
+    }
+
+    std::vector<std::uint8_t>
+    bytes(std::size_t n)
+    {
+        need(n);
+        std::vector<std::uint8_t> v(bytes_.begin() +
+                                        static_cast<std::ptrdiff_t>(pos_),
+                                    bytes_.begin() +
+                                        static_cast<std::ptrdiff_t>(pos_ +
+                                                                    n));
+        pos_ += n;
+        return v;
+    }
+
+    std::string
+    str(std::size_t n)
+    {
+        need(n);
+        std::string s(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                      bytes_.begin() +
+                          static_cast<std::ptrdiff_t>(pos_ + n));
+        pos_ += n;
+        return s;
+    }
+
+    void
+    done() const
+    {
+        if (pos_ != bytes_.size())
+            throw ProtocolError("payload has trailing bytes");
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (n > bytes_.size() - pos_)
+            throw ProtocolError("payload truncated");
+    }
+
+    const std::vector<std::uint8_t>& bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+appendFrame(std::vector<std::uint8_t>& out, FrameType type,
+            const std::vector<std::uint8_t>& payload)
+{
+    put32(out, kFrameMagic);
+    put8(out, static_cast<std::uint8_t>(type));
+    put32(out, static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void
+FrameParser::feed(const std::uint8_t* data, std::size_t n)
+{
+    if (poisoned_)
+        throw ProtocolError("stream already malformed");
+    // Compact the consumed prefix before growing (bounded memory even
+    // on a connection that streams forever).
+    if (pos_ > 0 && pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > 4096) {
+        buf_.erase(buf_.begin(), buf_.begin() +
+                                     static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame>
+FrameParser::next()
+{
+    if (poisoned_)
+        throw ProtocolError("stream already malformed");
+    constexpr std::size_t kHeader = 4 + 1 + 4;
+    if (buf_.size() - pos_ < kHeader)
+        return std::nullopt;
+    const auto* p = buf_.data() + pos_;
+    const std::uint32_t magic =
+        static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+    if (magic != kFrameMagic) {
+        poisoned_ = true;
+        throw ProtocolError("bad frame magic");
+    }
+    const std::uint8_t type = p[4];
+    if (type < static_cast<std::uint8_t>(FrameType::kSubmit) ||
+        type > static_cast<std::uint8_t>(FrameType::kError)) {
+        poisoned_ = true;
+        throw ProtocolError("unknown frame type " + std::to_string(type));
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(p[5]) |
+                              (static_cast<std::uint32_t>(p[6]) << 8) |
+                              (static_cast<std::uint32_t>(p[7]) << 16) |
+                              (static_cast<std::uint32_t>(p[8]) << 24);
+    if (len > maxPayload_) {
+        poisoned_ = true;
+        throw ProtocolError("frame payload " + std::to_string(len) +
+                            " exceeds cap " +
+                            std::to_string(maxPayload_));
+    }
+    if (buf_.size() - pos_ < kHeader + len)
+        return std::nullopt;
+    Frame f;
+    f.type = static_cast<FrameType>(type);
+    f.payload.assign(p + kHeader, p + kHeader + len);
+    pos_ += kHeader + len;
+    return f;
+}
+
+std::vector<std::uint8_t>
+JobRequest::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(40 + image.size());
+    put64(out, jobId);
+    put32(out, deadlineMs);
+    put8(out, maxRetries);
+    put8(out, static_cast<std::uint8_t>(foldPolicy));
+    put8(out, static_cast<std::uint8_t>(predictor));
+    put32(out, dicEntries);
+    put32(out, memLatency);
+    put64(out, maxCycles);
+    put32(out, static_cast<std::uint32_t>(image.size()));
+    out.insert(out.end(), image.begin(), image.end());
+    return out;
+}
+
+JobRequest
+JobRequest::decode(const std::vector<std::uint8_t>& payload)
+{
+    Reader r(payload);
+    JobRequest req;
+    req.jobId = r.u64();
+    req.deadlineMs = r.u32();
+    req.maxRetries = r.u8();
+    const std::uint8_t fold = r.u8();
+    if (fold > static_cast<std::uint8_t>(FoldPolicy::kAll))
+        throw ProtocolError("bad fold policy " + std::to_string(fold));
+    req.foldPolicy = static_cast<FoldPolicy>(fold);
+    const std::uint8_t pred = r.u8();
+    if (pred > static_cast<std::uint8_t>(PredictorKind::kDynamic2))
+        throw ProtocolError("bad predictor " + std::to_string(pred));
+    req.predictor = static_cast<PredictorKind>(pred);
+    req.dicEntries = r.u32();
+    req.memLatency = r.u32();
+    req.maxCycles = r.u64();
+    const std::uint32_t image_len = r.u32();
+    req.image = r.bytes(image_len);
+    r.done();
+    return req;
+}
+
+std::string_view
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::kDone:
+        return "done";
+      case JobState::kFailed:
+        return "failed";
+      case JobState::kShed:
+        return "shed";
+      case JobState::kTimedOut:
+        return "timed-out";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+JobResult::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(40 + detail.size());
+    put64(out, jobId);
+    put8(out, static_cast<std::uint8_t>(state));
+    put8(out, retries);
+    put8(out, cacheHit ? 1 : 0);
+    put32(out, exitValue);
+    put64(out, cycles);
+    put64(out, instructions);
+    put32(out, static_cast<std::uint32_t>(detail.size()));
+    out.insert(out.end(), detail.begin(), detail.end());
+    return out;
+}
+
+JobResult
+JobResult::decode(const std::vector<std::uint8_t>& payload)
+{
+    Reader r(payload);
+    JobResult res;
+    res.jobId = r.u64();
+    const std::uint8_t state = r.u8();
+    if (state > static_cast<std::uint8_t>(JobState::kTimedOut))
+        throw ProtocolError("bad job state " + std::to_string(state));
+    res.state = static_cast<JobState>(state);
+    res.retries = r.u8();
+    res.cacheHit = r.u8() != 0;
+    res.exitValue = r.u32();
+    res.cycles = r.u64();
+    res.instructions = r.u64();
+    const std::uint32_t detail_len = r.u32();
+    res.detail = r.str(detail_len);
+    r.done();
+    return res;
+}
+
+std::vector<std::uint8_t>
+ErrorReply::encode() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(12 + text.size());
+    put64(out, jobId);
+    put32(out, static_cast<std::uint32_t>(text.size()));
+    out.insert(out.end(), text.begin(), text.end());
+    return out;
+}
+
+ErrorReply
+ErrorReply::decode(const std::vector<std::uint8_t>& payload)
+{
+    Reader r(payload);
+    ErrorReply e;
+    e.jobId = r.u64();
+    const std::uint32_t len = r.u32();
+    e.text = r.str(len);
+    r.done();
+    return e;
+}
+
+std::vector<std::uint8_t>
+ShutdownRequest::encode() const
+{
+    std::vector<std::uint8_t> out;
+    put8(out, drain ? 1 : 0);
+    return out;
+}
+
+ShutdownRequest
+ShutdownRequest::decode(const std::vector<std::uint8_t>& payload)
+{
+    Reader r(payload);
+    ShutdownRequest s;
+    const std::uint8_t d = r.u8();
+    if (d > 1)
+        throw ProtocolError("bad shutdown mode " + std::to_string(d));
+    s.drain = d == 1;
+    r.done();
+    return s;
+}
+
+std::string_view
+healthStateName(HealthState s)
+{
+    switch (s) {
+      case HealthState::kOk:
+        return "ok";
+      case HealthState::kDegraded:
+        return "degraded";
+      case HealthState::kDraining:
+        return "draining";
+    }
+    return "?";
+}
+
+std::vector<std::uint8_t>
+HealthReply::encode() const
+{
+    std::vector<std::uint8_t> out;
+    put8(out, static_cast<std::uint8_t>(health));
+    put64(out, ledger.submitted);
+    put64(out, ledger.rejected);
+    put64(out, ledger.accepted);
+    put64(out, ledger.done);
+    put64(out, ledger.failed);
+    put64(out, ledger.shed);
+    put64(out, ledger.timedOut);
+    put64(out, ledger.queued);
+    put64(out, ledger.inFlight);
+    put64(out, ledger.retriesScheduled);
+    put64(out, ledger.resultCacheHits);
+    put64(out, ledger.predecodeShares);
+    put64(out, ledger.quarantined);
+    put64(out, ledger.degradedTransitions);
+    put64(out, ledger.recoveredTransitions);
+    return out;
+}
+
+HealthReply
+HealthReply::decode(const std::vector<std::uint8_t>& payload)
+{
+    Reader r(payload);
+    HealthReply h;
+    const std::uint8_t hs = r.u8();
+    if (hs > static_cast<std::uint8_t>(HealthState::kDraining))
+        throw ProtocolError("bad health state " + std::to_string(hs));
+    h.health = static_cast<HealthState>(hs);
+    h.ledger.submitted = r.u64();
+    h.ledger.rejected = r.u64();
+    h.ledger.accepted = r.u64();
+    h.ledger.done = r.u64();
+    h.ledger.failed = r.u64();
+    h.ledger.shed = r.u64();
+    h.ledger.timedOut = r.u64();
+    h.ledger.queued = r.u64();
+    h.ledger.inFlight = r.u64();
+    h.ledger.retriesScheduled = r.u64();
+    h.ledger.resultCacheHits = r.u64();
+    h.ledger.predecodeShares = r.u64();
+    h.ledger.quarantined = r.u64();
+    h.ledger.degradedTransitions = r.u64();
+    h.ledger.recoveredTransitions = r.u64();
+    r.done();
+    return h;
+}
+
+} // namespace crisp::service

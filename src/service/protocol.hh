@@ -1,0 +1,229 @@
+/**
+ * @file
+ * The crispd wire protocol: length-prefixed binary frames over a local
+ * stream socket.
+ *
+ * Every frame is
+ *
+ *   magic   u32   0x43525350 ("CRSP" pronounced over the wire, LE)
+ *   type    u8    FrameType
+ *   length  u32   payload byte count (<= kMaxFramePayload)
+ *   payload length bytes
+ *
+ * followed immediately by the next frame. The parser is strict by
+ * design — the daemon's first line of defence: a bad magic, an unknown
+ * type or an oversized declared length is a ProtocolError, and crispd
+ * answers with one kError frame and drops the connection. Nothing about
+ * a malformed byte stream can reach the job queue.
+ *
+ * Payload encodings are fixed little-endian structs (no varints, no
+ * optional fields) so a frame either parses completely or fails loudly.
+ * The program image inside a kSubmit payload is a standard CRISP object
+ * file (isa/objfile.hh) and is re-validated by the hardened loader at
+ * admission — the frame layer only enforces size caps.
+ */
+
+#ifndef CRISP_SERVICE_PROTOCOL_HH
+#define CRISP_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/types.hh"
+#include "sim/config.hh"
+
+namespace crisp::service
+{
+
+/** Malformed frame or payload. Connection-fatal by policy. */
+class ProtocolError : public CrispError
+{
+  public:
+    using CrispError::CrispError;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x43525350u;
+
+/** Hard cap on a frame payload (admission cap for images is lower). */
+inline constexpr std::uint32_t kMaxFramePayload = 8u << 20;
+
+enum class FrameType : std::uint8_t {
+    kSubmit = 1,      //!< client -> daemon: one simulation job
+    kResult = 2,      //!< daemon -> client: one terminal job result
+    kHealth = 3,      //!< client -> daemon: health/ledger probe
+    kHealthReply = 4, //!< daemon -> client: HealthReply payload
+    kShutdown = 5,    //!< client -> daemon: drain/abort shutdown
+    kError = 6,       //!< daemon -> client: request-level error text
+};
+
+struct Frame
+{
+    FrameType type = FrameType::kError;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Append one whole frame to @p out. */
+void appendFrame(std::vector<std::uint8_t>& out, FrameType type,
+                 const std::vector<std::uint8_t>& payload);
+
+/**
+ * Incremental strict frame parser. feed() raw bytes as they arrive;
+ * next() yields complete frames in order. Any malformation throws
+ * ProtocolError and poisons the parser (every later call throws too) —
+ * a stream is trusted until its first bad byte and never again.
+ */
+class FrameParser
+{
+  public:
+    explicit FrameParser(std::uint32_t maxPayload = kMaxFramePayload)
+        : maxPayload_(maxPayload)
+    {}
+
+    void feed(const std::uint8_t* data, std::size_t n);
+
+    /** One complete frame, or nullopt until more bytes arrive. */
+    std::optional<Frame> next();
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::uint32_t maxPayload_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    bool poisoned_ = false;
+};
+
+// --- Payloads ---------------------------------------------------------
+
+/** One simulation job: policy knobs + a CRISP object image. */
+struct JobRequest
+{
+    std::uint64_t jobId = 0;
+    /** Wall-clock budget from admission (0: service default). Queue
+     *  wait counts against it — an overloaded daemon times jobs out
+     *  rather than serving them arbitrarily late. */
+    std::uint32_t deadlineMs = 0;
+    /** Retries after a transient failure (capped by the service). */
+    std::uint8_t maxRetries = 0;
+    FoldPolicy foldPolicy = FoldPolicy::kCrisp;
+    PredictorKind predictor = PredictorKind::kStaticBit;
+    std::uint32_t dicEntries = 32;
+    std::uint32_t memLatency = 3;
+    /** Simulated-cycle budget (0: service default; capped). */
+    std::uint64_t maxCycles = 0;
+    /** Serialized CRISP object file (isa/objfile.hh). */
+    std::vector<std::uint8_t> image;
+
+    std::vector<std::uint8_t> encode() const;
+    /** @throws ProtocolError on any malformation. */
+    static JobRequest decode(const std::vector<std::uint8_t>& payload);
+};
+
+/** The exactly-one terminal state of every accepted job. */
+enum class JobState : std::uint8_t {
+    kDone = 0,     //!< simulated to halt; stats attached
+    kFailed = 1,   //!< machine fault / cycle budget / retries exhausted
+    kShed = 2,     //!< load-shed (queue full or aborted shutdown)
+    kTimedOut = 3, //!< wall-clock deadline fired
+};
+
+std::string_view jobStateName(JobState s);
+
+struct JobResult
+{
+    std::uint64_t jobId = 0;
+    JobState state = JobState::kFailed;
+    /** Attempts beyond the first (retry accounting). */
+    std::uint8_t retries = 0;
+    /** True when served from the result cache (no simulation ran). */
+    bool cacheHit = false;
+    /** Program exit value (the accumulator) when state == kDone. */
+    std::uint32_t exitValue = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    /** Failure/shed/timeout reason, empty when done. */
+    std::string detail;
+
+    std::vector<std::uint8_t> encode() const;
+    static JobResult decode(const std::vector<std::uint8_t>& payload);
+};
+
+/** Monotonic service counters; see SimService for the invariant. */
+struct LedgerSnapshot
+{
+    std::uint64_t submitted = 0; //!< submit() calls
+    std::uint64_t rejected = 0;  //!< refused at admission (not accepted)
+    std::uint64_t accepted = 0;  //!< passed admission
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t timedOut = 0;
+    std::uint64_t queued = 0;   //!< currently waiting (not terminal)
+    std::uint64_t inFlight = 0; //!< currently running (not terminal)
+    std::uint64_t retriesScheduled = 0;
+    std::uint64_t resultCacheHits = 0;
+    std::uint64_t predecodeShares = 0; //!< runs on a shared warm table
+    std::uint64_t quarantined = 0;     //!< fast-failed by quarantine
+    std::uint64_t degradedTransitions = 0; //!< OK -> DEGRADED edges
+    std::uint64_t recoveredTransitions = 0; //!< DEGRADED -> OK edges
+
+    /**
+     * The crash-safety bookkeeping invariant: every accepted job is in
+     * exactly one place — queued, running, or exactly one terminal
+     * state. Checked after every chaos run and at daemon shutdown
+     * (where queued and inFlight must both be zero).
+     */
+    bool
+    consistent() const
+    {
+        return submitted == accepted + rejected &&
+               accepted ==
+                   done + failed + shed + timedOut + queued + inFlight;
+    }
+};
+
+/** kError payload: request-level (jobId set) or connection-level (0). */
+struct ErrorReply
+{
+    std::uint64_t jobId = 0;
+    std::string text;
+
+    std::vector<std::uint8_t> encode() const;
+    static ErrorReply decode(const std::vector<std::uint8_t>& payload);
+};
+
+/** kShutdown payload. */
+struct ShutdownRequest
+{
+    /** true: finish queued jobs; false: shed them (each still gets a
+     *  terminal state). */
+    bool drain = true;
+
+    std::vector<std::uint8_t> encode() const;
+    static ShutdownRequest
+    decode(const std::vector<std::uint8_t>& payload);
+};
+
+enum class HealthState : std::uint8_t {
+    kOk = 0,
+    kDegraded = 1, //!< shedding or above the queue high-water mark
+    kDraining = 2, //!< shutdown in progress
+};
+
+std::string_view healthStateName(HealthState s);
+
+struct HealthReply
+{
+    HealthState health = HealthState::kOk;
+    LedgerSnapshot ledger;
+
+    std::vector<std::uint8_t> encode() const;
+    static HealthReply decode(const std::vector<std::uint8_t>& payload);
+};
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_PROTOCOL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Bounded MPMC job queue with explicit load-shedding and two-phase
+ * close, the backpressure point of the crispd admission pipeline.
+ *
+ * The queue never blocks a producer: tryPush on a full queue returns
+ * kFull immediately and the service turns that into a SHED terminal
+ * state — an overloaded daemon answers "no" in microseconds instead of
+ * stacking latency onto every queued job (load shedding, not load
+ * absorbing). Consumers block in pop until work or close.
+ *
+ * close(kDrain) lets consumers finish everything queued; close(kAbort)
+ * hands the unconsumed remainder back to the closer (who must give
+ * each job its terminal state — jobs are accounted for, never
+ * dropped on the floor).
+ */
+
+#ifndef CRISP_SERVICE_QUEUE_HH
+#define CRISP_SERVICE_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace crisp::service
+{
+
+template <typename Job> class BoundedQueue
+{
+  public:
+    enum class Push : std::uint8_t { kOk, kFull, kClosed };
+
+    explicit BoundedQueue(std::size_t cap) : cap_(cap) {}
+
+    Push
+    tryPush(Job&& job)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (closed_)
+                return Push::kClosed;
+            if (jobs_.size() >= cap_)
+                return Push::kFull;
+            jobs_.push_back(std::move(job));
+        }
+        cv_.notify_one();
+        return Push::kOk;
+    }
+
+    /** Blocks for work; nullopt once closed and (if draining) empty. */
+    std::optional<Job>
+    pop()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return closed_ || !jobs_.empty(); });
+        if (jobs_.empty())
+            return std::nullopt;
+        Job j = std::move(jobs_.front());
+        jobs_.pop_front();
+        return j;
+    }
+
+    /**
+     * Close the queue. kDrain leaves queued jobs for consumers (the
+     * returned vector is empty); kAbort strips them out and returns
+     * them so the caller can terminal-state each one.
+     */
+    enum class Close : std::uint8_t { kDrain, kAbort };
+
+    std::vector<Job>
+    close(Close mode)
+    {
+        std::vector<Job> orphans;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            closed_ = true;
+            if (mode == Close::kAbort) {
+                orphans.assign(std::make_move_iterator(jobs_.begin()),
+                               std::make_move_iterator(jobs_.end()));
+                jobs_.clear();
+            }
+        }
+        cv_.notify_all();
+        return orphans;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return jobs_.size();
+    }
+
+    std::size_t capacity() const { return cap_; }
+
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return closed_;
+    }
+
+  private:
+    const std::size_t cap_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Job> jobs_;
+    bool closed_ = false;
+};
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_QUEUE_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * SimService — the fault-tolerant batch-simulation core of crispd,
+ * independent of any socket so tests and benchmarks drive it
+ * in-process.
+ *
+ * Robustness envelope (docs/SERVICE.md has the full taxonomy):
+ *
+ *  - Admission: every job is validated before it can cost anything —
+ *    frame caps upstream, image size cap, the hardened object loader,
+ *    policy-range checks, memory/cycle budget caps. Invalid jobs are
+ *    REJECTED (never accepted, never queued).
+ *  - Deadlines: each accepted job carries an absolute wall-clock
+ *    deadline measured from admission; queue wait counts. A
+ *    util::Watchdog timer fires the simulator's cooperative
+ *    cancellation flag, so a non-terminating or slow program ends as
+ *    TIMED-OUT without wedging its worker.
+ *  - Retries: transient failures (injected chaos faults, unexpected
+ *    exceptions) retry with exponential backoff + deterministic
+ *    jitter, capped per job and by the service. Deterministic
+ *    failures (machine faults, simulated-cycle budget) never retry.
+ *  - Load shedding: the bounded queue never blocks admission; a full
+ *    queue sheds the job immediately with a SHED terminal state, and
+ *    health degrades to DEGRADED until the queue falls back under the
+ *    low-water mark.
+ *  - Quarantine: a program hash that keeps hitting its deadline is
+ *    quarantined — later submissions of the same image fast-fail
+ *    instead of burning worker time (one poisoned input cannot
+ *    monopolize the fleet).
+ *  - Accounting: every submit() ends in exactly one of
+ *    {rejected} ∪ {done, failed, shed, timed-out}; the LedgerSnapshot
+ *    invariant (accepted == terminals + queued + inFlight) holds at
+ *    every instant and is asserted by the chaos harness and at
+ *    shutdown.
+ *
+ * Caching: results are memoized by program-hash × policy (simulation
+ * is deterministic), and concurrent jobs over the same program share
+ * one eagerly-warmed read-only predecode table (ProgramRegistry).
+ */
+
+#ifndef CRISP_SERVICE_SERVICE_HH
+#define CRISP_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "cache.hh"
+#include "protocol.hh"
+#include "queue.hh"
+#include "util/thread_pool.hh"
+#include "util/watchdog.hh"
+
+namespace crisp::service
+{
+
+struct ServiceConfig
+{
+    int workers = 4;
+    std::size_t queueCap = 64;
+
+    // Admission caps.
+    std::size_t maxImageBytes = 1u << 20;
+    std::uint32_t maxMemBytes = 16u << 20;
+    std::uint64_t maxCyclesCap = 1'000'000'000ull;
+    std::uint64_t defaultMaxCycles = 100'000'000ull;
+    std::uint32_t defaultDeadlineMs = 10'000;
+    std::uint32_t maxDeadlineMs = 120'000;
+
+    // Retry policy.
+    std::uint8_t retryCap = 3;
+    std::uint32_t backoffBaseMs = 5;
+    std::uint32_t backoffCapMs = 100;
+
+    /** Deadline strikes before a program hash is quarantined. */
+    int quarantineStrikes = 2;
+
+    /**
+     * Chaos knob: per-mille of job attempts that fail transiently
+     * (deterministic in (jobId, attempt)). 0 in production; the chaos
+     * harness raises it to exercise the retry/backoff machinery.
+     */
+    std::uint32_t transientFaultPerMille = 0;
+
+    std::size_t programCacheCap = 64;
+    std::size_t resultCacheCap = 4096;
+
+    /** Queue occupancy fractions driving OK <-> DEGRADED. */
+    double degradedHighWater = 0.75;
+    double degradedLowWater = 0.25;
+};
+
+enum class SubmitStatus : std::uint8_t {
+    kAccepted, //!< will reach exactly one terminal state
+    kRejected, //!< refused at admission; completion NOT invoked
+};
+
+class SimService
+{
+  public:
+    /**
+     * Terminal-state delivery. Invoked exactly once per accepted job —
+     * on a worker thread, or on the submitting thread for jobs that
+     * terminal-state at admission (cache hits, sheds, quarantine).
+     * Must not call back into submit()/shutdown().
+     */
+    using Completion = std::function<void(const JobResult&)>;
+
+    explicit SimService(const ServiceConfig& cfg = {});
+
+    /** Equivalent to shutdown(false) (abort). */
+    ~SimService();
+
+    SimService(const SimService&) = delete;
+    SimService& operator=(const SimService&) = delete;
+
+    /**
+     * Admit one job. @p why receives the rejection reason when the
+     * result is kRejected.
+     */
+    SubmitStatus submit(const JobRequest& req, Completion done,
+                        std::string* why = nullptr);
+
+    /**
+     * Stop the service. @p drain lets queued jobs run to completion;
+     * otherwise they are shed (each still gets its terminal state).
+     * Running jobs always finish (they are bounded by their
+     * deadlines). Idempotent.
+     */
+    void shutdown(bool drain);
+
+    /** Block until no job is queued or running. */
+    void quiesce();
+
+    HealthState health() const;
+    LedgerSnapshot ledger() const;
+
+  private:
+    struct Job
+    {
+        std::uint64_t jobId = 0;
+        PolicyKey key;
+        SimConfig simCfg;
+        std::uint8_t maxRetries = 0;
+        std::chrono::steady_clock::time_point deadline;
+        std::shared_ptr<ProgramRegistry::Entry> program;
+        Completion done;
+    };
+
+    void workerLane();
+    JobResult runJob(Job& job);
+    void finish(const Job& job, JobResult res);
+    /** Record one deadline strike against a program hash. */
+    void strike(std::uint64_t hash);
+    /** Deterministic chaos coin for (jobId, attempt). */
+    bool chaosTransient(std::uint64_t job_id, int attempt) const;
+    void noteShedLocked();
+    void updateHealthLocked();
+    /** Interruptible backoff sleep; returns false if shutting down. */
+    bool backoffSleep(std::uint64_t job_id, int attempt,
+                      std::chrono::steady_clock::time_point deadline);
+
+    ServiceConfig cfg_;
+    ProgramRegistry registry_;
+    ResultCache results_;
+    util::Watchdog watchdog_;
+    BoundedQueue<Job> queue_;
+
+    mutable std::mutex mu_; //!< ledger + health + quarantine
+    std::condition_variable idleCv_;
+    LedgerSnapshot ledger_;
+    HealthState health_ = HealthState::kOk;
+    std::map<std::uint64_t, int> deadlineStrikes_;
+    bool shutdownStarted_ = false;
+    std::atomic<bool> shutdownRequested_{false};
+    std::atomic<bool> abortRequested_{false};
+
+    std::mutex backoffMu_;
+    std::condition_variable backoffCv_;
+
+    /** Started last, stopped first: lanes reference everything above. */
+    std::unique_ptr<util::ThreadPool> pool_;
+};
+
+} // namespace crisp::service
+
+#endif // CRISP_SERVICE_SERVICE_HH

@@ -51,7 +51,15 @@ CrispCpu::reset()
     now_ = 0;
     lastMissPc_ = ~Addr{0};
     penaltyStall_ = 0;
+    cancelCountdown_ = kCancelCheckInterval;
     traceNote_.clear();
+}
+
+void
+CrispCpu::setCancelFlag(const std::atomic<bool>* flag)
+{
+    cancel_ = flag;
+    cancelCountdown_ = kCancelCheckInterval;
 }
 
 void
@@ -582,8 +590,16 @@ CrispCpu::retireImpl(ExecObserver* observer)
 bool
 CrispCpu::tick(ExecObserver* observer)
 {
-    if (halted_)
+    if (halted_ || stats_.cancelled)
         return false;
+
+    if (cancel_ != nullptr && --cancelCountdown_ <= 0) {
+        cancelCountdown_ = kCancelCheckInterval;
+        if (cancel_->load(std::memory_order_relaxed)) {
+            stats_.cancelled = true;
+            return false;
+        }
+    }
 
     // Advance the pipeline: RR <- OR <- IR, recycling the just-retired
     // RR slot as the new (empty) IR. Pointer rotation, no Stage copies.
@@ -654,10 +670,11 @@ const SimStats&
 CrispCpu::run(ExecObserver* observer)
 {
     while (!halted_ && now_ < cfg_.maxCycles) {
-        tick(observer);
+        if (!tick(observer))
+            break;
         maybeSkipStalls();
     }
-    if (!halted_)
+    if (!halted_ && !stats_.cancelled)
         stats_.timedOut = true;
     return stats_;
 }

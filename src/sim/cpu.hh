@@ -39,6 +39,7 @@
 #ifndef CRISP_SIM_CPU_HH
 #define CRISP_SIM_CPU_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -127,6 +128,19 @@ class CrispCpu
     {
         traceSink_ = std::move(sink);
     }
+
+    /**
+     * Install a cooperative cancellation flag (not owned; may be
+     * null to clear). The cycle loop polls it every few thousand
+     * ticks; when it reads true the run stops at the next check with
+     * SimStats::cancelled set — no architectural state is corrupted,
+     * the machine simply freezes mid-program. This is how crispd
+     * enforces per-job wall-clock deadlines and how crisptorture
+     * --timeout-ms aborts hung seeds: the flag is typically a
+     * util::Watchdog timer armed by the caller. Retained across
+     * reset() like the trace sink and fault hooks.
+     */
+    void setCancelFlag(const std::atomic<bool>* flag);
 
     /**
      * Install microarchitectural fault-injection hooks (not owned).
@@ -223,6 +237,12 @@ class CrispCpu
 
     // Optional fault-injection hooks (not owned).
     FaultHooks* hooks_ = nullptr;
+
+    // Cooperative cancellation: checked every kCancelCheckInterval
+    // ticks so the poll costs one predictable branch per cycle.
+    static constexpr int kCancelCheckInterval = 4096;
+    const std::atomic<bool>* cancel_ = nullptr;
+    int cancelCountdown_ = kCancelCheckInterval;
 
     // Operand-side stack cache (statistics; optional miss penalty).
     mutable StackCache stackCache_;

@@ -28,4 +28,20 @@ PredecodeCache::compute(Entry& e, Addr pc, FoldPolicy policy)
     e.computed = true;
 }
 
+bool
+PredecodeCache::warmAll(FoldPolicy policy)
+{
+    for (Addr pc = textBase_; pc < textEnd_; pc += kParcelBytes) {
+        try {
+            at(pc, policy);
+        } catch (const CrispError&) {
+            // This address throws on every touch (e.g. an indirect
+            // conditional branch encoding); the entry stays uncomputed,
+            // so the table is not immutable and cannot be shared.
+            return false;
+        }
+    }
+    return true;
+}
+
 } // namespace crisp

@@ -81,6 +81,21 @@ class PredecodeCache
 
     const Program& program() const { return prog_; }
 
+    /**
+     * Eagerly compute every parcel entry for @p policy, making that
+     * table read-only from then on — the precondition for sharing one
+     * cache across concurrent simulations (crispd's program registry
+     * hands the same warmed cache to every worker running the same
+     * program × policy). Invalid decodes memoize as valid=false like
+     * the lazy path.
+     *
+     * @return true when every entry was memoized; false when some
+     * address threw a decode error (such a table stays partially lazy
+     * and MUST NOT be shared across threads — give each run a private
+     * cache instead).
+     */
+    bool warmAll(FoldPolicy policy);
+
   private:
     void compute(Entry& e, Addr pc, FoldPolicy policy);
 

@@ -41,6 +41,8 @@ SimStats::toString() const
        << "halted:              " << (halted ? "yes" : "no") << "\n";
     if (timedOut)
         os << "TIMED OUT at the cycle limit\n";
+    if (cancelled)
+        os << "CANCELLED by the cooperative cancellation flag\n";
     if (faulted) {
         os << (dicCorruption ? "DIC CORRUPTION" : "FAULT") << " at 0x"
            << std::hex << faultPc << std::dec << ": " << faultReason
@@ -122,6 +124,7 @@ SimStats::toJson() const
     os << ",\"stackPenaltyCycles\":" << stackPenaltyCycles;
     os << ",\"halted\":" << (halted ? "true" : "false");
     os << ",\"timedOut\":" << (timedOut ? "true" : "false");
+    os << ",\"cancelled\":" << (cancelled ? "true" : "false");
     os << ",\"faulted\":" << (faulted ? "true" : "false");
     os << ",\"faultPc\":" << faultPc;
     os << ",\"faultReason\":\"" << jsonEscape(faultReason) << "\"";

@@ -112,6 +112,14 @@ struct SimStats
     bool timedOut = false;
 
     /**
+     * True when the run was stopped by the cooperative cancellation
+     * flag (CrispCpu::setCancelFlag) — a deadline or shutdown imposed
+     * from outside, not an architectural outcome. Exactly one of
+     * {halted, timedOut, cancelled, faulted} describes why a run ended.
+     */
+    bool cancelled = false;
+
+    /**
      * Precise machine fault: an instruction raised an error (e.g. a
      * wild memory access) at retirement. faultPc identifies the exact
      * architectural instruction — the payoff of the side-effect-free

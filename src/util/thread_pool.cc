@@ -6,7 +6,6 @@
 #include "thread_pool.hh"
 
 #include <atomic>
-#include <exception>
 
 namespace crisp::util
 {
@@ -22,24 +21,21 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
-    {
-        std::lock_guard<std::mutex> lk(mu_);
-        stop_ = true;
-    }
-    cv_.notify_all();
-    for (std::thread& t : workers_)
-        t.join();
+    stop(Stop::kDrain);
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_)
+            return false;
         tasks_.push(std::move(task));
         ++inFlight_;
     }
     cv_.notify_one();
+    return true;
 }
 
 void
@@ -50,22 +46,80 @@ ThreadPool::wait()
 }
 
 void
+ThreadPool::stop(Stop mode)
+{
+    // Serialize stops: the first caller shuts the pool down, any later
+    // caller (including the destructor) blocks until that completes and
+    // then sees joined_.
+    std::lock_guard<std::mutex> stop_lk(stopMu_);
+    if (joined_)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+        if (mode == Stop::kAbort) {
+            abandoned_ += tasks_.size();
+            inFlight_ -= tasks_.size();
+            std::queue<std::function<void()>> empty;
+            tasks_.swap(empty);
+        }
+    }
+    cv_.notify_all();
+    idleCv_.notify_all();
+    for (std::thread& t : workers_)
+        t.join();
+    joined_ = true;
+}
+
+std::size_t
+ThreadPool::abandoned() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return abandoned_;
+}
+
+std::size_t
+ThreadPool::executed() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return executed_;
+}
+
+std::exception_ptr
+ThreadPool::firstError() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return firstError_;
+}
+
+void
 ThreadPool::workerLoop()
 {
     for (;;) {
         std::function<void()> task;
         {
             std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+            cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
             if (tasks_.empty())
-                return; // stop_ and drained
+                return; // stopping and drained (or aborted)
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        // A throwing task must not take its worker down with it: the
+        // pool would silently lose a lane and a drain-stop would hang
+        // on the tasks that lane would have run.
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lk(mu_);
+            ++executed_;
             --inFlight_;
+            if (err && !firstError_)
+                firstError_ = err;
         }
         idleCv_.notify_all();
     }
@@ -83,24 +137,30 @@ ThreadPool::parallelFor(std::size_t count,
     // Work stealing by atomic counter: tasks are cheap to hand out and
     // sweep items have wildly different run lengths.
     std::atomic<std::size_t> next{0};
+    const auto lane = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
     const std::size_t lanes =
         std::min(count, static_cast<std::size_t>(threadCount()));
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-        submit([&] {
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= count)
-                    return;
-                try {
-                    fn(i);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-            }
-        });
-    }
-    wait();
+    bool any_submitted = false;
+    for (std::size_t l = 0; l < lanes; ++l)
+        any_submitted = submit(lane) || any_submitted;
+    // Pool already stopping: run on the caller's thread instead of
+    // silently doing nothing — the contract is that fn(i) runs for
+    // every i exactly once.
+    lane();
+    if (any_submitted)
+        wait();
     for (const std::exception_ptr& e : errors) {
         if (e)
             std::rethrow_exception(e);

@@ -1,7 +1,8 @@
 /**
  * @file
  * A small fixed-size thread pool for embarrassingly parallel
- * simulation sweeps (torture seeds, ablation grid points).
+ * simulation sweeps (torture seeds, ablation grid points) and for the
+ * crispd worker fleet.
  *
  * Determinism contract: the pool only schedules work; it never merges
  * results. Callers index results by input position (parallelFor hands
@@ -10,6 +11,20 @@
  * `--jobs 1` reports. Each task must own its world (its own CrispCpu,
  * its own RNG seeded from the task index); the pool provides no shared
  * state on purpose.
+ *
+ * Shutdown contract (the part a long-lived daemon leans on):
+ *
+ *  - stop(kDrain): no further submissions are accepted; every task
+ *    already queued runs to completion; workers are joined. This is
+ *    what the destructor does.
+ *  - stop(kAbort): no further submissions; tasks not yet started are
+ *    discarded (counted in abandoned()), tasks already running finish;
+ *    workers are joined. When stop() returns, in either mode, no task
+ *    is running and none will ever run — accounting is exact:
+ *    submitted == executed + abandoned.
+ *  - A task that throws never kills its worker thread: the exception
+ *    is captured (first one wins, see firstError()) and the worker
+ *    moves on. parallelFor keeps its stronger per-index rethrow.
  */
 
 #ifndef CRISP_UTIL_THREAD_POOL_HH
@@ -17,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -29,8 +45,16 @@ namespace crisp::util
 class ThreadPool
 {
   public:
+    /** What happens to queued-but-unstarted tasks at stop(). */
+    enum class Stop : std::uint8_t {
+        kDrain, //!< run everything already queued, then join
+        kAbort, //!< discard the queue (counted), finish running tasks
+    };
+
     /** @p threads is clamped to at least 1. */
     explicit ThreadPool(int threads);
+
+    /** Equivalent to stop(Stop::kDrain). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -38,11 +62,36 @@ class ThreadPool
 
     int threadCount() const { return static_cast<int>(workers_.size()); }
 
-    /** Enqueue one task; returns immediately. */
-    void submit(std::function<void()> task);
+    /**
+     * Enqueue one task; returns immediately. @return false (task
+     * dropped, not counted as submitted) once stop() has begun.
+     */
+    bool submit(std::function<void()> task);
 
     /** Block until every submitted task has finished. */
     void wait();
+
+    /**
+     * Shut the pool down (see the shutdown contract above). Idempotent;
+     * the first caller's mode wins. Safe to call concurrently with
+     * submit() from other threads: a submission either fully enqueues
+     * before the stop (and is drained/aborted accordingly) or is
+     * rejected.
+     */
+    void stop(Stop mode = Stop::kDrain);
+
+    /** Tasks discarded unstarted by stop(kAbort). */
+    std::size_t abandoned() const;
+
+    /** Tasks that ran to completion (including ones that threw). */
+    std::size_t executed() const;
+
+    /**
+     * First exception thrown by a plain submit() task (parallelFor
+     * exceptions are rethrown there instead and do not appear here).
+     * Null if every task returned normally.
+     */
+    std::exception_ptr firstError() const;
 
     /**
      * Run fn(0) .. fn(count - 1) across the pool and wait. Exceptions
@@ -60,11 +109,17 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;
-    std::mutex mu_;
+    /** Serializes stop(); held across the joins. */
+    std::mutex stopMu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
     std::condition_variable idleCv_;
     std::size_t inFlight_ = 0;
-    bool stop_ = false;
+    std::size_t executed_ = 0;
+    std::size_t abandoned_ = 0;
+    std::exception_ptr firstError_;
+    bool stopping_ = false;
+    bool joined_ = false;
 };
 
 } // namespace crisp::util

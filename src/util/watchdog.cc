@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Watchdog scanner thread.
+ */
+
+#include "watchdog.hh"
+
+#include <algorithm>
+
+namespace crisp::util
+{
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (scanner_.joinable())
+        scanner_.join();
+}
+
+std::shared_ptr<Watchdog::Timer>
+Watchdog::arm(std::chrono::milliseconds after)
+{
+    return armAt(std::chrono::steady_clock::now() + after);
+}
+
+std::shared_ptr<Watchdog::Timer>
+Watchdog::armAt(std::chrono::steady_clock::time_point deadline)
+{
+    auto t = std::make_shared<Timer>();
+    t->deadline = deadline;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        timers_.push_back(t);
+        if (!started_) {
+            started_ = true;
+            scanner_ = std::thread([this] { scanLoop(); });
+        }
+    }
+    cv_.notify_all(); // the new deadline may be the earliest
+    return t;
+}
+
+std::size_t
+Watchdog::pending() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto& w : timers_) {
+        if (const auto t = w.lock()) {
+            if (!t->fired.load(std::memory_order_relaxed) &&
+                !t->disarmed.load(std::memory_order_relaxed))
+                ++n;
+        }
+    }
+    return n;
+}
+
+void
+Watchdog::scanLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        if (stop_)
+            return;
+
+        // Fire what's due, drop what's dead, find the next deadline.
+        const auto now = std::chrono::steady_clock::now();
+        auto next = now + std::chrono::hours(24);
+        bool have_next = false;
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < timers_.size(); ++i) {
+            const auto t = timers_[i].lock();
+            if (!t || t->disarmed.load(std::memory_order_relaxed) ||
+                t->fired.load(std::memory_order_relaxed))
+                continue; // prune
+            if (t->deadline <= now) {
+                t->fired.store(true, std::memory_order_relaxed);
+                continue; // fired once; never touched again
+            }
+            if (!have_next || t->deadline < next) {
+                next = t->deadline;
+                have_next = true;
+            }
+            timers_[keep++] = timers_[i];
+        }
+        timers_.resize(keep);
+
+        if (have_next)
+            cv_.wait_until(lk, next);
+        else
+            cv_.wait(lk, [this] {
+                return stop_ || !timers_.empty();
+            });
+    }
+}
+
+} // namespace crisp::util

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Wall-clock deadline watchdog: one background thread that fires
+ * cooperative-cancellation flags when their deadlines pass.
+ *
+ * The simulator's cycle loop polls an `std::atomic<bool>` (see
+ * CrispCpu::setCancelFlag), so enforcing a wall-clock budget needs
+ * someone to *set* that flag at the right time. A Watchdog owns exactly
+ * one scanner thread no matter how many deadlines are armed, so a
+ * service running hundreds of jobs (crispd) or a torture sweep running
+ * thousands of seeds (--timeout-ms) pays one thread, not one per job.
+ *
+ * Usage:
+ *   util::Watchdog wd;
+ *   auto timer = wd.arm(std::chrono::milliseconds(500));
+ *   cpu.setCancelFlag(&timer->fired);
+ *   cpu.run();                       // returns early if the flag fires
+ *   timer->disarm();                 // or just drop the shared_ptr
+ *
+ * Dropping every shared_ptr to a Timer disarms it implicitly: the
+ * scanner holds weak_ptrs and prunes dead entries. Firing is one
+ * relaxed atomic store; the watchdog never touches the job again.
+ */
+
+#ifndef CRISP_UTIL_WATCHDOG_HH
+#define CRISP_UTIL_WATCHDOG_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace crisp::util
+{
+
+class Watchdog
+{
+  public:
+    /** One armed deadline. `fired` is the cancellation flag. */
+    struct Timer
+    {
+        std::atomic<bool> fired{false};
+        std::chrono::steady_clock::time_point deadline;
+
+        /** Forget the deadline without firing (idempotent). */
+        void disarm() { disarmed.store(true, std::memory_order_relaxed); }
+
+        std::atomic<bool> disarmed{false};
+    };
+
+    Watchdog() = default;
+    ~Watchdog();
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /**
+     * Arm a timer that fires @p after from now. The scanner thread is
+     * started lazily on the first arm.
+     */
+    std::shared_ptr<Timer> arm(std::chrono::milliseconds after);
+
+    /** Arm at an absolute steady_clock deadline. */
+    std::shared_ptr<Timer>
+    armAt(std::chrono::steady_clock::time_point deadline);
+
+    /** Armed, not-yet-fired, not-disarmed timers (test/metrics hook). */
+    std::size_t pending() const;
+
+  private:
+    void scanLoop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<std::weak_ptr<Timer>> timers_;
+    std::thread scanner_;
+    bool started_ = false;
+    bool stop_ = false;
+};
+
+} // namespace crisp::util
+
+#endif // CRISP_UTIL_WATCHDOG_HH

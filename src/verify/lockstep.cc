@@ -140,6 +140,8 @@ divergenceName(Divergence d)
         return "cycle-limit";
       case Divergence::kGeneratorNonTerminating:
         return "generator-non-terminating";
+      case Divergence::kTimeout:
+        return "timeout";
     }
     return "?";
 }
@@ -189,6 +191,8 @@ runLockstep(const Program& prog, const LockstepOptions& opt)
     CrispCpu cpu(prog, cfg);
     if (opt.hooks != nullptr)
         cpu.setFaultHooks(opt.hooks);
+    if (opt.cancel != nullptr)
+        cpu.setCancelFlag(opt.cancel);
     CheckingObserver obs(ref.events);
     while (cpu.tick(&obs)) {
         if (obs.mismatch || cpu.stats().cycles >= budget)
@@ -216,6 +220,12 @@ runLockstep(const Program& prog, const LockstepOptions& opt)
         rep.kind = Divergence::kEventMismatch;
         rep.eventIndex = obs.index;
         rep.detail = obs.detail + ctx.str();
+        return rep;
+    }
+    if (rep.sim.cancelled) {
+        rep.kind = Divergence::kTimeout;
+        rep.detail = "wall-clock watchdog cancelled the pipeline run" +
+                     ctx.str();
         return rep;
     }
     if (!cpu.halted()) {

@@ -19,6 +19,7 @@
 #ifndef CRISP_VERIFY_LOCKSTEP_HH
 #define CRISP_VERIFY_LOCKSTEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -51,6 +52,9 @@ enum class Divergence : std::uint8_t {
     kCycleLimit,
     /** The reference interpreter itself did not halt (generator bug). */
     kGeneratorNonTerminating,
+    /** The wall-clock watchdog cancelled the pipeline run
+     *  (LockstepOptions::cancel, crisptorture --timeout-ms). */
+    kTimeout,
 };
 
 std::string_view divergenceName(Divergence d);
@@ -76,6 +80,12 @@ struct LockstepOptions
     SimConfig cfg;
     /** Optional fault-injection hooks installed on the pipeline. */
     FaultHooks* hooks = nullptr;
+    /**
+     * Optional cooperative cancellation flag installed on the pipeline
+     * (CrispCpu::setCancelFlag). When it fires mid-run the report kind
+     * is Divergence::kTimeout.
+     */
+    const std::atomic<bool>* cancel = nullptr;
     /** Reference interpreter step limit. */
     std::uint64_t maxSteps = 1'000'000;
     /**

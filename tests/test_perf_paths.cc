@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "interp/memory_image.hh"
 #include "interp/trace.hh"
 #include "sim/cpu.hh"
 #include "sim/predecode.hh"
@@ -280,6 +281,88 @@ TEST(PerfPaths, OversizedQueueRejected)
     EXPECT_THROW(CrispCpu cpu(prog, cfg), CrispError);
     cfg.queueParcels = 0;
     EXPECT_THROW(CrispCpu cpu2(prog, cfg), CrispError);
+}
+
+// -------------------------------------------- MemoryImage::revert edges
+
+/** revert() must reproduce load() bit-for-bit, not just "close enough".
+ *  The dirty-line bookkeeping is what crispd's replay path (and every
+ *  CrispCpu::reset) leans on, so these pin its corner cases. */
+
+/** A 4-byte store only dirties part of a 64-byte line; revert must
+ *  restore the whole line — including the line-straddling store whose
+ *  first and last byte land in different lines. */
+TEST(MemoryImageRevert, PartialAndStraddlingLineWrites)
+{
+    const Program prog = generate(3).link();
+    MemoryImage img(prog);
+    const MemoryImage pristine(prog);
+
+    const Addr sp_top = prog.memBytes - 128;
+    img.write32(sp_top + 20, 0xdeadbeef);  // interior of one line
+    img.write32(sp_top + 62, 0xfeedface);  // straddles two lines
+    img.write32(prog.dataBase, 0x12345678);  // dirties a data-segment line
+    img.write32(prog.textBase, 0x0bad0bad);  // dirties a text-segment line
+
+    img.revert(prog);
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+}
+
+/** revert on a clean image is a no-op, and revert-after-revert keeps
+ *  producing the pristine image (the dirty set must actually clear). */
+TEST(MemoryImageRevert, RevertAfterRevertIsIdempotent)
+{
+    const Program prog = generate(5).link();
+    MemoryImage img(prog);
+    const MemoryImage pristine(prog);
+
+    img.revert(prog); // nothing dirty: must not disturb anything
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+
+    img.write32(prog.dataBase + 8, 0xabadcafe);
+    img.revert(prog);
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+    img.revert(prog); // second revert sees a clean dirty set
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+}
+
+/** The last line of an image whose size is not a multiple of the line
+ *  granule is shorter than 64 bytes; reverting a store there must stay
+ *  in bounds (ASan-backed) and still restore exactly. */
+TEST(MemoryImageRevert, OddSizedImageBoundaryLine)
+{
+    Program prog = generate(2).link();
+    prog.memBytes = (prog.memBytes & ~Addr{63}) + 36; // ragged last line
+    MemoryImage img(prog);
+    const MemoryImage pristine(prog);
+
+    img.write32(prog.memBytes - 4, 0x5a5a5a5a); // last writable word
+    img.revert(prog);
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+    EXPECT_THROW(img.write32(prog.memBytes - 3, 1), CrispError);
+}
+
+/** The service replay pattern: dirty-write, revert, dirty-write the
+ *  same run again — the image after each replay must equal a fresh
+ *  image given the same writes, run after run. */
+TEST(MemoryImageRevert, ReplayEqualsFreshLoadEveryRun)
+{
+    const Program prog = generate(9).link();
+    MemoryImage reused(prog);
+    for (int run = 0; run < 3; ++run) {
+        if (run != 0)
+            reused.revert(prog);
+        MemoryImage fresh(prog);
+        for (Addr a = prog.dataBase; a + 4 <= prog.dataBase + 96;
+             a += 12) {
+            reused.write32(a, 0x1000u + a);
+            fresh.write32(a, 0x1000u + a);
+        }
+        const Addr stack = prog.memBytes - 128;
+        reused.write32(stack, 0x77u);
+        fresh.write32(stack, 0x77u);
+        EXPECT_EQ(reused.bytes(), fresh.bytes()) << "run " << run;
+    }
 }
 
 } // namespace

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The ThreadPool shutdown contract (src/util/thread_pool.hh): a
+ * long-lived daemon leans on exactly these properties, so each one is
+ * pinned here — and the whole file runs under TSan in CI (the
+ * `tsan` preset builds test_thread_pool and executes it with
+ * halt_on_error), which is what makes the "no task lost, no task after
+ * stop" claims more than comments.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hh"
+#include "util/watchdog.hh"
+
+namespace
+{
+
+using crisp::util::ThreadPool;
+using crisp::util::Watchdog;
+
+TEST(ThreadPool, DrainRunsEveryQueuedTask)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i)
+        ASSERT_TRUE(pool.submit([&ran] { ++ran; }));
+    pool.stop(ThreadPool::Stop::kDrain);
+    EXPECT_EQ(ran.load(), 200);
+    EXPECT_EQ(pool.executed(), 200u);
+    EXPECT_EQ(pool.abandoned(), 0u);
+}
+
+TEST(ThreadPool, AbortDiscardsUnstartedTasksExactly)
+{
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    ThreadPool pool(1);
+    ASSERT_TRUE(pool.submit([&] {
+        started = true;
+        while (!release)
+            std::this_thread::yield();
+        ++ran;
+    }));
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(pool.submit([&ran] { ++ran; }));
+    while (!started)
+        std::this_thread::yield();
+    // stop(kAbort) strips the queue immediately, then waits for the
+    // blocker; release it from a helper so the join can finish.
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        release = true;
+    });
+    pool.stop(ThreadPool::Stop::kAbort);
+    releaser.join();
+    // Only the running task finished; the 50 queued ones were
+    // discarded and counted — none ran, none was lost track of.
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(pool.executed(), 1u);
+    EXPECT_EQ(pool.abandoned(), 50u);
+}
+
+TEST(ThreadPool, SubmitAfterStopIsRejectedNotLost)
+{
+    ThreadPool pool(2);
+    pool.stop(ThreadPool::Stop::kDrain);
+    std::atomic<int> ran{0};
+    EXPECT_FALSE(pool.submit([&ran] { ++ran; }));
+    // The rejected task must never run, even much later.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(ran.load(), 0);
+    EXPECT_EQ(pool.executed(), 0u);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndConcurrencySafe)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i)
+        pool.submit([] {});
+    std::vector<std::thread> stoppers;
+    for (int i = 0; i < 4; ++i)
+        stoppers.emplace_back(
+            [&pool] { pool.stop(ThreadPool::Stop::kDrain); });
+    for (auto& t : stoppers)
+        t.join();
+    pool.stop(ThreadPool::Stop::kAbort); // after-the-fact: no-op
+    EXPECT_EQ(pool.executed() + pool.abandoned(), 20u);
+}
+
+TEST(ThreadPool, TaskExceptionDoesNotKillItsWorker)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(1); // one worker: it must survive the throw
+    pool.submit([] { throw std::runtime_error("task boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&ran] { ++ran; });
+    pool.stop(ThreadPool::Stop::kDrain);
+    EXPECT_EQ(ran.load(), 10);
+    EXPECT_EQ(pool.executed(), 11u); // the thrower still counts as run
+    ASSERT_NE(pool.firstError(), nullptr);
+    try {
+        std::rethrow_exception(pool.firstError());
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "task boom");
+    }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexEvenOnStoppedPool)
+{
+    ThreadPool pool(4);
+    pool.stop(ThreadPool::Stop::kDrain);
+    std::vector<int> hits(100, 0);
+    // Contract: fn(i) runs exactly once per index regardless of pool
+    // state (the caller thread picks up the lanes).
+    pool.parallelFor(hits.size(),
+                     [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstErrorByIndex)
+{
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(64, [](std::size_t i) {
+            if (i == 7 || i == 50)
+                throw std::runtime_error("index " + std::to_string(i));
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error& e) {
+        // Determinism: first by index, not by completion time.
+        EXPECT_STREQ(e.what(), "index 7");
+    }
+}
+
+TEST(ThreadPool, ConcurrentSubmittersRacingStopLoseNothing)
+{
+    // Accounting under fire: every submission that returned true is in
+    // executed() + abandoned(); every one that returned false never
+    // runs. This is the TSan jackpot test.
+    ThreadPool pool(4);
+    std::atomic<std::uint64_t> acceptedCount{0};
+    std::atomic<std::uint64_t> ran{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&] {
+            for (int i = 0; i < 2000; ++i) {
+                if (pool.submit([&ran] { ++ran; }))
+                    ++acceptedCount;
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    pool.stop(ThreadPool::Stop::kAbort);
+    for (auto& t : submitters)
+        t.join();
+    EXPECT_EQ(pool.executed() + pool.abandoned(),
+              acceptedCount.load());
+    EXPECT_EQ(ran.load(), pool.executed());
+}
+
+TEST(Watchdog, FiresAtTheDeadline)
+{
+    Watchdog wd;
+    const auto timer = wd.arm(std::chrono::milliseconds(30));
+    EXPECT_FALSE(timer->fired.load());
+    const auto giveUp = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+    while (!timer->fired.load() &&
+           std::chrono::steady_clock::now() < giveUp)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(timer->fired.load());
+}
+
+TEST(Watchdog, DisarmPreventsFiring)
+{
+    Watchdog wd;
+    const auto timer = wd.arm(std::chrono::milliseconds(30));
+    timer->disarm();
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_FALSE(timer->fired.load());
+}
+
+TEST(Watchdog, OneScannerManyTimers)
+{
+    Watchdog wd;
+    std::vector<std::shared_ptr<Watchdog::Timer>> timers;
+    for (int i = 0; i < 64; ++i)
+        timers.push_back(wd.arm(std::chrono::milliseconds(10 + i)));
+    const auto giveUp = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+    for (const auto& t : timers) {
+        while (!t->fired.load() &&
+               std::chrono::steady_clock::now() < giveUp)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        EXPECT_TRUE(t->fired.load());
+    }
+    EXPECT_EQ(wd.pending(), 0u);
+}
+
+TEST(Watchdog, DroppedTimerIsPruned)
+{
+    Watchdog wd;
+    wd.arm(std::chrono::hours(24)); // dropped immediately: implicit
+                                    // disarm via the weak_ptr
+    const auto keep = wd.arm(std::chrono::milliseconds(20));
+    while (!keep->fired.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(wd.pending(), 0u);
+}
+
+} // namespace

@@ -5,7 +5,7 @@
  *
  *   crisptorture [--seeds=N] [--seed0=K] [--configs=quick|full]
  *                [--faults [--fault-kind=NAME]] [--shrink-demo]
- *                [--max-steps=N] [--jobs=N] [-v]
+ *                [--max-steps=N] [--timeout-ms=N] [--jobs=N] [-v]
  *
  * Modes:
  *  - default: every seed's program runs in lockstep against the
@@ -38,17 +38,27 @@
  * program, simulator and shrinker; per-seed output is buffered and
  * emitted in seed order, so the report (and the exit verdict) is
  * byte-identical for any job count.
+ *
+ * --timeout-ms=N arms a wall-clock watchdog per (seed, config) run:
+ * one shared scanner thread (util::Watchdog) fires the pipeline's
+ * cooperative cancel flag, the run comes back as Divergence::kTimeout,
+ * and the seed is reported with a distinct TIMEOUT verdict — shrunk
+ * like any other failure, against a "still times out" predicate. A
+ * wedged run is a verdict (exit 1), never a hung harness.
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/oracle.hh"
 #include "util/thread_pool.hh"
+#include "util/watchdog.hh"
 #include "verify/faults.hh"
 #include "verify/generator.hh"
 #include "verify/lockstep.hh"
@@ -69,6 +79,7 @@ struct Options
     bool shrinkDemo = false;
     FaultKind onlyFault = FaultKind::kNone;
     std::uint64_t maxSteps = 1'000'000;
+    std::uint64_t timeoutMs = 0; // 0: no wall-clock watchdog
     int jobs = util::ThreadPool::defaultThreads();
     bool verbose = false;
 };
@@ -82,7 +93,7 @@ usage()
         "                    [--configs=quick|full]\n"
         "                    [--faults [--fault-kind=NAME]]\n"
         "                    [--shrink-demo] [--max-steps=N]\n"
-        "                    [--jobs=N] [-v]\n"
+        "                    [--timeout-ms=N] [--jobs=N] [-v]\n"
         "fault kinds: flip-predict-bit unfold-pair drop-fill\n"
         "             corrupt-next-pc corrupt-alt-pc corrupt-cc-bit\n");
     return 2;
@@ -135,19 +146,32 @@ divergenceText(std::uint64_t seed, const SimConfig& cfg,
            shrunk.listing();
 }
 
-/** Lockstep one generated program under one config (+ maybe faults). */
+/**
+ * Lockstep one generated program under one config (+ maybe faults).
+ * When the caller carries a --timeout-ms budget, a watchdog timer is
+ * armed for just this run and its cancel flag handed to the pipeline;
+ * a fire surfaces as Divergence::kTimeout in the report.
+ */
 LockstepReport
 runOne(const GenProgram& gp, const SimConfig& cfg,
-       const FaultConfig* fault, std::uint64_t max_steps)
+       const FaultConfig* fault, const Options& opt,
+       util::Watchdog* wd)
 {
-    LockstepOptions opt;
-    opt.cfg = cfg;
-    opt.maxSteps = max_steps;
-    if (fault == nullptr)
-        return runLockstep(gp.link(), opt);
-    FaultInjector inj(*fault);
-    opt.hooks = &inj;
-    return runLockstep(gp.link(), opt);
+    LockstepOptions lo;
+    lo.cfg = cfg;
+    lo.maxSteps = opt.maxSteps;
+    std::shared_ptr<util::Watchdog::Timer> timer;
+    if (wd != nullptr && opt.timeoutMs > 0) {
+        timer = wd->arm(std::chrono::milliseconds(opt.timeoutMs));
+        lo.cancel = &timer->fired;
+    }
+    FaultInjector inj(fault != nullptr ? *fault : FaultConfig{});
+    if (fault != nullptr)
+        lo.hooks = &inj;
+    const LockstepReport rep = runLockstep(gp.link(), lo);
+    if (timer)
+        timer->disarm();
+    return rep;
 }
 
 /**
@@ -183,9 +207,11 @@ plainSweep(const Options& opt)
         int bad = 0;
         int staticBad = 0;
         int costBad = 0;
+        int timedOut = 0;
         std::string text;
     };
     std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
+    util::Watchdog wd;
 
     sweepSeeds(opt, [&](std::size_t i) {
         const std::uint64_t s = opt.seed0 + i;
@@ -193,12 +219,43 @@ plainSweep(const Options& opt)
         const Program prog = gp.link();
         for (const SimConfig& cfg : cfgs) {
             const LockstepReport rep =
-                runOne(gp, cfg, nullptr, opt.maxSteps);
+                runOne(gp, cfg, nullptr, opt, &wd);
+            if (rep.kind == Divergence::kTimeout) {
+                // The watchdog cancelled the run: a distinct verdict
+                // (the pipeline wedged, or the budget is too tight),
+                // shrunk against a "still times out" predicate. The
+                // oracle is skipped for this config — it re-runs the
+                // same pipeline and would wedge the same way.
+                ++results[i].timedOut;
+                const auto still_times_out =
+                    [&](const GenProgram& cand) {
+                        return runOne(cand, cfg, nullptr, opt, &wd)
+                                   .kind == Divergence::kTimeout;
+                    };
+                const ShrinkResult sh =
+                    shrinkProgram(gp, still_times_out);
+                char head[128];
+                std::snprintf(
+                    head, sizeof(head),
+                    "=== TIMEOUT seed=%llu fold=%d dic=%d "
+                    "mem-latency=%d budget=%llums ===\n",
+                    static_cast<unsigned long long>(s),
+                    static_cast<int>(cfg.foldPolicy), cfg.dicEntries,
+                    cfg.memLatency,
+                    static_cast<unsigned long long>(opt.timeoutMs));
+                char mid[96];
+                std::snprintf(mid, sizeof(mid),
+                              "--- shrunk to %d instructions (%d "
+                              "shrink tests) ---\n",
+                              sh.program.instructionCount(), sh.tests);
+                results[i].text += std::string(head) + rep.toString() +
+                                   "\n" + mid + sh.program.listing();
+                continue;
+            }
             if (!rep.ok()) {
                 ++results[i].bad;
                 const auto still_fails = [&](const GenProgram& cand) {
-                    return !runOne(cand, cfg, nullptr, opt.maxSteps)
-                                .ok();
+                    return !runOne(cand, cfg, nullptr, opt, &wd).ok();
                 };
                 const ShrinkResult sh = shrinkProgram(gp, still_fails);
                 results[i].text +=
@@ -251,17 +308,20 @@ plainSweep(const Options& opt)
     int bad = 0;
     int static_bad = 0;
     int cost_bad = 0;
+    int timed_out = 0;
     for (const SeedOut& r : results) {
         std::fputs(r.text.c_str(), stdout);
         bad += r.bad;
         static_bad += r.staticBad;
         cost_bad += r.costBad;
+        timed_out += r.timedOut;
     }
     std::printf("torture: %llu seeds x %zu configs, %d divergences, "
-                "%d static mismatches, %d cost-bound violations\n",
+                "%d static mismatches, %d cost-bound violations, "
+                "%d timeouts\n",
                 static_cast<unsigned long long>(opt.seeds),
-                cfgs.size(), bad, static_bad, cost_bad);
-    return bad + static_bad + cost_bad;
+                cfgs.size(), bad, static_bad, cost_bad, timed_out);
+    return bad + static_bad + cost_bad + timed_out;
 }
 
 /** Fault-injection sweep. @return number of property violations. */
@@ -276,6 +336,7 @@ faultSweep(const Options& opt)
         std::string text;
     };
     std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
+    util::Watchdog wd;
 
     sweepSeeds(opt, [&](std::size_t i) {
         const std::uint64_t s = opt.seed0 + i;
@@ -283,7 +344,7 @@ faultSweep(const Options& opt)
         const GenProgram gp = generate(s);
         SimConfig cfg; // defaults: the CRISP configuration
         const LockstepReport base =
-            runOne(gp, cfg, nullptr, opt.maxSteps);
+            runOne(gp, cfg, nullptr, opt, &wd);
         if (!base.ok()) {
             char head[96];
             std::snprintf(head, sizeof(head),
@@ -305,7 +366,7 @@ faultSweep(const Options& opt)
             // corruption; it must also stay silent on benign hints.
             fcfg.checkDecode = true;
             const LockstepReport rep =
-                runOne(gp, fcfg, &fc, opt.maxSteps);
+                runOne(gp, fcfg, &fc, opt, &wd);
             bool ok;
             if (faultIsBenignHint(k)) {
                 // Hints: bit-identical architecture, timing may move.
@@ -358,12 +419,13 @@ shrinkDemo(const Options& opt)
 {
     SimConfig cfg;
     cfg.checkDecode = false; // the bug must stay silent
+    util::Watchdog wd;
     const auto fails = [&](const GenProgram& cand) {
         FaultConfig fc;
         fc.kind = FaultKind::kArchBug;
         fc.seed = cand.seed;
         fc.maxFires = 1;
-        return !runOne(cand, cfg, &fc, opt.maxSteps).ok();
+        return !runOne(cand, cfg, &fc, opt, &wd).ok();
     };
     for (std::uint64_t s = opt.seed0; s < opt.seed0 + opt.seeds; ++s) {
         const GenProgram gp = generate(s);
@@ -428,6 +490,8 @@ main(int argc, char** argv)
             opt.shrinkDemo = true;
         } else if (const char* v5 = val("--max-steps=")) {
             opt.maxSteps = std::strtoull(v5, nullptr, 10);
+        } else if (const char* v7 = val("--timeout-ms=")) {
+            opt.timeoutMs = std::strtoull(v7, nullptr, 10);
         } else if (const char* v6 = val("--jobs=")) {
             opt.jobs = std::atoi(v6);
         } else if (a == "--jobs" && i + 1 < argc) {
