@@ -3,11 +3,14 @@
  * bench_perf — host-performance harness for the cycle-level simulator.
  *
  *   bench_perf [--smoke] [--out=FILE | --out FILE] [--jobs=N]
- *              [--reps=N]
+ *              [--reps=N] [--check-floor=FILE]
  *
  * Times three workload families with std::chrono::steady_clock, each
- * under both decode paths (the predecode fast path and the
- * SimConfig::usePredecode = false legacy path):
+ * under three execution paths — the cycle simulator's predecode fast
+ * path, its SimConfig::usePredecode = false legacy path, and the
+ * direct-threaded functional FastEngine (one engine per unit, a shared
+ * PredecodeCache, FastEngine::reset() between replays, exactly the way
+ * crisptorture --engine-diff replays programs):
  *
  *  - torture_replay: replays the torture generator's programs (the same
  *    seeds the differential suite sweeps) on the default CRISP
@@ -34,10 +37,18 @@
  * a thread pool (--jobs) and is never timed. The measured runs are
  * strictly sequential so one run never steals cycles from another.
  *
- * Output: a single JSON object (schema "crisp-bench-perf/1", described
+ * Output: a single JSON object (schema "crisp-bench-perf/2", described
  * in docs/PERFORMANCE.md) written to --out (default BENCH_PERF.json)
  * and validated by re-parsing before exit. --smoke shrinks every
  * workload to fractions of a second and is wired into ctest.
+ *
+ * --check-floor=FILE compares this run against the committed
+ * BENCH_PERF.json instead of writing one. Absolute instr/s depends on
+ * the host, so the check is ratio-normalized: for every workload the
+ * measured fastengine-over-cycle hot-loop speedup must be at least
+ * 0.75x the committed speedup — a >25% relative regression of the
+ * threaded engine fails the build on any machine. Wired into ctest
+ * except under sanitizers, whose overhead distorts the ratio.
  */
 
 #include <chrono>
@@ -48,10 +59,13 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common.hh"
 #include "sim/cpu.hh"
+#include "sim/fastengine.hh"
 #include "sim/predecode.hh"
 #include "util/thread_pool.hh"
 #include "verify/generator.hh"
@@ -93,16 +107,18 @@ struct Measure
  * clean halt: a fault or timeout means the harness is measuring a
  * broken simulation and must say so.
  */
+template <class Machine>
 Measure
 runOnce(const std::vector<Unit>& units, int replays)
 {
+    constexpr bool engine = std::is_same_v<Machine, FastEngine>;
     Measure m;
     for (const Unit& u : units) {
         std::unique_ptr<PredecodeCache> shared;
-        if (u.cfg.usePredecode)
+        if (engine || u.cfg.usePredecode)
             shared = std::make_unique<PredecodeCache>(u.prog);
         const auto t0 = Clock::now();
-        CrispCpu cpu(u.prog, u.cfg, shared.get());
+        Machine cpu(u.prog, u.cfg, shared.get());
         const double ctor =
             std::chrono::duration<double>(Clock::now() - t0).count();
         for (int r = 0; r < replays; ++r) {
@@ -128,12 +144,13 @@ runOnce(const std::vector<Unit>& units, int replays)
 }
 
 /** Best (fastest hot loop) of @p reps repetitions. */
+template <class Machine = CrispCpu>
 Measure
 measure(const std::vector<Unit>& units, int replays, int reps)
 {
     Measure best;
     for (int r = 0; r < reps; ++r) {
-        const Measure m = runOnce(units, replays);
+        const Measure m = runOnce<Machine>(units, replays);
         if (r == 0 || m.hotSeconds < best.hotSeconds)
             best = m;
     }
@@ -178,6 +195,35 @@ jsonMeasure(std::ostringstream& os, const char* key, const Measure& m)
        << static_cast<double>(m.simCycles) / hot
        << ",\"instrPerHostSecEndToEnd\":"
        << static_cast<double>(m.simInstructions) / e2e << "}";
+}
+
+/**
+ * The committed hotSpeedupEngineOverFast for @p workload, pulled from
+ * the baseline JSON by string scan (the value is written by this same
+ * program, so the shape is known). Throws when the baseline predates
+ * the fastengine rows — the fix is regenerating BENCH_PERF.json, and
+ * the message says so.
+ */
+double
+committedSpeedup(const std::string& json, const std::string& workload)
+{
+    const std::string tag = "\"name\":\"" + workload + "\"";
+    const std::size_t at = json.find(tag);
+    if (at == std::string::npos)
+        throw CrispError("bench_perf: baseline lacks workload \"" +
+                         workload + "\"");
+    const std::string key = "\"hotSpeedupEngineOverFast\":";
+    const std::size_t k = json.find(key, at);
+    const std::size_t next = json.find("\"name\":", at + tag.size());
+    if (k == std::string::npos ||
+        (next != std::string::npos && k > next)) {
+        throw CrispError(
+            "bench_perf: baseline has no fastengine row for \"" +
+            workload +
+            "\" (schema crisp-bench-perf/2 required; regenerate "
+            "BENCH_PERF.json with bench_perf --out)");
+    }
+    return std::strtod(json.c_str() + k + key.size(), nullptr);
 }
 
 // ------------------------------------------------------- JSON checking
@@ -342,7 +388,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: bench_perf [--smoke] [--out=FILE] [--jobs=N] "
-                 "[--reps=N]\n");
+                 "[--reps=N] [--check-floor=FILE]\n");
     return 2;
 }
 
@@ -353,6 +399,8 @@ main(int argc, char** argv)
 {
     bool smoke = false;
     std::string out_path = "BENCH_PERF.json";
+    bool out_explicit = false;
+    std::string floor_path;
     int jobs = util::ThreadPool::defaultThreads();
     int reps = 0; // 0: pick by mode
 
@@ -366,8 +414,14 @@ main(int argc, char** argv)
             smoke = true;
         } else if (const char* v = val("--out=")) {
             out_path = v;
+            out_explicit = true;
         } else if (a == "--out" && i + 1 < argc) {
             out_path = argv[++i];
+            out_explicit = true;
+        } else if (const char* vf = val("--check-floor=")) {
+            floor_path = vf;
+        } else if (a == "--check-floor" && i + 1 < argc) {
+            floor_path = argv[++i];
         } else if (const char* v2 = val("--jobs=")) {
             jobs = std::atoi(v2);
         } else if (const char* v3 = val("--reps=")) {
@@ -437,16 +491,25 @@ main(int argc, char** argv)
         };
 
         std::ostringstream os;
-        os << "{\"schema\":\"crisp-bench-perf/1\""
+        os << "{\"schema\":\"crisp-bench-perf/2\""
            << ",\"mode\":\"" << (smoke ? "smoke" : "full") << "\""
            << ",\"jobs\":" << jobs << ",\"reps\":" << reps
            << ",\"workloads\":[";
         bool first = true;
+        std::vector<std::pair<std::string, double>> speedups;
         for (const Row& row : rows) {
             const Measure fast =
                 measure(withPath(*row.units, true), row.replays, reps);
             const Measure legacy =
                 measure(withPath(*row.units, false), row.replays, reps);
+            const Measure engine = measure<FastEngine>(
+                withPath(*row.units, true), row.replays, reps);
+            const double engine_x = fast.hotSeconds > 0 &&
+                                            engine.hotSeconds > 0
+                                        ? fast.hotSeconds /
+                                              engine.hotSeconds
+                                        : 0.0;
+            speedups.emplace_back(row.name, engine_x);
             if (!first)
                 os << ",";
             first = false;
@@ -456,15 +519,18 @@ main(int argc, char** argv)
             jsonMeasure(os, "fast", fast);
             os << ",";
             jsonMeasure(os, "legacy", legacy);
+            os << ",";
+            jsonMeasure(os, "fastengine", engine);
             os << ",\"hotSpeedupFastOverLegacy\":"
                << (fast.hotSeconds > 0
                        ? legacy.hotSeconds / fast.hotSeconds
                        : 0.0)
-               << "}";
+               << ",\"hotSpeedupEngineOverFast\":" << engine_x << "}";
             std::fprintf(
                 stderr,
                 "bench_perf: %-24s fast %8.2f Minstr/s "
-                "(%8.2f Mcyc/s), legacy %8.2f Minstr/s, x%.2f\n",
+                "(%8.2f Mcyc/s), legacy %8.2f Minstr/s, x%.2f; "
+                "engine %8.2f Minstr/s, x%.2f\n",
                 row.name,
                 static_cast<double>(fast.simInstructions) /
                     fast.hotSeconds / 1e6,
@@ -472,9 +538,45 @@ main(int argc, char** argv)
                     fast.hotSeconds / 1e6,
                 static_cast<double>(legacy.simInstructions) /
                     legacy.hotSeconds / 1e6,
-                legacy.hotSeconds / fast.hotSeconds);
+                legacy.hotSeconds / fast.hotSeconds,
+                static_cast<double>(engine.simInstructions) /
+                    engine.hotSeconds / 1e6,
+                engine_x);
         }
         os << "]}";
+
+        if (!floor_path.empty()) {
+            std::ifstream in(floor_path);
+            if (!in)
+                throw CrispError("bench_perf: cannot read baseline: " +
+                                 floor_path);
+            std::stringstream ss;
+            ss << in.rdbuf();
+            const std::string base = ss.str();
+            bool ok = true;
+            for (const auto& [name, got] : speedups) {
+                const double want = committedSpeedup(base, name);
+                const double floor = 0.75 * want;
+                std::fprintf(stderr,
+                             "bench_perf: %-24s engine speedup x%.2f "
+                             "(committed x%.2f, floor x%.2f)%s\n",
+                             name.c_str(), got, want, floor,
+                             got >= floor ? "" : "  <-- BELOW FLOOR");
+                if (got < floor)
+                    ok = false;
+            }
+            if (!ok) {
+                std::fprintf(
+                    stderr,
+                    "bench_perf: fast-engine hot loop regressed more "
+                    "than 25%% relative to %s\n",
+                    floor_path.c_str());
+                return 1;
+            }
+            std::printf("bench_perf floor check: ok\n");
+            if (!out_explicit)
+                return 0; // comparison run: nothing to record
+        }
 
         const std::string json = os.str();
         if (!JsonChecker(json).valid())

@@ -7,6 +7,7 @@
 #ifndef CRISP_INTERP_MEMORY_IMAGE_HH
 #define CRISP_INTERP_MEMORY_IMAGE_HH
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -100,6 +101,27 @@ class MemoryImage
     }
 
     const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+    /**
+     * True when any 64-byte dirty line written since the last load() /
+     * revert() overlaps [@p lo, @p hi). The fast engine queries the
+     * text window *before* reverting: a store into text means its
+     * translation describes stale bytes and must be rebuilt after the
+     * revert restores the original image.
+     */
+    bool
+    dirtyInRange(Addr lo, Addr hi) const
+    {
+        if (lo >= hi || bytes_.empty())
+            return false;
+        const Addr last = std::min<Addr>(hi - 1, size() - 1);
+        for (Addr line = lo >> kLineShift; line <= (last >> kLineShift);
+             ++line) {
+            if (dirty_[line >> 6] & (std::uint64_t{1} << (line & 63)))
+                return true;
+        }
+        return false;
+    }
 
   private:
     /** Copy into the image whichever of @p prog's text and data

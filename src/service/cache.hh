@@ -48,6 +48,9 @@ struct PolicyKey
     std::uint64_t hash = 0;
     FoldPolicy foldPolicy = FoldPolicy::kCrisp;
     PredictorKind predictor = PredictorKind::kStaticBit;
+    /** Fast and cycle runs of the same program produce different
+     *  payloads (cycles vs. none) — the engine is part of identity. */
+    EngineKind engine = EngineKind::kCycle;
     std::uint32_t dicEntries = 32;
     std::uint32_t memLatency = 3;
     std::uint64_t maxCycles = 0;
@@ -55,8 +58,8 @@ struct PolicyKey
     auto
     tie() const
     {
-        return std::make_tuple(hash, foldPolicy, predictor, dicEntries,
-                               memLatency, maxCycles);
+        return std::make_tuple(hash, foldPolicy, predictor, engine,
+                               dicEntries, memLatency, maxCycles);
     }
     bool operator<(const PolicyKey& o) const { return tie() < o.tie(); }
 };

@@ -195,6 +195,7 @@ JobRequest::encode() const
     put8(out, maxRetries);
     put8(out, static_cast<std::uint8_t>(foldPolicy));
     put8(out, static_cast<std::uint8_t>(predictor));
+    put8(out, static_cast<std::uint8_t>(engine));
     put32(out, dicEntries);
     put32(out, memLatency);
     put64(out, maxCycles);
@@ -219,6 +220,10 @@ JobRequest::decode(const std::vector<std::uint8_t>& payload)
     if (pred > static_cast<std::uint8_t>(PredictorKind::kDynamic2))
         throw ProtocolError("bad predictor " + std::to_string(pred));
     req.predictor = static_cast<PredictorKind>(pred);
+    const std::uint8_t eng = r.u8();
+    if (eng > static_cast<std::uint8_t>(EngineKind::kInterp))
+        throw ProtocolError("bad engine " + std::to_string(eng));
+    req.engine = static_cast<EngineKind>(eng);
     req.dicEntries = r.u32();
     req.memLatency = r.u32();
     req.maxCycles = r.u64();
@@ -253,6 +258,7 @@ JobResult::encode() const
     put8(out, static_cast<std::uint8_t>(state));
     put8(out, retries);
     put8(out, cacheHit ? 1 : 0);
+    put8(out, static_cast<std::uint8_t>(engine));
     put32(out, exitValue);
     put64(out, cycles);
     put64(out, instructions);
@@ -273,6 +279,10 @@ JobResult::decode(const std::vector<std::uint8_t>& payload)
     res.state = static_cast<JobState>(state);
     res.retries = r.u8();
     res.cacheHit = r.u8() != 0;
+    const std::uint8_t eng = r.u8();
+    if (eng > static_cast<std::uint8_t>(EngineKind::kInterp))
+        throw ProtocolError("bad engine " + std::to_string(eng));
+    res.engine = static_cast<EngineKind>(eng);
     res.exitValue = r.u32();
     res.cycles = r.u64();
     res.instructions = r.u64();

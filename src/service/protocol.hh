@@ -110,9 +110,18 @@ struct JobRequest
     std::uint8_t maxRetries = 0;
     FoldPolicy foldPolicy = FoldPolicy::kCrisp;
     PredictorKind predictor = PredictorKind::kStaticBit;
+    /**
+     * Execution engine. kCycle is the timed pipeline; kFast is the
+     * threaded-code functional engine (architectural results only,
+     * cycles reported as 0) for jobs that don't need timing. kInterp
+     * is rejected at admission — the daemon serves the fast engine
+     * for architectural work.
+     */
+    EngineKind engine = EngineKind::kCycle;
     std::uint32_t dicEntries = 32;
     std::uint32_t memLatency = 3;
-    /** Simulated-cycle budget (0: service default; capped). */
+    /** Simulated-cycle budget (0: service default; capped). For
+     *  engine=fast this bounds apparent instructions instead. */
     std::uint64_t maxCycles = 0;
     /** Serialized CRISP object file (isa/objfile.hh). */
     std::vector<std::uint8_t> image;
@@ -140,6 +149,10 @@ struct JobResult
     std::uint8_t retries = 0;
     /** True when served from the result cache (no simulation ran). */
     bool cacheHit = false;
+    /** Engine that produced (or would have produced) the result —
+     *  part of the cache key, so a cached cycle result is never
+     *  served to a fast-engine request or vice versa. */
+    EngineKind engine = EngineKind::kCycle;
     /** Program exit value (the accumulator) when state == kDone. */
     std::uint32_t exitValue = 0;
     std::uint64_t cycles = 0;

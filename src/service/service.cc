@@ -12,6 +12,7 @@
 
 #include "isa/objfile.hh"
 #include "sim/cpu.hh"
+#include "sim/fastengine.hh"
 
 namespace crisp::service
 {
@@ -77,6 +78,11 @@ SimService::submit(const JobRequest& req, Completion done,
         return reject("fold policy out of range");
     if (req.predictor > PredictorKind::kDynamic2)
         return reject("predictor out of range");
+    if (req.engine > EngineKind::kInterp)
+        return reject("engine out of range");
+    if (req.engine == EngineKind::kInterp)
+        return reject("engine=interp is not served; use engine=fast "
+                      "for architectural-only runs");
     if (!isPow2(req.dicEntries) || req.dicEntries > 65536)
         return reject("dicEntries must be a power of two <= 65536");
     if (req.memLatency > 10'000)
@@ -111,6 +117,7 @@ SimService::submit(const JobRequest& req, Completion done,
     job.key.hash = fnv1a(req.image);
     job.key.foldPolicy = req.foldPolicy;
     job.key.predictor = req.predictor;
+    job.key.engine = req.engine;
     job.key.dicEntries = req.dicEntries;
     job.key.memLatency = req.memLatency;
     job.key.maxCycles = max_cycles;
@@ -146,6 +153,7 @@ SimService::submit(const JobRequest& req, Completion done,
     if (strikes > 0) {
         JobResult res;
         res.jobId = job.jobId;
+        res.engine = req.engine;
         res.state = JobState::kFailed;
         res.detail = "program quarantined after " +
                      std::to_string(strikes) + " deadline strikes";
@@ -199,6 +207,7 @@ SimService::submit(const JobRequest& req, Completion done,
     }
     JobResult res;
     res.jobId = job_id;
+    res.engine = req.engine;
     res.state = JobState::kShed;
     res.detail = push == BoundedQueue<Job>::Push::kFull
                      ? "queue full (load shed)"
@@ -227,6 +236,7 @@ SimService::runJob(Job& job)
 {
     JobResult res;
     res.jobId = job.jobId;
+    res.engine = job.key.engine;
     int attempt = 0;
     for (;;) {
         res.retries = static_cast<std::uint8_t>(
@@ -255,9 +265,25 @@ SimService::runJob(Job& job)
                     std::lock_guard<std::mutex> lk(mu_);
                     ++ledger_.predecodeShares;
                 }
-                CrispCpu cpu(job.program->prog, job.simCfg, tables);
-                cpu.setCancelFlag(&timer->fired);
-                const SimStats& st = cpu.run();
+                // Architectural-only jobs run on the threaded-code
+                // fast engine (cycles reported as 0); timed jobs on
+                // the cycle pipeline. Both share the warm predecode
+                // tables and honor the same cooperative cancel flag.
+                SimStats st;
+                Word accum = 0;
+                if (job.key.engine == EngineKind::kFast) {
+                    FastEngine eng(job.program->prog, job.simCfg,
+                                   tables);
+                    eng.setCancelFlag(&timer->fired);
+                    st = eng.run();
+                    accum = eng.accum();
+                } else {
+                    CrispCpu cpu(job.program->prog, job.simCfg,
+                                 tables);
+                    cpu.setCancelFlag(&timer->fired);
+                    st = cpu.run();
+                    accum = cpu.accum();
+                }
                 timer->disarm();
                 if (st.cancelled) {
                     res.state = JobState::kTimedOut;
@@ -273,16 +299,23 @@ SimService::runJob(Job& job)
                     return res;
                 }
                 if (st.timedOut) {
-                    // Also deterministic (simulated cycles, not wall
-                    // clock).
+                    // Also deterministic (simulated cycles or
+                    // instructions, not wall clock).
                     res.state = JobState::kFailed;
-                    res.detail = "simulated-cycle budget of " +
-                                 std::to_string(job.simCfg.maxCycles) +
-                                 " exhausted";
+                    res.detail =
+                        job.key.engine == EngineKind::kFast
+                            ? "instruction budget of " +
+                                  std::to_string(
+                                      job.simCfg.maxCycles) +
+                                  " exhausted"
+                            : "simulated-cycle budget of " +
+                                  std::to_string(
+                                      job.simCfg.maxCycles) +
+                                  " exhausted";
                     return res;
                 }
                 res.state = JobState::kDone;
-                res.exitValue = static_cast<std::uint32_t>(cpu.accum());
+                res.exitValue = static_cast<std::uint32_t>(accum);
                 res.cycles = st.cycles;
                 res.instructions = st.apparent;
                 res.detail.clear();

@@ -7,9 +7,46 @@
 #define CRISP_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace crisp
 {
+
+/**
+ * Which execution engine produced a result.
+ *
+ *  - kCycle: the cycle-accurate three-stage pipeline (CrispCpu) — the
+ *    timing oracle; every counter in SimStats is meaningful.
+ *  - kFast: the threaded-code functional engine (FastEngine) — same
+ *    architectural results, no timing (cycles stay 0); the default for
+ *    consumers that only want architectural stats.
+ *  - kInterp: the reference interpreter — the golden model both other
+ *    engines are verified against.
+ *
+ * The value is carried in SimStats, `crisprun --stats-json`, and the
+ * crispd wire protocol, and is part of the service's result-cache key:
+ * results from different engines are never interchangeable (their
+ * timing fields differ by construction).
+ */
+enum class EngineKind : std::uint8_t {
+    kCycle = 0,
+    kFast = 1,
+    kInterp = 2,
+};
+
+inline std::string_view
+engineName(EngineKind e)
+{
+    switch (e) {
+      case EngineKind::kCycle:
+        return "cycle";
+      case EngineKind::kFast:
+        return "fast";
+      case EngineKind::kInterp:
+        return "interp";
+    }
+    return "?";
+}
 
 /** How the EU predicts speculative conditional branches. */
 enum class PredictorKind : std::uint8_t {

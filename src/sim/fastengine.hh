@@ -1,0 +1,140 @@
+/**
+ * @file
+ * FastEngine: a direct-threaded functional execution engine over the
+ * predecode tables.
+ *
+ * Where CrispCpu models the paper's hardware cycle by cycle, FastEngine
+ * answers only the architectural question — final state, instruction
+ * counts, branch trace — as fast as the host allows. It compiles each
+ * predecoded DIC line into a threaded-code op (translate.hh) and
+ * dispatches with computed goto on GCC/Clang (a switch-threaded
+ * fallback is selected by defining CRISP_NO_COMPUTED_GOTO), executing
+ * each folded straight-line-plus-branch region as a superblock: one
+ * handler activation retires the whole sequential run, and the
+ * terminating branch transfers through the translation's pre-resolved
+ * Next-PC / Alternate-Next-PC indices, so hot loops never leave
+ * translated code.
+ *
+ * Contracts shared with the other engines:
+ *  - architectural-state equivalence with the reference interpreter,
+ *    including fault points and messages (enforced by the lockstep
+ *    differential in src/verify/enginediff.hh and by
+ *    `crisptorture --engine-diff`);
+ *  - the cooperative cancel flag is polled on superblock boundaries
+ *    (same kCancelCheckInterval cadence as CrispCpu);
+ *  - SimConfig::maxCycles bounds the run — a functional engine has no
+ *    cycles, so the limit is applied to apparent (architectural)
+ *    instructions, checked at superblock boundaries;
+ *  - MemoryImage dirty-line tracking powers reset(): if the program
+ *    image's text window was dirtied, the revert also rebuilds the
+ *    translation so it can never describe stale bytes.
+ *
+ * Timing fields of SimStats stay zero; `engine` is kFast.
+ */
+
+#ifndef CRISP_SIM_FASTENGINE_HH
+#define CRISP_SIM_FASTENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "config.hh"
+#include "interp/interpreter.hh"
+#include "interp/memory_image.hh"
+#include "isa/program.hh"
+#include "predecode.hh"
+#include "stats.hh"
+#include "translate.hh"
+
+namespace crisp
+{
+
+class FastEngine
+{
+  public:
+    /**
+     * @p shared_predecode works exactly as for CrispCpu: an optional
+     * externally-owned predecode cache (crispd's warmed registry
+     * tables) so repeated runs of one program skip all decode work.
+     * Must have been built over a Program with the same text segment.
+     */
+    explicit FastEngine(const Program& prog, const SimConfig& cfg = {},
+                        PredecodeCache* shared_predecode = nullptr);
+
+    FastEngine(const FastEngine&) = delete;
+    FastEngine& operator=(const FastEngine&) = delete;
+
+    /**
+     * Run until halt, fault, cancellation or the instruction budget.
+     * @p observer sees exactly the interpreter's event sequence
+     * (per-instruction onInstruction calls and BranchEvents); passing
+     * one selects a slower per-instruction loop, so lockstep checking
+     * costs nothing when unused.
+     */
+    const SimStats& run(ExecObserver* observer = nullptr);
+
+    /**
+     * Return to the power-on state over the same program and config:
+     * dirty-line memory revert, statistics zeroed, and — if the text
+     * window of the image was written since the last reset — a
+     * translation rebuild, so a reverted image can never execute
+     * through stale translations. Nothing is reallocated on the clean
+     * path; replay loops reuse one engine. The cancel flag is
+     * retained, like CrispCpu.
+     */
+    void reset();
+
+    /** Cooperative cancellation flag (not owned; null clears). Polled
+     *  every few thousand instructions at superblock boundaries; the
+     *  run stops with SimStats::cancelled set and can be resumed by
+     *  calling run() again. */
+    void
+    setCancelFlag(const std::atomic<bool>* flag)
+    {
+        cancel_ = flag;
+    }
+
+    // Architectural state (valid after run) ---------------------------
+    /** Address execution would continue from (entry, or the stop
+     *  point after a cancel/budget stop). */
+    Addr nextPc() const { return pc_; }
+    Addr sp() const { return sp_; }
+    Word accum() const { return accum_; }
+    bool flag() const { return flag_; }
+    bool halted() const { return halted_; }
+    const MemoryImage& memory() const { return mem_; }
+    Word wordAt(const std::string& symbol) const;
+
+    const SimStats& stats() const { return stats_; }
+
+    /** Translation build count — bumped when reset() invalidates after
+     *  text-window writes (observable by the self-modifying-image
+     *  tests). */
+    std::uint64_t translationEpoch() const { return trans_.epoch(); }
+
+  private:
+    template <bool Observed>
+    void runLoop(ExecObserver* observer);
+
+    /** Owned copy: the engine's lifetime is self-contained. */
+    Program prog_;
+    SimConfig cfg_;
+    MemoryImage mem_;
+    Translation trans_;
+    SimStats stats_;
+
+    Addr pc_ = 0;
+    Addr sp_ = 0;
+    Word accum_ = 0;
+    bool flag_ = false;
+    bool halted_ = false;
+
+    /** Same poll cadence as CrispCpu's cycle loop. */
+    static constexpr int kCancelCheckInterval = 4096;
+    const std::atomic<bool>* cancel_ = nullptr;
+};
+
+} // namespace crisp
+
+#endif // CRISP_SIM_FASTENGINE_HH

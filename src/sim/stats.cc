@@ -15,7 +15,8 @@ std::string
 SimStats::toString() const
 {
     std::ostringstream os;
-    os << "cycles:              " << cycles << "\n"
+    os << "engine:              " << engineName(engine) << "\n"
+       << "cycles:              " << cycles << "\n"
        << "issued:              " << issued << "\n"
        << "apparent:            " << apparent << "\n"
        << "issued CPI:          " << issuedCpi() << "\n"
@@ -97,7 +98,8 @@ SimStats::toJson() const
 {
     std::ostringstream os;
     os << "{";
-    os << "\"cycles\":" << cycles;
+    os << "\"engine\":\"" << engineName(engine) << "\"";
+    os << ",\"cycles\":" << cycles;
     os << ",\"issued\":" << issued;
     os << ",\"apparent\":" << apparent;
     os << ",\"issuedCpi\":" << issuedCpi();

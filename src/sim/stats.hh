@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "config.hh"
 #include "isa/opcode.hh"
 
 namespace crisp
@@ -24,6 +25,11 @@ namespace crisp
 
 struct SimStats
 {
+    /** Which engine produced this result (cycle pipeline, threaded
+     *  fast engine, or the reference interpreter). Functional engines
+     *  leave every timing counter at zero. */
+    EngineKind engine = EngineKind::kCycle;
+
     std::uint64_t cycles = 0;
 
     /** Decoded instructions retired by the EU pipeline. */

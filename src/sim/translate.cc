@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Lowering of predecoded entries into the threaded-code TOp table.
+ */
+
+#include "translate.hh"
+
+namespace crisp
+{
+
+namespace
+{
+
+/** Pre-scale an operand specifier (wrapping uint32 arithmetic, exactly
+ *  the interpreter's `sp_ + static_cast<Addr>(value) * kWordBytes`). */
+TOperand
+lowerOperand(const Operand& o)
+{
+    TOperand t;
+    t.mode = o.mode;
+    switch (o.mode) {
+      case AddrMode::kStack:
+      case AddrMode::kInd:
+        t.v = static_cast<std::uint32_t>(o.value) * kWordBytes;
+        break;
+      case AddrMode::kAbs:
+      case AddrMode::kImm:
+        t.v = static_cast<std::uint32_t>(o.value);
+        break;
+      default:
+        break;
+    }
+    return t;
+}
+
+/** Fill the computational-body fields of @p t from @p inst. */
+void
+fillBody(TOp& t, const Instruction& inst)
+{
+    t.bodyOp = inst.op;
+    t.dst = lowerOperand(inst.dst);
+    t.src = lowerOperand(inst.src);
+    if (inst.op == Opcode::kNop) {
+        t.body = TBody::kNop;
+    } else if (inst.op == Opcode::kMov) {
+        t.body = TBody::kMov;
+    } else if (inst.op == Opcode::kEnter) {
+        t.body = TBody::kEnter;
+        t.frameBytes =
+            static_cast<std::uint32_t>(inst.dst.value) * kWordBytes;
+    } else if (inst.op == Opcode::kLeave) {
+        t.body = TBody::kLeave;
+        t.frameBytes =
+            static_cast<std::uint32_t>(inst.dst.value) * kWordBytes;
+    } else if (isCompare(inst.op)) {
+        t.body = TBody::kCmp;
+    } else if (isAlu3(inst.op)) {
+        t.body = TBody::kAlu3;
+    } else if (isAlu2(inst.op)) {
+        t.body = TBody::kAlu2;
+    } else {
+        t.body = TBody::kBad;
+    }
+}
+
+} // namespace
+
+Translation::Translation(const Program& prog, FoldPolicy policy,
+                         PredecodeCache* predecode)
+    : prog_(prog), policy_(policy), textBase_(prog.textBase),
+      textEnd_(prog.textEnd())
+{
+    if (predecode) {
+        predecode_ = predecode;
+    } else {
+        ownedPredecode_ = std::make_unique<PredecodeCache>(prog);
+        predecode_ = ownedPredecode_.get();
+    }
+    build();
+}
+
+void
+Translation::rebuild()
+{
+    build();
+}
+
+void
+Translation::build()
+{
+    ops_.assign(prog_.text.size(), TOp{});
+    trapMsgs_.clear();
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        translateAt(ops_[i],
+                    textBase_ + static_cast<Addr>(i) * kParcelBytes);
+    }
+    linkSuccessors();
+    ++epoch_;
+}
+
+void
+Translation::makeTrap(TOp& t, Addr pc, const std::string& msg)
+{
+    t = TOp{};
+    t.kind = TKind::kTrap;
+    t.pc = pc;
+    t.trapMsg = static_cast<std::uint32_t>(trapMsgs_.size());
+    trapMsgs_.push_back(msg);
+}
+
+void
+Translation::translateAt(TOp& t, Addr pc)
+{
+    try {
+        const PredecodeCache::Entry& e = predecode_->at(pc, policy_);
+        if (e.valid) {
+            lowerDecoded(t, e.di);
+            return;
+        }
+        // Truncated by the end of text: fetching here raises the
+        // authentic interpreter error (before counting anything).
+        try {
+            prog_.fetch(pc);
+            makeTrap(t, pc, "untranslatable instruction");
+        } catch (const CrispError& err) {
+            makeTrap(t, pc, err.what());
+        }
+    } catch (const CrispError&) {
+        // The folding decoder rejected the encoding (e.g. an indirect
+        // conditional branch, which the pipeline cannot issue). The
+        // interpreter executes it anyway; fall back to its raw view so
+        // the fast engine stays interpreter-equivalent.
+        try {
+            lowerRaw(t, pc, prog_.fetch(pc));
+        } catch (const CrispError& err) {
+            makeTrap(t, pc, err.what());
+        }
+    }
+}
+
+void
+Translation::lowerDecoded(TOp& t, const DecodedInst& di)
+{
+    t.pc = di.pc;
+    t.seqPc = di.seqPc;
+    switch (di.ctl) {
+      case Ctl::kSeq:
+        t.kind = TKind::kChain;
+        fillBody(t, di.body);
+        return;
+      case Ctl::kHalt:
+        t.kind = TKind::kHalt;
+        t.bodyOp = Opcode::kHalt;
+        return;
+      case Ctl::kRet:
+        t.kind = TKind::kRet;
+        t.bodyOp = Opcode::kReturn;
+        t.frameBytes =
+            static_cast<std::uint32_t>(di.body.dst.value) * kWordBytes;
+        return;
+      case Ctl::kJmp:
+      case Ctl::kCondT:
+      case Ctl::kCondF:
+      case Ctl::kCall:
+      case Ctl::kIndirect:
+        break;
+    }
+
+    // Branch entries (lone or folded).
+    t.kind = di.ctl == Ctl::kCall ? TKind::kCall
+             : di.hasCondBranch() ? TKind::kCond
+                                  : TKind::kJmp;
+    t.condWhenTrue = di.ctl == Ctl::kCondT;
+    t.branchOp = di.branchOp;
+    t.branchPc = di.branchPc;
+    t.takenPc = di.takenPc;
+    t.callRetPc = di.callRetPc;
+    t.shortForm = di.branchShortForm;
+    t.predictTaken = di.predictTaken;
+    t.folded = di.folded;
+    if (di.folded)
+        fillBody(t, di.body);
+    if (di.ctl == Ctl::kIndirect) {
+        t.dynTarget = true;
+        t.bmode = di.bmode;
+        t.dynSpec = di.bmode == BranchMode::kIndSp
+                        ? di.spec * kWordBytes
+                        : di.spec;
+    }
+}
+
+void
+Translation::lowerRaw(TOp& t, Addr pc, const Instruction& inst)
+{
+    t.pc = pc;
+    t.seqPc = pc + inst.lengthBytes();
+    switch (inst.op) {
+      case Opcode::kHalt:
+        t.kind = TKind::kHalt;
+        t.bodyOp = Opcode::kHalt;
+        return;
+      case Opcode::kReturn:
+        t.kind = TKind::kRet;
+        t.bodyOp = Opcode::kReturn;
+        t.frameBytes =
+            static_cast<std::uint32_t>(inst.dst.value) * kWordBytes;
+        return;
+      case Opcode::kJmp:
+      case Opcode::kIfTJmp:
+      case Opcode::kIfFJmp:
+      case Opcode::kCall:
+        break;
+      default:
+        t.kind = TKind::kChain;
+        fillBody(t, inst);
+        return;
+    }
+
+    t.kind = inst.op == Opcode::kCall          ? TKind::kCall
+             : isConditionalBranch(inst.op)    ? TKind::kCond
+                                               : TKind::kJmp;
+    t.condWhenTrue = inst.op == Opcode::kIfTJmp;
+    t.branchOp = inst.op;
+    t.branchPc = pc;
+    t.callRetPc = t.seqPc;
+    t.shortForm = inst.lengthParcels() == 1;
+    t.predictTaken = inst.predictTaken;
+    switch (inst.bmode) {
+      case BranchMode::kPcRel:
+        t.takenPc = pc + static_cast<Addr>(inst.disp);
+        break;
+      case BranchMode::kAbs:
+        t.takenPc = inst.spec;
+        break;
+      case BranchMode::kIndAbs:
+        t.dynTarget = true;
+        t.bmode = inst.bmode;
+        t.dynSpec = inst.spec;
+        break;
+      case BranchMode::kIndSp:
+        t.dynTarget = true;
+        t.bmode = inst.bmode;
+        t.dynSpec = inst.spec * kWordBytes;
+        break;
+    }
+}
+
+void
+Translation::linkSuccessors()
+{
+    for (TOp& t : ops_) {
+        t.seqIdx = indexOf(t.seqPc);
+        if ((t.kind == TKind::kJmp || t.kind == TKind::kCond ||
+             t.kind == TKind::kCall) &&
+            !t.dynTarget) {
+            t.takenIdx = indexOf(t.takenPc);
+        }
+    }
+    // Superblock lengths, computed backward: a sequential op's
+    // successor index is strictly greater than its own (seqPc > pc), so
+    // every chain value on the right is already final.
+    for (std::size_t i = ops_.size(); i-- > 0;) {
+        TOp& t = ops_[i];
+        if (t.kind != TKind::kChain)
+            continue;
+        t.chain = 1;
+        if (t.seqIdx != kNoIdx &&
+            ops_[t.seqIdx].kind == TKind::kChain) {
+            t.chain += ops_[t.seqIdx].chain;
+        }
+    }
+}
+
+} // namespace crisp

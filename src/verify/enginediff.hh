@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fast-engine differential runner: the threaded-code FastEngine against
+ * the functional Interpreter, event by event.
+ *
+ * Same shape as lockstep.hh's pipeline runner, same Divergence /
+ * LockstepReport vocabulary, but held to a *stronger* contract: because
+ * the fast engine is functional, the comparison also pins the dynamic
+ * opcode histogram and branch count, and faulting programs are in
+ * scope — if the interpreter raises a machine fault, the fast engine
+ * must fault at the same architectural instruction with the same
+ * message and identical state up to that point. (The cycle-pipeline
+ * runner reports any fault as a divergence instead; its generator seeds
+ * never fault.)
+ *
+ * crisptorture --engine-diff runs this back-to-back with the classic
+ * pipeline lockstep on every seed x fold policy, giving the three-way
+ * interp / fast / cycle differential, with failures shrunk as usual.
+ */
+
+#ifndef CRISP_VERIFY_ENGINEDIFF_HH
+#define CRISP_VERIFY_ENGINEDIFF_HH
+
+#include "lockstep.hh"
+
+namespace crisp
+{
+class Program;
+}
+
+namespace crisp::verify
+{
+
+/**
+ * Run @p prog on the interpreter and the fast engine and compare.
+ * LockstepOptions fields are reused: cfg selects the fold policy (and
+ * the instruction budget via maxCycles when cycleBudget is 0), cancel
+ * installs the cooperative flag on the fast engine, maxSteps bounds
+ * the reference interpreter. FaultHooks do not apply (the fast engine
+ * has no DIC to corrupt) and are ignored.
+ */
+LockstepReport runFastLockstep(const Program& prog,
+                               const LockstepOptions& opt = {});
+
+} // namespace crisp::verify
+
+#endif // CRISP_VERIFY_ENGINEDIFF_HH

@@ -8,117 +8,13 @@
 #include <sstream>
 #include <vector>
 
+#include "eventstream.hh"
 #include "interp/interpreter.hh"
 #include "isa/program.hh"
 #include "sim/cpu.hh"
 
 namespace crisp::verify
 {
-
-namespace
-{
-
-/** One architectural event: an instruction retirement or a branch. */
-struct Ev
-{
-    bool branch = false;
-    Addr pc = 0;
-    Opcode op = Opcode::kNop;
-    bool conditional = false;
-    bool taken = false;
-    Addr target = 0;
-    Addr fallThrough = 0;
-
-    bool
-    operator==(const Ev&) const = default;
-
-    std::string
-    toString() const
-    {
-        std::ostringstream os;
-        os << (branch ? "branch " : "inst ") << opcodeName(op) << " @0x"
-           << std::hex << pc;
-        if (branch) {
-            os << std::dec << (conditional ? " cond" : " uncond");
-            if (taken)
-                os << " taken->0x" << std::hex << target;
-            else
-                os << " not-taken (target 0x" << std::hex << target
-                   << ")";
-        }
-        return os.str();
-    }
-};
-
-/** Records the reference interpreter's event stream. */
-class RefRecorder : public ExecObserver
-{
-  public:
-    void
-    onInstruction(Addr pc, Opcode op) override
-    {
-        events.push_back(Ev{false, pc, op, false, false, 0, 0});
-    }
-
-    void
-    onBranch(const BranchEvent& ev) override
-    {
-        events.push_back(Ev{true, ev.pc, ev.op, ev.conditional,
-                            ev.taken, ev.target, ev.fallThrough});
-    }
-
-    std::vector<Ev> events;
-};
-
-/** Compares the pipeline's retire stream against the reference. */
-class CheckingObserver : public ExecObserver
-{
-  public:
-    explicit CheckingObserver(const std::vector<Ev>& ref) : ref_(ref) {}
-
-    void
-    onInstruction(Addr pc, Opcode op) override
-    {
-        check(Ev{false, pc, op, false, false, 0, 0});
-    }
-
-    void
-    onBranch(const BranchEvent& ev) override
-    {
-        check(Ev{true, ev.pc, ev.op, ev.conditional, ev.taken,
-                 ev.target, ev.fallThrough});
-    }
-
-    bool mismatch = false;
-    std::size_t index = 0;
-    std::string detail;
-
-  private:
-    void
-    check(const Ev& got)
-    {
-        if (mismatch)
-            return;
-        if (index >= ref_.size()) {
-            mismatch = true;
-            detail = "pipeline retired an event past the end of the "
-                     "reference stream: " +
-                     got.toString();
-            return;
-        }
-        if (!(ref_[index] == got)) {
-            mismatch = true;
-            detail = "expected " + ref_[index].toString() + ", got " +
-                     got.toString();
-            return;
-        }
-        ++index;
-    }
-
-    const std::vector<Ev>& ref_;
-};
-
-} // namespace
 
 std::string_view
 divergenceName(Divergence d)

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * FastEngine tests: the 200-seed x 3-policy three-way differential
+ * (fast engine vs. interpreter vs. cycle pipeline), translation-layer
+ * superblock structure, and directed tests for the engine's contracts —
+ * cancel at superblock boundaries, reset-replay equals a fresh run,
+ * self-modifying-image invalidation, and the instruction budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "interp/interpreter.hh"
+#include "sim/cpu.hh"
+#include "sim/fastengine.hh"
+#include "sim/translate.hh"
+#include "verify/enginediff.hh"
+#include "verify/eventstream.hh"
+#include "verify/generator.hh"
+#include "verify/lockstep.hh"
+
+namespace crisp
+{
+namespace
+{
+
+using verify::Divergence;
+using verify::LockstepOptions;
+using verify::LockstepReport;
+
+// A program whose hot loop is long enough to cross several cancel-poll
+// windows: counts a global up to `limit`, then halts.
+Program
+countingLoop(std::int32_t limit)
+{
+    Program p;
+    const Operand counter = Operand::abs(kDataBase);
+    p.append(Instruction::mov(counter, Operand::imm(0)));
+    const Addr loop =
+        p.append(Instruction::alu(Opcode::kAdd, counter,
+                                  Operand::imm(1)));
+    const Addr cmp_at = p.append(Instruction::cmp(
+        Opcode::kCmpLt, counter, Operand::imm(limit)));
+    (void)cmp_at;
+    const Addr br = p.textEnd();
+    p.append(Instruction::branchRel(
+        Opcode::kIfTJmp, static_cast<std::int32_t>(loop - br), true));
+    p.append(Instruction::halt());
+    return p;
+}
+
+// ------------------------------------------- three-way differential
+
+TEST(FastEngineDiff, ThreeWaySweep200Seeds)
+{
+    const FoldPolicy policies[] = {FoldPolicy::kNone, FoldPolicy::kCrisp,
+                                   FoldPolicy::kAll};
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        const Program prog = verify::generate(seed).link();
+        for (const FoldPolicy policy : policies) {
+            LockstepOptions opt;
+            opt.cfg.foldPolicy = policy;
+            const LockstepReport fast =
+                verify::runFastLockstep(prog, opt);
+            ASSERT_TRUE(fast.ok())
+                << "fast vs interp, seed " << seed << " policy "
+                << static_cast<int>(policy) << "\n"
+                << fast.toString();
+            const LockstepReport cycle = verify::runLockstep(prog, opt);
+            ASSERT_TRUE(cycle.ok())
+                << "cycle vs interp, seed " << seed << " policy "
+                << static_cast<int>(policy) << "\n"
+                << cycle.toString();
+            // Close the triangle: both engines agree with the
+            // interpreter on the apparent instruction count.
+            EXPECT_EQ(fast.sim.apparent, cycle.sim.apparent);
+            EXPECT_EQ(fast.sim.engine, EngineKind::kFast);
+            EXPECT_EQ(cycle.sim.engine, EngineKind::kCycle);
+            EXPECT_EQ(fast.sim.cycles, 0u);
+        }
+    }
+}
+
+TEST(FastEngineDiff, ObservedAndFreeRunningModesAgree)
+{
+    // The observer selects a different (per-instruction) loop; both
+    // flavours must produce bit-identical statistics and state.
+    for (std::uint64_t seed = 300; seed < 320; ++seed) {
+        const Program prog = verify::generate(seed).link();
+        FastEngine free_run(prog);
+        free_run.run();
+        FastEngine observed(prog);
+        verify::RefRecorder rec;
+        observed.run(&rec);
+        EXPECT_EQ(free_run.stats(), observed.stats()) << "seed " << seed;
+        EXPECT_EQ(free_run.accum(), observed.accum());
+        EXPECT_EQ(free_run.sp(), observed.sp());
+        EXPECT_EQ(free_run.memory().bytes(), observed.memory().bytes());
+    }
+}
+
+// ------------------------------------------------- translation layer
+
+TEST(Translation, SuperblockChainsCoverStraightLineRuns)
+{
+    // Three sequential ops followed by a folded conditional: the entry
+    // superblock must span exactly the three bodies (the compare folds
+    // with the branch, which terminates the chain).
+    Program p = countingLoop(10);
+    Translation tr(p, FoldPolicy::kCrisp);
+    const std::uint32_t entry = tr.entryIndex();
+    ASSERT_NE(entry, kNoIdx);
+    const TOp& first = tr.ops()[entry];
+    EXPECT_EQ(first.kind, TKind::kChain);
+    // mov; add; then cmp folds with iftjmp -> chain of 2, ending at
+    // the folded conditional.
+    EXPECT_EQ(first.chain, 2u);
+    const TOp& term = tr.ops()[first.seqIdx != kNoIdx
+                                   ? tr.ops()[entry].seqIdx
+                                   : entry];
+    (void)term;
+    // Walk to the chain's terminator and check it is the folded branch.
+    std::uint32_t ip = entry;
+    for (std::uint32_t n = first.chain; n > 0; --n)
+        ip = tr.ops()[ip].seqIdx;
+    ASSERT_NE(ip, kNoIdx);
+    const TOp& branch = tr.ops()[ip];
+    EXPECT_EQ(branch.kind, TKind::kCond);
+    EXPECT_TRUE(branch.folded);
+    EXPECT_EQ(branch.bodyOp, Opcode::kCmpLt);
+    EXPECT_EQ(branch.branchOp, Opcode::kIfTJmp);
+    EXPECT_NE(branch.takenIdx, kNoIdx);
+
+    // Under kNone nothing folds: the chain also swallows the compare.
+    Translation none(p, FoldPolicy::kNone);
+    EXPECT_EQ(none.ops()[none.entryIndex()].chain, 3u);
+}
+
+TEST(Translation, RebuildBumpsEpoch)
+{
+    const Program p = countingLoop(5);
+    Translation tr(p, FoldPolicy::kCrisp);
+    EXPECT_EQ(tr.epoch(), 1u);
+    tr.rebuild();
+    EXPECT_EQ(tr.epoch(), 2u);
+}
+
+// --------------------------------------------------- directed: cancel
+
+TEST(FastEngine, CancelStopsAtSuperblockBoundaryAndResumes)
+{
+    const Program prog = countingLoop(20'000);
+
+    FastEngine straight(prog);
+    straight.run();
+    ASSERT_TRUE(straight.halted());
+
+    FastEngine eng(prog);
+    std::atomic<bool> cancel{true};
+    eng.setCancelFlag(&cancel);
+    eng.run();
+    EXPECT_TRUE(eng.stats().cancelled);
+    EXPECT_FALSE(eng.halted());
+    EXPECT_FALSE(eng.stats().timedOut);
+    // The stop happened on a poll boundary, mid-program.
+    EXPECT_GT(eng.stats().apparent, 0u);
+    EXPECT_LT(eng.stats().apparent, straight.stats().apparent);
+
+    // Resuming after the flag clears must converge to the exact same
+    // final state and cumulative statistics as the uncancelled run —
+    // the boundary stop corrupted nothing.
+    cancel.store(false);
+    eng.run();
+    EXPECT_TRUE(eng.halted());
+    EXPECT_FALSE(eng.stats().cancelled);
+    EXPECT_EQ(eng.stats(), straight.stats());
+    EXPECT_EQ(eng.accum(), straight.accum());
+    EXPECT_EQ(eng.sp(), straight.sp());
+    EXPECT_EQ(eng.memory().bytes(), straight.memory().bytes());
+}
+
+TEST(FastEngine, InstructionBudgetSetsTimedOut)
+{
+    const Program prog = countingLoop(100'000);
+    SimConfig cfg;
+    cfg.maxCycles = 5'000; // apparent-instruction budget
+    FastEngine eng(prog, cfg);
+    eng.run();
+    EXPECT_TRUE(eng.stats().timedOut);
+    EXPECT_FALSE(eng.halted());
+    EXPECT_FALSE(eng.stats().cancelled);
+    EXPECT_GE(eng.stats().apparent, 5'000u);
+    // Overshoot is bounded by the poll interval plus one superblock.
+    EXPECT_LT(eng.stats().apparent, 5'000u + 8'192u);
+}
+
+// ---------------------------------------------- directed: reset/replay
+
+TEST(FastEngine, ResetReplayEqualsFreshRun)
+{
+    for (std::uint64_t seed = 700; seed < 710; ++seed) {
+        const Program prog = verify::generate(seed).link();
+        FastEngine fresh(prog);
+        fresh.run();
+
+        FastEngine replay(prog);
+        replay.run();
+        replay.reset();
+        EXPECT_FALSE(replay.halted());
+        EXPECT_EQ(replay.stats().apparent, 0u);
+        replay.run();
+
+        EXPECT_EQ(replay.stats(), fresh.stats()) << "seed " << seed;
+        EXPECT_EQ(replay.accum(), fresh.accum());
+        EXPECT_EQ(replay.flag(), fresh.flag());
+        EXPECT_EQ(replay.sp(), fresh.sp());
+        EXPECT_EQ(replay.memory().bytes(), fresh.memory().bytes());
+    }
+}
+
+// ------------------------------------- directed: self-modifying image
+
+TEST(FastEngine, ImageRevertDropsStaleTranslations)
+{
+    // The program stores into its own text window. Program text is
+    // immutable for execution on every engine (fetch reads the linked
+    // image, not data memory), but the memory image is dirtied — and a
+    // reset's revert must rebuild the translation so it provably
+    // derives from the restored bytes, never the dirtied ones.
+    Program p;
+    p.append(Instruction::mov(Operand::abs(kTextBase),
+                              Operand::imm(0x1234)));
+    p.append(Instruction::halt());
+
+    FastEngine eng(p);
+    EXPECT_EQ(eng.translationEpoch(), 1u);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    eng.reset();
+    EXPECT_EQ(eng.translationEpoch(), 2u)
+        << "text-window store must invalidate the translation";
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+
+    FastEngine fresh(p);
+    fresh.run();
+    EXPECT_EQ(eng.stats(), fresh.stats());
+    EXPECT_EQ(eng.memory().bytes(), fresh.memory().bytes());
+
+    // A program that never touches its text keeps its translation.
+    const Program clean = countingLoop(10);
+    FastEngine keep(clean);
+    keep.run();
+    keep.reset();
+    EXPECT_EQ(keep.translationEpoch(), 1u);
+}
+
+// --------------------------------------------------------- misc state
+
+TEST(FastEngine, StatsCarryEngineKindAndNoTiming)
+{
+    const Program prog = countingLoop(100);
+    FastEngine eng(prog);
+    const SimStats& st = eng.run();
+    EXPECT_EQ(st.engine, EngineKind::kFast);
+    EXPECT_EQ(st.cycles, 0u);
+    EXPECT_EQ(st.dicHits, 0u);
+    EXPECT_TRUE(st.halted);
+
+    Interpreter interp(prog);
+    const InterpResult ir = interp.run();
+    EXPECT_EQ(st.apparent, ir.instructions);
+    EXPECT_EQ(st.branches, ir.branches);
+    EXPECT_EQ(st.opcodeCounts, ir.opcodeCounts);
+    EXPECT_EQ(eng.accum(), interp.accum());
+}
+
+TEST(FastEngine, SharedPredecodeCacheMatchesPrivate)
+{
+    const Program prog = verify::generate(42).link();
+    PredecodeCache shared(prog);
+    shared.warmAll(FoldPolicy::kCrisp);
+    FastEngine with_shared(prog, {}, &shared);
+    with_shared.run();
+    FastEngine private_cache(prog);
+    private_cache.run();
+    EXPECT_EQ(with_shared.stats(), private_cache.stats());
+    EXPECT_EQ(with_shared.memory().bytes(),
+              private_cache.memory().bytes());
+}
+
+} // namespace
+} // namespace crisp

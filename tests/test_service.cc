@@ -158,6 +158,7 @@ TEST(Payloads, JobRequestRoundTrip)
     req.maxRetries = 3;
     req.foldPolicy = FoldPolicy::kAll;
     req.predictor = PredictorKind::kDynamic2;
+    req.engine = EngineKind::kFast;
     req.dicEntries = 64;
     req.memLatency = 7;
     req.maxCycles = 0x100000001ull;
@@ -168,6 +169,7 @@ TEST(Payloads, JobRequestRoundTrip)
     EXPECT_EQ(back.maxRetries, req.maxRetries);
     EXPECT_EQ(back.foldPolicy, req.foldPolicy);
     EXPECT_EQ(back.predictor, req.predictor);
+    EXPECT_EQ(back.engine, req.engine);
     EXPECT_EQ(back.dicEntries, req.dicEntries);
     EXPECT_EQ(back.memLatency, req.memLatency);
     EXPECT_EQ(back.maxCycles, req.maxCycles);
@@ -207,6 +209,7 @@ TEST(Payloads, JobResultRoundTrip)
     res.state = JobState::kTimedOut;
     res.retries = 2;
     res.cacheHit = true;
+    res.engine = EngineKind::kFast;
     res.exitValue = 5050;
     res.cycles = 123456;
     res.instructions = 654321;
@@ -216,6 +219,7 @@ TEST(Payloads, JobResultRoundTrip)
     EXPECT_EQ(back.state, res.state);
     EXPECT_EQ(back.retries, res.retries);
     EXPECT_EQ(back.cacheHit, res.cacheHit);
+    EXPECT_EQ(back.engine, res.engine);
     EXPECT_EQ(back.exitValue, res.exitValue);
     EXPECT_EQ(back.cycles, res.cycles);
     EXPECT_EQ(back.instructions, res.instructions);
@@ -366,7 +370,7 @@ TEST(Caches, PolicyKeyDistinguishesEveryKnob)
 {
     PolicyKey base;
     base.hash = 7;
-    for (int field = 0; field < 5; ++field) {
+    for (int field = 0; field < 6; ++field) {
         PolicyKey other = base;
         switch (field) {
           case 0:
@@ -383,6 +387,9 @@ TEST(Caches, PolicyKeyDistinguishesEveryKnob)
             break;
           case 4:
             other.maxCycles = 1;
+            break;
+          case 5:
+            other.engine = EngineKind::kFast;
             break;
         }
         EXPECT_TRUE(base < other || other < base)
@@ -477,6 +484,58 @@ TEST(SimService, DuplicateSubmissionHitsTheResultCache)
     EXPECT_EQ(second.cycles, first.cycles);
     EXPECT_EQ(second.exitValue, first.exitValue);
     EXPECT_EQ(service.ledger().resultCacheHits, 1u);
+}
+
+TEST(SimService, CachedResultsNeverCrossEngineModes)
+{
+    // Same image, same policy knobs, different engine: the cycle
+    // result (with real cycle counts) must never be replayed to a
+    // fast-engine request, and vice versa.
+    SimService service;
+    JobRequest req;
+    req.jobId = 1;
+    req.image = countedImage(200);
+    const JobResult cycle = submitWait(service, req);
+    ASSERT_EQ(cycle.state, JobState::kDone);
+    EXPECT_EQ(cycle.engine, EngineKind::kCycle);
+    EXPECT_GT(cycle.cycles, 0u);
+
+    req.jobId = 2;
+    req.engine = EngineKind::kFast;
+    const JobResult fast = submitWait(service, req);
+    ASSERT_EQ(fast.state, JobState::kDone);
+    EXPECT_FALSE(fast.cacheHit) << "cycle result served across engines";
+    EXPECT_EQ(fast.engine, EngineKind::kFast);
+    EXPECT_EQ(fast.cycles, 0u);
+    // Architectural agreement between the two engines' results.
+    EXPECT_EQ(fast.exitValue, cycle.exitValue);
+    EXPECT_EQ(fast.instructions, cycle.instructions);
+
+    // A repeat on the SAME engine is the legitimate cache hit, and it
+    // replays the fast payload, not the cycle one.
+    req.jobId = 3;
+    const JobResult fast2 = submitWait(service, req);
+    EXPECT_TRUE(fast2.cacheHit);
+    EXPECT_EQ(fast2.engine, EngineKind::kFast);
+    EXPECT_EQ(fast2.cycles, 0u);
+    EXPECT_EQ(service.ledger().resultCacheHits, 1u);
+}
+
+TEST(SimService, RejectsInterpEngineAtAdmission)
+{
+    SimService service;
+    JobRequest req;
+    req.jobId = 1;
+    req.image = countedImage(10);
+    req.engine = EngineKind::kInterp;
+    std::string why;
+    const auto st = service.submit(
+        req, [](const JobResult&) { FAIL() << "rejected jobs must not "
+                                              "reach a terminal state"; },
+        &why);
+    EXPECT_EQ(st, SubmitStatus::kRejected);
+    EXPECT_NE(why.find("interp"), std::string::npos);
+    EXPECT_EQ(service.ledger().rejected, 1u);
 }
 
 TEST(SimService, RejectsGarbageAtAdmission)

@@ -20,6 +20,11 @@
  *      identical cycle counts (determinism observed over the wire);
  *   3. admission: oversized and malformed images are rejected with
  *      kError, never simulated;
+ *   2b. mixed engines: interleaved fast-engine and cycle-pipeline jobs
+ *      over the same images — every result carries the engine it was
+ *      requested with, fast results report zero cycles, both engines
+ *      agree architecturally, and a cached result is never served
+ *      across engine modes (the cache-keying/ledger trap);
  *   4. protocol: a garbage frame gets one kError and a dropped
  *      connection — and the daemon keeps serving others;
  *   5. a mid-frame disconnect leaves the daemon healthy;
@@ -321,6 +326,107 @@ phaseCache(const std::string& socket)
     expect(r2.cacheHit, "duplicate run missed the result cache");
     expect(r1.cycles == r2.cycles && r1.exitValue == r2.exitValue,
            "cache hit disagrees with the original run");
+}
+
+/**
+ * Phase 2b: mixed-engine traffic. The same program runs under both
+ * engines, sequenced to catch cache-keying bugs: a warm cycle result
+ * must never be replayed to a fast request (and vice versa), repeats
+ * on the same engine must hit, and an interleaved concurrent batch
+ * must hand every job a result tagged with its own engine.
+ */
+void
+phaseMixedEngine(const std::string& socket)
+{
+    Client c(socket);
+    if (!c.ok()) {
+        fail("mixed-engine client could not connect");
+        return;
+    }
+    const auto image = countedImage(901'001);
+    auto one = [&](EngineKind engine) -> std::optional<JobResult> {
+        JobRequest req;
+        req.image = image;
+        req.engine = engine;
+        req.deadlineMs = 20'000;
+        c.submit(std::move(req));
+        const auto frames = c.collect(1);
+        if (frames.empty() || frames.back().type != FrameType::kResult) {
+            fail("mixed-engine phase lost a result");
+            return std::nullopt;
+        }
+        return JobResult::decode(frames.back().payload);
+    };
+
+    const auto cyc = one(EngineKind::kCycle);
+    const auto fast = one(EngineKind::kFast);
+    const auto cyc2 = one(EngineKind::kCycle);
+    const auto fast2 = one(EngineKind::kFast);
+    if (!cyc || !fast || !cyc2 || !fast2)
+        return;
+    expect(cyc->state == JobState::kDone &&
+               fast->state == JobState::kDone,
+           "mixed-engine warm runs not done");
+    expect(cyc->engine == EngineKind::kCycle &&
+               fast->engine == EngineKind::kFast,
+           "result engine does not match the request engine");
+    expect(cyc->cycles > 0, "cycle job reports zero cycles");
+    expect(fast->cycles == 0, "fast job reports nonzero cycles");
+    expect(!fast->cacheHit,
+           "fast request served the cached cycle result "
+           "(engine missing from the cache key)");
+    expect(fast->exitValue == cyc->exitValue &&
+               fast->instructions == cyc->instructions,
+           "engines disagree architecturally over the wire");
+    expect(cyc2->cacheHit && cyc2->engine == EngineKind::kCycle &&
+               cyc2->cycles == cyc->cycles,
+           "cycle repeat missed its own cached result");
+    expect(fast2->cacheHit && fast2->engine == EngineKind::kFast &&
+               fast2->cycles == 0,
+           "fast repeat missed its own cached result");
+
+    // Interleaved batch with fresh images, one fast + one cycle job of
+    // the SAME image in flight per round (the tiny spawn-mode queue
+    // sheds bigger bursts — overload is phaseBurst's business): every
+    // job gets exactly one result tagged with the engine it asked for.
+    for (int round = 0; round < 6; ++round) {
+        const auto img = countedImage(902'000 + round);
+        std::map<std::uint64_t, EngineKind> want;
+        for (const EngineKind engine :
+             {EngineKind::kFast, EngineKind::kCycle}) {
+            JobRequest req;
+            req.image = img;
+            req.engine = engine;
+            req.deadlineMs = 20'000;
+            want[c.submit(std::move(req))] = engine;
+        }
+        std::map<std::uint64_t, int> seen;
+        for (const Frame& f : c.collect(want.size())) {
+            if (f.type != FrameType::kResult)
+                continue;
+            const JobResult res = JobResult::decode(f.payload);
+            ++seen[res.jobId];
+            const auto it = want.find(res.jobId);
+            if (it == want.end()) {
+                fail("mixed-engine batch got a result for an unknown "
+                     "job");
+                continue;
+            }
+            expect(res.state == JobState::kDone,
+                   "mixed-engine batch job not done: " + res.detail);
+            expect(res.engine == it->second,
+                   "batch result engine does not match its request");
+            expect((res.engine == EngineKind::kFast) ==
+                       (res.cycles == 0),
+                   "batch result cycle count inconsistent with engine");
+        }
+        for (const auto& [id, engine] : want) {
+            (void)engine;
+            expect(seen[id] == 1,
+                   "mixed-engine job " + std::to_string(id) + " got " +
+                       std::to_string(seen[id]) + " results");
+        }
+    }
 }
 
 /** Phase 3: admission rejections (oversized + malformed images). */
@@ -644,6 +750,7 @@ main(int argc, char** argv)
     phaseLoad(socket_path, clients, jobs);
     phaseCache(socket_path);
     if (chaos) {
+        phaseMixedEngine(socket_path);
         phaseAdmission(socket_path, kMaxImageBytes);
         phaseProtocolChaos(socket_path);
         phaseTimeoutQuarantine(socket_path, kStrikes);

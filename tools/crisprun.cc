@@ -5,12 +5,20 @@
  *
  *   crisprun program.{c,s,obj}
  *            [--machine=pipeline|interp|delayed]
+ *            [--engine=fast|cycle|interp]
  *            [--fold=none|crisp|all] [--dic=N] [--mem-latency=N]
  *            [--stack-cache=N] [--stack-penalty=N]
  *            [--no-predict-bit] [--profile-opt]
  *            [--trace[=N]] [--stats] [--histogram]
  *            [--stats-json FILE]
  *
+ *   --engine=KIND  pick the execution engine directly: "fast" is the
+ *                  threaded-code functional engine (architectural
+ *                  results and opcode statistics at native speed, no
+ *                  cycle timing), "cycle" the pipeline simulator,
+ *                  "interp" the reference interpreter. --machine=
+ *                  remains the timing-model selector; --engine=fast is
+ *                  the choice for architectural-only runs.
  *   --profile-opt  run once on the interpreter and patch profile-
  *                  optimal prediction bits before the measured run
  *   --annul        with --machine=delayed: squashing (annulling) delay
@@ -39,6 +47,7 @@
 #include "isa/objfile.hh"
 #include "predict/profile.hh"
 #include "sim/cpu.hh"
+#include "sim/fastengine.hh"
 
 namespace
 {
@@ -69,6 +78,8 @@ usage()
         stderr,
         "usage: crisprun program.{c,s,obj} [options]\n"
         "  --machine=pipeline|interp|delayed   (default pipeline)\n"
+        "  --engine=fast|cycle|interp  (fast: threaded functional "
+        "engine)\n"
         "  --fold=none|crisp|all  --dic=N  --mem-latency=N\n"
         "  --stack-cache=N  --stack-penalty=N  --no-predict-bit\n"
         "  --max-cycles=N  --profile-opt  --annul  --trace[=N]  "
@@ -105,6 +116,16 @@ main(int argc, char** argv)
         };
         if (const char* v = val("--machine=")) {
             machine = v;
+        } else if (const char* ve = val("--engine=")) {
+            const std::string e = ve;
+            if (e == "fast")
+                machine = "fast";
+            else if (e == "cycle")
+                machine = "pipeline";
+            else if (e == "interp")
+                machine = "interp";
+            else
+                return usage();
         } else if (const char* v2 = val("--fold=")) {
             const std::string f = v2;
             if (f == "none")
@@ -221,6 +242,49 @@ main(int argc, char** argv)
                             s.cpi());
             }
             return s.halted ? 0 : 3;
+        }
+
+        if (machine == "fast") {
+            FastEngine eng(prog, cfg);
+            const SimStats& s = eng.run();
+            std::printf("exit value: %d\n",
+                        static_cast<int>(eng.accum()));
+            if (want_stats)
+                std::fputs(s.toString().c_str(), stdout);
+            if (!stats_json_path.empty()) {
+                const std::string json = s.toJson() + "\n";
+                if (stats_json_path == "-") {
+                    std::fputs(json.c_str(), stdout);
+                } else {
+                    std::ofstream out(stats_json_path);
+                    if (!out)
+                        throw CrispError("cannot write: " +
+                                         stats_json_path);
+                    out << json;
+                }
+            }
+            if (want_histogram) {
+                InterpResult hist;
+                hist.instructions = s.apparent;
+                hist.opcodeCounts = s.opcodeCounts;
+                std::fputs(hist.histogramTable().c_str(), stdout);
+            }
+            if (s.faulted) {
+                std::fprintf(stderr,
+                             "crisprun: machine fault at 0x%x: %s\n",
+                             static_cast<unsigned>(s.faultPc),
+                             s.faultReason.c_str());
+                return 4;
+            }
+            if (!s.halted) {
+                std::fprintf(
+                    stderr,
+                    "crisprun: cycle limit exceeded "
+                    "(%llu instructions) without reaching halt\n",
+                    static_cast<unsigned long long>(s.apparent));
+                return 3;
+            }
+            return 0;
         }
 
         if (machine != "pipeline")

@@ -32,6 +32,15 @@
  *  - --shrink-demo: seeds an artificial implementation bug (arch-bug
  *    injector, checker off), finds a diverging seed, and shrinks it,
  *    demonstrating the reducer on a real architectural divergence.
+ *  - --engine-diff: three-way engine differential. Every seed runs the
+ *    threaded-code fast engine against the interpreter (the stronger
+ *    functional contract: fault reasons, opcode histogram, branch
+ *    counts) AND the cycle pipeline against the interpreter, per fold
+ *    policy. Both legs passing pins all three engines to the same
+ *    architectural behaviour (each leg checks the full final state
+ *    against the shared reference). Failures are shrunk as usual. The
+ *    sweep always uses the fold-policy matrix — timing knobs (DIC
+ *    size, memory latency) are meaningless to the functional engine.
  *
  * Seeds are independent, so the sweeps fan out across a thread pool
  * (--jobs, default: hardware concurrency). Each worker owns its
@@ -59,6 +68,7 @@
 #include "analysis/oracle.hh"
 #include "util/thread_pool.hh"
 #include "util/watchdog.hh"
+#include "verify/enginediff.hh"
 #include "verify/faults.hh"
 #include "verify/generator.hh"
 #include "verify/lockstep.hh"
@@ -77,6 +87,7 @@ struct Options
     bool full = false;
     bool faults = false;
     bool shrinkDemo = false;
+    bool engineDiff = false;
     FaultKind onlyFault = FaultKind::kNone;
     std::uint64_t maxSteps = 1'000'000;
     std::uint64_t timeoutMs = 0; // 0: no wall-clock watchdog
@@ -92,7 +103,8 @@ usage()
         "usage: crisptorture [--seeds=N] [--seed0=K]\n"
         "                    [--configs=quick|full]\n"
         "                    [--faults [--fault-kind=NAME]]\n"
-        "                    [--shrink-demo] [--max-steps=N]\n"
+        "                    [--shrink-demo] [--engine-diff]\n"
+        "                    [--max-steps=N]\n"
         "                    [--timeout-ms=N] [--jobs=N] [-v]\n"
         "fault kinds: flip-predict-bit unfold-pair drop-fill\n"
         "             corrupt-next-pc corrupt-alt-pc corrupt-cc-bit\n");
@@ -324,6 +336,126 @@ plainSweep(const Options& opt)
     return bad + static_bad + cost_bad + timed_out;
 }
 
+/**
+ * One fast-engine-vs-interpreter leg, with the same per-run watchdog
+ * arming as runOne. The cooperative cancel flag is polled by the fast
+ * engine on superblock boundaries.
+ */
+LockstepReport
+runFastOne(const GenProgram& gp, const SimConfig& cfg,
+           const Options& opt, util::Watchdog* wd)
+{
+    LockstepOptions lo;
+    lo.cfg = cfg;
+    lo.maxSteps = opt.maxSteps;
+    std::shared_ptr<util::Watchdog::Timer> timer;
+    if (wd != nullptr && opt.timeoutMs > 0) {
+        timer = wd->arm(std::chrono::milliseconds(opt.timeoutMs));
+        lo.cancel = &timer->fired;
+    }
+    const LockstepReport rep = runFastLockstep(gp.link(), lo);
+    if (timer)
+        timer->disarm();
+    return rep;
+}
+
+/**
+ * Three-way engine differential (--engine-diff): fast-vs-interp and
+ * cycle-vs-interp per seed x fold policy. Each leg pins the complete
+ * final architectural state against the shared interpreter reference,
+ * so two passing legs transitively pin fast == cycle as well.
+ * @return total divergences + timeouts.
+ */
+int
+engineSweep(const Options& opt)
+{
+    const auto cfgs = configMatrix(false); // fold policies only
+    struct SeedOut
+    {
+        int bad = 0;
+        int timedOut = 0;
+        std::string text;
+    };
+    std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
+    util::Watchdog wd;
+
+    sweepSeeds(opt, [&](std::size_t i) {
+        const std::uint64_t s = opt.seed0 + i;
+        const GenProgram gp = generate(s);
+        for (const SimConfig& cfg : cfgs) {
+            for (const bool fast : {true, false}) {
+                const char* const leg = fast ? "fast" : "cycle";
+                const auto run = [&](const GenProgram& cand) {
+                    return fast ? runFastOne(cand, cfg, opt, &wd)
+                                : runOne(cand, cfg, nullptr, opt, &wd);
+                };
+                const LockstepReport rep = run(gp);
+                if (rep.kind == Divergence::kTimeout) {
+                    ++results[i].timedOut;
+                    const auto still_times_out =
+                        [&](const GenProgram& cand) {
+                            return run(cand).kind ==
+                                   Divergence::kTimeout;
+                        };
+                    const ShrinkResult sh =
+                        shrinkProgram(gp, still_times_out);
+                    char head[128];
+                    std::snprintf(
+                        head, sizeof(head),
+                        "=== ENGINE TIMEOUT seed=%llu engine=%s "
+                        "fold=%d budget=%llums ===\n",
+                        static_cast<unsigned long long>(s), leg,
+                        static_cast<int>(cfg.foldPolicy),
+                        static_cast<unsigned long long>(opt.timeoutMs));
+                    char mid[96];
+                    std::snprintf(mid, sizeof(mid),
+                                  "--- shrunk to %d instructions (%d "
+                                  "shrink tests) ---\n",
+                                  sh.program.instructionCount(),
+                                  sh.tests);
+                    results[i].text += std::string(head) +
+                                       rep.toString() + "\n" + mid +
+                                       sh.program.listing();
+                    continue;
+                }
+                if (rep.ok())
+                    continue;
+                ++results[i].bad;
+                const auto still_fails = [&](const GenProgram& cand) {
+                    return !run(cand).ok();
+                };
+                const ShrinkResult sh = shrinkProgram(gp, still_fails);
+                char head[128];
+                std::snprintf(head, sizeof(head),
+                              "=== ENGINE DIVERGENCE seed=%llu "
+                              "engine=%s fold=%d ===\n",
+                              static_cast<unsigned long long>(s), leg,
+                              static_cast<int>(cfg.foldPolicy));
+                char mid[96];
+                std::snprintf(mid, sizeof(mid),
+                              "--- shrunk to %d instructions (%d "
+                              "shrink tests) ---\n",
+                              sh.program.instructionCount(), sh.tests);
+                results[i].text += std::string(head) + rep.toString() +
+                                   "\n" + mid + sh.program.listing();
+            }
+        }
+    });
+
+    int bad = 0;
+    int timed_out = 0;
+    for (const SeedOut& r : results) {
+        std::fputs(r.text.c_str(), stdout);
+        bad += r.bad;
+        timed_out += r.timedOut;
+    }
+    std::printf("engine torture: %llu seeds x %zu configs x 3 engines, "
+                "%d divergences, %d timeouts\n",
+                static_cast<unsigned long long>(opt.seeds), cfgs.size(),
+                bad, timed_out);
+    return bad + timed_out;
+}
+
 /** Fault-injection sweep. @return number of property violations. */
 int
 faultSweep(const Options& opt)
@@ -488,6 +620,8 @@ main(int argc, char** argv)
             opt.faults = true;
         } else if (a == "--shrink-demo") {
             opt.shrinkDemo = true;
+        } else if (a == "--engine-diff") {
+            opt.engineDiff = true;
         } else if (const char* v5 = val("--max-steps=")) {
             opt.maxSteps = std::strtoull(v5, nullptr, 10);
         } else if (const char* v7 = val("--timeout-ms=")) {
@@ -508,6 +642,8 @@ main(int argc, char** argv)
     try {
         if (opt.shrinkDemo)
             return shrinkDemo(opt) == 0 ? 0 : 1;
+        if (opt.engineDiff)
+            return engineSweep(opt) == 0 ? 0 : 1;
         const int bad =
             opt.faults ? faultSweep(opt) : plainSweep(opt);
         return bad == 0 ? 0 : 1;
