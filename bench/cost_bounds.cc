@@ -29,6 +29,7 @@
 #include <string>
 
 #include "analysis/checks.hh"
+#include "analysis/opt.hh"
 #include "analysis/oracle.hh"
 #include "cc/compiler.hh"
 #include "sim/cpu.hh"
@@ -40,12 +41,51 @@ namespace
 using namespace crisp;
 using namespace crisp::analysis;
 
+/**
+ * Dynamic-weighted static envelope over the sites that actually
+ * executed (unreached sites contribute zero executions on both ends),
+ * plus the invariant check: the simulated branchDelayCycles must land
+ * inside [lo, hi]. Returns false (and reports) on any violation.
+ */
+bool
+envelope(const std::string& name, const AnalysisResult& st,
+         const SiteRecorder& rec, const SimStats& dyn, std::uint64_t& lo,
+         std::uint64_t& hi)
+{
+    bool ok = true;
+    lo = hi = 0;
+    for (const auto& [pc, c] : rec.sites) {
+        if (const SiteCost* sc = st.cost.find(pc)) {
+            lo += static_cast<std::uint64_t>(sc->bound.lo) * c.total;
+            hi += static_cast<std::uint64_t>(sc->bound.hi) * c.total;
+        } else {
+            ok = false;
+            std::fprintf(stderr,
+                         "bench_cost: %s: executed branch 0x%x has "
+                         "no static cost bound\n",
+                         name.c_str(), pc);
+        }
+    }
+    if (dyn.branchDelayCycles < lo || dyn.branchDelayCycles > hi) {
+        ok = false;
+        std::fprintf(
+            stderr,
+            "bench_cost: %s: branchDelayCycles %llu "
+            "escapes the static envelope [%llu, %llu]\n",
+            name.c_str(),
+            static_cast<unsigned long long>(dyn.branchDelayCycles),
+            static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi));
+    }
+    return ok;
+}
+
 std::string
 buildLedger(bool& ok)
 {
     ok = true;
     std::ostringstream os;
-    os << "{\"schema\":\"crisp-bench-cost/1\",\"predict\":\"static-bit\","
+    os << "{\"schema\":\"crisp-bench-cost/2\",\"predict\":\"static-bit\","
           "\"workloads\":[";
     bool first = true;
     for (const Workload& w : allWorkloads()) {
@@ -62,31 +102,38 @@ buildLedger(bool& ok)
         CrispCpu cpu(r.program, cfg);
         const SimStats& dyn = cpu.run(&rec);
 
-        // Envelope over the sites that actually executed (unreached
-        // sites contribute zero executions on both ends).
         std::uint64_t lo = 0;
         std::uint64_t hi = 0;
-        for (const auto& [pc, c] : rec.sites) {
-            if (const SiteCost* sc = st.cost.find(pc)) {
-                lo += static_cast<std::uint64_t>(sc->bound.lo) * c.total;
-                hi += static_cast<std::uint64_t>(sc->bound.hi) * c.total;
-            } else {
-                ok = false;
-                std::fprintf(stderr,
-                             "bench_cost: %s: executed branch 0x%x has "
-                             "no static cost bound\n",
-                             w.name.c_str(), pc);
-            }
-        }
-        if (dyn.branchDelayCycles < lo || dyn.branchDelayCycles > hi) {
+        ok &= envelope(w.name, st, rec, dyn, lo, hi);
+
+        // The same workload through crispcc -O: the dataflow passes
+        // must ship a validated rewrite whose envelope is never worse
+        // than the baseline's.
+        const OptReport orep = optimize(r, {});
+        if (!orep.tv.ok) {
             ok = false;
             std::fprintf(stderr,
-                         "bench_cost: %s: branchDelayCycles %llu "
-                         "escapes the static envelope [%llu, %llu]\n",
+                         "bench_cost: %s: -O result failed the "
+                         "translation validator\n",
+                         w.name.c_str());
+        }
+        const AnalysisResult sto =
+            analyzeProgram(orep.result.program, opt);
+
+        SiteRecorder orec;
+        CrispCpu ocpu(orep.result.program, cfg);
+        const SimStats& odyn = ocpu.run(&orec);
+
+        std::uint64_t olo = 0;
+        std::uint64_t ohi = 0;
+        ok &= envelope(w.name + " [-O]", sto, orec, odyn, olo, ohi);
+        if (ohi > hi) {
+            ok = false;
+            std::fprintf(stderr,
+                         "bench_cost: %s: -O envelope [%llu] exceeds "
+                         "the baseline's [%llu]\n",
                          w.name.c_str(),
-                         static_cast<unsigned long long>(
-                             dyn.branchDelayCycles),
-                         static_cast<unsigned long long>(lo),
+                         static_cast<unsigned long long>(ohi),
                          static_cast<unsigned long long>(hi));
         }
 
@@ -104,7 +151,21 @@ buildLedger(bool& ok)
            << ",\"branchDelayCycles\":" << dyn.branchDelayCycles
            << ",\"branches\":" << dyn.branches
            << ",\"cycles\":" << dyn.cycles
-           << ",\"issued\":" << dyn.issued << "}";
+           << ",\"issued\":" << dyn.issued
+           << ",\"opt\":{"
+           << "\"optimized\":" << (orep.optimized ? "true" : "false")
+           << ",\"branchesRewritten\":" << orep.stats.branchesRewritten
+           << ",\"deadRemoved\":" << orep.stats.deadRemoved
+           << ",\"instrBefore\":" << orep.stats.instrBefore
+           << ",\"instrAfter\":" << orep.stats.instrAfter
+           << ",\"branchSites\":" << sto.staticBranchSites
+           << ",\"zeroDelaySites\":" << sto.cost.zeroDelaySites
+           << ",\"constantSites\":" << sto.cost.constantSites
+           << ",\"delayLowerBound\":" << olo
+           << ",\"delayUpperBound\":" << ohi
+           << ",\"branchDelayCycles\":" << odyn.branchDelayCycles
+           << ",\"cycles\":" << odyn.cycles
+           << ",\"issued\":" << odyn.issued << "}}";
     }
     os << "]}";
     return os.str();

@@ -33,14 +33,8 @@ spAdd(const Interval& sp, std::int64_t delta)
     return r;
 }
 
-/** Joins after which a node's growing intervals are widened. */
-constexpr int kWidenJoins = 12;
-
 /** Tracked-memory size cap; past it the map degrades to top. */
 constexpr std::size_t kMemCap = 64;
-
-/** Transfer applications before the sound bail-out to all-top. */
-constexpr std::uint64_t kStepsPerNode = 64;
 
 bool
 intervalGrew(const Interval& prev, const Interval& next)
@@ -56,9 +50,10 @@ widenSp(const Interval& prev, const Interval& next)
     return next;
 }
 
-/** Widen every growing component of @p next against @p prev. */
+} // namespace
+
 AbsState
-widenState(const AbsState& prev, const AbsState& next, int& widenings)
+widenAbsState(const AbsState& prev, const AbsState& next, int& widenings)
 {
     if (!prev.reachable)
         return next;
@@ -87,6 +82,9 @@ widenState(const AbsState& prev, const AbsState& next, int& widenings)
     }
     return w;
 }
+
+namespace
+{
 
 /** One abstract machine the transfer function mutates in place. */
 struct Machine
@@ -182,9 +180,10 @@ struct Machine
     }
 };
 
-/** Abstract OUT state of @p di applied to reachable state @p in. */
+} // namespace
+
 AbsState
-transfer(const DecodedInst& di, const AbsState& in)
+absTransfer(const DecodedInst& di, const AbsState& in)
 {
     Machine m{in};
     const Instruction& b = di.body;
@@ -236,8 +235,6 @@ transfer(const DecodedInst& di, const AbsState& in)
 
     return m.st;
 }
-
-} // namespace
 
 Interval
 hull(const Interval& a, const Interval& b)
@@ -377,8 +374,15 @@ absAlu(Opcode op, const Interval& a, const Interval& b)
         break;
       case Opcode::kAnd:
       case Opcode::kAnd3:
+        // A mask with one provably non-negative side bounds the result
+        // regardless of the other side's sign: 0 <= (a & b) <= b when
+        // b >= 0 (clearing bits never grows a non-negative word).
         if (a.lo >= 0 && b.lo >= 0)
             return {0, a.hi < b.hi ? a.hi : b.hi};
+        if (b.lo >= 0)
+            return {0, b.hi};
+        if (a.lo >= 0)
+            return {0, a.hi};
         break;
       case Opcode::kOr:
       case Opcode::kOr3:
@@ -395,10 +399,18 @@ absAlu(Opcode op, const Interval& a, const Interval& b)
             return {0, m};
         }
         break;
-      case Opcode::kShr:
+      case Opcode::kShr: {
+        // Logical shift of the 32-bit word; a shift count provably in
+        // [1, 31] bounds the result from above even when the shifted
+        // word may be negative (the sign bit is shifted in as zero).
+        const std::int64_t cnt_hi =
+            b.lo >= 1 && b.hi <= 31 ? (0xFFFFFFFFll >> b.lo) : INT32_MAX;
         if (a.lo >= 0)
-            return {0, a.hi};
+            return {0, a.hi < cnt_hi ? a.hi : cnt_hi};
+        if (b.lo >= 1 && b.hi <= 31)
+            return {0, cnt_hi};
         break;
+      }
       case Opcode::kMul:
       case Opcode::kMul3: {
         const std::int64_t p[4] = {a.lo * b.lo, a.lo * b.hi,
@@ -430,7 +442,7 @@ AbsIntResult::outAt(Addr pc) const
 }
 
 AbsIntResult
-interpret(const Cfg& cfg)
+interpret(const Cfg& cfg, const AbsIntOptions& opts)
 {
     AbsIntResult r;
     const Program& prog = cfg.program();
@@ -459,8 +471,11 @@ interpret(const Cfg& cfg)
     std::map<Addr, int> joins;
 
     const std::uint64_t step_cap =
-        static_cast<std::uint64_t>(cfg.nodes().size()) * kStepsPerNode +
-        256;
+        opts.stepCap != 0
+            ? opts.stepCap
+            : static_cast<std::uint64_t>(cfg.nodes().size()) *
+                      kAbsintStepsPerNode +
+                  256;
 
     while (!work.empty()) {
         if (++r.steps > step_cap) {
@@ -497,8 +512,8 @@ interpret(const Cfg& cfg)
 
         AbsState& in_slot = r.in.at(pc);
         if (!(i == in_slot)) {
-            if (++joins[pc] > kWidenJoins)
-                i = widenState(in_slot, i, r.widenings);
+            if (++joins[pc] > kAbsintWidenJoins)
+                i = widenAbsState(in_slot, i, r.widenings);
             in_slot = i;
         }
 
@@ -508,7 +523,7 @@ interpret(const Cfg& cfg)
         } else if (n.di.totalParcels <= 0) {
             o = i; // decode-error placeholder: no modeled effect
         } else {
-            o = transfer(n.di, i);
+            o = absTransfer(n.di, i);
         }
 
         AbsState& out_slot = r.out.at(pc);

@@ -147,6 +147,23 @@ struct AbsState
 /** Join (least upper bound) of two abstract states. */
 AbsState joinState(const AbsState& a, const AbsState& b);
 
+/** Joins after which a node's growing intervals are widened. */
+inline constexpr int kAbsintWidenJoins = 12;
+
+/** Transfer applications per node before the sound all-top bail. */
+inline constexpr std::uint64_t kAbsintStepsPerNode = 64;
+
+/**
+ * Abstract OUT state of @p di applied to reachable state @p in — the
+ * transfer function shared by interpret() and the sparse conditional
+ * constant propagation in sccp.cc.
+ */
+AbsState absTransfer(const DecodedInst& di, const AbsState& in);
+
+/** Widen every growing component of @p next against @p prev. */
+AbsState widenAbsState(const AbsState& prev, const AbsState& next,
+                       int& widenings);
+
 /** Fixpoint result of one interpretation run. */
 struct AbsIntResult
 {
@@ -168,12 +185,20 @@ struct AbsIntResult
     const AbsState& outAt(Addr pc) const;
 };
 
+/** Tuning knobs for one interpretation run. */
+struct AbsIntOptions
+{
+    /** Step-cap override; 0 keeps the nodes-proportional default.
+     *  Directed tests use a tiny cap to exercise the all-top bail. */
+    std::uint64_t stepCap = 0;
+};
+
 /**
  * Run the abstract interpreter to fixpoint over @p cfg. Decode-error
  * placeholder nodes pass their input through unchanged (they have no
  * successors anyway).
  */
-AbsIntResult interpret(const Cfg& cfg);
+AbsIntResult interpret(const Cfg& cfg, const AbsIntOptions& opts = {});
 
 // Abstract transfer primitives, exposed for the unit tests ------------
 

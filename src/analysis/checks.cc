@@ -265,6 +265,85 @@ checkCost(const Cfg& cfg, const std::map<Addr, BranchSite>& sites,
     }
 }
 
+void
+checkDataflow(const Cfg& cfg, const SccpResult& sc,
+              const LivenessResult& live, const ReachDefsResult& rd,
+              const AbsIntResult& ai, std::vector<Diagnostic>& diags)
+{
+    for (const DeadStore& d : live.dead) {
+        switch (d.kind) {
+          case DeadKind::kMemStore:
+            emit(diags, Severity::kInfo, d.pc, "dataflow.dead-store",
+                 "store to " + hexPc(d.addr) +
+                     " is dead: no path observes the value",
+                 "delete the store; crispcc -O does");
+            break;
+          case DeadKind::kAccumDef:
+            emit(diags, Severity::kInfo, d.pc, "dataflow.dead-store",
+                 "accumulator definition is dead: overwritten before "
+                 "any read");
+            break;
+          case DeadKind::kCompare:
+            emit(diags, Severity::kInfo, d.pc, "dataflow.dead-store",
+                 "compare is dead: no branch reads the flag it sets",
+                 "drop it, or spread a later compare into its slot");
+            break;
+        }
+    }
+
+    for (const RedundantCopy& c :
+         findRedundantCopies(cfg, rd, sc.state)) {
+        emit(diags, Severity::kInfo, c.pc, "dataflow.redundant-copy",
+             "copy is a no-op: the destination already holds the "
+             "source value (established at " +
+                 hexPc(c.defPc) + ")",
+             "delete the copy");
+    }
+
+    // Issue points the edge-pruned fixpoint proves never execute, as
+    // contiguous runs. Plain absint cannot prune these (they decode
+    // and have structural predecessors); only a constant branch
+    // direction removes them.
+    Addr run_lo = 0;
+    Addr run_end = 0;
+    int run_n = 0;
+    const auto flush = [&]() {
+        if (run_n == 0)
+            return;
+        std::ostringstream msg;
+        msg << run_n << " issue point(s) at [" << hexPc(run_lo) << ", "
+            << hexPc(run_end) << ") cannot execute once constant "
+            << "branches are pruned";
+        emit(diags, Severity::kInfo, run_lo,
+             "dataflow.unreachable-after-constant-branch", msg.str(),
+             "dead arms waste DIC reach; crispcc -O deletes them");
+        run_n = 0;
+    };
+    for (const auto& [pc, n] : cfg.nodes()) {
+        const auto ait = ai.in.find(pc);
+        const bool structurally_live =
+            ait == ai.in.end() || ait->second.reachable;
+        const bool dead = sc.executable.count(pc) == 0 &&
+                          structurally_live && n.di.totalParcels > 0;
+        if (!dead) {
+            flush();
+            continue;
+        }
+        const Addr end =
+            pc + static_cast<Addr>(n.di.totalParcels) * kParcelBytes;
+        if (run_n > 0 && pc == run_end) {
+            run_end = end;
+            ++run_n;
+        } else {
+            flush();
+            run_lo = pc;
+            run_end = end;
+            run_n = 1;
+        }
+    }
+    flush();
+}
+
 std::string
 jsonEscape(const std::string& s)
 {
@@ -292,8 +371,16 @@ analyzeProgram(const Program& prog, const AnalysisOptions& opt)
     r.spread = analyzeSpread(*r.cfg);
     r.sites = collectBranchSites(*r.cfg, r.spread);
     r.absint = interpret(*r.cfg);
-    r.cost = computeCost(*r.cfg, r.spread, r.sites, r.absint,
-                         opt.costPredict);
+    if (opt.dataflow) {
+        r.sccp = sccp(*r.cfg);
+        r.live = computeLiveness(*r.cfg, r.sccp.state);
+        r.reachdefs = computeReachDefs(*r.cfg, r.sccp.state);
+    }
+    // SCCP's edge-pruned fixpoint is at least as precise as plain
+    // absint, so the cost engine sees strictly more constancy proofs.
+    const AbsIntResult& values = opt.dataflow ? r.sccp.state : r.absint;
+    r.cost =
+        computeCost(*r.cfg, r.spread, r.sites, values, opt.costPredict);
 
     checkCfg(*r.cfg, r.diags);
     checkSpread(*r.cfg, r.spread, r.diags);
@@ -302,11 +389,19 @@ analyzeProgram(const Program& prog, const AnalysisOptions& opt)
         checkFold(r.sites, r.diags);
     checkStack(analyzeStackWindow(*r.cfg, opt.stackCacheWords),
                opt.stackCacheWords, r.diags);
-    checkCost(*r.cfg, r.sites, r.cost, r.absint, r.diags);
+    checkCost(*r.cfg, r.sites, r.cost, values, r.diags);
+    if (opt.dataflow) {
+        checkDataflow(*r.cfg, r.sccp, r.live, r.reachdefs, r.absint,
+                      r.diags);
+    }
 
+    // Deterministic report order: (site pc, rule id). Tools diff the
+    // JSON/SARIF output against goldens, so ties must not depend on
+    // emission order.
     std::stable_sort(r.diags.begin(), r.diags.end(),
                      [](const Diagnostic& a, const Diagnostic& b) {
-                         return a.pc < b.pc;
+                         return a.pc != b.pc ? a.pc < b.pc
+                                             : a.rule < b.rule;
                      });
 
     r.staticEntries = static_cast<int>(r.cfg->nodes().size());
@@ -359,6 +454,28 @@ AnalysisResult::toJson() const
     os << ",\"errors\":" << count(Severity::kError);
     os << ",\"warnings\":" << count(Severity::kWarning);
     os << ",\"notes\":" << count(Severity::kInfo);
+
+    int df_dead = 0, df_copies = 0, df_unreach = 0;
+    for (const Diagnostic& d : diags) {
+        if (d.rule == "dataflow.dead-store")
+            ++df_dead;
+        else if (d.rule == "dataflow.redundant-copy")
+            ++df_copies;
+        else if (d.rule == "dataflow.unreachable-after-constant-branch")
+            ++df_unreach;
+    }
+    os << ",\"dataflow\":{";
+    os << "\"deadStores\":" << df_dead;
+    os << ",\"redundantCopies\":" << df_copies;
+    os << ",\"unreachableRuns\":" << df_unreach;
+    os << ",\"sccpExecutable\":" << sccp.executable.size();
+    os << ",\"sccpProvenDirections\":" << sccp.provenDirection.size();
+    os << ",\"sccpConverged\":"
+       << (sccp.state.converged ? "true" : "false");
+    os << ",\"livenessConverged\":" << (live.converged ? "true" : "false");
+    os << ",\"reachdefsConverged\":"
+       << (reachdefs.converged ? "true" : "false");
+    os << "}";
 
     os << ",\"sites\":[";
     bool first = true;

@@ -20,12 +20,16 @@
  *   info    fold.mixed              branch both folds and issues alone
  *   info    cost.constant-cc        branch direction provably constant
  *   info    cost.dead-branch        constant branch makes code dead
+ *   info    dataflow.dead-store     definition provably never observed
+ *   info    dataflow.unreachable-after-constant-branch
+ *                                   issue points SCCP proves unreachable
+ *   info    dataflow.redundant-copy mov X,Y where X already equals Y
  *
  * Severity contract: errors mean the program will fault or the decode
  * contract is broken; warnings mean a paper invariant (spreading,
  * prediction, stack-cache residency) is not met; info marks missed
- * fold opportunities and abstract-interpretation proofs. crisplint
- * exits nonzero on warnings and errors.
+ * fold opportunities and abstract-interpretation/dataflow proofs.
+ * crisplint exits nonzero on warnings and errors.
  */
 
 #ifndef CRISP_ANALYSIS_CHECKS_HH
@@ -38,6 +42,9 @@
 #include "cfg.hh"
 #include "cost.hh"
 #include "dataflow.hh"
+#include "liveness.hh"
+#include "reachdefs.hh"
+#include "sccp.hh"
 
 namespace crisp::analysis
 {
@@ -80,6 +87,12 @@ struct AnalysisOptions
      * bounded (predictSourceFor maps SimConfig to this).
      */
     PredictSource costPredict = PredictSource::kStaticBit;
+    /**
+     * Run the sparse dataflow passes (SCCP, liveness, reaching
+     * definitions), refine the cost bounds through SCCP's edge-pruned
+     * fixpoint, and emit the dataflow.* rules.
+     */
+    bool dataflow = true;
 };
 
 /** Everything the analyzer derived, plus the diagnostics. */
@@ -92,6 +105,12 @@ struct AnalysisResult
     std::map<Addr, BranchSite> sites;
     /** Abstract fixpoint over the same CFG (value/flag facts). */
     AbsIntResult absint;
+    /** SCCP fixpoint (edge-pruned, at least as precise as absint). */
+    SccpResult sccp;
+    /** Backward liveness (valid only when options.dataflow was set). */
+    LivenessResult live;
+    /** Reaching definitions + def-use chains (dataflow only). */
+    ReachDefsResult reachdefs;
     /** Per-site static delay bounds derived from all of the above. */
     CostSummary cost;
     std::vector<Diagnostic> diags;

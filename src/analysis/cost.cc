@@ -110,7 +110,16 @@ computeCost(const Cfg& cfg, const std::map<Addr, SpreadInfo>& spread,
             c.bound = {0, 0};
         } else {
             c.bound = {0, 0};
-            const std::vector<Addr> ips = issuePointsOf(s);
+            // Issue points the abstract interpretation proves can never
+            // execute contribute nothing: under sparse conditional
+            // constant propagation a pruned-away entry must not
+            // pessimize the bound. With the plain interpreter every CFG
+            // node is reachable, so this filter is a no-op there.
+            std::vector<Addr> ips;
+            for (const Addr ip : issuePointsOf(s)) {
+                if (ai.outAt(ip).reachable)
+                    ips.push_back(ip);
+            }
             for (const Addr ip : ips) {
                 const int hi = issuePointHi(cfg, spread, ip);
                 if (hi > c.bound.hi)
@@ -123,8 +132,11 @@ computeCost(const Cfg& cfg, const std::map<Addr, SpreadInfo>& spread,
             }
 
             // Constancy: the post-body flag must be proven, and the
-            // branch direction must agree, at every issue point.
-            bool constant = true;
+            // branch direction must agree, at every reachable issue
+            // point. A site with no reachable issue point never
+            // executes at all; its [0,0] bound is vacuous, not a
+            // direction proof.
+            bool constant = !ips.empty();
             bool dir = false;
             bool first = true;
             for (const Addr ip : ips) {

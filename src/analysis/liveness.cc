@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Backward liveness worklist with absint-resolved memory operands.
+ */
+
+#include "liveness.hh"
+
+#include <deque>
+
+namespace crisp::analysis
+{
+
+MemLive
+joinMemLive(const MemLive& a, const MemLive& b)
+{
+    MemLive j;
+    if (!a.all && !b.all) {
+        j.words = a.words;
+        j.words.insert(b.words.begin(), b.words.end());
+        return j;
+    }
+    j.all = true;
+    if (a.all && b.all) {
+        // Union of two co-sets: dead only where both sides agree.
+        for (const Addr w : a.words) {
+            if (b.words.count(w))
+                j.words.insert(w);
+        }
+        return j;
+    }
+    // co-set ∪ finite set: dead words minus the finite live words.
+    const MemLive& co = a.all ? a : b;
+    const MemLive& fin = a.all ? b : a;
+    for (const Addr w : co.words) {
+        if (fin.words.count(w) == 0)
+            j.words.insert(w);
+    }
+    return j;
+}
+
+namespace
+{
+
+LiveSet
+joinLive(const LiveSet& a, const LiveSet& b)
+{
+    LiveSet j;
+    j.accum = a.accum || b.accum;
+    j.flag = a.flag || b.flag;
+    j.mem = joinMemLive(a.mem, b.mem);
+    return j;
+}
+
+/** All-live: the sound degradation when the step cap trips. */
+LiveSet
+allLive()
+{
+    LiveSet s;
+    s.accum = true;
+    s.flag = true;
+    s.mem.genAll();
+    return s;
+}
+
+/** One node's backward transfer, parameterized on absint SP facts. */
+struct Xfer
+{
+    LiveSet s;
+    const AbsState& pre; // absint IN state: operands evaluate against it
+
+    std::optional<Addr>
+    address(const Operand& o) const
+    {
+        switch (o.mode) {
+          case AddrMode::kStack: {
+            const auto sp = pre.sp.constant();
+            if (!sp)
+                return std::nullopt;
+            return static_cast<Addr>(*sp) +
+                   static_cast<Addr>(o.value) * kWordBytes;
+          }
+          case AddrMode::kAbs:
+            return static_cast<Addr>(o.value);
+          default:
+            return std::nullopt;
+        }
+    }
+
+    void
+    genRead(const Operand& o)
+    {
+        switch (o.mode) {
+          case AddrMode::kImm:
+          case AddrMode::kNone:
+            return;
+          case AddrMode::kAccum:
+            s.accum = true;
+            return;
+          case AddrMode::kStack:
+          case AddrMode::kAbs: {
+            const auto a = address(o);
+            if (a)
+                s.mem.gen(*a);
+            else
+                s.mem.genAll();
+            return;
+          }
+          case AddrMode::kInd:
+            // Reads the pointer slot and an unknown target word.
+            s.mem.genAll();
+            return;
+        }
+    }
+
+    void
+    killWrite(const Operand& o)
+    {
+        switch (o.mode) {
+          case AddrMode::kAccum:
+            s.accum = false;
+            return;
+          case AddrMode::kStack:
+          case AddrMode::kAbs: {
+            // A kill must be definite: unresolved writes kill nothing.
+            const auto a = address(o);
+            if (a)
+                s.mem.kill(*a);
+            return;
+          }
+          case AddrMode::kInd: {
+            // Target unknown (kills nothing), but the pointer slot is
+            // read to form the address.
+            const auto sp = pre.sp.constant();
+            if (sp) {
+                s.mem.gen(static_cast<Addr>(*sp) +
+                          static_cast<Addr>(o.value) * kWordBytes);
+            } else {
+                s.mem.genAll();
+            }
+            return;
+          }
+          case AddrMode::kImm:
+          case AddrMode::kNone:
+            return;
+        }
+    }
+};
+
+/** Live-in of @p di given live-out @p out and absint pre-state. */
+LiveSet
+transferBack(const DecodedInst& di, const LiveSet& out,
+             const AbsState& pre)
+{
+    Xfer x{out, pre};
+
+    // Control part first (it executes after the body).
+    if (di.hasCondBranch())
+        x.s.flag = true;
+    if (di.ctl == Ctl::kIndirect)
+        x.s.mem.genAll(); // jump-table word read through a pointer
+
+    const Instruction& b = di.body;
+    const Opcode op = b.op;
+    if (di.loneBranch || op == Opcode::kNop || op == Opcode::kHalt ||
+        op == Opcode::kEnter || op == Opcode::kLeave) {
+        // no data effect
+    } else if (op == Opcode::kReturn) {
+        // Pops the return word at sp + frameWords * 4.
+        const auto sp = pre.sp.constant();
+        if (sp) {
+            x.s.mem.gen(static_cast<Addr>(*sp) +
+                        static_cast<Addr>(b.dst.value) * kWordBytes);
+        } else {
+            x.s.mem.genAll();
+        }
+    } else if (op == Opcode::kCall) {
+        // Pushes the return word at sp - 4: a definite write when
+        // resolved, so the slot's prior value dies here.
+        const auto sp = pre.sp.constant();
+        if (sp)
+            x.s.mem.kill(static_cast<Addr>(*sp) - kWordBytes);
+    } else if (op == Opcode::kMov) {
+        x.killWrite(b.dst);
+        x.genRead(b.src);
+    } else if (isCompare(op)) {
+        x.s.flag = false;
+        x.genRead(b.dst);
+        x.genRead(b.src);
+    } else if (isAlu3(op)) {
+        x.s.accum = false;
+        x.genRead(b.dst);
+        x.genRead(b.src);
+    } else if (isAlu2(op)) {
+        x.killWrite(b.dst);
+        x.genRead(b.dst);
+        x.genRead(b.src);
+    }
+    return x.s;
+}
+
+} // namespace
+
+const LiveSet&
+LivenessResult::outAt(Addr pc) const
+{
+    static const LiveSet all = allLive();
+    const auto it = out.find(pc);
+    return it == out.end() ? all : it->second;
+}
+
+LivenessResult
+computeLiveness(const Cfg& cfg, const AbsIntResult& ai)
+{
+    LivenessResult r;
+    const Program& prog = cfg.program();
+
+    // Observable at exit: the accumulator and every data-segment word.
+    // Stack slots are frame-local by the observability contract shared
+    // with tv.cc; text words are excluded from *dead-store reporting*
+    // below instead of being carried in every set.
+    LiveSet boundary;
+    boundary.accum = true;
+    for (Addr a = prog.dataBase;
+         a < prog.dataBase + static_cast<Addr>(prog.data.size());
+         a += kWordBytes) {
+        boundary.mem.gen(a);
+    }
+
+    const auto reachable = [&](Addr pc) {
+        const auto it = ai.in.find(pc);
+        return it == ai.in.end() || it->second.reachable;
+    };
+    const auto preState = [&](Addr pc) -> const AbsState& {
+        static const AbsState top = AbsState::anyState();
+        const auto it = ai.in.find(pc);
+        return it == ai.in.end() ? top : it->second;
+    };
+
+    std::deque<Addr> work;
+    std::set<Addr> queued;
+    for (const auto& [pc, n] : cfg.nodes()) {
+        r.in.emplace(pc, LiveSet{});
+        r.out.emplace(pc, LiveSet{});
+        // Seed back-to-front: roughly one sweep to a fixpoint.
+        work.push_front(pc);
+        queued.insert(pc);
+    }
+
+    const std::uint64_t step_cap =
+        static_cast<std::uint64_t>(cfg.nodes().size()) *
+            kAbsintStepsPerNode +
+        256;
+    std::uint64_t steps = 0;
+
+    while (!work.empty()) {
+        if (++steps > step_cap) {
+            // Sound degradation: everything live, nothing dead.
+            r.converged = false;
+            r.dead.clear();
+            for (auto& [pc, s] : r.in)
+                s = allLive();
+            for (auto& [pc, s] : r.out)
+                s = allLive();
+            return r;
+        }
+
+        const Addr pc = work.front();
+        work.pop_front();
+        queued.erase(pc);
+        const CfgNode& n = cfg.node(pc);
+
+        // Abstractly-unreachable nodes (SCCP-pruned arms) never
+        // execute; they contribute no liveness and are left empty.
+        if (!reachable(pc))
+            continue;
+
+        LiveSet o = n.succs.empty() ? boundary : LiveSet{};
+        for (const Addr s : n.succs)
+            o = joinLive(o, r.in.at(s));
+
+        r.out.at(pc) = o;
+        LiveSet i;
+        if (n.di.totalParcels <= 0)
+            i = o; // decode-error placeholder
+        else
+            i = transferBack(n.di, o, preState(pc));
+
+        LiveSet& in_slot = r.in.at(pc);
+        if (i == in_slot)
+            continue;
+        in_slot = std::move(i);
+        for (const Addr p : n.preds) {
+            if (queued.insert(p).second)
+                work.push_back(p);
+        }
+    }
+
+    // Dead-definition report: reachable nodes whose only effect is
+    // provably unobservable. Text-segment stores are never reported
+    // (self-modifying code is observable through fetch).
+    for (const auto& [pc, n] : cfg.nodes()) {
+        if (!reachable(pc) || n.di.totalParcels <= 0 ||
+            n.di.loneBranch || n.di.ctl == Ctl::kIndirect) {
+            continue;
+        }
+        const Instruction& b = n.di.body;
+        const LiveSet& lo = r.out.at(pc);
+        if (isCompare(b.op)) {
+            // A folded branch in this same entry reads the flag the
+            // compare just set; live-out alone would miss that.
+            if (!lo.flag && !n.di.hasCondBranch())
+                r.dead.push_back({pc, DeadKind::kCompare, 0});
+            continue;
+        }
+        const bool to_accum =
+            isAlu3(b.op) ||
+            (b.op == Opcode::kMov && b.dst.mode == AddrMode::kAccum);
+        if (to_accum) {
+            if (!lo.accum)
+                r.dead.push_back({pc, DeadKind::kAccumDef, 0});
+            continue;
+        }
+        const bool to_mem =
+            (b.op == Opcode::kMov || isAlu2(b.op)) &&
+            (b.dst.mode == AddrMode::kStack ||
+             b.dst.mode == AddrMode::kAbs);
+        if (!to_mem)
+            continue;
+        Xfer x{LiveSet{}, preState(pc)};
+        const auto a = x.address(b.dst);
+        if (a && !prog.inText(*a) && !lo.mem.isLive(*a))
+            r.dead.push_back({pc, DeadKind::kMemStore, *a});
+    }
+    return r;
+}
+
+} // namespace crisp::analysis

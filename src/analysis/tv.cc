@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Translation validator: cost monotonicity + observable equivalence.
+ */
+
+#include "tv.hh"
+
+#include <sstream>
+
+#include "checks.hh"
+#include "interp/interpreter.hh"
+
+namespace crisp::analysis
+{
+
+namespace
+{
+
+std::size_t
+countInstructions(const Program& prog)
+{
+    std::size_t n = 0;
+    Addr pc = prog.textBase;
+    while (pc < prog.textEnd()) {
+        const int len = instructionLength(prog.parcelAt(pc));
+        if (len <= 0)
+            break;
+        pc += static_cast<Addr>(len) * kParcelBytes;
+        ++n;
+    }
+    return n;
+}
+
+/** SCCP-refined per-site bounds for one side of the pair. */
+AnalysisResult
+analyzeSide(const Program& prog)
+{
+    AnalysisOptions opts;
+    opts.predict = PredictConvention::kNone; // bounds only, no lint
+    opts.foldInfo = false;
+    opts.costPredict = PredictSource::kStaticBit;
+    return analyzeProgram(prog, opts);
+}
+
+std::string
+globalNameAt(const Program& prog, Addr a)
+{
+    for (const auto& [name, sym] : prog.symbols) {
+        if (sym.kind == Symbol::Kind::kGlobal && sym.value == a)
+            return name;
+    }
+    return "";
+}
+
+} // namespace
+
+TvReport
+validateRewrite(const Program& before, const Program& after,
+                const std::vector<std::pair<Addr, Addr>>& sitePairs,
+                const TvOptions& opts)
+{
+    TvReport r;
+    const auto fail = [&](const std::string& what) {
+        r.ok = false;
+        r.problems.push_back(what);
+    };
+
+    // 1. Static instruction count must not grow.
+    r.instrBefore = countInstructions(before);
+    r.instrAfter = countInstructions(after);
+    if (r.instrAfter > r.instrBefore) {
+        std::ostringstream os;
+        os << "tv: instruction count grew " << r.instrBefore << " -> "
+           << r.instrAfter;
+        fail(os.str());
+    }
+
+    // 2./3. Per-site and whole-envelope cost monotonicity.
+    const AnalysisResult ab = analyzeSide(before);
+    const AnalysisResult aa = analyzeSide(after);
+    for (const auto& [pc, c] : ab.cost.sites)
+        r.envelopeHiBefore += static_cast<std::uint64_t>(c.bound.hi);
+    for (const auto& [pc, c] : aa.cost.sites)
+        r.envelopeHiAfter += static_cast<std::uint64_t>(c.bound.hi);
+
+    for (const auto& [bpc, apc] : sitePairs) {
+        const SiteCost* cb = ab.cost.find(bpc);
+        const SiteCost* ca = aa.cost.find(apc);
+        if (cb == nullptr || ca == nullptr) {
+            std::ostringstream os;
+            os << "tv: matched site pair " << bpc << " -> " << apc
+               << " missing from the " << (cb == nullptr ? "before" : "after")
+               << " cost table";
+            fail(os.str());
+            continue;
+        }
+        ++r.sitesMatched;
+        if (ca->bound.hi > cb->bound.hi) {
+            std::ostringstream os;
+            os << "tv: site " << bpc << " -> " << apc
+               << " delay bound worsened [" << cb->bound.lo << ","
+               << cb->bound.hi << "] -> [" << ca->bound.lo << ","
+               << ca->bound.hi << "]";
+            fail(os.str());
+        } else if (ca->bound.hi < cb->bound.hi) {
+            ++r.sitesImproved;
+        }
+    }
+    if (r.envelopeHiAfter > r.envelopeHiBefore) {
+        std::ostringstream os;
+        os << "tv: cost envelope grew " << r.envelopeHiBefore << " -> "
+           << r.envelopeHiAfter;
+        fail(os.str());
+    }
+
+    // 4. Observable equivalence: accumulator + SP + data segment.
+    if (!opts.semantic)
+        return r;
+    if (before.data.size() != after.data.size() ||
+        before.dataBase != after.dataBase) {
+        fail("tv: data segment layout changed");
+        return r;
+    }
+    Interpreter ib(before);
+    ib.run(opts.maxSteps);
+    if (!ib.halted()) {
+        r.notes.push_back(
+            "tv: equivalence inconclusive (before side exceeded the "
+            "step budget)");
+        return r;
+    }
+    Interpreter ia(after);
+    ia.run(opts.maxSteps);
+    if (!ia.halted()) {
+        // The rewrite only removes or simplifies work, so the after
+        // side halting later than the budget that sufficed before is a
+        // genuine divergence.
+        fail("tv: after side did not halt within the step budget that "
+             "sufficed for the before side");
+        return r;
+    }
+    r.semanticChecked = true;
+    if (ia.accum() != ib.accum()) {
+        std::ostringstream os;
+        os << "tv: accumulator diverged: expected " << ib.accum()
+           << ", got " << ia.accum();
+        r.counterexample = os.str();
+        fail(os.str());
+        return r;
+    }
+    if (ia.sp() != ib.sp()) {
+        std::ostringstream os;
+        os << "tv: SP diverged: expected " << ib.sp() << ", got "
+           << ia.sp();
+        r.counterexample = os.str();
+        fail(os.str());
+        return r;
+    }
+    for (Addr a = before.dataBase;
+         a + kWordBytes <=
+         before.dataBase + static_cast<Addr>(before.data.size());
+         a += kWordBytes) {
+        const Word want = ib.memory().read32(a);
+        const Word got = ia.memory().read32(a);
+        if (want == got)
+            continue;
+        std::ostringstream os;
+        os << "tv: data word @" << a;
+        const std::string name = globalNameAt(before, a);
+        if (!name.empty())
+            os << " (" << name << ")";
+        os << " diverged: expected " << want << ", got " << got;
+        r.counterexample = os.str();
+        fail(os.str());
+        return r;
+    }
+    return r;
+}
+
+} // namespace crisp::analysis

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Translation validation for optimizer rewrites: prove, per compiled
+ * program pair (before optimization, after optimization), that the
+ * rewrite kept the observable semantics and did not worsen the static
+ * branch-cost story.
+ *
+ * Obligations checked on each before/after pair:
+ *
+ *  1. the static instruction count did not grow;
+ *  2. every matched conditional branch site's delay upper bound is
+ *     monotonically non-worsening (after.hi <= before.hi), matched by
+ *     the CodeItem::siteId tags the optimizer driver assigns before
+ *     running any pass;
+ *  3. the whole-program static cost envelope (sum of per-site hi over
+ *     all branch sites) shrinks or holds;
+ *  4. observable semantic equivalence: both programs, run from the
+ *     boot state by the reference interpreter, halt with the same
+ *     accumulator, the same SP, and identical data-segment contents.
+ *     Stack-slot contents and the condition flag are *not* observable:
+ *     deleting a dead frame store or a dead compare legitimately
+ *     changes both. The first differing data word is reported as a
+ *     shrunk counterexample (symbol name + expected/got).
+ *
+ * Cost bounds on both sides come from the SCCP-refined analysis, so a
+ * rewrite that merely *reshapes* code without losing any constancy
+ * proof passes, while one that destroys a proof (or a spread window)
+ * fails obligation 2/3. End-to-end equivalence of the shipped binary
+ * is additionally pinned by lockstep torture and the engine diff over
+ * optimized outputs (tests/test_dataflow.cc); this validator is the
+ * per-compile gate wired into `crispcc --verify` / `-O`.
+ */
+
+#ifndef CRISP_ANALYSIS_TV_HH
+#define CRISP_ANALYSIS_TV_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace crisp::analysis
+{
+
+struct TvOptions
+{
+    /** Interpreter step budget per side for the equivalence run. */
+    std::uint64_t maxSteps = 80'000'000;
+    /** Skip the (expensive) concrete equivalence run. */
+    bool semantic = true;
+};
+
+/** Verdict of one before/after validation. */
+struct TvReport
+{
+    /** No obligation failed. */
+    bool ok = true;
+
+    /** Human-readable obligation failures (empty when ok). */
+    std::vector<std::string> problems;
+
+    /** Non-fatal observations (e.g. equivalence run inconclusive). */
+    std::vector<std::string> notes;
+
+    int sitesMatched = 0;
+    int sitesImproved = 0; //!< matched sites whose hi strictly dropped
+
+    std::uint64_t envelopeHiBefore = 0;
+    std::uint64_t envelopeHiAfter = 0;
+    std::size_t instrBefore = 0;
+    std::size_t instrAfter = 0;
+
+    /** True when the concrete equivalence run completed on both sides. */
+    bool semanticChecked = false;
+
+    /** First observable divergence, when one was found. */
+    std::string counterexample;
+};
+
+/**
+ * Validate @p after as a rewrite of @p before. @p sitePairs maps
+ * matched conditional-branch sites (before-pc, after-pc); the optimizer
+ * driver derives it from CodeItem::siteId tags surviving the passes.
+ */
+TvReport validateRewrite(
+    const Program& before, const Program& after,
+    const std::vector<std::pair<Addr, Addr>>& sitePairs,
+    const TvOptions& opts = {});
+
+} // namespace crisp::analysis
+
+#endif // CRISP_ANALYSIS_TV_HH

@@ -34,6 +34,21 @@ struct CodeItem
     bool spreadClaim = false;
     /** Issue-slot separation passSpread achieved for this branch. */
     int spreadSep = 0;
+    /**
+     * Stable identity for the translation validator: the optimizer
+     * driver tags every conditional branch before running any rewrite
+     * pass, and tags surviving in both the baseline and the optimized
+     * CodeList become matched TV site pairs. -1 = untagged.
+     */
+    int siteId = -1;
+    /**
+     * Liveness proved the condition flag this compare writes is never
+     * read before being overwritten (kInst compares only; set by the
+     * optimizer driver). Deleting it could reshape fold carriers, so
+     * it stays put, but branch-spreading code motion may treat the
+     * flag write as a non-event and sink candidates across it.
+     */
+    bool ccDead = false;
 
     static CodeItem
     label(std::string n)

@@ -2,6 +2,10 @@
  * @file
  * crispcc driver: runs the pipeline and produces a linked Program plus
  * a human-readable listing (the form of the paper's Table 3).
+ *
+ * Linking and listing are factored out as free functions over a
+ * LinkContext so the dataflow optimizer (analysis/opt.cc) can relink a
+ * rewritten CodeList without reparsing the source.
  */
 
 #include "compiler.hh"
@@ -59,36 +63,82 @@ operandText(const Operand& o,
     return o.toString();
 }
 
-std::string
-makeListing(
-    const CodeList& code, const TranslationUnit& tu,
-    const std::map<std::string, std::map<std::int32_t, std::string>>&
-        slot_names,
-    const std::map<Addr, std::string>& global_names,
-    const std::vector<std::pair<std::string, std::vector<std::string>>>&
-        tables,
-    bool has_crt0)
+/** Global-name map in the layout linkCode produces (for the listing). */
+std::map<Addr, std::string>
+globalNameMap(const LinkContext& ctx)
 {
+    AsmBuilder builder;
+    std::map<Addr, std::string> names;
+    for (const LinkContext::Global& g : ctx.globals) {
+        if (g.arraySize > 0)
+            builder.space(g.name, static_cast<Addr>(g.arraySize));
+        else
+            builder.global(g.name, g.init);
+        names[static_cast<Addr>(builder.globalOperand(g.name).value)] =
+            g.name;
+    }
+    for (const auto& [tname, labels] : ctx.tables) {
+        builder.labelTable(tname, labels);
+        names[static_cast<Addr>(builder.globalOperand(tname).value)] =
+            tname;
+    }
+    return names;
+}
+
+} // namespace
+
+Program
+linkCode(const CodeList& code, const LinkContext& ctx)
+{
+    AsmBuilder builder;
+    for (const LinkContext::Global& g : ctx.globals) {
+        if (g.arraySize > 0)
+            builder.space(g.name, static_cast<Addr>(g.arraySize));
+        else
+            builder.global(g.name, g.init);
+    }
+    // Switch jump tables follow the globals, in creation order (the
+    // code generator assigned their addresses on that assumption).
+    for (const auto& [tname, labels] : ctx.tables)
+        builder.labelTable(tname, labels);
+    for (const CodeItem& c : code) {
+        switch (c.kind) {
+          case CodeItem::Kind::kLabel:
+            builder.label(c.name);
+            break;
+          case CodeItem::Kind::kInst:
+            builder.emit(c.inst);
+            break;
+          case CodeItem::Kind::kBranch:
+            builder.branch(c.inst.op, c.name, c.inst.predictTaken);
+            break;
+        }
+    }
+    if (!ctx.entry.empty())
+        builder.entry(ctx.entry);
+    return builder.link();
+}
+
+std::string
+makeListing(const CodeList& code, const LinkContext& ctx)
+{
+    const std::map<Addr, std::string> global_names = globalNameMap(ctx);
+
     std::ostringstream os;
     std::map<std::int32_t, std::string> filtered;
     const std::map<std::int32_t, std::string>* slots = nullptr;
-    std::set<std::string> func_names;
-    for (const FuncDecl& f : tu.functions)
-        func_names.insert(f.name);
 
     // Header directives make the listing reassemblable (crispcc -S |
     // crispasm round-trips).
-    if (has_crt0)
-        os << ".entry _start\n";
-    else if (!tu.functions.empty())
-        os << ".entry " << tu.functions.front().name << "\n";
-    for (const GlobalDecl& g : tu.globals) {
+    if (!ctx.entry.empty())
+        os << ".entry " << ctx.entry << "\n";
+    for (const LinkContext::Global& g : ctx.globals) {
         if (g.arraySize > 0)
             os << ".space " << g.name << " " << g.arraySize << "\n";
         else
             os << ".global " << g.name << " " << g.init << "\n";
     }
-    for (const auto& [tname, labels] : tables) {
+    for (const auto& [tname, labels] : ctx.tables) {
         os << ".table " << tname;
         for (const std::string& l : labels)
             os << " " << l;
@@ -98,12 +148,12 @@ makeListing(
     for (const CodeItem& c : code) {
         switch (c.kind) {
           case CodeItem::Kind::kLabel:
-            if (func_names.count(c.name)) {
+            if (ctx.funcNames.count(c.name)) {
                 // Names reused by shadowed declarations would bind
                 // ambiguously in the assembler: keep only unique ones.
                 filtered.clear();
-                const auto it = slot_names.find(c.name);
-                if (it != slot_names.end()) {
+                const auto it = ctx.slotNames.find(c.name);
+                if (it != ctx.slotNames.end()) {
                     std::map<std::string, int> uses;
                     for (const auto& [slot, name] : it->second)
                         ++uses[name];
@@ -156,33 +206,38 @@ makeListing(
     return os.str();
 }
 
-} // namespace
-
 CompileResult
 compile(const std::string& source, const CompileOptions& opts)
 {
     const TranslationUnit tu = parse(source);
 
-    std::map<std::string, std::map<std::int32_t, std::string>> slot_names;
-    std::vector<std::pair<std::string, std::vector<std::string>>> tables;
-    CodeList code = generateCode(tu, opts.emitCrt0, &slot_names, &tables);
-
-    std::set<std::string> keep;
-    keep.insert("_start");
+    LinkContext ctx;
+    ctx.hasCrt0 = opts.emitCrt0;
+    CodeList code =
+        generateCode(tu, opts.emitCrt0, &ctx.slotNames, &ctx.tables);
+    for (const GlobalDecl& g : tu.globals)
+        ctx.globals.push_back({g.name, g.init, g.arraySize});
     for (const FuncDecl& f : tu.functions)
-        keep.insert(f.name);
+        ctx.funcNames.insert(f.name);
+    if (opts.emitCrt0)
+        ctx.entry = "_start";
+    else if (!tu.functions.empty())
+        ctx.entry = tu.functions.front().name;
+
+    ctx.keepLabels = ctx.funcNames;
+    ctx.keepLabels.insert("_start");
     // Labels reachable only through switch jump tables have no
     // CodeList branch references; protect them from dead-label removal.
-    for (const auto& [tname, labels] : tables)
-        keep.insert(labels.begin(), labels.end());
+    for (const auto& [tname, labels] : ctx.tables)
+        ctx.keepLabels.insert(labels.begin(), labels.end());
 
     if (opts.peephole)
-        passPeephole(code, keep);
+        passPeephole(code, ctx.keepLabels);
     int fully_spread = 0;
     if (opts.spread)
         fully_spread = passSpread(code, opts.spreadDistance);
     if (opts.peephole)
-        passPeephole(code, keep);
+        passPeephole(code, ctx.keepLabels);
     passPredictBits(code, opts.predict);
     if (opts.delaySlots || opts.annulSlots) {
         // Last: slots must survive peephole, and annul-filling reuses
@@ -190,48 +245,12 @@ compile(const std::string& source, const CompileOptions& opts)
         passFillDelaySlots(code, opts.annulSlots);
     }
 
-    // Link through the shared AsmBuilder layout engine.
-    AsmBuilder builder;
-    std::map<Addr, std::string> global_names;
-    for (const GlobalDecl& g : tu.globals) {
-        if (g.arraySize > 0)
-            builder.space(g.name, static_cast<Addr>(g.arraySize));
-        else
-            builder.global(g.name, g.init);
-        global_names[static_cast<Addr>(
-            builder.globalOperand(g.name).value)] = g.name;
-    }
-    // Switch jump tables follow the globals, in creation order (the
-    // code generator assigned their addresses on that assumption).
-    for (auto& [tname, labels] : tables) {
-        builder.labelTable(tname, labels);
-        global_names[static_cast<Addr>(
-            builder.globalOperand(tname).value)] = tname;
-    }
-    for (const CodeItem& c : code) {
-        switch (c.kind) {
-          case CodeItem::Kind::kLabel:
-            builder.label(c.name);
-            break;
-          case CodeItem::Kind::kInst:
-            builder.emit(c.inst);
-            break;
-          case CodeItem::Kind::kBranch:
-            builder.branch(c.inst.op, c.name, c.inst.predictTaken);
-            break;
-        }
-    }
-    if (opts.emitCrt0)
-        builder.entry("_start");
-    else if (!tu.functions.empty())
-        builder.entry(tu.functions.front().name);
-
     CompileResult result;
     result.fullySpread = fully_spread;
-    result.program = builder.link();
-    result.listing = makeListing(code, tu, slot_names, global_names,
-                                 tables, opts.emitCrt0);
+    result.program = linkCode(code, ctx);
+    result.listing = makeListing(code, ctx);
     result.code = std::move(code);
+    result.link = std::move(ctx);
     return result;
 }
 

@@ -70,6 +70,43 @@ struct CompileOptions
     int spreadDistance = 3;
 };
 
+/**
+ * Everything the linker and listing writer need besides the CodeList
+ * itself. compile() fills one in and carries it on the CompileResult so
+ * later rewrite passes (the dataflow optimizer) can relink a modified
+ * CodeList without reparsing the source.
+ */
+struct LinkContext
+{
+    struct Global
+    {
+        std::string name;
+        std::int32_t init = 0;
+        /** Nonzero: a .space array of this many words. */
+        int arraySize = 0;
+    };
+
+    /** Globals in declaration order (layout is order-dependent). */
+    std::vector<Global> globals;
+    /** Switch jump tables in creation order (same reason). */
+    std::vector<std::pair<std::string, std::vector<std::string>>> tables;
+    /** Per-function slot -> variable name, for the listing. */
+    std::map<std::string, std::map<std::int32_t, std::string>> slotNames;
+    /** Function entry labels (listing section breaks + keep set). */
+    std::set<std::string> funcNames;
+    /** Labels dead-label removal must preserve. */
+    std::set<std::string> keepLabels;
+    /** Entry label ("_start" with crt0, else the first function). */
+    std::string entry;
+    bool hasCrt0 = true;
+};
+
+/** Link @p code through the AsmBuilder layout engine. */
+Program linkCode(const CodeList& code, const LinkContext& ctx);
+
+/** Pretty listing with variable names (the paper's Table 3 form). */
+std::string makeListing(const CodeList& code, const LinkContext& ctx);
+
 struct CompileResult
 {
     Program program;
@@ -77,6 +114,8 @@ struct CompileResult
     CodeList code;
     /** Pretty listing with variable names (the paper's Table 3 form). */
     std::string listing;
+    /** Relink inputs for downstream rewrite passes. */
+    LinkContext link;
     /**
      * Branch Spreading's claim: originally-adjacent compare/branch
      * pairs that reached the requested separation. The claimed branch
@@ -102,6 +141,17 @@ void passPredictBits(CodeList& code, PredictMode mode);
 int passSpread(CodeList& code, int distance);
 
 /**
+ * Branch Spreading, generalized for a second run after the dataflow
+ * rewrite passes: handles compare/branch pairs that are no longer
+ * adjacent (passSpread only considers adjacent ones) and sinks
+ * candidates across compares marked CodeItem::ccDead. Re-tags
+ * spreadClaim/spreadSep on every conditional branch it inspects.
+ * @return the total number of fully-spread conditional branches
+ * afterwards (the new CompileResult::fullySpread).
+ */
+int passRespread(CodeList& code, int distance);
+
+/**
  * Peephole cleanups: jump-to-next removal, mov x,x removal, and removal
  * of unreferenced labels (except those in @p keep_labels, e.g. function
  * entry points). @return items removed.
@@ -118,6 +168,58 @@ int passPeephole(CodeList& code,
  * @return the number of slots filled with useful instructions.
  */
 int passFillDelaySlots(CodeList& code, bool annul = false);
+
+// Dataflow-driven rewrite passes. All three are keyed by *non-label
+// item ordinal*: the optimizer driver derives facts from the analyzer
+// (pc-keyed) and maps them through the 1:1 pairing between non-label
+// CodeItems and the binary's linear decode (the same pairing crispcc
+// --verify audits). Every pass erases/rewrites in descending ordinal
+// order, so a plan computed against one linked layout stays valid
+// while the pass itself mutates the list.
+
+/**
+ * Rewrite conditional branches whose direction SCCP proved constant:
+ * always-taken becomes an unconditional jmp to the same target,
+ * never-taken is erased. @p directions maps ordinal -> alwaysTaken.
+ * @return branches rewritten or erased.
+ */
+int passConstFold(CodeList& code,
+                  const std::map<std::size_t, bool>& directions);
+
+/** What passDCE should remove or downgrade, by non-label ordinal. */
+struct DcePlan
+{
+    /**
+     * Dead definitions (stores and accumulator writes no path
+     * observes). Deleted unless sitting inside a compare->branch
+     * spread window, where removal would shrink the separation the
+     * spreader earned.
+     */
+    std::set<std::size_t> dead;
+    /** Dead compares: marked CodeItem::ccDead, never deleted. */
+    std::set<std::size_t> ccDead;
+    /** Issue points SCCP proved unexecutable: always deleted. */
+    std::set<std::size_t> unreachable;
+};
+
+/** Dead-code elimination. @return items deleted. */
+int passDCE(CodeList& code, const DcePlan& plan);
+
+/** One operand rewrite for passCopyProp. */
+struct ConstOperand
+{
+    std::size_t ordinal = 0; //!< non-label item to rewrite
+    bool dstOperand = false; //!< rewrite inst.dst (else inst.src)
+    std::int32_t value = 0;  //!< proven immediate
+};
+
+/**
+ * Rewrite read-only operands proven equal to an immediate. Skips a
+ * rewrite when it would grow a fold carrier (the instruction feeding a
+ * conditional branch) past 3 parcels, which would cost the branch its
+ * carrier. @return operands rewritten.
+ */
+int passCopyProp(CodeList& code, const std::vector<ConstOperand>& uses);
 
 } // namespace crisp::cc
 

@@ -176,6 +176,15 @@ sinkBefore(CodeList& code, std::size_t& cmp_idx, int need)
     std::size_t cand = cmp_idx;
     while (moved < need && cand > 0) {
         --cand;
+        // A compare whose flag result liveness proved dead is no block
+        // boundary: nothing reads the flag between it and the live
+        // compare, so candidates above it may still sink past both.
+        // It joins the barrier set for its data effects.
+        if (code[cand].kind == CodeItem::Kind::kInst &&
+            code[cand].ccDead && isCompare(code[cand].inst.op)) {
+            barrier.push_back(effectsOf(code[cand].inst));
+            continue;
+        }
         if (!movable(code[cand]))
             break; // label / branch / compare: block boundary
         const Effects fx = effectsOf(code[cand].inst);
@@ -490,6 +499,212 @@ passSpread(CodeList& code, int distance)
         }
     }
     return fully_spread;
+}
+
+int
+passRespread(CodeList& code, int distance)
+{
+    for (std::size_t br = 0; br < code.size(); ++br) {
+        if (!code[br].isCondBranch())
+            continue;
+
+        // Find the governing compare: the nearest compare above with
+        // only plain instructions between (a label or control transfer
+        // means another path enters and the window is not ours).
+        std::size_t cmp_idx = br;
+        bool found = false;
+        while (cmp_idx > 0) {
+            --cmp_idx;
+            const CodeItem& c = code[cmp_idx];
+            if (c.kind != CodeItem::Kind::kInst ||
+                isBranch(c.inst.op)) {
+                break;
+            }
+            if (isCompare(c.inst.op)) {
+                // A stale ccDead mark on the compare the branch
+                // actually reads means the dataflow facts moved under
+                // us: leave this site alone.
+                found = !c.ccDead;
+                break;
+            }
+        }
+        std::size_t b = br;
+        if (found) {
+            int sep = separation(code, cmp_idx, b);
+            sep += sinkBefore(code, cmp_idx, distance - sep);
+            if (sep < distance) {
+                const int hoisted = hoistJoin(code, b, distance - sep);
+                sep += hoisted;
+                b += static_cast<std::size_t>(hoisted);
+            }
+            code[b].spreadSep = sep;
+            code[b].spreadClaim = sep >= distance;
+            br = b;
+        }
+    }
+    int fully = 0;
+    for (const CodeItem& c : code) {
+        if (c.isCondBranch() && c.spreadClaim)
+            ++fully;
+    }
+    return fully;
+}
+
+namespace
+{
+
+/** Positions of non-label items, by ordinal (the --verify pairing). */
+std::vector<std::size_t>
+nonLabelPositions(const CodeList& code)
+{
+    std::vector<std::size_t> pos;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i].kind != CodeItem::Kind::kLabel)
+            pos.push_back(i);
+    }
+    return pos;
+}
+
+/**
+ * Is the instruction at @p p inside a compare -> conditional-branch
+ * spread window (only kInst items between a compare above and a
+ * conditional branch below)? Deleting it would shrink the separation
+ * passSpread earned for that branch.
+ */
+bool
+inSpreadWindow(const CodeList& code, std::size_t p)
+{
+    bool branch_below = false;
+    for (std::size_t q = p + 1; q < code.size(); ++q) {
+        const CodeItem& c = code[q];
+        if (c.kind == CodeItem::Kind::kLabel)
+            return false;
+        if (c.kind == CodeItem::Kind::kBranch) {
+            branch_below = c.isCondBranch();
+            break;
+        }
+        if (isBranch(c.inst.op))
+            return false; // instruction-form indirect jump
+        if (isCompare(c.inst.op))
+            return false; // the nearer compare owns the window
+    }
+    if (!branch_below)
+        return false;
+    for (std::size_t q = p; q > 0;) {
+        --q;
+        const CodeItem& c = code[q];
+        if (c.kind != CodeItem::Kind::kInst || isBranch(c.inst.op))
+            return false;
+        if (isCompare(c.inst.op))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+passConstFold(CodeList& code,
+              const std::map<std::size_t, bool>& directions)
+{
+    const std::vector<std::size_t> pos = nonLabelPositions(code);
+    int changed = 0;
+    // Descending ordinal order keeps later positions valid across
+    // erasures.
+    for (auto it = directions.rbegin(); it != directions.rend(); ++it) {
+        const auto [ordinal, always_taken] = *it;
+        if (ordinal >= pos.size())
+            continue;
+        CodeItem& c = code[pos[ordinal]];
+        if (!c.isCondBranch())
+            continue;
+        if (always_taken) {
+            c.inst.op = Opcode::kJmp;
+            c.inst.predictTaken = false;
+            c.spreadClaim = false;
+            c.spreadSep = 0;
+        } else {
+            code.erase(code.begin() +
+                       static_cast<std::ptrdiff_t>(pos[ordinal]));
+        }
+        ++changed;
+    }
+    return changed;
+}
+
+int
+passDCE(CodeList& code, const DcePlan& plan)
+{
+    const std::vector<std::size_t> pos = nonLabelPositions(code);
+
+    for (const std::size_t o : plan.ccDead) {
+        if (o >= pos.size())
+            continue;
+        CodeItem& c = code[pos[o]];
+        if (c.kind == CodeItem::Kind::kInst && isCompare(c.inst.op))
+            c.ccDead = true;
+    }
+
+    // Deletions, in descending position order.
+    std::set<std::size_t> doomed;
+    for (const std::size_t o : plan.unreachable) {
+        if (o < pos.size())
+            doomed.insert(pos[o]);
+    }
+    for (const std::size_t o : plan.dead) {
+        if (o >= pos.size())
+            continue;
+        const std::size_t p = pos[o];
+        const CodeItem& c = code[p];
+        if (c.kind != CodeItem::Kind::kInst || isCompare(c.inst.op))
+            continue;
+        if (inSpreadWindow(code, p))
+            continue;
+        doomed.insert(p);
+    }
+    int deleted = 0;
+    for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
+        code.erase(code.begin() + static_cast<std::ptrdiff_t>(*it));
+        ++deleted;
+    }
+    return deleted;
+}
+
+int
+passCopyProp(CodeList& code, const std::vector<ConstOperand>& uses)
+{
+    const std::vector<std::size_t> pos = nonLabelPositions(code);
+    int rewritten = 0;
+    for (const ConstOperand& u : uses) {
+        if (u.ordinal >= pos.size())
+            continue;
+        const std::size_t p = pos[u.ordinal];
+        CodeItem& c = code[p];
+        if (c.kind != CodeItem::Kind::kInst || isBranch(c.inst.op))
+            continue;
+        Instruction next = c.inst;
+        (u.dstOperand ? next.dst : next.src) = Operand::imm(u.value);
+        if (next == c.inst)
+            continue;
+        if (next.lengthParcels() > c.inst.lengthParcels()) {
+            // Growing a fold carrier past 3 parcels would cost the
+            // following conditional branch its carrier; growing inside
+            // a spread window eats no slots but fattens the window for
+            // nothing. Skip both.
+            std::size_t q = p + 1;
+            while (q < code.size() &&
+                   code[q].kind == CodeItem::Kind::kLabel) {
+                ++q;
+            }
+            if (q < code.size() && code[q].isCondBranch() &&
+                next.lengthParcels() > 3) {
+                continue;
+            }
+        }
+        c.inst = next;
+        ++rewritten;
+    }
+    return rewritten;
 }
 
 } // namespace crisp::cc

@@ -736,6 +736,194 @@ matmulMirror(Workload& w)
     w.expectedAccum = trace;
 }
 
+// ---------------------------------------------------------------- crc8
+
+const char* kCrc8 = R"(
+/* CRC-8 (reflected 0x8C) over an LCG byte stream, written in the
+ * defensive style the dataflow optimizer targets: every masked value
+ * is re-checked against its range, so the guards are provably
+ * never-taken and the error counter is provably never written. */
+int crc, bad, seed;
+
+int main()
+{
+    int i, b, k, c, lim, n;
+    seed = 7;
+    c = 0;
+    bad = 0;
+    lim = 255;
+    n = 96;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        b = (seed >> 16) & 255;
+        if (b > lim)
+            bad = bad + 1;
+        c = c ^ b;
+        for (k = 0; k < 8; k++) {
+            if (c & 1)
+                c = (c >> 1) ^ 140;
+            else
+                c = c >> 1;
+        }
+        c = c & 255;
+        if (c > lim)
+            bad = bad + 3;
+    }
+    crc = c;
+    return crc;
+}
+)";
+
+void
+crc8Mirror(Workload& w)
+{
+    I seed = 7;
+    I c = 0;
+    I bad = 0;
+    const I lim = 255;
+    const I n = 96;
+    for (I i = 0; i < n; ++i) {
+        const I b = shr(lcg(seed), 16) & 255;
+        if (b > lim)
+            bad = bad + 1;
+        c = c ^ b;
+        for (I k = 0; k < 8; ++k) {
+            if (c & 1)
+                c = shr(c, 1) ^ 140;
+            else
+                c = shr(c, 1);
+        }
+        c = c & 255;
+        if (c > lim)
+            bad = bad + 3;
+    }
+    w.expectedGlobals = {{"crc", c}, {"bad", bad}};
+    w.checkAccum = true;
+    w.expectedAccum = c;
+}
+
+// --------------------------------------------------------------- quant
+
+const char* kQuant = R"(
+/* Fixed-point quantizer with a correlated clip flag: the clip guard
+ * compares a value masked to [0,2047] against a 4095 limit, so the
+ * flag stays 0 and the `if (clip)` cascade is unreachable — but only
+ * an analysis that prunes the never-taken edge (SCCP) sees it; a
+ * plain join over both branch edges still thinks clip may be 1. */
+int acc, clips, seed;
+
+int main()
+{
+    int i, v, q, clip, limit, n, dead;
+    seed = 3;
+    acc = 0;
+    clips = 0;
+    limit = 4095;
+    n = 80;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        v = (seed >> 16) & 2047;
+        clip = 0;
+        if (v > limit)
+            clip = 1;
+        if (clip) {
+            clips = clips + 1;
+            v = limit;
+        }
+        q = v >> 4;
+        dead = q * 3;
+        acc = acc + q;
+    }
+    return acc & 65535;
+}
+)";
+
+void
+quantMirror(Workload& w)
+{
+    I seed = 3;
+    I acc = 0;
+    I clips = 0;
+    const I limit = 4095;
+    const I n = 80;
+    for (I i = 0; i < n; ++i) {
+        I v = shr(lcg(seed), 16) & 2047;
+        I clip = 0;
+        if (v > limit)
+            clip = 1;
+        if (clip) {
+            clips = clips + 1;
+            v = limit;
+        }
+        const I q = shr(v, 4);
+        acc = static_cast<I>(static_cast<U>(acc) + static_cast<U>(q));
+    }
+    w.expectedGlobals = {{"acc", acc}, {"clips", clips}};
+    w.checkAccum = true;
+    w.expectedAccum = acc & 65535;
+}
+
+// ----------------------------------------------------------------- lex
+
+const char* kLex = R"(
+/* Call-free token scanner with a compile-time-disabled debug mode:
+ * the `debug` flag is a dead constant 0, so its branch is provably
+ * never taken, and the range guard on the masked character class is
+ * never taken either. */
+int ntok, nskip, seed;
+
+int main()
+{
+    int i, ch, state, debug, n, t;
+    seed = 11;
+    ntok = 0;
+    nskip = 0;
+    debug = 0;
+    state = 0;
+    n = 200;
+    for (i = 0; i < n; i++) {
+        seed = seed * 1103515245 + 12345;
+        ch = (seed >> 16) & 127;
+        if (debug)
+            nskip = nskip + 1;
+        if (ch < 33) {
+            state = 0;
+        } else {
+            if (state == 0)
+                ntok = ntok + 1;
+            state = 1;
+        }
+        t = ch;
+        if (t > 127)
+            nskip = nskip + 5;
+    }
+    return ntok;
+}
+)";
+
+void
+lexMirror(Workload& w)
+{
+    I seed = 11;
+    I ntok = 0;
+    I nskip = 0;
+    I state = 0;
+    const I n = 200;
+    for (I i = 0; i < n; ++i) {
+        const I ch = shr(lcg(seed), 16) & 127;
+        if (ch < 33) {
+            state = 0;
+        } else {
+            if (state == 0)
+                ntok = ntok + 1;
+            state = 1;
+        }
+    }
+    w.expectedGlobals = {{"ntok", ntok}, {"nskip", nskip}};
+    w.checkAccum = true;
+    w.expectedAccum = ntok;
+}
+
 } // namespace
 
 std::string
@@ -844,6 +1032,33 @@ allWorkloads()
             w.description = "Puzzle proxy: 8-queens backtracking";
             w.source = kPuzzle;
             puzzleMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "crc8";
+            w.description = "CRC-8 kernel with never-taken range "
+                            "guards";
+            w.source = kCrc8;
+            crc8Mirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "quant";
+            w.description = "fixed-point quantizer with a correlated "
+                            "clip cascade (SCCP-only)";
+            w.source = kQuant;
+            quantMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "lex";
+            w.description = "call-free scanner with a disabled debug "
+                            "mode";
+            w.source = kLex;
+            lexMirror(w);
             ws.push_back(std::move(w));
         }
         return ws;

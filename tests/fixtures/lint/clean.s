@@ -1,0 +1,22 @@
+; Lint golden: a program with no findings at all. The compare is
+; spread three slots ahead of its branch, every store is observed
+; (the global is part of the exit contract, the local feeds the
+; accumulator), and no branch direction is provable.
+    .entry main
+    .global out 0
+    .local a 0
+main:
+    enter 1
+    mov a, out
+    cmp.s< a, 40
+    add a, 1
+    add a, 2
+    add a, 3
+    iftjmpn big
+    mov out, a
+    mov Accum, a
+    halt
+big:
+    mov out, 0
+    mov Accum, 0
+    halt

@@ -1,0 +1,23 @@
+; Lint golden: dataflow.unreachable-after-constant-branch. `v` is 5
+; on every path and the compare asks whether it equals 9, so SCCP
+; proves the branch falls through and the `dead:` block is
+; unreachable. The compare is spread three slots so the pair does
+; not also trip the spread rules.
+    .entry main
+    .global out 0
+    .local v 0
+main:
+    enter 1
+    mov v, 5
+    cmp.= v, 9
+    add out, 1
+    add out, 2
+    add out, 3
+    iftjmpn dead
+    mov out, v
+    mov Accum, v
+    halt
+dead:
+    mov out, 0
+    mov Accum, 0
+    halt

@@ -1,0 +1,15 @@
+; Lint golden: dataflow.dead-store. The first store to `a` is
+; overwritten before anything reads it, so backward liveness proves
+; it unobservable; the second store feeds the accumulator and the
+; final global store is part of the exit contract, so neither of
+; those is reported.
+    .entry main
+    .global out 0
+    .local a 0
+main:
+    enter 1
+    mov a, 7
+    mov a, 8
+    mov out, a
+    mov Accum, a
+    halt

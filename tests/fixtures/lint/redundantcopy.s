@@ -1,0 +1,15 @@
+; Lint golden: dataflow.redundant-copy. The second `mov a, b`
+; rewrites `a` with the value it already holds — `b` is untouched
+; between the two copies and the intervening add only changes the
+; accumulator — so reaching definitions prove the copy is a no-op.
+    .entry main
+    .local a 0
+    .local b 1
+main:
+    enter 2
+    mov b, 9
+    mov a, b
+    add Accum, 1
+    mov a, b
+    mov Accum, a
+    halt

@@ -1,0 +1,21 @@
+/*
+ * Fixture for the crispcc -O tool tests: the guard compares a masked
+ * value against a larger limit, so SCCP proves the branch never
+ * taken, the optimizer folds it, and the dead assignment under it is
+ * deleted. The surviving global store feeds the exit value, which
+ * keeps it live — and makes --tamper-dce's forced deletion of it
+ * visible to the translation validator (exit 4).
+ */
+int g;
+int out;
+
+int main()
+{
+    int v, lim;
+    v = g & 255;
+    lim = 4095;
+    out = v + lim;
+    if (v > lim)
+        out = 0;
+    return out;
+}

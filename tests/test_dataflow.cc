@@ -1,0 +1,652 @@
+/**
+ * @file
+ * Tests for the sparse dataflow framework (src/analysis): backward
+ * liveness and dead-store detection, reaching definitions and their
+ * const-prop / redundant-copy consumers, sparse conditional constant
+ * propagation, the abstract interpreter's widening corners, the
+ * translation validator, and the crispcc -O driver that ties them all
+ * together (including the --tamper-dce negative path).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/checks.hh"
+#include "analysis/liveness.hh"
+#include "analysis/opt.hh"
+#include "analysis/reachdefs.hh"
+#include "analysis/sccp.hh"
+#include "analysis/tv.hh"
+#include "asm/assembler.hh"
+#include "cc/compiler.hh"
+#include "interp/interpreter.hh"
+#include "verify/enginediff.hh"
+#include "verify/generator.hh"
+#include "verify/lockstep.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace crisp;
+using namespace crisp::analysis;
+
+bool
+hasRule(const AnalysisResult& r, const std::string& rule)
+{
+    for (const Diagnostic& d : r.diags) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+/** Issue point whose body is the given opcode (first match). */
+const CfgNode*
+findBody(const Cfg& cfg, Opcode op)
+{
+    for (const auto& [pc, n] : cfg.nodes()) {
+        if (n.di.body.op == op)
+            return &n;
+    }
+    return nullptr;
+}
+
+// ------------------------------------------------------------ liveness
+
+TEST(Liveness, OverwrittenStackStoreIsDead)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local a 0
+main:
+    enter 1
+    mov a, 7
+    mov a, 8
+    mov Accum, a
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    const LivenessResult live = computeLiveness(cfg, ai);
+    ASSERT_EQ(live.dead.size(), 1u);
+    EXPECT_EQ(live.dead[0].kind, DeadKind::kMemStore);
+    // The dead one is the first store (lowest pc in the function).
+    for (const DeadStore& d : live.dead)
+        EXPECT_LT(d.pc, cfg.nodes().rbegin()->first);
+}
+
+TEST(Liveness, FinalGlobalStoreIsLiveAtHalt)
+{
+    const Program p = assemble(R"(
+    .global g 0
+    .entry main
+main:
+    enter 1
+    mov g, 41
+    mov g, 42
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    const LivenessResult live = computeLiveness(cfg, ai);
+    // The overwritten store dies; the final one is observable at halt
+    // (the data segment is part of the exit contract) and must never
+    // be reported.
+    ASSERT_EQ(live.dead.size(), 1u);
+    EXPECT_EQ(live.dead[0].kind, DeadKind::kMemStore);
+    const Program run = p;
+    Interpreter interp(run);
+    ASSERT_TRUE(interp.run(10'000).halted);
+    EXPECT_EQ(interp.wordAt("g"), 42u);
+}
+
+TEST(Liveness, CompareWithDeadFlagIsReported)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local a 0
+main:
+    enter 1
+    mov a, 1
+    cmp.= a, 1
+    cmp.= a, 2
+    add a, 1
+    add a, 2
+    add a, 3
+    iftjmpn done
+    add a, 4
+done:
+    mov Accum, a
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    const LivenessResult live = computeLiveness(cfg, ai);
+    bool dead_compare = false;
+    for (const DeadStore& d : live.dead)
+        dead_compare |= d.kind == DeadKind::kCompare;
+    EXPECT_TRUE(dead_compare)
+        << "the first compare's flag is overwritten before any branch";
+}
+
+// ----------------------------------------------------------- reachdefs
+
+TEST(ReachDefs, ImmediateMovFeedsConstPropUse)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local a 0
+    .local b 1
+main:
+    enter 2
+    mov a, 5
+    add b, a
+    mov Accum, b
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    const ReachDefsResult rd = computeReachDefs(cfg, ai);
+    EXPECT_TRUE(rd.converged);
+    const auto uses = findConstPropUses(cfg, rd, ai);
+    bool found = false;
+    for (const ConstUse& u : uses)
+        found |= u.value == 5;
+    EXPECT_TRUE(found) << "add b, a reads a, uniquely defined mov a, 5";
+}
+
+TEST(ReachDefs, RepeatedCopyIsRedundant)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local a 0
+    .local b 1
+main:
+    enter 2
+    mov b, 9
+    mov a, b
+    add Accum, 1
+    mov a, b
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    const ReachDefsResult rd = computeReachDefs(cfg, ai);
+    const auto copies = findRedundantCopies(cfg, rd, ai);
+    EXPECT_FALSE(copies.empty())
+        << "the second mov a, b rewrites a with its own value";
+}
+
+// ---------------------------------------------------------------- sccp
+
+TEST(Sccp, EdgePruningProvesCorrelatedCascade)
+{
+    // clip is 0 unless v > lim, and v is masked below lim — so the
+    // `if (clip)` arm is unreachable. A plain join over both edges of
+    // the first branch cannot see that; edge pruning can.
+    const auto r = cc::compile(R"(
+int out;
+int main()
+{
+    int v, clip, lim;
+    v = out & 1023;
+    lim = 4095;
+    clip = 0;
+    if (v > lim)
+        clip = 1;
+    if (clip)
+        out = 9;
+    out = v;
+    return v;
+}
+)");
+    Cfg cfg(r.program, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    const SccpResult sc = sccp(cfg);
+    EXPECT_GE(sc.provenDirection.size(), 2u);
+    int sccp_only_unreachable = 0;
+    for (const auto& [pc, n] : cfg.nodes()) {
+        const bool plain = ai.in.at(pc).reachable;
+        const bool sparse = sc.state.in.at(pc).reachable;
+        EXPECT_TRUE(!sparse || plain)
+            << "SCCP reaches a node absint does not: " << pc;
+        if (plain && !sparse)
+            ++sccp_only_unreachable;
+    }
+    EXPECT_GT(sccp_only_unreachable, 0)
+        << "the clip arm should be unreachable only under SCCP";
+}
+
+/** a's every component is contained in b's (a refines b). */
+bool
+intervalIn(const Interval& a, const Interval& b)
+{
+    return a.lo >= b.lo && a.hi <= b.hi;
+}
+
+bool
+stateIn(const AbsState& s, const AbsState& t)
+{
+    if (!s.reachable)
+        return true;
+    if (!t.reachable)
+        return false;
+    if (!intervalIn(s.accum, t.accum) || !intervalIn(s.sp, t.sp))
+        return false;
+    if ((s.flag.mayTrue && !t.flag.mayTrue) ||
+        (s.flag.mayFalse && !t.flag.mayFalse))
+        return false;
+    for (const auto& [addr, iv] : t.mem) {
+        const auto it = s.mem.find(addr);
+        if (it == s.mem.end() || !intervalIn(it->second, iv))
+            return false;
+    }
+    return true;
+}
+
+TEST(Sccp, AtLeastAsPreciseAsAbsintAcross60Seeds)
+{
+    // The documented precision relation (sccp.hh): every state SCCP
+    // reports is contained in the plain interpreter's state at the
+    // same point, and SCCP never reaches a node absint proves
+    // unreachable.
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+        const Program p = verify::generate(seed).link();
+        Cfg cfg(p, FoldPolicy::kCrisp);
+        const AbsIntResult ai = interpret(cfg);
+        const SccpResult sc = sccp(cfg);
+        if (!ai.converged || !sc.state.converged)
+            continue; // a bail degrades to top; containment is moot
+        for (const auto& [pc, n] : cfg.nodes()) {
+            EXPECT_TRUE(stateIn(sc.state.in.at(pc), ai.in.at(pc)))
+                << "seed " << seed << " node " << pc
+                << ": SCCP in-state escapes the plain in-state";
+            EXPECT_TRUE(stateIn(sc.state.out.at(pc), ai.out.at(pc)))
+                << "seed " << seed << " node " << pc
+                << ": SCCP out-state escapes the plain out-state";
+        }
+        for (Addr pc : sc.executable) {
+            EXPECT_TRUE(ai.in.at(pc).reachable)
+                << "seed " << seed << " node " << pc
+                << ": executable under SCCP, unreachable under absint";
+        }
+    }
+}
+
+// ------------------------------------------------------------ widening
+
+TEST(Absint, AcyclicJoinConvergesExactlyWithoutWidening)
+{
+    // On acyclic code every node's in-state settles in a bounded
+    // number of joins — far under the 12-join widening budget — so
+    // the join of the two diamond arms is exact: both assign 4, and
+    // the accumulator at halt is the proven constant 4.
+    const Program p = assemble(R"(
+    .entry main
+    .local i 0
+main:
+    enter 1
+    mov i, 3
+    cmp.s< i, 8
+    iftjmpn other
+    mov i, 4
+    jmp done
+other:
+    mov i, 4
+done:
+    mov Accum, i
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    EXPECT_TRUE(ai.converged);
+    EXPECT_EQ(ai.widenings, 0);
+    const CfgNode* halt = findBody(cfg, Opcode::kHalt);
+    ASSERT_NE(halt, nullptr);
+    const AbsState& at = ai.in.at(halt->di.pc);
+    ASSERT_TRUE(at.reachable);
+    EXPECT_EQ(at.accum.constant(), std::optional<std::int32_t>(4));
+}
+
+TEST(Absint, LongLoopCrossesJoinBudgetAndWidens)
+{
+    // One hundred growth joins overrun the 12-join budget: widening
+    // must fire, the fixpoint must still converge quickly, and the
+    // widened result must stay sound (contain the concrete value).
+    const Program p = assemble(R"(
+    .entry main
+    .local i 0
+main:
+    enter 1
+    mov i, 0
+loop:
+    add i, 1
+    cmp.s< i, 100
+    iftjmpy loop
+    mov Accum, i
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    const AbsIntResult ai = interpret(cfg);
+    EXPECT_TRUE(ai.converged);
+    EXPECT_GT(ai.widenings, 0);
+    const CfgNode* halt = findBody(cfg, Opcode::kHalt);
+    ASSERT_NE(halt, nullptr);
+    const AbsState& at = ai.in.at(halt->di.pc);
+    ASSERT_TRUE(at.reachable);
+    EXPECT_TRUE(at.accum.contains(100));
+    EXPECT_FALSE(at.accum.constant().has_value());
+
+    // SCCP widens the same way and stays sound too.
+    const SccpResult sc = sccp(cfg);
+    EXPECT_TRUE(sc.state.converged);
+    EXPECT_TRUE(sc.state.in.at(halt->di.pc).accum.contains(100));
+}
+
+TEST(Absint, WidenIntervalJumpsGrowingBoundsOnly)
+{
+    const Interval stable{0, 5};
+    EXPECT_EQ(widenInterval(stable, stable), stable);
+    const Interval grown = widenInterval({0, 5}, {0, 6});
+    EXPECT_EQ(grown.lo, 0);
+    EXPECT_EQ(grown.hi, INT32_MAX);
+    const Interval sunk = widenInterval({0, 5}, {-1, 5});
+    EXPECT_EQ(sunk.lo, INT32_MIN);
+    EXPECT_EQ(sunk.hi, 5);
+}
+
+TEST(Absint, StepCapBailsToTopNotDivergence)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local i 0
+main:
+    enter 1
+    mov i, 0
+loop:
+    add i, 1
+    cmp.s< i, 8
+    iftjmpy loop
+    mov Accum, i
+    halt
+)");
+    Cfg cfg(p, FoldPolicy::kCrisp);
+    AbsIntOptions tiny;
+    tiny.stepCap = 3;
+    const AbsIntResult ai = interpret(cfg, tiny);
+    EXPECT_FALSE(ai.converged);
+    const CfgNode* halt = findBody(cfg, Opcode::kHalt);
+    ASSERT_NE(halt, nullptr);
+    // The bail degrades to all-top: reachable everywhere, nothing
+    // proven — sound for every consumer.
+    const AbsState& at = ai.in.at(halt->di.pc);
+    EXPECT_TRUE(at.reachable);
+    EXPECT_TRUE(at.accum.isTop());
+
+    const SccpResult sc = sccp(cfg, tiny);
+    EXPECT_FALSE(sc.state.converged);
+    EXPECT_TRUE(sc.state.in.at(halt->di.pc).reachable);
+}
+
+// ------------------------------------------------- translation validator
+
+TEST(Tv, IdentityRewriteValidates)
+{
+    const Program p = assemble(R"(
+    .global g 0
+    .entry main
+main:
+    enter 1
+    mov g, 5
+    mov Accum, g
+    halt
+)");
+    const TvReport r = validateRewrite(p, p, {}, {});
+    EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+    EXPECT_TRUE(r.semanticChecked);
+    EXPECT_EQ(r.instrBefore, r.instrAfter);
+}
+
+TEST(Tv, RejectsInstructionGrowth)
+{
+    const Program before = assemble(R"(
+    .entry main
+main:
+    enter 1
+    mov Accum, 5
+    halt
+)");
+    const Program after = assemble(R"(
+    .entry main
+main:
+    enter 1
+    mov Accum, 5
+    add Accum, 0
+    halt
+)");
+    const TvReport r = validateRewrite(before, after, {}, {});
+    EXPECT_FALSE(r.ok);
+    ASSERT_FALSE(r.problems.empty());
+    EXPECT_NE(r.problems[0].find("instruction count grew"),
+              std::string::npos);
+}
+
+TEST(Tv, ShrinksDivergenceToNamedGlobal)
+{
+    const Program before = assemble(R"(
+    .global g 0
+    .entry main
+main:
+    enter 1
+    mov g, 5
+    mov Accum, 1
+    halt
+)");
+    const Program after = assemble(R"(
+    .global g 0
+    .entry main
+main:
+    enter 1
+    mov g, 6
+    mov Accum, 1
+    halt
+)");
+    const TvReport r = validateRewrite(before, after, {}, {});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.counterexample.find("(g)"), std::string::npos)
+        << "counterexample should name the diverging global: "
+        << r.counterexample;
+    EXPECT_NE(r.counterexample.find("expected 5, got 6"),
+              std::string::npos)
+        << r.counterexample;
+}
+
+// ----------------------------------------------------------- optimizer
+
+TEST(Opt, WorkloadsOptimizeVerifiedAndMatchGoldens)
+{
+    for (const Workload& w : allWorkloads()) {
+        const cc::CompileOptions copts;
+        const cc::CompileResult base = cc::compile(w.source, copts);
+        const OptReport r = optimize(base, copts);
+        ASSERT_TRUE(r.applicable) << w.name;
+        EXPECT_TRUE(r.tv.ok) << w.name << ": "
+                             << (r.tv.problems.empty()
+                                     ? ""
+                                     : r.tv.problems[0]);
+        EXPECT_LE(r.stats.envelopeHiAfter, r.stats.envelopeHiBefore)
+            << w.name;
+        Interpreter interp(r.result.program);
+        ASSERT_TRUE(interp.run(200'000'000).halted) << w.name;
+        for (const auto& [sym, val] : w.expectedGlobals)
+            EXPECT_EQ(interp.wordAt(sym), val) << w.name << "." << sym;
+        if (w.checkAccum)
+            EXPECT_EQ(interp.accum(), w.expectedAccum) << w.name;
+    }
+}
+
+TEST(Opt, OptimizedWorkloadsSurviveLockstepAndEngineDiff)
+{
+    for (const Workload& w : allWorkloads()) {
+        const cc::CompileOptions copts;
+        const OptReport r = optimize(cc::compile(w.source, copts), copts);
+        verify::LockstepOptions lo;
+        lo.maxSteps = 200'000'000;
+        const verify::LockstepReport cycle =
+            verify::runLockstep(r.result.program, lo);
+        EXPECT_TRUE(cycle.ok()) << w.name << "\n" << cycle.toString();
+        const verify::LockstepReport fast =
+            verify::runFastLockstep(r.result.program, lo);
+        EXPECT_TRUE(fast.ok()) << w.name << "\n" << fast.toString();
+    }
+}
+
+TEST(Opt, NewWorkloadsActuallyOptimize)
+{
+    for (const char* name : {"crc8", "quant", "lex"}) {
+        const Workload& w = workload(name);
+        const cc::CompileOptions copts;
+        const OptReport r = optimize(cc::compile(w.source, copts), copts);
+        EXPECT_TRUE(r.optimized) << name;
+        EXPECT_FALSE(r.tvFallback) << name;
+        EXPECT_GE(r.stats.branchesRewritten, 2) << name;
+        EXPECT_GT(r.stats.deadRemoved + r.stats.unreachableRemoved, 0)
+            << name;
+        EXPECT_LT(r.stats.envelopeHiAfter, r.stats.envelopeHiBefore)
+            << name << ": a fired pass must shrink the cost envelope";
+    }
+}
+
+const char* const kTamperSource = R"(
+int g;
+int out;
+
+int main()
+{
+    int v, lim;
+    v = g & 255;
+    lim = 4095;
+    out = v + lim;
+    if (v > lim)
+        out = 0;
+    return out;
+}
+)";
+
+TEST(Opt, TamperedDcePlanIsRejectedWithCounterexample)
+{
+    const cc::CompileOptions copts;
+    const cc::CompileResult base = cc::compile(kTamperSource, copts);
+
+    // Sanity: the untampered pipeline optimizes this program cleanly.
+    const OptReport good = optimize(base, copts);
+    EXPECT_TRUE(good.tv.ok);
+
+    OptOptions tampered;
+    tampered.tamperDce = true;
+    const OptReport bad = optimize(base, copts, tampered);
+    ASSERT_TRUE(bad.optimized)
+        << "the tamper hook must ship its broken rewrite";
+    EXPECT_FALSE(bad.tv.ok);
+    EXPECT_FALSE(bad.tv.counterexample.empty())
+        << "the rejection must carry a shrunk counterexample";
+}
+
+TEST(Opt, DelaySlotBuildsAreNotApplicable)
+{
+    cc::CompileOptions copts;
+    copts.delaySlots = true;
+    const cc::CompileResult base =
+        cc::compile(workload("fig3").source, copts);
+    const OptReport r = optimize(base, copts);
+    EXPECT_FALSE(r.applicable);
+    EXPECT_FALSE(r.optimized);
+}
+
+// ---------------------------------------------------------- lint rules
+
+TEST(Lint, DataflowRulesFireAndDiagnosticsAreSorted)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local x 0
+    .local b 1
+    .local d 2
+main:
+    enter 3
+    mov d, 7
+    mov x, 5
+    cmp.= x, 6
+    add b, 1
+    add b, 2
+    add b, 3
+    iftjmpn error
+    mov Accum, x
+    halt
+error:
+    mov Accum, 0
+    halt
+)");
+    const AnalysisResult r = analyzeProgram(p, {});
+    EXPECT_TRUE(hasRule(r, "dataflow.dead-store"))
+        << "mov d, 7 is never read";
+    EXPECT_TRUE(hasRule(r, "dataflow.unreachable-after-constant-branch"))
+        << "the error block is cut off by the proven branch";
+    for (std::size_t i = 1; i < r.diags.size(); ++i) {
+        const Diagnostic& a = r.diags[i - 1];
+        const Diagnostic& b = r.diags[i];
+        EXPECT_TRUE(a.pc < b.pc || (a.pc == b.pc && a.rule <= b.rule))
+            << "diagnostics must sort by (pc, rule) for stable goldens";
+    }
+}
+
+TEST(Lint, RedundantCopyRuleFires)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local a 0
+    .local b 1
+main:
+    enter 2
+    mov b, 9
+    mov a, b
+    add Accum, 1
+    mov a, b
+    mov Accum, a
+    halt
+)");
+    const AnalysisResult r = analyzeProgram(p, {});
+    EXPECT_TRUE(hasRule(r, "dataflow.redundant-copy"));
+}
+
+TEST(Lint, DataflowOptionOffSuppressesRules)
+{
+    const Program p = assemble(R"(
+    .entry main
+    .local d 0
+main:
+    enter 1
+    mov d, 7
+    mov Accum, 1
+    halt
+)");
+    AnalysisOptions on;
+    const AnalysisResult with = analyzeProgram(p, on);
+    EXPECT_TRUE(hasRule(with, "dataflow.dead-store"));
+    AnalysisOptions off;
+    off.dataflow = false;
+    const AnalysisResult without = analyzeProgram(p, off);
+    for (const Diagnostic& d : without.diags)
+        EXPECT_NE(d.rule.rfind("dataflow.", 0), 0u) << d.rule;
+}
+
+TEST(Lint, JsonCarriesDataflowCounters)
+{
+    const AnalysisResult r =
+        analyzeProgram(cc::compile(workload("quant").source).program, {});
+    const std::string json = r.toJson();
+    EXPECT_NE(json.find("\"dataflow\""), std::string::npos);
+    EXPECT_NE(json.find("\"sccpProvenDirections\""), std::string::npos);
+}
+
+} // namespace

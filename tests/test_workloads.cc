@@ -79,11 +79,12 @@ INSTANTIATE_TEST_SUITE_P(All, WorkloadGolden,
                          ::testing::Values("fig3", "troff", "ccomp",
                                            "drc", "dhry", "cwhet",
                                            "puzzle", "sieve", "sort",
-                                           "matmul"));
+                                           "matmul", "crc8", "quant",
+                                           "lex"));
 
 TEST(Workloads, RegistryIsComplete)
 {
-    EXPECT_EQ(allWorkloads().size(), 10u);
+    EXPECT_EQ(allWorkloads().size(), 13u);
     EXPECT_THROW(workload("nonesuch"), CrispError);
     for (const Workload& w : allWorkloads()) {
         EXPECT_FALSE(w.description.empty());

@@ -2,25 +2,39 @@
  * @file
  * crispcc — command-line driver for the CRISP-C compiler.
  *
- *   crispcc input.c [-o out.obj] [-S] [--no-spread] [--no-peephole]
- *           [--predict=naive|heuristic] [--delay-slots] [--disasm]
- *           [--verify] [--stats-json] [--cost-audit]
+ *   crispcc input.c [-o out.obj] [-S] [-O] [--no-spread]
+ *           [--no-peephole] [--predict=naive|heuristic]
+ *           [--delay-slots] [--disasm] [--verify] [--stats-json]
+ *           [--cost-audit] [--tamper-dce]
  *
  *   -S            print the assembly listing instead of writing output
  *   -o FILE       write a linked CRISP object file
+ *   -O            run the dataflow optimizer (constant-branch folding,
+ *                 dead-code elimination, copy propagation, ccDead-aware
+ *                 re-spread), gated by the translation validator
  *   --disasm      print the binary disassembly
  *   --no-spread   disable the Branch Spreading pass
  *   --predict=    prediction-bit mode (default heuristic)
  *   --delay-slots target the delayed-branch baseline machine
  *   --verify      audit the compilation against the static analyzer
- *                 (exit 1 on any discrepancy)
+ *                 (exit 1 on any discrepancy); with -O also print the
+ *                 translation-validator verdict
  *   --stats-json  print the compile-time statistics the analyzer can
- *                 derive without simulating — per-branch spread
- *                 distances, fold classes, prediction bits
+ *                 derive without simulating; with -O, include the
+ *                 optimizer's per-pass report (instructions
+ *                 before/after, branches rewritten, dead stores
+ *                 removed, cost-envelope delta)
  *   --cost-audit  print the per-site static delay-bound table and
  *                 audit the compiler's spread claims against it: every
  *                 fully-spread branch must be provably free ([0, 0]
  *                 cycles). Exit 1 when any claim escapes its bound.
+ *   --tamper-dce  (testing) deliberately delete one live store during
+ *                 -O and skip the validator fallback
+ *
+ * Exit codes: 0 success, 1 compile/verify/audit failure, 2 usage,
+ * 4 the optimizer shipped a rewrite the translation validator rejects
+ * (only reachable via --tamper-dce; a genuine TV failure falls back to
+ * the unoptimized baseline and exits 0).
  */
 
 #include <cstdio>
@@ -30,6 +44,7 @@
 #include <string>
 
 #include "analysis/ccverify.hh"
+#include "analysis/opt.hh"
 #include "cc/compiler.hh"
 #include "isa/objfile.hh"
 
@@ -52,10 +67,11 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: crispcc input.c [-o out.obj] [-S] [--disasm]\n"
+        "usage: crispcc input.c [-o out.obj] [-S] [-O] [--disasm]\n"
         "               [--no-spread] [--no-peephole]\n"
         "               [--predict=naive|heuristic] [--delay-slots]\n"
-        "               [--verify] [--stats-json] [--cost-audit]\n");
+        "               [--verify] [--stats-json] [--cost-audit]\n"
+        "               [--tamper-dce]\n");
     return 2;
 }
 
@@ -73,7 +89,9 @@ main(int argc, char** argv)
     bool verify = false;
     bool stats_json = false;
     bool cost_audit = false;
+    bool optimize = false;
     cc::CompileOptions opts;
+    analysis::OptOptions oopts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -85,6 +103,11 @@ main(int argc, char** argv)
             if (++i >= argc)
                 return usage();
             output = argv[i];
+        } else if (a == "-O" || a == "--optimize") {
+            optimize = true;
+        } else if (a == "--tamper-dce") {
+            optimize = true;
+            oopts.tamperDce = true;
         } else if (a == "--no-spread") {
             opts.spread = false;
         } else if (a == "--no-peephole") {
@@ -113,7 +136,12 @@ main(int argc, char** argv)
         return usage();
 
     try {
-        const cc::CompileResult r = cc::compile(readFile(input), opts);
+        cc::CompileResult r = cc::compile(readFile(input), opts);
+        analysis::OptReport orep;
+        if (optimize) {
+            orep = analysis::optimize(r, opts, oopts);
+            r = orep.result;
+        }
         if (listing)
             std::fputs(r.listing.c_str(), stdout);
         if (disasm)
@@ -148,6 +176,17 @@ main(int argc, char** argv)
             if (stats_json) {
                 if (!v.applicable) {
                     std::printf("{\"applicable\": false}\n");
+                } else if (optimize) {
+                    std::printf("{\"applicable\": true, "
+                                "\"fullySpread\": %d, "
+                                "\"claimedSpread\": %d, "
+                                "\"confirmedSpread\": %d, "
+                                "\"opt\": %s, "
+                                "\"analysis\": %s}\n",
+                                r.fullySpread, v.claimedSpread,
+                                v.confirmedSpread,
+                                orep.toJson().c_str(),
+                                v.analysis.toJson().c_str());
                 } else {
                     std::printf("{\"applicable\": true, "
                                 "\"fullySpread\": %d, "
@@ -161,9 +200,42 @@ main(int argc, char** argv)
             }
             if (verify) {
                 std::fputs(v.toString().c_str(), stderr);
+                if (optimize && orep.applicable) {
+                    std::fprintf(
+                        stderr,
+                        "tv: %s — %d site(s) matched, %d improved, "
+                        "envelope %llu -> %llu%s\n",
+                        orep.tv.ok ? "OK" : "REJECTED",
+                        orep.tv.sitesMatched, orep.tv.sitesImproved,
+                        static_cast<unsigned long long>(
+                            orep.tv.envelopeHiBefore),
+                        static_cast<unsigned long long>(
+                            orep.tv.envelopeHiAfter),
+                        orep.tvFallback ? " (fallback engaged)" : "");
+                    for (const std::string& p : orep.tv.problems)
+                        std::fprintf(stderr, "  %s\n", p.c_str());
+                    if (!orep.tv.counterexample.empty()) {
+                        std::fprintf(stderr, "  counterexample: %s\n",
+                                     orep.tv.counterexample.c_str());
+                    }
+                }
                 if (!v.ok())
                     return 1;
             }
+        }
+        // A shipped optimized binary the validator rejects is a hard
+        // failure with its own exit code (only --tamper-dce skips the
+        // fallback that otherwise prevents this).
+        if (optimize && orep.optimized && !orep.tv.ok) {
+            std::fprintf(stderr, "crispcc: translation validation "
+                                 "FAILED on the shipped binary\n");
+            for (const std::string& p : orep.tv.problems)
+                std::fprintf(stderr, "  %s\n", p.c_str());
+            if (!orep.tv.counterexample.empty()) {
+                std::fprintf(stderr, "  counterexample: %s\n",
+                             orep.tv.counterexample.c_str());
+            }
+            return 4;
         }
         if (!listing && !disasm && output.empty() && !verify &&
             !stats_json && !cost_audit) {

@@ -32,6 +32,14 @@
  *  - --shrink-demo: seeds an artificial implementation bug (arch-bug
  *    injector, checker off), finds a diverging seed, and shrinks it,
  *    demonstrating the reducer on a real architectural divergence.
+ *  - --opt: optimizer differential. Every seed generates a CRISP-C
+ *    program (masked-LCG reduction loop with a seed-drawn guard
+ *    structure: provably never-taken, genuinely dynamic, or
+ *    data-correlated), compiles it, runs the dataflow optimizer, and
+ *    holds the *optimized* binary to the full battery: translation
+ *    validation, cycle-pipeline and fast-engine lockstep per fold
+ *    policy, and the static oracle. A sweep where no seed optimizes
+ *    fails — the gate must actually exercise the passes.
  *  - --engine-diff: three-way engine differential. Every seed runs the
  *    threaded-code fast engine against the interpreter (the stronger
  *    functional contract: fault reasons, opcode histogram, branch
@@ -65,7 +73,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/opt.hh"
 #include "analysis/oracle.hh"
+#include "cc/compiler.hh"
 #include "util/thread_pool.hh"
 #include "util/watchdog.hh"
 #include "verify/enginediff.hh"
@@ -88,6 +98,7 @@ struct Options
     bool faults = false;
     bool shrinkDemo = false;
     bool engineDiff = false;
+    bool optMode = false;
     FaultKind onlyFault = FaultKind::kNone;
     std::uint64_t maxSteps = 1'000'000;
     std::uint64_t timeoutMs = 0; // 0: no wall-clock watchdog
@@ -103,7 +114,7 @@ usage()
         "usage: crisptorture [--seeds=N] [--seed0=K]\n"
         "                    [--configs=quick|full]\n"
         "                    [--faults [--fault-kind=NAME]]\n"
-        "                    [--shrink-demo] [--engine-diff]\n"
+        "                    [--shrink-demo] [--engine-diff] [--opt]\n"
         "                    [--max-steps=N]\n"
         "                    [--timeout-ms=N] [--jobs=N] [-v]\n"
         "fault kinds: flip-predict-bit unfold-pair drop-fill\n"
@@ -456,6 +467,182 @@ engineSweep(const Options& opt)
     return bad + timed_out;
 }
 
+/**
+ * Seeded CRISP-C source for the optimizer sweep (--opt): a masked-LCG
+ * reduction loop whose guard structure is drawn from the seed. Some
+ * draws make the range guard provably never-taken (the dataflow
+ * optimizer folds the branch, deletes the arm and the dead store),
+ * others leave it genuinely dynamic or correlate it with a data bit,
+ * so the sweep covers both "passes fire" and "passes must leave it
+ * alone".
+ */
+std::string
+optSource(std::uint64_t seed)
+{
+    std::uint64_t x = seed * 2654435761ull + 1;
+    const auto draw = [&](int m) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return static_cast<int>(x % static_cast<std::uint64_t>(m));
+    };
+    static const int kMasks[] = {31, 63, 127, 255, 1023};
+    const int mask = kMasks[draw(5)];
+    const bool never = draw(2) == 0;   // guard provably never taken?
+    const int lim = never ? mask : mask / 2;
+    const bool corr = draw(2) == 0;    // flag seeded from a data bit?
+    static const char* kOps[] = {"+", "^", "|"};
+    const char* op = kOps[draw(3)];
+    const int n = 16 + draw(48);
+    const int s0 = 1 + draw(100000);
+    const int errinc = 1 + draw(9);
+    const int deadmul = 3 + draw(5);
+
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "int out, errs, seed;\n"
+                  "int main()\n"
+                  "{\n"
+                  "    int i, v, f, n, lim, dead;\n"
+                  "    seed = %d;\n"
+                  "    out = 0;\n"
+                  "    errs = 0;\n"
+                  "    lim = %d;\n"
+                  "    n = %d;\n"
+                  "    for (i = 0; i < n; i++) {\n"
+                  "        seed = seed * 1103515245 + 12345;\n"
+                  "        v = (seed >> 16) & %d;\n"
+                  "        f = %s;\n"
+                  "        if (v > lim)\n"
+                  "            f = 1;\n"
+                  "        if (f)\n"
+                  "            errs = errs + %d;\n"
+                  "        dead = v * %d;\n"
+                  "        out = out %s v;\n"
+                  "    }\n"
+                  "    return out & 65535;\n"
+                  "}\n",
+                  s0, lim, n, mask, corr ? "v & 1" : "0", errinc,
+                  deadmul, op);
+    return buf;
+}
+
+/**
+ * Optimizer sweep (--opt): every seed's program is compiled, run
+ * through the dataflow optimizer, and the *optimized* binary is held
+ * to the full differential battery — translation-validator verdict,
+ * cycle-pipeline lockstep and fast-engine lockstep per fold policy,
+ * and the static oracle (fold/prediction/cost-bound agreement between
+ * the analyzer and what the pipeline retires). C-level sources have no
+ * instruction shrinker; failures print the optimized listing instead.
+ * @return total failures.
+ */
+int
+optSweep(const Options& opt)
+{
+    const auto cfgs = configMatrix(false); // fold policies only
+    struct SeedOut
+    {
+        int bad = 0;
+        int tvRejected = 0;
+        int staticBad = 0;
+        bool optimized = false;
+        std::string text;
+    };
+    std::vector<SeedOut> results(static_cast<std::size_t>(opt.seeds));
+
+    sweepSeeds(opt, [&](std::size_t i) {
+        const std::uint64_t s = opt.seed0 + i;
+        SeedOut& out = results[i];
+        const std::string src = optSource(s);
+        cc::CompileOptions copts;
+        analysis::OptReport orep;
+        try {
+            const cc::CompileResult base = cc::compile(src, copts);
+            orep = analysis::optimize(base, copts);
+        } catch (const std::exception& e) {
+            ++out.bad;
+            out.text += "=== OPT COMPILE FAILURE seed=" +
+                        std::to_string(s) + " ===\n" + e.what() + "\n" +
+                        src;
+            return;
+        }
+        out.optimized = orep.optimized;
+        if (!orep.tv.ok) {
+            // optimize() falls back to the baseline rather than ship a
+            // rejected rewrite, so a rejection here means even the
+            // baseline re-link failed its self-check: always a bug.
+            ++out.tvRejected;
+            out.text += "=== TV REJECTION seed=" + std::to_string(s) +
+                        " ===\n";
+            for (const std::string& p : orep.tv.problems)
+                out.text += "  " + p + "\n";
+            out.text += orep.result.listing;
+        }
+        const Program& prog = orep.result.program;
+        for (const SimConfig& cfg : cfgs) {
+            for (const bool fast : {true, false}) {
+                LockstepOptions lo;
+                lo.cfg = cfg;
+                lo.maxSteps = opt.maxSteps;
+                const LockstepReport rep =
+                    fast ? runFastLockstep(prog, lo)
+                         : runLockstep(prog, lo);
+                if (rep.ok())
+                    continue;
+                ++out.bad;
+                char head[128];
+                std::snprintf(head, sizeof(head),
+                              "=== OPT DIVERGENCE seed=%llu engine=%s "
+                              "fold=%d ===\n",
+                              static_cast<unsigned long long>(s),
+                              fast ? "fast" : "cycle",
+                              static_cast<int>(cfg.foldPolicy));
+                out.text += std::string(head) + rep.toString() + "\n" +
+                            orep.result.listing;
+            }
+            const analysis::OracleReport orc =
+                analysis::runStaticOracle(prog, cfg);
+            if (orc.ok())
+                continue;
+            ++out.staticBad;
+            char head[128];
+            std::snprintf(head, sizeof(head),
+                          "=== OPT STATIC MISMATCH seed=%llu fold=%d "
+                          "===\n",
+                          static_cast<unsigned long long>(s),
+                          static_cast<int>(cfg.foldPolicy));
+            out.text += std::string(head) + orc.toString() +
+                        orep.result.listing;
+        }
+    });
+
+    int bad = 0;
+    int tv_rejected = 0;
+    int static_bad = 0;
+    int optimized = 0;
+    for (const SeedOut& r : results) {
+        std::fputs(r.text.c_str(), stdout);
+        bad += r.bad;
+        tv_rejected += r.tvRejected;
+        static_bad += r.staticBad;
+        optimized += r.optimized ? 1 : 0;
+    }
+    std::printf("opt torture: %llu seeds x %zu configs x 2 engines, "
+                "%d divergences, %d tv rejections, %d static "
+                "mismatches, %d seeds optimized\n",
+                static_cast<unsigned long long>(opt.seeds), cfgs.size(),
+                bad, tv_rejected, static_bad, optimized);
+    // A sweep where no seed optimized is not exercising the passes:
+    // treat it as a harness failure so the CI gate stays meaningful.
+    if (optimized == 0 && opt.seeds > 0) {
+        std::printf("opt torture: FAILED, no seed triggered the "
+                    "optimizer\n");
+        return 1;
+    }
+    return bad + tv_rejected + static_bad;
+}
+
 /** Fault-injection sweep. @return number of property violations. */
 int
 faultSweep(const Options& opt)
@@ -622,6 +809,8 @@ main(int argc, char** argv)
             opt.shrinkDemo = true;
         } else if (a == "--engine-diff") {
             opt.engineDiff = true;
+        } else if (a == "--opt") {
+            opt.optMode = true;
         } else if (const char* v5 = val("--max-steps=")) {
             opt.maxSteps = std::strtoull(v5, nullptr, 10);
         } else if (const char* v7 = val("--timeout-ms=")) {
@@ -644,6 +833,8 @@ main(int argc, char** argv)
             return shrinkDemo(opt) == 0 ? 0 : 1;
         if (opt.engineDiff)
             return engineSweep(opt) == 0 ? 0 : 1;
+        if (opt.optMode)
+            return optSweep(opt) == 0 ? 0 : 1;
         const int bad =
             opt.faults ? faultSweep(opt) : plainSweep(opt);
         return bad == 0 ? 0 : 1;
