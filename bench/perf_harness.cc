@@ -5,12 +5,13 @@
  *   bench_perf [--smoke] [--out=FILE | --out FILE] [--jobs=N]
  *              [--reps=N] [--check-floor=FILE]
  *
- * Times three workload families with std::chrono::steady_clock, each
+ * Times four workload families with std::chrono::steady_clock, each
  * under three execution paths — the cycle simulator's predecode fast
  * path, its SimConfig::usePredecode = false legacy path, and the
  * direct-threaded functional FastEngine (one engine per unit, a shared
- * PredecodeCache, FastEngine::reset() between replays, exactly the way
- * crisptorture --engine-diff replays programs):
+ * PredecodeCache plus a warm shared Translation, FastEngine::reset()
+ * between replays — exactly the warm-replay pattern crispd serves from
+ * its program registry):
  *
  *  - torture_replay: replays the torture generator's programs (the same
  *    seeds the differential suite sweeps) on the default CRISP
@@ -26,29 +27,42 @@
  *    Table 4 cases.
  *  - dic_thrash: a loop whose body far exceeds the 32-entry DIC, so the
  *    PDU re-decodes the working set every iteration.
+ *  - chain_dense: straight-line accumulator blocks stitched together by
+ *    unconditional jumps — every block boundary is walkable, so the
+ *    fast engine retires a whole replay as a handful of superblock
+ *    traces. The engine's best case, replayed many times to exercise
+ *    the O(dirty) warm reset.
  *
- * Two times are reported per measurement: hotSeconds (CrispCpu::run
- * only — the hot loop the PR optimizes) and endToEndSeconds (adds
- * CrispCpu construction, which is dominated by zeroing the 256 KiB
- * memory image). Rates are simulated instructions (architectural) and
+ * Three times are reported per measurement: hotSeconds (run only — the
+ * hot loop the PR optimizes), setupSeconds (machine construction, paid
+ * once per unit: image zeroing, and for cold paths decode/translate),
+ * and endToEndSeconds (their sum). On the fastengine path the shared
+ * Translation is prepared untimed, the way crispd's registry hands a
+ * registry-warm translation to every fast job, so setup is image
+ * zeroing alone. Rates are simulated instructions (architectural) and
  * simulated cycles per host second, best of --reps repetitions.
  *
  * Program preparation (generation, linking, compilation) fans out over
  * a thread pool (--jobs) and is never timed. The measured runs are
  * strictly sequential so one run never steals cycles from another.
  *
- * Output: a single JSON object (schema "crisp-bench-perf/2", described
+ * Output: a single JSON object (schema "crisp-bench-perf/3", described
  * in docs/PERFORMANCE.md) written to --out (default BENCH_PERF.json)
  * and validated by re-parsing before exit. --smoke shrinks every
  * workload to fractions of a second and is wired into ctest.
  *
  * --check-floor=FILE compares this run against the committed
  * BENCH_PERF.json instead of writing one. Absolute instr/s depends on
- * the host, so the check is ratio-normalized: for every workload the
- * measured fastengine-over-cycle hot-loop speedup must be at least
- * 0.75x the committed speedup — a >25% relative regression of the
- * threaded engine fails the build on any machine. Wired into ctest
- * except under sanitizers, whose overhead distorts the ratio.
+ * the host, so the check is ratio-normalized: for every workload both
+ * the measured fastengine-over-cycle hot-loop speedup and the
+ * end-to-end speedup (which also covers the warm-replay setup path)
+ * must be at least 0.6x the committed values — a >40% relative
+ * regression of the threaded engine fails the build on any machine.
+ * (The factor is sized to the observed run-to-run ratio jitter of a
+ * noisy shared-host vCPU, roughly ±30% around the median; a broken
+ * warm path or a lost dispatch optimization costs far more than 40%.)
+ * Wired into ctest except under sanitizers, whose overhead distorts
+ * the ratio.
  */
 
 #include <chrono>
@@ -57,6 +71,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -67,6 +82,7 @@
 #include "sim/cpu.hh"
 #include "sim/fastengine.hh"
 #include "sim/predecode.hh"
+#include "sim/translate.hh"
 #include "util/thread_pool.hh"
 #include "verify/generator.hh"
 #include "workloads/workloads.hh"
@@ -93,6 +109,7 @@ struct Unit
 struct Measure
 {
     double hotSeconds = 0.0;
+    double setupSeconds = 0.0;
     double endToEndSeconds = 0.0;
     std::uint64_t simInstructions = 0;
     std::uint64_t simCycles = 0;
@@ -115,19 +132,33 @@ runOnce(const std::vector<Unit>& units, int replays)
     Measure m;
     for (const Unit& u : units) {
         std::unique_ptr<PredecodeCache> shared;
+        std::unique_ptr<Translation> warm;
         if (engine || u.cfg.usePredecode)
             shared = std::make_unique<PredecodeCache>(u.prog);
+        if constexpr (engine) {
+            // The registry-warm pattern from crispd: the translation is
+            // built once per program x policy and shared by every run,
+            // so machine setup is image zeroing alone. Prepared untimed
+            // exactly like the shared PredecodeCache above.
+            warm = std::make_unique<Translation>(
+                u.prog, u.cfg.foldPolicy, shared.get(),
+                u.cfg.enableChaining);
+        }
+        std::optional<Machine> cpu;
         const auto t0 = Clock::now();
-        Machine cpu(u.prog, u.cfg, shared.get());
-        const double ctor =
-            std::chrono::duration<double>(Clock::now() - t0).count();
+        if constexpr (engine)
+            cpu.emplace(u.prog, u.cfg, shared.get(), warm.get());
+        else
+            cpu.emplace(u.prog, u.cfg, shared.get());
+        const double ctor = secondsSince(t0);
+        m.setupSeconds += ctor;
         for (int r = 0; r < replays; ++r) {
             // Replays reuse the machine: reset() is the per-replay
             // setup cost, so it is timed as part of the hot loop.
             const auto t1 = Clock::now();
             if (r != 0)
-                cpu.reset();
-            const SimStats& s = cpu.run();
+                cpu->reset();
+            const SimStats& s = cpu->run();
             const double hot = secondsSince(t1);
             m.hotSeconds += hot;
             m.endToEndSeconds += hot + (r == 0 ? ctor : 0.0);
@@ -143,18 +174,12 @@ runOnce(const std::vector<Unit>& units, int replays)
     return m;
 }
 
-/** Best (fastest hot loop) of @p reps repetitions. */
-template <class Machine = CrispCpu>
-Measure
-measure(const std::vector<Unit>& units, int replays, int reps)
+/** Fold repetition @p m of a measurement into best-of @p best. */
+void
+keepBest(Measure& best, const Measure& m, int rep)
 {
-    Measure best;
-    for (int r = 0; r < reps; ++r) {
-        const Measure m = runOnce<Machine>(units, replays);
-        if (r == 0 || m.hotSeconds < best.hotSeconds)
-            best = m;
-    }
-    return best;
+    if (rep == 0 || m.hotSeconds < best.hotSeconds)
+        best = m;
 }
 
 std::vector<Unit>
@@ -163,6 +188,35 @@ withPath(std::vector<Unit> units, bool use_predecode)
     for (Unit& u : units)
         u.cfg.usePredecode = use_predecode;
     return units;
+}
+
+/**
+ * Straight-line accumulator blocks chained by unconditional one-parcel
+ * jumps: @p blocks blocks of @p ops_per_block accumulator adds, each
+ * ending in a jmp to the block that follows it. No memory traffic, no
+ * conditional exits — every block boundary is walkable, so with
+ * chaining on the whole program retires as a few kTraceCap-bounded
+ * superblock traces. The fast engine's best case by construction.
+ */
+Program
+chainDenseProgram(int blocks, int ops_per_block)
+{
+    Program p;
+    p.append(Instruction::mov(Operand::accum(), Operand::imm(0)));
+    for (int b = 0; b < blocks; ++b) {
+        for (int k = 0; k < ops_per_block; ++k) {
+            const std::int32_t v = (b + k) % 7 + 1;
+            p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                                      Operand::imm(v)));
+        }
+        // Jump to the immediately following block: architecturally a
+        // no-op, but a real unconditional control transfer the trace
+        // walker must chain across.
+        p.append(Instruction::branchRel(Opcode::kJmp, 2));
+    }
+    p.append(Instruction::halt());
+    p.entry = p.textBase;
+    return p;
 }
 
 /** Loop body of ~@p stmts distinct instructions: far over the DIC. */
@@ -186,6 +240,7 @@ jsonMeasure(std::ostringstream& os, const char* key, const Measure& m)
         m.endToEndSeconds > 0 ? m.endToEndSeconds : 1e-12;
     os << "\"" << key << "\":{"
        << "\"hotSeconds\":" << m.hotSeconds
+       << ",\"setupSeconds\":" << m.setupSeconds
        << ",\"endToEndSeconds\":" << m.endToEndSeconds
        << ",\"simInstructions\":" << m.simInstructions
        << ",\"simCycles\":" << m.simCycles
@@ -198,29 +253,30 @@ jsonMeasure(std::ostringstream& os, const char* key, const Measure& m)
 }
 
 /**
- * The committed hotSpeedupEngineOverFast for @p workload, pulled from
+ * The committed ratio named @p ratio_key for @p workload, pulled from
  * the baseline JSON by string scan (the value is written by this same
  * program, so the shape is known). Throws when the baseline predates
- * the fastengine rows — the fix is regenerating BENCH_PERF.json, and
- * the message says so.
+ * the current rows — the fix is regenerating BENCH_PERF.json, and the
+ * message says so.
  */
 double
-committedSpeedup(const std::string& json, const std::string& workload)
+committedRatio(const std::string& json, const std::string& workload,
+               const std::string& ratio_key)
 {
     const std::string tag = "\"name\":\"" + workload + "\"";
     const std::size_t at = json.find(tag);
     if (at == std::string::npos)
         throw CrispError("bench_perf: baseline lacks workload \"" +
                          workload + "\"");
-    const std::string key = "\"hotSpeedupEngineOverFast\":";
+    const std::string key = "\"" + ratio_key + "\":";
     const std::size_t k = json.find(key, at);
     const std::size_t next = json.find("\"name\":", at + tag.size());
     if (k == std::string::npos ||
         (next != std::string::npos && k > next)) {
         throw CrispError(
-            "bench_perf: baseline has no fastengine row for \"" +
-            workload +
-            "\" (schema crisp-bench-perf/2 required; regenerate "
+            "bench_perf: baseline has no " + ratio_key +
+            " for \"" + workload +
+            "\" (schema crisp-bench-perf/3 required; regenerate "
             "BENCH_PERF.json with bench_perf --out)");
     }
     return std::strtod(json.c_str() + k + key.size(), nullptr);
@@ -388,7 +444,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: bench_perf [--smoke] [--out=FILE] [--jobs=N] "
-                 "[--reps=N] [--check-floor=FILE]\n");
+                 "[--reps=N] [--check-floor=FILE] [--no-chain]\n");
     return 2;
 }
 
@@ -403,6 +459,11 @@ main(int argc, char** argv)
     std::string floor_path;
     int jobs = util::ThreadPool::defaultThreads();
     int reps = 0; // 0: pick by mode
+    // Ablation knob: run the fast engine without cross-branch trace
+    // chaining (single-block superblocks), for chained-vs-unchained
+    // comparisons in EXPERIMENTS.md. The cycle-simulator measures are
+    // unaffected (chaining is a translation-level concept).
+    bool no_chain = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -426,6 +487,8 @@ main(int argc, char** argv)
             jobs = std::atoi(v2);
         } else if (const char* v3 = val("--reps=")) {
             reps = std::atoi(v3);
+        } else if (a == "--no-chain") {
+            no_chain = true;
         } else {
             return usage();
         }
@@ -435,11 +498,19 @@ main(int argc, char** argv)
     if (reps <= 0)
         reps = smoke ? 1 : 3;
 
+    // Replay counts are sized so every measured window is at least
+    // ~100 ms of host time: sub-millisecond windows made the floor
+    // ratios a lottery against scheduler jitter on shared hosts.
     const int torture_seeds = smoke ? 12 : 200;
-    const int torture_replays = smoke ? 3 : 25;
+    const int torture_replays = smoke ? 3 : 100;
     const int fig3_loops = smoke ? 64 : 1024;
+    const int table4_replays = smoke ? 1 : 32;
     const int thrash_stmts = smoke ? 60 : 120;
     const int thrash_iters = smoke ? 20 : 400;
+    const int thrash_replays = smoke ? 1 : 16;
+    const int chain_blocks = smoke ? 40 : 800;
+    const int chain_ops = 14;
+    const int chain_replays = smoke ? 5 : 600;
 
     try {
         util::ThreadPool pool(jobs);
@@ -476,6 +547,17 @@ main(int argc, char** argv)
                 .program;
         thrash[0].cfg = SimConfig{};
 
+        std::vector<Unit> chain(1);
+        chain[0].prog = chainDenseProgram(chain_blocks, chain_ops);
+        chain[0].cfg = SimConfig{};
+
+        if (no_chain) {
+            for (auto* units :
+                 {&torture, &torture_checked, &table4, &thrash, &chain})
+                for (Unit& u : *units)
+                    u.cfg.enableChaining = false;
+        }
+
         struct Row
         {
             const char* name;
@@ -486,30 +568,55 @@ main(int argc, char** argv)
             {"torture_replay", &torture, torture_replays},
             {"torture_replay_checked", &torture_checked,
              torture_replays},
-            {"table4_fig3", &table4, 1},
-            {"dic_thrash", &thrash, 1},
+            {"table4_fig3", &table4, table4_replays},
+            {"dic_thrash", &thrash, thrash_replays},
+            {"chain_dense", &chain, chain_replays},
         };
 
         std::ostringstream os;
-        os << "{\"schema\":\"crisp-bench-perf/2\""
+        os << "{\"schema\":\"crisp-bench-perf/3\""
            << ",\"mode\":\"" << (smoke ? "smoke" : "full") << "\""
+           << ",\"chaining\":" << (no_chain ? "false" : "true")
            << ",\"jobs\":" << jobs << ",\"reps\":" << reps
            << ",\"workloads\":[";
         bool first = true;
-        std::vector<std::pair<std::string, double>> speedups;
+        struct Speedup
+        {
+            std::string name;
+            double hot = 0;
+            double e2e = 0;
+        };
+        std::vector<Speedup> speedups;
         for (const Row& row : rows) {
-            const Measure fast =
-                measure(withPath(*row.units, true), row.replays, reps);
-            const Measure legacy =
-                measure(withPath(*row.units, false), row.replays, reps);
-            const Measure engine = measure<FastEngine>(
-                withPath(*row.units, true), row.replays, reps);
+            // Interleave the three machines inside each repetition —
+            // cycle-sim fast path and engine back-to-back — so a slow
+            // or fast host phase hits both sides of every ratio
+            // equally. Measuring all reps of one machine before the
+            // next made the floor ratios a function of multi-second
+            // host drift, not of the code.
+            const std::vector<Unit> fast_units =
+                withPath(*row.units, true);
+            const std::vector<Unit> legacy_units =
+                withPath(*row.units, false);
+            Measure fast, legacy, engine;
+            for (int r = 0; r < reps; ++r) {
+                keepBest(fast, runOnce<CrispCpu>(fast_units,
+                                                 row.replays), r);
+                keepBest(engine, runOnce<FastEngine>(fast_units,
+                                                     row.replays), r);
+                keepBest(legacy, runOnce<CrispCpu>(legacy_units,
+                                                   row.replays), r);
+            }
             const double engine_x = fast.hotSeconds > 0 &&
                                             engine.hotSeconds > 0
                                         ? fast.hotSeconds /
                                               engine.hotSeconds
                                         : 0.0;
-            speedups.emplace_back(row.name, engine_x);
+            const double engine_e2e_x =
+                fast.endToEndSeconds > 0 && engine.endToEndSeconds > 0
+                    ? fast.endToEndSeconds / engine.endToEndSeconds
+                    : 0.0;
+            speedups.push_back({row.name, engine_x, engine_e2e_x});
             if (!first)
                 os << ",";
             first = false;
@@ -525,12 +632,15 @@ main(int argc, char** argv)
                << (fast.hotSeconds > 0
                        ? legacy.hotSeconds / fast.hotSeconds
                        : 0.0)
-               << ",\"hotSpeedupEngineOverFast\":" << engine_x << "}";
+               << ",\"hotSpeedupEngineOverFast\":" << engine_x
+               << ",\"e2eSpeedupEngineOverFast\":" << engine_e2e_x
+               << "}";
             std::fprintf(
                 stderr,
                 "bench_perf: %-24s fast %8.2f Minstr/s "
                 "(%8.2f Mcyc/s), legacy %8.2f Minstr/s, x%.2f; "
-                "engine %8.2f Minstr/s, x%.2f\n",
+                "engine %8.2f Minstr/s hot / %8.2f e2e, "
+                "x%.2f/x%.2f\n",
                 row.name,
                 static_cast<double>(fast.simInstructions) /
                     fast.hotSeconds / 1e6,
@@ -541,7 +651,9 @@ main(int argc, char** argv)
                 legacy.hotSeconds / fast.hotSeconds,
                 static_cast<double>(engine.simInstructions) /
                     engine.hotSeconds / 1e6,
-                engine_x);
+                static_cast<double>(engine.simInstructions) /
+                    engine.endToEndSeconds / 1e6,
+                engine_x, engine_e2e_x);
         }
         os << "]}";
 
@@ -554,22 +666,35 @@ main(int argc, char** argv)
             ss << in.rdbuf();
             const std::string base = ss.str();
             bool ok = true;
-            for (const auto& [name, got] : speedups) {
-                const double want = committedSpeedup(base, name);
-                const double floor = 0.75 * want;
-                std::fprintf(stderr,
-                             "bench_perf: %-24s engine speedup x%.2f "
-                             "(committed x%.2f, floor x%.2f)%s\n",
-                             name.c_str(), got, want, floor,
-                             got >= floor ? "" : "  <-- BELOW FLOOR");
-                if (got < floor)
-                    ok = false;
+            for (const Speedup& sp : speedups) {
+                const struct
+                {
+                    const char* key;
+                    const char* what;
+                    double got;
+                } checks[] = {
+                    {"hotSpeedupEngineOverFast", "hot", sp.hot},
+                    {"e2eSpeedupEngineOverFast", "e2e", sp.e2e},
+                };
+                for (const auto& c : checks) {
+                    const double want =
+                        committedRatio(base, sp.name, c.key);
+                    const double floor = 0.6 * want;
+                    std::fprintf(
+                        stderr,
+                        "bench_perf: %-24s engine %s speedup x%.2f "
+                        "(committed x%.2f, floor x%.2f)%s\n",
+                        sp.name.c_str(), c.what, c.got, want, floor,
+                        c.got >= floor ? "" : "  <-- BELOW FLOOR");
+                    if (c.got < floor)
+                        ok = false;
+                }
             }
             if (!ok) {
                 std::fprintf(
                     stderr,
                     "bench_perf: fast-engine hot loop regressed more "
-                    "than 25%% relative to %s\n",
+                    "than 40%% relative to %s\n",
                     floor_path.c_str());
                 return 1;
             }

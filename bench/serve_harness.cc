@@ -78,6 +78,7 @@ struct ScenarioResult
     std::uint64_t done = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t predecodeShares = 0;
+    std::uint64_t translationShares = 0;
 };
 
 double
@@ -97,7 +98,8 @@ percentile(std::vector<double>& sorted, double p)
 template <typename ImageFn, typename CyclesFn>
 ScenarioResult
 runScenario(const std::string& name, int clients, int jobs_per_client,
-            int workers, ImageFn image_for, CyclesFn cycles_for)
+            int workers, ImageFn image_for, CyclesFn cycles_for,
+            EngineKind engine = EngineKind::kCycle)
 {
     ServiceConfig cfg;
     cfg.workers = workers;
@@ -116,6 +118,7 @@ runScenario(const std::string& name, int clients, int jobs_per_client,
                 JobRequest req;
                 req.jobId = next_id.fetch_add(1);
                 req.image = image_for(t, i);
+                req.engine = engine;
                 req.maxCycles = cycles_for(t, i);
                 req.deadlineMs = 60'000;
                 std::promise<JobState> done;
@@ -172,6 +175,7 @@ runScenario(const std::string& name, int clients, int jobs_per_client,
     r.done = ledger.done;
     r.cacheHits = ledger.resultCacheHits;
     r.predecodeShares = ledger.predecodeShares;
+    r.translationShares = ledger.translationShares;
     return r;
 }
 
@@ -237,9 +241,20 @@ main(int argc, char** argv)
         "hot_cache", clients, jobs, workers,
         [&](int, int) { return shared_image; },
         [](int, int) { return std::uint64_t{0}; }));
+    results.push_back(runScenario(
+        "warm_engine", clients, jobs, workers,
+        [&](int, int) { return shared_image; },
+        [&](int t, int i) {
+            // Same defeat-the-result-cache trick as shared_predecode,
+            // but on the fast engine: every job reuses the registry's
+            // warm Translation (translationShares counts the reuses).
+            return std::uint64_t{10'000'000} +
+                   static_cast<std::uint64_t>(t * jobs + i);
+        },
+        EngineKind::kFast));
 
     std::ostringstream os;
-    os << "{\"schema\":\"crisp-bench-serve/1\",\"mode\":\""
+    os << "{\"schema\":\"crisp-bench-serve/2\",\"mode\":\""
        << (smoke ? "smoke" : "full") << "\",\"clients\":" << clients
        << ",\"jobsPerClient\":" << jobs << ",\"workers\":" << workers
        << ",\"scenarios\":[";
@@ -252,7 +267,8 @@ main(int argc, char** argv)
            << ",\"jobsPerSec\":" << r.jobsPerSec
            << ",\"p50Ms\":" << r.p50Ms << ",\"p99Ms\":" << r.p99Ms
            << ",\"done\":" << r.done << ",\"cacheHits\":" << r.cacheHits
-           << ",\"predecodeShares\":" << r.predecodeShares << "}";
+           << ",\"predecodeShares\":" << r.predecodeShares
+           << ",\"translationShares\":" << r.translationShares << "}";
     }
     os << "]}";
 
@@ -266,11 +282,14 @@ main(int argc, char** argv)
     for (const ScenarioResult& r : results)
         std::fprintf(stderr,
                      "%-17s %6.0f jobs/s  p50 %7.3f ms  p99 %7.3f ms  "
-                     "(done=%llu cacheHits=%llu shares=%llu)\n",
+                     "(done=%llu cacheHits=%llu shares=%llu "
+                     "transShares=%llu)\n",
                      r.name.c_str(), r.jobsPerSec, r.p50Ms, r.p99Ms,
                      static_cast<unsigned long long>(r.done),
                      static_cast<unsigned long long>(r.cacheHits),
-                     static_cast<unsigned long long>(r.predecodeShares));
+                     static_cast<unsigned long long>(r.predecodeShares),
+                     static_cast<unsigned long long>(
+                         r.translationShares));
     std::fprintf(stderr, "bench_serve %s: ok (%s)\n",
                  smoke ? "smoke" : "full", out_path.c_str());
     return 0;

@@ -41,12 +41,30 @@ MemoryImage::load(const Program& prog)
     dirty_.assign((bytes_.size() + (std::uint64_t{64} << kLineShift) - 1)
                       >> (kLineShift + 6),
                   0);
+    journalCount_ = 0;
+    journalOverflow_ = false;
     copySegments(prog);
 }
 
 void
 MemoryImage::revert(const Program& prog)
 {
+    if (!journalOverflow_) {
+        // Every store since the last load()/revert() is in the
+        // journal: undoing it in LIFO order restores the pre-write
+        // bytes exactly, even when entries overlap. No line memsets,
+        // no segment re-copies — O(words written), the warm-replay
+        // fast path. The bitmap words are cleared wholesale (a few
+        // cache lines for a 256 KiB image).
+        while (journalCount_ > 0) {
+            const Undo& u = journal_[--journalCount_];
+            std::memcpy(bytes_.data() + u.addr, &u.old, 4);
+        }
+        std::fill(dirty_.begin(), dirty_.end(), 0);
+        return;
+    }
+    journalCount_ = 0;
+    journalOverflow_ = false;
     // Every line whose dirty bit is clear still holds its load-time
     // value; zeroing the dirty lines and re-copying any segment they
     // may overlap reproduces load(prog) exactly.

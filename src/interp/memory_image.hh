@@ -8,6 +8,7 @@
 #define CRISP_INTERP_MEMORY_IMAGE_HH
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -89,6 +90,15 @@ class MemoryImage
     write32(Addr a, std::uint32_t v)
     {
         check(a, 4);
+        if (!journalOverflow_) [[likely]] {
+            if (journalCount_ < kJournalCap) {
+                Undo& u = journal_[journalCount_++];
+                u.addr = a;
+                std::memcpy(&u.old, bytes_.data() + a, 4);
+            } else {
+                journalOverflow_ = true;
+            }
+        }
         markDirty(a);
         if constexpr (std::endian::native == std::endian::little) {
             std::memcpy(bytes_.data() + a, &v, 4);
@@ -122,6 +132,24 @@ class MemoryImage
         }
         return false;
     }
+
+    /**
+     * Word-granularity write journal capacity. Runs that store at most
+     * this many words (the typical torture replay: a few stack frames)
+     * revert by LIFO undo of the journal — no line memsets, no segment
+     * re-copies. Longer runs overflow the journal once and fall back
+     * to the dirty-line bitmap path; the bitmap is maintained either
+     * way, so dirtyInRange() never depends on which path revert takes.
+     */
+    static constexpr std::uint32_t kJournalCap = 128;
+
+    /** True when the journal has overflowed since the last load() /
+     *  revert() — the next revert will take the bitmap path. Exposed
+     *  for the journal-equivalence tests. */
+    bool journalOverflowed() const { return journalOverflow_; }
+
+    /** Journalled (not yet reverted) word writes; 0 after revert. */
+    std::uint32_t journalDepth() const { return journalCount_; }
 
   private:
     /** Copy into the image whichever of @p prog's text and data
@@ -159,6 +187,18 @@ class MemoryImage
      *  few dozen lines (its stack frames and globals), so reverting is
      *  orders of magnitude cheaper than re-zeroing the whole image. */
     std::vector<std::uint64_t> dirty_;
+
+    /** One journalled store: the address and the 4 bytes it clobbered
+     *  (captured/restored by memcpy, so endianness never matters). */
+    struct Undo
+    {
+        Addr addr;
+        std::uint32_t old;
+    };
+
+    std::array<Undo, kJournalCap> journal_;
+    std::uint32_t journalCount_ = 0;
+    bool journalOverflow_ = false;
 };
 
 } // namespace crisp

@@ -39,56 +39,4 @@ opcodeName(Opcode op)
     return kNames[idx];
 }
 
-bool
-evalCompare(Opcode op, std::int32_t a, std::int32_t b)
-{
-    const auto ua = static_cast<std::uint32_t>(a);
-    const auto ub = static_cast<std::uint32_t>(b);
-    switch (op) {
-      case Opcode::kCmpEq:  return a == b;
-      case Opcode::kCmpNe:  return a != b;
-      case Opcode::kCmpLt:  return a < b;
-      case Opcode::kCmpLe:  return a <= b;
-      case Opcode::kCmpGt:  return a > b;
-      case Opcode::kCmpGe:  return a >= b;
-      case Opcode::kCmpLtU: return ua < ub;
-      case Opcode::kCmpGeU: return ua >= ub;
-      default:
-        throw CrispError("evalCompare: not a compare opcode");
-    }
-}
-
-std::int32_t
-evalAlu(Opcode op, std::int32_t a, std::int32_t b)
-{
-    const auto ua = static_cast<std::uint32_t>(a);
-    const auto ub = static_cast<std::uint32_t>(b);
-    switch (op) {
-      case Opcode::kAdd: case Opcode::kAdd3:
-        return static_cast<std::int32_t>(ua + ub);
-      case Opcode::kSub: case Opcode::kSub3:
-        return static_cast<std::int32_t>(ua - ub);
-      case Opcode::kAnd: case Opcode::kAnd3:
-        return a & b;
-      case Opcode::kOr: case Opcode::kOr3:
-        return a | b;
-      case Opcode::kXor: case Opcode::kXor3:
-        return a ^ b;
-      case Opcode::kShl:
-        return static_cast<std::int32_t>(ua << (ub & 31u));
-      case Opcode::kShr:
-        return static_cast<std::int32_t>(ua >> (ub & 31u));
-      case Opcode::kMul: case Opcode::kMul3:
-        return static_cast<std::int32_t>(ua * ub);
-      case Opcode::kDiv:
-        return b == 0 ? 0 : (a == INT32_MIN && b == -1 ? a : a / b);
-      case Opcode::kRem:
-        return b == 0 ? 0 : (a == INT32_MIN && b == -1 ? 0 : a % b);
-      case Opcode::kMov:
-        return b;
-      default:
-        throw CrispError("evalAlu: not an ALU opcode");
-    }
-}
-
 } // namespace crisp

@@ -65,6 +65,33 @@ ProgramRegistry::sharedTables(const std::shared_ptr<Entry>& entry,
     return entry->predecode.get();
 }
 
+const Translation*
+ProgramRegistry::sharedTranslation(const std::shared_ptr<Entry>& entry,
+                                   FoldPolicy policy)
+{
+    const auto p = static_cast<std::size_t>(policy);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (entry->warmFailed[p])
+        return nullptr;
+    if (!entry->warmed[p]) {
+        if (!entry->predecode->warmAll(policy)) {
+            entry->warmFailed[p] = true;
+            return nullptr;
+        }
+        entry->warmed[p] = true;
+    }
+    if (!entry->translation[p]) {
+        // Built once under the lock over the warmed (read-only)
+        // predecode tables; immutable afterwards, so fast-engine
+        // workers share it without further locking. References
+        // entry->prog, which never moves behind its shared_ptr.
+        entry->translation[p] = std::make_unique<Translation>(
+            entry->prog, policy, entry->predecode.get(),
+            /*enable_chaining=*/true);
+    }
+    return entry->translation[p].get();
+}
+
 std::size_t
 ProgramRegistry::size() const
 {

@@ -35,6 +35,7 @@
 #include "isa/program.hh"
 #include "protocol.hh"
 #include "sim/predecode.hh"
+#include "sim/translate.hh"
 
 namespace crisp::service
 {
@@ -75,6 +76,12 @@ class ProgramRegistry
         std::unique_ptr<PredecodeCache> predecode;
         bool warmed[3] = {false, false, false};
         bool warmFailed[3] = {false, false, false};
+        /** Warm threaded-code translations over prog, one per fold
+         *  policy (chaining on — the service default). Built once
+         *  under the registry lock, read-only thereafter: the
+         *  million-th fast-engine request for a hot program pays zero
+         *  translate cost. */
+        std::unique_ptr<Translation> translation[3];
     };
 
     explicit ProgramRegistry(std::size_t cap) : cap_(cap) {}
@@ -94,6 +101,17 @@ class ProgramRegistry
      */
     PredecodeCache* sharedTables(const std::shared_ptr<Entry>& entry,
                                  FoldPolicy policy);
+
+    /**
+     * The warm shared Translation for @p policy (chaining on),
+     * building it now over the warmed predecode tables if this is the
+     * first fast-engine request. @return nullptr when the program is
+     * unshareable under that policy — FastEngine then builds its
+     * private translation, exactly as before.
+     */
+    const Translation*
+    sharedTranslation(const std::shared_ptr<Entry>& entry,
+                      FoldPolicy policy);
 
     std::size_t size() const;
 

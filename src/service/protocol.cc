@@ -367,6 +367,7 @@ HealthReply::encode() const
     put64(out, ledger.retriesScheduled);
     put64(out, ledger.resultCacheHits);
     put64(out, ledger.predecodeShares);
+    put64(out, ledger.translationShares);
     put64(out, ledger.quarantined);
     put64(out, ledger.degradedTransitions);
     put64(out, ledger.recoveredTransitions);
@@ -394,6 +395,7 @@ HealthReply::decode(const std::vector<std::uint8_t>& payload)
     h.ledger.retriesScheduled = r.u64();
     h.ledger.resultCacheHits = r.u64();
     h.ledger.predecodeShares = r.u64();
+    h.ledger.translationShares = r.u64();
     h.ledger.quarantined = r.u64();
     h.ledger.degradedTransitions = r.u64();
     h.ledger.recoveredTransitions = r.u64();

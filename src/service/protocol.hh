@@ -179,6 +179,9 @@ struct LedgerSnapshot
     std::uint64_t retriesScheduled = 0;
     std::uint64_t resultCacheHits = 0;
     std::uint64_t predecodeShares = 0; //!< runs on a shared warm table
+    /** Fast-engine runs that reused a registry-warm Translation —
+     *  zero translate cost, the warm-replay path end to end. */
+    std::uint64_t translationShares = 0;
     std::uint64_t quarantined = 0;     //!< fast-failed by quarantine
     std::uint64_t degradedTransitions = 0; //!< OK -> DEGRADED edges
     std::uint64_t recoveredTransitions = 0; //!< DEGRADED -> OK edges

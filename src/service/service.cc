@@ -269,11 +269,23 @@ SimService::runJob(Job& job)
                 // fast engine (cycles reported as 0); timed jobs on
                 // the cycle pipeline. Both share the warm predecode
                 // tables and honor the same cooperative cancel flag.
+                // Fast jobs additionally reuse the registry's warm
+                // Translation, so a hot program pays zero decode AND
+                // zero translate cost per request.
                 SimStats st;
                 Word accum = 0;
                 if (job.key.engine == EngineKind::kFast) {
+                    const Translation* warm =
+                        job.simCfg.enableChaining
+                            ? registry_.sharedTranslation(
+                                  job.program, job.simCfg.foldPolicy)
+                            : nullptr;
+                    if (warm != nullptr) {
+                        std::lock_guard<std::mutex> lk(mu_);
+                        ++ledger_.translationShares;
+                    }
                     FastEngine eng(job.program->prog, job.simCfg,
-                                   tables);
+                                   tables, warm);
                     eng.setCancelFlag(&timer->fired);
                     st = eng.run();
                     accum = eng.accum();

@@ -10,13 +10,24 @@
  * selects a single-switch fallback with identical semantics; CI builds
  * both.
  *
+ * The workhorse is the trace walker at `trace_entry`: it retires a
+ * statically-determined run of entries — sequential ops and, with
+ * chaining, unconditionally-taken static jumps/calls — in one
+ * activation with a single cancel/budget poll, then hands the
+ * terminating control op to its own handler. Every handler exit goes
+ * through CRISP_NEXT(), which jumps straight back into the walker when
+ * the successor starts a trace (the "chain pointer": a hot loop
+ * back-edge never re-enters the dispatcher). Indirect exits resolve
+ * their target through a per-entry monomorphic inline cache before
+ * falling back to the full address-to-index lookup.
+ *
  * Equivalence discipline: every architectural effect below happens in
  * the interpreter's order — count the instruction, then execute it
  * (memory faults land *after* counting); branch targets are read
  * before the taken decision and before a call's push; fetch faults are
  * raised before counting. The three-way differential in
  * `crisptorture --engine-diff` holds this loop to that contract on
- * every seed.
+ * every seed, with chaining both on and off.
  */
 
 #include "fastengine.hh"
@@ -94,7 +105,23 @@ execBody(const TOp& t, MemoryImage& mem, Addr& sp, Word& accum,
       case TBody::kLeave:
         sp += t.frameBytes;
         return;
+      case TBody::kAddAccImm:
+        // Same value evalAlu(kAdd, accum, src.v) produces: unsigned
+        // wraparound add on the immediate's bit pattern.
+        accum = static_cast<Word>(static_cast<std::uint32_t>(accum) +
+                                  t.src.v);
+        return;
       case TBody::kAlu2: {
+        // Accumulator destination is by far the most common shape
+        // (crispcc keeps every expression in the accumulator); skip
+        // the generic operand resolvers for it.
+        if (t.dst.mode == AddrMode::kAccum) {
+            const Word b = t.src.mode == AddrMode::kImm
+                               ? static_cast<Word>(t.src.v)
+                               : readOp(t.src, mem, sp, accum);
+            accum = evalAlu(t.bodyOp, accum, b);
+            return;
+        }
         const Word a = readOp(t.dst, mem, sp, accum);
         const Word b = readOp(t.src, mem, sp, accum);
         writeOp(t.dst, evalAlu(t.bodyOp, a, b), mem, sp, accum);
@@ -133,13 +160,42 @@ fetchError(Addr a)
 } // namespace
 
 FastEngine::FastEngine(const Program& prog, const SimConfig& cfg,
-                       PredecodeCache* shared_predecode)
-    : prog_(prog), cfg_(cfg), mem_(prog_),
-      trans_(prog_, cfg.foldPolicy, shared_predecode)
+                       PredecodeCache* shared_predecode,
+                       const Translation* shared_translation)
+    : cfg_(cfg)
 {
-    pc_ = prog_.entry;
-    sp_ = (prog_.memBytes - kWordBytes) & ~(kWordBytes - 1);
+    if (shared_translation != nullptr) {
+        if (shared_translation->policy() != cfg.foldPolicy ||
+            shared_translation->chaining() != cfg.enableChaining) {
+            throw CrispError(
+                "fastengine: shared translation was built under a "
+                "different fold policy or chaining mode");
+        }
+        // Warm path: borrow the translation's program (its text is the
+        // one the translation provably describes) — no copy, no
+        // decode, no translate. Only the memory image is built.
+        prog_ = &shared_translation->program();
+        trans_ = shared_translation;
+    } else {
+        ownedProg_.emplace(prog);
+        prog_ = &*ownedProg_;
+        ownedTrans_ = std::make_unique<Translation>(
+            *prog_, cfg.foldPolicy, shared_predecode,
+            cfg.enableChaining);
+        trans_ = ownedTrans_.get();
+    }
+    mem_.load(*prog_);
+    ic_.assign(trans_->size(), IC{});
+    pc_ = prog_->entry;
+    sp_ = (prog_->memBytes - kWordBytes) & ~(kWordBytes - 1);
     stats_.engine = EngineKind::kFast;
+}
+
+void
+FastEngine::flushInlineCaches()
+{
+    std::fill(ic_.begin(), ic_.end(), IC{});
+    ++icFlushes_;
 }
 
 void
@@ -147,12 +203,21 @@ FastEngine::reset()
 {
     // Query before revert: revert clears the very bits we test.
     const bool text_dirty =
-        mem_.dirtyInRange(prog_.textBase, prog_.textEnd());
-    mem_.revert(prog_);
-    if (text_dirty)
-        trans_.rebuild();
-    pc_ = prog_.entry;
-    sp_ = (prog_.memBytes - kWordBytes) & ~(kWordBytes - 1);
+        mem_.dirtyInRange(prog_->textBase, prog_->textEnd());
+    mem_.revert(*prog_);
+    if (text_dirty) {
+        // Translations derive from the immutable Program (never the
+        // image), so a rebuild provably reproduces the same table — a
+        // shared one can stay pinned. Owned ones are rebuilt to keep
+        // the defensive contract cheap to audit; either way the epoch
+        // bump and the inline-cache flush are observable.
+        if (ownedTrans_)
+            ownedTrans_->rebuild();
+        ++transEpoch_;
+        flushInlineCaches();
+    }
+    pc_ = prog_->entry;
+    sp_ = (prog_->memBytes - kWordBytes) & ~(kWordBytes - 1);
     accum_ = 0;
     flag_ = false;
     halted_ = false;
@@ -163,7 +228,7 @@ FastEngine::reset()
 Word
 FastEngine::wordAt(const std::string& symbol) const
 {
-    const auto a = prog_.lookup(symbol);
+    const auto a = prog_->lookup(symbol);
     if (!a)
         throw CrispError("unknown symbol: " + symbol);
     return static_cast<Word>(mem_.read32(*a));
@@ -194,23 +259,37 @@ FastEngine::run(ExecObserver* observer)
 #define CRISP_DISPATCH() goto dispatch
 #endif
 
+/** Continue at *op: straight into the trace walker when the successor
+ *  starts a trace (hot back-edges skip the dispatcher), else through
+ *  the handler table. */
+#define CRISP_NEXT()          \
+    do {                      \
+        if (op->trace != 0)   \
+            goto trace_entry; \
+        CRISP_DISPATCH();     \
+    } while (0)
+
 template <bool Observed>
 void
 FastEngine::runLoop(ExecObserver* observer)
 {
     (void)observer;
-    const TOp* const ops = trans_.ops();
+    const TOp* const ops = trans_->ops();
+    IC* const ic = ic_.data();
     MemoryImage& mem = mem_;
     Addr sp = sp_;
     Word accum = accum_;
     bool flag = flag_;
     std::uint64_t apparent = 0;
     std::uint64_t issued = 0;
+    std::uint64_t ic_hits = 0;
+    std::uint64_t ic_misses = 0;
     std::uint64_t* const counts = stats_.opcodeCounts.data();
 
     // Fuel: instructions until the next cancel/budget poll. Polls
-    // happen only on superblock boundaries, so a superblock may finish
-    // past the exact budget; the interval bounds the overshoot.
+    // happen only on trace boundaries, so a trace may finish past the
+    // exact budget; the poll interval plus kTraceCap bound the
+    // overshoot.
     std::int64_t fuel = static_cast<std::int64_t>(
         std::min<std::uint64_t>(cfg_.maxCycles, kCancelCheckInterval));
     // 0 = keep going, 1 = cancelled, 2 = instruction budget exhausted.
@@ -225,6 +304,23 @@ FastEngine::runLoop(ExecObserver* observer)
         fuel = static_cast<std::int64_t>(std::min<std::uint64_t>(
             cfg_.maxCycles - done, kCancelCheckInterval));
         return 0;
+    };
+
+    // Monomorphic inline cache consult for an indirect exit at *t:
+    // last target and its pre-resolved index, refilled on miss. Sound
+    // because indexOf is a pure function of the (epoch-stable)
+    // translation — the caches are flushed whenever it changes.
+    const auto resolve = [&](const TOp* t, Addr target) {
+        IC& c = ic[t - ops];
+        if (c.valid && c.target == target) {
+            ++ic_hits;
+            return c.idx;
+        }
+        ++ic_misses;
+        c.valid = true;
+        c.target = target;
+        c.idx = trans_->indexOf(target);
+        return c.idx;
     };
 
     [[maybe_unused]] const auto emitBranch = [&](const TOp* t,
@@ -245,7 +341,7 @@ FastEngine::runLoop(ExecObserver* observer)
 
     const TOp* op = nullptr;
     Addr npc = pc_;
-    std::uint32_t ip = trans_.indexOf(pc_);
+    std::uint32_t ip = trans_->indexOf(pc_);
     int stop = 0;
 
     try {
@@ -259,45 +355,81 @@ FastEngine::runLoop(ExecObserver* observer)
         if (ip == kNoIdx)
             goto bad_fetch;
         op = &ops[ip];
-        CRISP_DISPATCH();
+        CRISP_NEXT();
 
 #if !CRISP_THREADED_DISPATCH
       dispatch:
         switch (op->kind) {
 #endif
 
-        // Superblock: retire the whole straight-line region in one
-        // activation, then fall into its terminating control op.
+        // Trace superblock: retire the whole statically-determined
+        // run — sequential ops plus (with chaining) unconditionally-
+        // taken static jumps/calls — in one activation, then hand the
+        // terminating control op to its own handler. Every kChain op
+        // heads a trace, so this handler *is* the walker.
         CRISP_HANDLER(kChain)
+      trace_entry:
         {
-            std::uint32_t n = op->chain;
-            fuel -= n;
+            fuel -= op->traceInstr;
             if (fuel <= 0) [[unlikely]] {
                 if ((stop = poll()) != 0)
                     goto stopped;
             }
+            std::uint32_t n = op->trace;
             for (;;) {
-                ++apparent;
-                ++issued;
-                ++counts[static_cast<std::size_t>(op->bodyOp)];
-                if constexpr (Observed)
-                    observer->onInstruction(op->pc, op->bodyOp);
-                execBody(*op, mem, sp, accum, flag);
-                ip = op->seqIdx;
+                if (op->kind == TKind::kChain) {
+                    ++apparent;
+                    ++issued;
+                    ++counts[static_cast<std::size_t>(op->bodyOp)];
+                    if constexpr (Observed)
+                        observer->onInstruction(op->pc, op->bodyOp);
+                    execBody(*op, mem, sp, accum, flag);
+                    ip = op->seqIdx;
+                } else {
+                    // Static kJmp (possibly folded) or kCall, known
+                    // taken: same bookkeeping order as the standalone
+                    // handlers below.
+                    ++issued;
+                    if (op->folded) {
+                        ++apparent;
+                        ++counts[static_cast<std::size_t>(op->bodyOp)];
+                        if constexpr (Observed)
+                            observer->onInstruction(op->pc, op->bodyOp);
+                        execBody(*op, mem, sp, accum, flag);
+                    }
+                    ++apparent;
+                    ++counts[static_cast<std::size_t>(op->branchOp)];
+                    if constexpr (Observed)
+                        observer->onInstruction(op->branchPc,
+                                                op->branchOp);
+                    if (op->kind == TKind::kCall) {
+                        sp -= kWordBytes;
+                        mem.write32(sp, op->callRetPc);
+                    }
+                    ++stats_.branches;
+                    if (op->folded)
+                        ++stats_.foldedBranches;
+                    if constexpr (Observed)
+                        emitBranch(op, true, op->takenPc);
+                    ip = op->takenIdx;
+                }
                 if (--n == 0)
                     break;
                 op = &ops[ip];
             }
             if (ip == kNoIdx) [[unlikely]] {
-                npc = op->seqPc;
+                npc = op->kind == TKind::kChain ? op->seqPc
+                                                : op->takenPc;
                 goto bad_fetch;
             }
             op = &ops[ip];
-            CRISP_DISPATCH();
+            CRISP_NEXT();
         }
 
         CRISP_HANDLER(kJmp)
         {
+            // Reached only for indirect jumps, or with chaining off
+            // (static jumps are trace heads then trace members).
             fuel -= 1 + op->folded;
             if (fuel <= 0) [[unlikely]] {
                 if ((stop = poll()) != 0)
@@ -320,7 +452,7 @@ FastEngine::runLoop(ExecObserver* observer)
                 target = mem.read32(op->bmode == BranchMode::kIndSp
                                         ? sp + op->dynSpec
                                         : op->dynSpec);
-                ip = trans_.indexOf(target);
+                ip = resolve(op, target);
             } else {
                 target = op->takenPc;
                 ip = op->takenIdx;
@@ -335,7 +467,7 @@ FastEngine::runLoop(ExecObserver* observer)
                 goto bad_fetch;
             }
             op = &ops[ip];
-            CRISP_DISPATCH();
+            CRISP_NEXT();
         }
 
         CRISP_HANDLER(kCond)
@@ -377,7 +509,7 @@ FastEngine::runLoop(ExecObserver* observer)
             if constexpr (Observed)
                 emitBranch(op, taken, target);
             if (taken) {
-                ip = op->dynTarget ? trans_.indexOf(target)
+                ip = op->dynTarget ? resolve(op, target)
                                    : op->takenIdx;
                 if (ip == kNoIdx) [[unlikely]] {
                     npc = target;
@@ -391,12 +523,13 @@ FastEngine::runLoop(ExecObserver* observer)
                 }
             }
             op = &ops[ip];
-            CRISP_DISPATCH();
+            CRISP_NEXT();
         }
 
         CRISP_HANDLER(kCall)
         {
-            // Calls are three-parcel and therefore never folded.
+            // Reached only for indirect calls, or with chaining off
+            // (calls are three-parcel and therefore never folded).
             --fuel;
             if (fuel <= 0) [[unlikely]] {
                 if ((stop = poll()) != 0)
@@ -422,13 +555,13 @@ FastEngine::runLoop(ExecObserver* observer)
             ++stats_.branches;
             if constexpr (Observed)
                 emitBranch(op, true, target);
-            ip = op->dynTarget ? trans_.indexOf(target) : op->takenIdx;
+            ip = op->dynTarget ? resolve(op, target) : op->takenIdx;
             if (ip == kNoIdx) [[unlikely]] {
                 npc = target;
                 goto bad_fetch;
             }
             op = &ops[ip];
-            CRISP_DISPATCH();
+            CRISP_NEXT();
         }
 
         CRISP_HANDLER(kRet)
@@ -446,13 +579,13 @@ FastEngine::runLoop(ExecObserver* observer)
             sp += op->frameBytes;
             const Addr target = mem.read32(sp);
             sp += kWordBytes;
-            ip = trans_.indexOf(target);
+            ip = resolve(op, target);
             if (ip == kNoIdx) [[unlikely]] {
                 npc = target;
                 goto bad_fetch;
             }
             op = &ops[ip];
-            CRISP_DISPATCH();
+            CRISP_NEXT();
         }
 
         CRISP_HANDLER(kHalt)
@@ -474,7 +607,7 @@ FastEngine::runLoop(ExecObserver* observer)
             // this error before counting anything.
             stats_.faulted = true;
             stats_.faultPc = op->pc;
-            stats_.faultReason = trans_.trapMessage(op->trapMsg);
+            stats_.faultReason = trans_->trapMessage(op->trapMsg);
             pc_ = op->pc;
             goto out;
         }
@@ -513,8 +646,11 @@ FastEngine::runLoop(ExecObserver* observer)
     flag_ = flag;
     stats_.apparent += apparent;
     stats_.issued += issued;
+    icHits_ += ic_hits;
+    icMisses_ += ic_misses;
 }
 
+#undef CRISP_NEXT
 #undef CRISP_HANDLER
 #undef CRISP_DISPATCH
 

@@ -9,25 +9,40 @@
  * predecoded DIC line into a threaded-code op (translate.hh) and
  * dispatches with computed goto on GCC/Clang (a switch-threaded
  * fallback is selected by defining CRISP_NO_COMPUTED_GOTO), executing
- * each folded straight-line-plus-branch region as a superblock: one
- * handler activation retires the whole sequential run, and the
+ * each statically-determined trace as a superblock: one handler
+ * activation retires a run of basic blocks — straight-line code plus,
+ * with SimConfig::enableChaining, any unconditionally-taken static
+ * branches between them — under a single cancel/budget poll, and the
  * terminating branch transfers through the translation's pre-resolved
  * Next-PC / Alternate-Next-PC indices, so hot loops never leave
- * translated code.
+ * translated code. Indirect exits (returns, indirect jumps/calls)
+ * carry a monomorphic inline cache: the last target address and its
+ * table index, so a stable callee re-enters its trace without an
+ * address-to-index lookup.
  *
  * Contracts shared with the other engines:
  *  - architectural-state equivalence with the reference interpreter,
  *    including fault points and messages (enforced by the lockstep
  *    differential in src/verify/enginediff.hh and by
- *    `crisptorture --engine-diff`);
- *  - the cooperative cancel flag is polled on superblock boundaries
- *    (same kCancelCheckInterval cadence as CrispCpu);
+ *    `crisptorture --engine-diff`, with chaining both on and off);
+ *  - the cooperative cancel flag is polled on trace boundaries (same
+ *    kCancelCheckInterval cadence as CrispCpu, overshooting by at most
+ *    one trace — bounded by kTraceCap);
  *  - SimConfig::maxCycles bounds the run — a functional engine has no
  *    cycles, so the limit is applied to apparent (architectural)
- *    instructions, checked at superblock boundaries;
+ *    instructions, checked at trace boundaries;
  *  - MemoryImage dirty-line tracking powers reset(): if the program
- *    image's text window was dirtied, the revert also rebuilds the
- *    translation so it can never describe stale bytes.
+ *    image's text window was dirtied, the revert also invalidates the
+ *    translation (and every inline cache) so it can never describe
+ *    stale bytes.
+ *
+ * Warm replay: a Translation built once (e.g. crispd's per
+ * program-hash × policy registry entry) can be shared read-only across
+ * engines and replays — the constructor then skips the program copy
+ * and the whole translate/predecode pass, leaving only the memory
+ * image load. reset() keeps the translation pinned whenever the text
+ * window stayed clean, so a replay pays O(dirty memory) and nothing
+ * else.
  *
  * Timing fields of SimStats stay zero; `engine` is kFast.
  */
@@ -37,7 +52,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "config.hh"
 #include "interp/interpreter.hh"
@@ -58,9 +76,17 @@ class FastEngine
      * externally-owned predecode cache (crispd's warmed registry
      * tables) so repeated runs of one program skip all decode work.
      * Must have been built over a Program with the same text segment.
+     *
+     * @p shared_translation goes one step further: an externally-owned
+     * read-only Translation of the same program under the same fold
+     * policy and chaining mode (it is rejected otherwise). The engine
+     * then borrows the translation's Program — @p prog is only used to
+     * seed the memory image — and construction does no decode or
+     * translate work at all. The translation must outlive the engine.
      */
     explicit FastEngine(const Program& prog, const SimConfig& cfg = {},
-                        PredecodeCache* shared_predecode = nullptr);
+                        PredecodeCache* shared_predecode = nullptr,
+                        const Translation* shared_translation = nullptr);
 
     FastEngine(const FastEngine&) = delete;
     FastEngine& operator=(const FastEngine&) = delete;
@@ -78,7 +104,8 @@ class FastEngine
      * Return to the power-on state over the same program and config:
      * dirty-line memory revert, statistics zeroed, and — if the text
      * window of the image was written since the last reset — a
-     * translation rebuild, so a reverted image can never execute
+     * translation invalidation (rebuild of an owned translation, inline
+     * caches flushed either way), so a reverted image can never execute
      * through stale translations. Nothing is reallocated on the clean
      * path; replay loops reuse one engine. The cancel flag is
      * retained, like CrispCpu.
@@ -86,8 +113,8 @@ class FastEngine
     void reset();
 
     /** Cooperative cancellation flag (not owned; null clears). Polled
-     *  every few thousand instructions at superblock boundaries; the
-     *  run stops with SimStats::cancelled set and can be resumed by
+     *  every few thousand instructions at trace boundaries; the run
+     *  stops with SimStats::cancelled set and can be resumed by
      *  calling run() again. */
     void
     setCancelFlag(const std::atomic<bool>* flag)
@@ -108,20 +135,44 @@ class FastEngine
 
     const SimStats& stats() const { return stats_; }
 
-    /** Translation build count — bumped when reset() invalidates after
-     *  text-window writes (observable by the self-modifying-image
-     *  tests). */
-    std::uint64_t translationEpoch() const { return trans_.epoch(); }
+    /** Translation build count for *this engine* — bumped when reset()
+     *  invalidates after text-window writes (observable by the
+     *  self-modifying-image tests); starts at 1. */
+    std::uint64_t translationEpoch() const { return transEpoch_; }
+
+    // Inline-cache telemetry (host-side, non-architectural) -----------
+    /** Indirect-exit resolutions served by the monomorphic cache. */
+    std::uint64_t icHits() const { return icHits_; }
+    /** Indirect-exit resolutions that fell back to the full
+     *  address-to-index lookup (and refilled the cache). */
+    std::uint64_t icMisses() const { return icMisses_; }
+    /** Whole-cache flushes (translation invalidations). */
+    std::uint64_t icFlushes() const { return icFlushes_; }
 
   private:
     template <bool Observed>
     void runLoop(ExecObserver* observer);
 
-    /** Owned copy: the engine's lifetime is self-contained. */
-    Program prog_;
+    void flushInlineCaches();
+
+    /** Monomorphic inline cache: last resolved target of an indirect
+     *  exit and its table index (kNoIdx = leaves text, also cached). */
+    struct IC
+    {
+        Addr target = 0;
+        std::uint32_t idx = kNoIdx;
+        bool valid = false;
+    };
+
+    /** Owned copy when the engine stands alone; borrowed from the
+     *  shared translation otherwise (no copy on the warm path). */
+    std::optional<Program> ownedProg_;
+    const Program* prog_ = nullptr;
     SimConfig cfg_;
     MemoryImage mem_;
-    Translation trans_;
+    std::unique_ptr<Translation> ownedTrans_;
+    const Translation* trans_ = nullptr;
+    std::vector<IC> ic_;
     SimStats stats_;
 
     Addr pc_ = 0;
@@ -129,6 +180,11 @@ class FastEngine
     Word accum_ = 0;
     bool flag_ = false;
     bool halted_ = false;
+
+    std::uint64_t transEpoch_ = 1;
+    std::uint64_t icHits_ = 0;
+    std::uint64_t icMisses_ = 0;
+    std::uint64_t icFlushes_ = 0;
 
     /** Same poll cadence as CrispCpu's cycle loop. */
     static constexpr int kCancelCheckInterval = 4096;

@@ -30,8 +30,8 @@ class HwPredictor
   public:
     HwPredictor(PredictorKind kind, int entries)
         : kind_(kind),
-          table_(checkedEntries(kind, entries),
-                 kind == PredictorKind::kDynamic2 ? 2 : 1)
+          powerOn_(kind == PredictorKind::kDynamic2 ? 2 : 1),
+          table_(checkedEntries(kind, entries), Slot{powerOn_, 0})
     {}
 
     /**
@@ -45,9 +45,9 @@ class HwPredictor
           case PredictorKind::kStaticBit:
             return static_bit;
           case PredictorKind::kDynamic1:
-            return table_[index(branch_pc)] >= 1;
+            return counter(branch_pc) >= 1;
           case PredictorKind::kDynamic2:
-            return table_[index(branch_pc)] >= 2;
+            return counter(branch_pc) >= 2;
         }
         return static_bit;
     }
@@ -58,23 +58,38 @@ class HwPredictor
     {
         if (kind_ == PredictorKind::kStaticBit)
             return;
-        int& c = table_[index(branch_pc)];
+        Slot& s = table_[index(branch_pc)];
+        if (s.epoch != epoch_) {
+            // First touch since reset(): the slot logically holds its
+            // power-on value (lazy invalidation).
+            s.epoch = epoch_;
+            s.c = powerOn_;
+        }
         if (kind_ == PredictorKind::kDynamic1) {
-            c = taken ? 1 : 0;
+            s.c = taken ? 1 : 0;
             return;
         }
         if (taken)
-            c = c < 3 ? c + 1 : 3;
+            s.c = s.c < 3 ? s.c + 1 : 3;
         else
-            c = c > 0 ? c - 1 : 0;
+            s.c = s.c > 0 ? s.c - 1 : 0;
     }
 
-    /** Restore every counter to its power-on value (weakly taken). */
+    /**
+     * Restore every counter to its power-on value (weakly taken) —
+     * epoch-tagged lazy invalidation: O(1) per reset instead of
+     * rewriting the whole table, with a hard clear on the (rare)
+     * epoch wrap so stale tags can never alias.
+     */
     void
     reset()
     {
-        table_.assign(table_.size(),
-                      kind_ == PredictorKind::kDynamic2 ? 2 : 1);
+        if (++epoch_ == 0) {
+            for (Slot& s : table_) {
+                s.c = powerOn_;
+                s.epoch = 0;
+            }
+        }
     }
 
   private:
@@ -94,8 +109,26 @@ class HwPredictor
         return (pc / kParcelBytes) & (table_.size() - 1);
     }
 
+    /** The slot's counter, seen through the epoch tag: a stale tag
+     *  means the slot still holds its pre-reset training and reads as
+     *  the power-on value. */
+    int
+    counter(Addr pc) const
+    {
+        const Slot& s = table_[index(pc)];
+        return s.epoch == epoch_ ? s.c : powerOn_;
+    }
+
+    struct Slot
+    {
+        int c;
+        std::uint32_t epoch;
+    };
+
     PredictorKind kind_;
-    std::vector<int> table_;
+    int powerOn_;
+    std::vector<Slot> table_;
+    std::uint32_t epoch_ = 0;
 };
 
 } // namespace crisp

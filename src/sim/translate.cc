@@ -57,7 +57,11 @@ fillBody(TOp& t, const Instruction& inst)
     } else if (isAlu3(inst.op)) {
         t.body = TBody::kAlu3;
     } else if (isAlu2(inst.op)) {
-        t.body = TBody::kAlu2;
+        t.body = inst.op == Opcode::kAdd &&
+                         t.dst.mode == AddrMode::kAccum &&
+                         t.src.mode == AddrMode::kImm
+                     ? TBody::kAddAccImm
+                     : TBody::kAlu2;
     } else {
         t.body = TBody::kBad;
     }
@@ -66,9 +70,10 @@ fillBody(TOp& t, const Instruction& inst)
 } // namespace
 
 Translation::Translation(const Program& prog, FoldPolicy policy,
-                         PredecodeCache* predecode)
-    : prog_(prog), policy_(policy), textBase_(prog.textBase),
-      textEnd_(prog.textEnd())
+                         PredecodeCache* predecode,
+                         bool enable_chaining)
+    : prog_(prog), policy_(policy), chaining_(enable_chaining),
+      textBase_(prog.textBase), textEnd_(prog.textEnd())
 {
     if (predecode) {
         predecode_ = predecode;
@@ -95,6 +100,7 @@ Translation::build()
                     textBase_ + static_cast<Addr>(i) * kParcelBytes);
     }
     linkSuccessors();
+    computeTraces();
     ++epoch_;
 }
 
@@ -268,6 +274,54 @@ Translation::linkSuccessors()
             ops_[t.seqIdx].kind == TKind::kChain) {
             t.chain += ops_[t.seqIdx].chain;
         }
+    }
+}
+
+void
+Translation::computeTraces()
+{
+    // An op the trace walker may execute inline: control past it is
+    // statically known. Conditional branches, returns, indirect
+    // targets, halts and traps all terminate a trace (the walker
+    // dispatches them to their own handler).
+    const auto walkable = [&](const TOp& t) {
+        switch (t.kind) {
+          case TKind::kChain:
+            return true;
+          case TKind::kJmp:
+          case TKind::kCall:
+            return chaining_ && !t.dynTarget;
+          default:
+            return false;
+        }
+    };
+    for (TOp& t : ops_) {
+        t.trace = 0;
+        t.traceInstr = 0;
+        if (!walkable(t))
+            continue;
+        // Forward walk, capped: any prefix of walkable ops whose
+        // intra-trace successors stay in the table is a valid trace,
+        // so cutting at kTraceCap (or at a static jump cycle, which
+        // the cap also bounds) is always sound — the walker simply
+        // re-enters at the next head, where the next poll lives.
+        const TOp* cur = &t;
+        std::uint32_t n = 0;
+        std::uint32_t instr = 0;
+        for (;;) {
+            ++n;
+            instr += cur->folded ? 2u : 1u;
+            if (n >= kTraceCap)
+                break;
+            const std::uint32_t s = cur->kind == TKind::kChain
+                                        ? cur->seqIdx
+                                        : cur->takenIdx;
+            if (s == kNoIdx || !walkable(ops_[s]))
+                break;
+            cur = &ops_[s];
+        }
+        t.trace = n;
+        t.traceInstr = instr;
     }
 }
 

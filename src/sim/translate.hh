@@ -69,6 +69,11 @@ enum class TKind : std::uint8_t {
 enum class TBody : std::uint8_t {
     kNop = 0,
     kAlu2,
+    /** `add accum, imm` — the accumulator machine's workhorse (every
+     *  crispcc expression chain emits runs of it). Specialized so the
+     *  walker skips the operand resolvers and the ALU switch; the
+     *  handler computes exactly evalAlu(kAdd, accum, imm). */
+    kAddAccImm,
     kAlu3,
     kCmp,
     kMov,
@@ -141,7 +146,32 @@ struct TOp
     /** kChain: number of sequential ops in the superblock starting
      *  here (>= 1), ending just before a control/trap op. */
     std::uint32_t chain = 0;
+
+    /**
+     * Entries in the statically-determined trace starting here: a run
+     * of sequential ops *and* — when chaining is enabled —
+     * statically-resolved unconditionally-taken branches (kJmp with a
+     * static target, incl. folded ones, and direct kCall). The fast
+     * engine's trace walker executes exactly this many entries under a
+     * single cancel/budget poll before re-dispatching. 0 = this op is
+     * not trace-walkable (conditional, return, indirect, halt, trap);
+     * its own handler dispatches it.
+     */
+    std::uint32_t trace = 0;
+    /** Apparent (architectural) instructions that trace retires —
+     *  folded entries count both halves; the walker's fuel debit. */
+    std::uint32_t traceInstr = 0;
 };
+
+/**
+ * Upper bound on trace length in table entries. Caps the translator's
+ * trace walk (a static jump cycle must not loop it forever), and bounds
+ * the fast engine's poll overshoot: a trace is at most kTraceCap
+ * entries, i.e. at most 2 * kTraceCap apparent instructions past the
+ * poll that admitted it — well inside the budget-overshoot bound the
+ * engine tests pin.
+ */
+inline constexpr std::uint32_t kTraceCap = 128;
 
 /**
  * The threaded-code image of one program under one fold policy: a flat
@@ -157,9 +187,13 @@ class Translation
      * Build the table. @p predecode may be null, in which case a
      * private cache is created; passing crispd's shared warmed cache
      * makes translation reuse every memoized decode.
+     * @p enable_chaining controls whether traces extend across
+     * unconditionally-taken static branches (SimConfig::enableChaining;
+     * off restores one-basic-block traces).
      */
     Translation(const Program& prog, FoldPolicy policy,
-                PredecodeCache* predecode = nullptr);
+                PredecodeCache* predecode = nullptr,
+                bool enable_chaining = true);
 
     Translation(const Translation&) = delete;
     Translation& operator=(const Translation&) = delete;
@@ -200,6 +234,8 @@ class Translation
 
     const Program& program() const { return prog_; }
     FoldPolicy policy() const { return policy_; }
+    /** Whether traces were allowed to cross static taken branches. */
+    bool chaining() const { return chaining_; }
 
   private:
     void build();
@@ -208,9 +244,11 @@ class Translation
     void lowerRaw(TOp& t, Addr pc, const Instruction& inst);
     void makeTrap(TOp& t, Addr pc, const std::string& msg);
     void linkSuccessors();
+    void computeTraces();
 
     const Program& prog_;
     const FoldPolicy policy_;
+    const bool chaining_;
     const Addr textBase_;
     const Addr textEnd_;
     std::unique_ptr<PredecodeCache> ownedPredecode_;

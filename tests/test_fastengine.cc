@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 
 #include "interp/interpreter.hh"
@@ -254,6 +255,282 @@ TEST(FastEngine, ImageRevertDropsStaleTranslations)
     keep.run();
     keep.reset();
     EXPECT_EQ(keep.translationEpoch(), 1u);
+}
+
+// ------------------------------------------- directed: trace chaining
+
+// A short straight-line program whose middle jump is fold-provable:
+//   mov a,1; add a,2 (folds with) jmp; add a,3; halt
+// Under kCrisp the jump folds with the preceding add and the whole
+// program is one superblock trace; the halt terminates it.
+Program
+foldedJumpRun()
+{
+    Program p;
+    p.append(Instruction::mov(Operand::accum(), Operand::imm(1)));
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(2)));
+    p.append(Instruction::branchRel(Opcode::kJmp, 2));
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(3)));
+    p.append(Instruction::halt());
+    return p;
+}
+
+// Straight-line accumulator blocks stitched by unconditional jumps
+// (the bench_perf chain_dense shape, smaller).
+Program
+jumpChain(int blocks, int ops_per_block)
+{
+    Program p;
+    p.append(Instruction::mov(Operand::accum(), Operand::imm(0)));
+    for (int b = 0; b < blocks; ++b) {
+        for (int k = 0; k < ops_per_block; ++k)
+            p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                                      Operand::imm(1)));
+        p.append(Instruction::branchRel(Opcode::kJmp, 2));
+    }
+    p.append(Instruction::halt());
+    return p;
+}
+
+// A loop that calls a leaf `limit` times: the leaf's return is the
+// only dynamic-target exit, so the inline-cache counters are exact.
+Program
+callLoop(std::int32_t limit)
+{
+    Program p;
+    const Addr jmp_at = p.textEnd();
+    p.append(Instruction::branchRel(Opcode::kJmp, 4)); // over the leaf
+    const Addr leaf = p.textEnd();
+    p.append(Instruction::ret(0));
+    EXPECT_EQ(p.textEnd(), jmp_at + 4);
+    const Operand counter = Operand::abs(kDataBase);
+    p.append(Instruction::mov(counter, Operand::imm(0)));
+    const Addr loop = p.textEnd();
+    p.append(Instruction::branchFar(Opcode::kCall, BranchMode::kAbs,
+                                    leaf));
+    p.append(Instruction::alu(Opcode::kAdd, counter, Operand::imm(1)));
+    p.append(Instruction::cmp(Opcode::kCmpLt, counter,
+                              Operand::imm(limit)));
+    const Addr br = p.textEnd();
+    p.append(Instruction::branchRel(
+        Opcode::kIfTJmp, static_cast<std::int32_t>(loop - br), true));
+    p.append(Instruction::halt());
+    return p;
+}
+
+TEST(Translation, TracesChainAcrossFoldedAlwaysTakenJump)
+{
+    const Program p = foldedJumpRun();
+    Translation tr(p, FoldPolicy::kCrisp);
+    const std::uint32_t entry = tr.entryIndex();
+    ASSERT_NE(entry, kNoIdx);
+    const TOp& head = tr.ops()[entry];
+    ASSERT_EQ(head.kind, TKind::kChain);
+    // Chains stop at the jump; traces walk through it: mov, then the
+    // folded (add+jmp) pair, then the trailing add — 3 entries for 4
+    // architectural instructions.
+    EXPECT_EQ(head.chain, 1u);
+    EXPECT_EQ(head.trace, 3u);
+    EXPECT_EQ(head.traceInstr, 4u);
+    const TOp& jump = tr.ops()[head.seqIdx];
+    ASSERT_EQ(jump.kind, TKind::kJmp);
+    EXPECT_TRUE(jump.folded);
+    EXPECT_FALSE(jump.dynTarget);
+    // The jump heads its own (shorter) trace: itself plus the add.
+    EXPECT_EQ(jump.trace, 2u);
+    EXPECT_EQ(jump.traceInstr, 3u);
+
+    // Chaining off: traces degenerate to the PR 7 chains — kChain ops
+    // cover exactly their chain, control ops are not walkable at all.
+    Translation flat(p, FoldPolicy::kCrisp, nullptr,
+                     /*enable_chaining=*/false);
+    for (std::uint32_t i = 0; i < flat.size(); ++i) {
+        const TOp& t = flat.ops()[i];
+        if (t.kind == TKind::kChain)
+            EXPECT_EQ(t.trace, t.chain);
+        else
+            EXPECT_EQ(t.trace, 0u);
+    }
+}
+
+TEST(Translation, TraceLengthIsCappedAtKTraceCap)
+{
+    // 3 x kTraceCap walkable entries in one straight run: every trace
+    // the walker can enter must stay within the cap (this is what
+    // bounds the budget/cancel poll overshoot).
+    const Program p =
+        jumpChain(static_cast<int>(kTraceCap) / 2, 5);
+    Translation tr(p, FoldPolicy::kCrisp);
+    std::uint32_t longest = 0;
+    for (std::uint32_t i = 0; i < tr.size(); ++i) {
+        longest = std::max(longest, tr.ops()[i].trace);
+        EXPECT_LE(tr.ops()[i].traceInstr, 2 * kTraceCap);
+    }
+    EXPECT_EQ(longest, kTraceCap);
+}
+
+TEST(FastEngine, ChainingOffMatchesChainingOnEverywhere)
+{
+    for (std::uint64_t seed = 500; seed < 540; ++seed) {
+        const Program prog = verify::generate(seed).link();
+        FastEngine on(prog);
+        on.run();
+        SimConfig off_cfg;
+        off_cfg.enableChaining = false;
+        FastEngine off(prog, off_cfg);
+        off.run();
+        EXPECT_EQ(on.stats(), off.stats()) << "seed " << seed;
+        EXPECT_EQ(on.accum(), off.accum());
+        EXPECT_EQ(on.sp(), off.sp());
+        EXPECT_EQ(on.memory().bytes(), off.memory().bytes());
+    }
+}
+
+TEST(FastEngine, BudgetOvershootStaysWithinPollPlusTraceCap)
+{
+    // A chain-dense program is the worst case for the budget poll: the
+    // walker debits a whole trace up front and polls once per trace.
+    const Program prog = jumpChain(1200, 8);
+    SimConfig cfg;
+    cfg.maxCycles = 5'000;
+    FastEngine eng(prog, cfg);
+    eng.run();
+    EXPECT_TRUE(eng.stats().timedOut);
+    EXPECT_GE(eng.stats().apparent, 5'000u);
+    EXPECT_LT(eng.stats().apparent, 5'000u + 4'096u + 2 * kTraceCap);
+}
+
+// ------------------------------------------ directed: inline caches
+
+TEST(FastEngine, ReturnInlineCacheHitsOnLoopBackEdge)
+{
+    const std::int32_t limit = 500;
+    const Program prog = callLoop(limit);
+    FastEngine eng(prog);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    // One miss installs the cache; every later return hits it. The
+    // counters are non-architectural, so they must not perturb stats.
+    EXPECT_EQ(eng.icMisses(), 1u);
+    EXPECT_EQ(eng.icHits(), static_cast<std::uint64_t>(limit) - 1);
+    EXPECT_EQ(eng.icFlushes(), 0u);
+
+    Interpreter interp(prog);
+    const InterpResult ir = interp.run();
+    EXPECT_EQ(eng.stats().apparent, ir.instructions);
+    EXPECT_EQ(eng.accum(), interp.accum());
+}
+
+TEST(FastEngine, TextDirtyResetFlushesInlineCaches)
+{
+    // Store into the text window, then loop through a call so the IC
+    // is hot when reset hits. The reset must flush (stale indices may
+    // not survive a rebuild) and the replay re-earns its hits.
+    Program p;
+    const Addr jmp_at = p.textEnd();
+    p.append(Instruction::branchRel(Opcode::kJmp, 4));
+    const Addr leaf = p.textEnd();
+    p.append(Instruction::ret(0));
+    EXPECT_EQ(p.textEnd(), jmp_at + 4);
+    p.append(Instruction::mov(Operand::abs(kTextBase),
+                              Operand::imm(0x5151)));
+    const Operand counter = Operand::abs(kDataBase);
+    p.append(Instruction::mov(counter, Operand::imm(0)));
+    const Addr loop = p.textEnd();
+    p.append(Instruction::branchFar(Opcode::kCall, BranchMode::kAbs,
+                                    leaf));
+    p.append(Instruction::alu(Opcode::kAdd, counter, Operand::imm(1)));
+    p.append(Instruction::cmp(Opcode::kCmpLt, counter,
+                              Operand::imm(50)));
+    const Addr br = p.textEnd();
+    p.append(Instruction::branchRel(
+        Opcode::kIfTJmp, static_cast<std::int32_t>(loop - br), true));
+    p.append(Instruction::halt());
+
+    FastEngine eng(p);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    const std::uint64_t first_hits = eng.icHits();
+    EXPECT_GT(first_hits, 0u);
+    EXPECT_EQ(eng.icFlushes(), 0u);
+
+    eng.reset();
+    EXPECT_EQ(eng.icFlushes(), 1u);
+    EXPECT_EQ(eng.translationEpoch(), 2u);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    // The replay misses once more (the flush emptied the cache), then
+    // hits at the same rate.
+    EXPECT_EQ(eng.icMisses(), 2u);
+    EXPECT_EQ(eng.icHits(), 2 * first_hits);
+}
+
+// ------------------------------------- directed: shared translations
+
+TEST(FastEngine, SharedTranslationMatchesPrivateAcrossReplays)
+{
+    for (std::uint64_t seed = 900; seed < 910; ++seed) {
+        const Program prog = verify::generate(seed).link();
+        PredecodeCache shared(prog);
+        const Translation warm(prog, FoldPolicy::kCrisp, &shared);
+
+        SimConfig cfg;
+        FastEngine warm_eng(prog, cfg, &shared, &warm);
+        FastEngine cold_eng(prog, cfg);
+        for (int r = 0; r < 3; ++r) {
+            if (r != 0) {
+                warm_eng.reset();
+                cold_eng.reset();
+            }
+            warm_eng.run();
+            cold_eng.run();
+            EXPECT_EQ(warm_eng.stats(), cold_eng.stats())
+                << "seed " << seed << " replay " << r;
+            EXPECT_EQ(warm_eng.accum(), cold_eng.accum());
+            EXPECT_EQ(warm_eng.memory().bytes(),
+                      cold_eng.memory().bytes());
+        }
+    }
+}
+
+TEST(FastEngine, SharedTranslationRejectsMismatchedConfig)
+{
+    const Program prog = countingLoop(10);
+    const Translation warm(prog, FoldPolicy::kCrisp);
+    SimConfig cfg;
+    cfg.foldPolicy = FoldPolicy::kAll;
+    EXPECT_THROW(FastEngine(prog, cfg, nullptr, &warm), CrispError);
+    SimConfig flat;
+    flat.enableChaining = false;
+    EXPECT_THROW(FastEngine(prog, flat, nullptr, &warm), CrispError);
+}
+
+TEST(FastEngine, SharedTranslationStaysPinnedAcrossTextDirtyReset)
+{
+    // Text-dirty replays on a shared translation: the shared table is
+    // immutable (it derives from the Program, not the image), so the
+    // engine keeps borrowing it — only the epoch and the inline caches
+    // react. Results must still match a fresh private engine exactly.
+    Program p;
+    p.append(Instruction::mov(Operand::abs(kTextBase),
+                              Operand::imm(0x2222)));
+    p.append(Instruction::mov(Operand::accum(), Operand::imm(9)));
+    p.append(Instruction::halt());
+
+    const Translation warm(p, FoldPolicy::kCrisp);
+    FastEngine eng(p, SimConfig{}, nullptr, &warm);
+    eng.run();
+    eng.reset();
+    EXPECT_EQ(eng.translationEpoch(), 2u);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+
+    FastEngine fresh(p);
+    fresh.run();
+    EXPECT_EQ(eng.stats(), fresh.stats());
+    EXPECT_EQ(eng.memory().bytes(), fresh.memory().bytes());
 }
 
 // --------------------------------------------------------- misc state

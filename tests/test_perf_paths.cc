@@ -25,6 +25,7 @@
 #include "interp/memory_image.hh"
 #include "interp/trace.hh"
 #include "sim/cpu.hh"
+#include "sim/fastengine.hh"
 #include "sim/predecode.hh"
 #include "verify/generator.hh"
 
@@ -340,6 +341,104 @@ TEST(MemoryImageRevert, OddSizedImageBoundaryLine)
     img.revert(prog);
     EXPECT_EQ(img.bytes(), pristine.bytes());
     EXPECT_THROW(img.write32(prog.memBytes - 3, 1), CrispError);
+}
+
+/** The word journal is an alternative undo log for small write sets;
+ *  past kJournalCap writes revert falls back to the dirty-line bitmap.
+ *  Both paths must reproduce load() bit-for-bit — sweep write counts
+ *  across the cap so the same test drives journal-only reverts, the
+ *  exact-cap edge, and forced-overflow bitmap reverts. */
+TEST(MemoryImageRevert, JournalAndBitmapPathsAgreeAcrossTheCap)
+{
+    const Program prog = generate(7).link();
+    const MemoryImage pristine(prog);
+    const std::uint32_t counts[] = {1, MemoryImage::kJournalCap - 1,
+                                    MemoryImage::kJournalCap,
+                                    MemoryImage::kJournalCap + 1,
+                                    3 * MemoryImage::kJournalCap};
+    for (const std::uint32_t n : counts) {
+        MemoryImage img(prog);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            // Overlapping rewrites of a few addresses plus a moving
+            // cursor: the journal must undo in LIFO order to get the
+            // overlaps right.
+            img.write32(prog.dataBase + (i % 5) * 4, 0xa0000000u + i);
+            img.write32(prog.dataBase + 64 + (i % 97) * 4,
+                        0xb0000000u + i);
+        }
+        EXPECT_EQ(img.journalOverflowed(),
+                  2 * n > MemoryImage::kJournalCap)
+            << n << " write pairs";
+        img.revert(prog);
+        EXPECT_EQ(img.bytes(), pristine.bytes()) << n << " write pairs";
+        EXPECT_EQ(img.journalDepth(), 0u);
+        EXPECT_FALSE(img.journalOverflowed());
+    }
+}
+
+/** Revert-after-revert through the journal path: the journal must
+ *  drain on the first revert, so the second sees an empty log (and an
+ *  overflowed journal must not stay overflowed across reverts). */
+TEST(MemoryImageRevert, JournalDrainsAcrossConsecutiveReverts)
+{
+    const Program prog = generate(11).link();
+    const MemoryImage pristine(prog);
+    MemoryImage img(prog);
+
+    img.write32(prog.dataBase, 0x11111111);
+    img.write32(prog.dataBase, 0x22222222); // same word twice: LIFO
+    EXPECT_EQ(img.journalDepth(), 2u);
+    img.revert(prog);
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+    img.revert(prog); // empty journal: must stay pristine
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+
+    // Overflow, revert (bitmap path), then a small write set again:
+    // the next revert must be journal-served, not poisoned by the
+    // earlier overflow.
+    for (std::uint32_t i = 0; i <= MemoryImage::kJournalCap; ++i)
+        img.write32(prog.dataBase + (i % 128) * 4, i);
+    EXPECT_TRUE(img.journalOverflowed());
+    img.revert(prog);
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+    img.write32(prog.dataBase + 16, 0xcafef00d);
+    EXPECT_FALSE(img.journalOverflowed());
+    EXPECT_EQ(img.journalDepth(), 1u);
+    img.revert(prog);
+    EXPECT_EQ(img.bytes(), pristine.bytes());
+}
+
+/** A store into the text window must bump the fast engine's
+ *  translation epoch on the reset that reverts it — exactly once: the
+ *  following clean replay reverts nothing and must not bump again. */
+TEST(MemoryImageRevert, TextDirtyResetBumpsTranslationEpochOnce)
+{
+    Program p;
+    p.append(Instruction::mov(Operand::abs(kTextBase),
+                              Operand::imm(0x7777)));
+    p.append(Instruction::halt());
+
+    FastEngine eng(p);
+    EXPECT_EQ(eng.translationEpoch(), 1u);
+    eng.run();
+    eng.reset();
+    EXPECT_EQ(eng.translationEpoch(), 2u);
+
+    // The replay dirties text again: each dirty reset bumps once.
+    eng.run();
+    eng.reset();
+    EXPECT_EQ(eng.translationEpoch(), 3u);
+
+    // A clean program never bumps, however many replays run.
+    Program clean;
+    clean.append(Instruction::mov(Operand::accum(), Operand::imm(1)));
+    clean.append(Instruction::halt());
+    FastEngine keep(clean);
+    for (int r = 0; r < 3; ++r) {
+        keep.run();
+        keep.reset();
+        EXPECT_EQ(keep.translationEpoch(), 1u) << "replay " << r;
+    }
 }
 
 /** The service replay pattern: dirty-write, revert, dirty-write the

@@ -429,6 +429,89 @@ phaseMixedEngine(const std::string& socket)
     }
 }
 
+/**
+ * Phase 2c: warm-replay hammering. N clients replay the SAME
+ * program-hash on the fast engine, each job with a distinct cycle
+ * budget — a distinct PolicyKey — so the result cache never answers
+ * and every accepted job really simulates. The registry must serve
+ * all of them from one warm Translation: the translationShares ledger
+ * counter grows by exactly the number of simulated runs, and every
+ * run agrees architecturally with the first.
+ */
+void
+phaseWarmReplay(const std::string& socket, int clients,
+                int jobs_per_client)
+{
+    const LedgerSnapshot before = probeHealth(socket).ledger;
+    const auto image = countedImage(77'000);
+    std::atomic<std::uint64_t> simulated{0};
+    std::atomic<std::uint32_t> first_exit{0};
+    std::atomic<std::uint64_t> first_instr{0};
+    std::atomic<bool> have_first{false};
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+            Client c(socket);
+            if (!c.ok()) {
+                fail("warm-replay client could not connect");
+                return;
+            }
+            for (int j = 0; j < jobs_per_client; ++j) {
+                JobRequest req;
+                req.image = image;
+                req.engine = EngineKind::kFast;
+                req.deadlineMs = 20'000;
+                req.maxCycles = 2'000'000 +
+                                static_cast<std::uint64_t>(t) * 1'000 +
+                                static_cast<std::uint64_t>(j);
+                const std::uint64_t id = c.submit(std::move(req));
+                const auto frames = c.collect(1);
+                if (frames.empty() ||
+                    frames.back().type != FrameType::kResult) {
+                    fail("warm-replay job got no result");
+                    continue;
+                }
+                const JobResult res =
+                    JobResult::decode(frames.back().payload);
+                expect(res.jobId == id,
+                       "warm-replay result for the wrong job");
+                expect(res.state == JobState::kDone,
+                       "warm-replay job not done: " + res.detail);
+                expect(res.engine == EngineKind::kFast,
+                       "warm-replay result from the wrong engine");
+                expect(res.cycles == 0,
+                       "fast warm-replay job reports cycles");
+                expect(!res.cacheHit,
+                       "distinct budgets must defeat the result cache");
+                if (res.state != JobState::kDone)
+                    continue;
+                ++simulated;
+                if (!have_first.exchange(true)) {
+                    first_exit.store(res.exitValue);
+                    first_instr.store(res.instructions);
+                } else {
+                    expect(res.exitValue == first_exit.load() &&
+                               res.instructions == first_instr.load(),
+                           "warm replays disagree architecturally");
+                }
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+
+    const LedgerSnapshot after = probeHealth(socket).ledger;
+    expect(after.translationShares - before.translationShares ==
+               simulated.load(),
+           "every simulated warm replay must run on the shared "
+           "registry translation (got " +
+               std::to_string(after.translationShares -
+                              before.translationShares) +
+               " shares for " + std::to_string(simulated.load()) +
+               " runs)");
+}
+
 /** Phase 3: admission rejections (oversized + malformed images). */
 void
 phaseAdmission(const std::string& socket, std::size_t max_image_bytes)
@@ -751,6 +834,7 @@ main(int argc, char** argv)
     phaseCache(socket_path);
     if (chaos) {
         phaseMixedEngine(socket_path);
+        phaseWarmReplay(socket_path, clients, smoke ? 4 : 8);
         phaseAdmission(socket_path, kMaxImageBytes);
         phaseProtocolChaos(socket_path);
         phaseTimeoutQuarantine(socket_path, kStrikes);
