@@ -80,12 +80,39 @@ envelope(const std::string& name, const AnalysisResult& st,
     return ok;
 }
 
+/** Indirect-site verdict counts for one analyzed binary. */
+struct IndirectCounts
+{
+    int sites = 0;     //!< indirect branch sites
+    int resolved = 0;  //!< finite target set proven
+    int singleton = 0; //!< exactly one proven target
+    int refined = 0;   //!< bound strictly below [2, 2] (vacuous sites)
+};
+
+IndirectCounts
+indirectCounts(const AnalysisResult& st)
+{
+    IndirectCounts ic;
+    for (const auto& [pc, c] : st.cost.sites) {
+        if (!c.indirect)
+            continue;
+        ++ic.sites;
+        if (c.targetResolved)
+            ++ic.resolved;
+        if (c.targetSingleton)
+            ++ic.singleton;
+        if (c.bound.hi < 2)
+            ++ic.refined;
+    }
+    return ic;
+}
+
 std::string
 buildLedger(bool& ok)
 {
     ok = true;
     std::ostringstream os;
-    os << "{\"schema\":\"crisp-bench-cost/2\",\"predict\":\"static-bit\","
+    os << "{\"schema\":\"crisp-bench-cost/3\",\"predict\":\"static-bit\","
           "\"workloads\":[";
     bool first = true;
     for (const Workload& w : allWorkloads()) {
@@ -140,12 +167,18 @@ buildLedger(bool& ok)
         if (!first)
             os << ",";
         first = false;
+        const IndirectCounts ic = indirectCounts(st);
+        const IndirectCounts oic = indirectCounts(sto);
         os << "{\"name\":\"" << w.name << "\""
            << ",\"branchSites\":" << st.staticBranchSites
            << ",\"condSites\":" << st.staticCondSites
            << ",\"zeroDelaySites\":" << st.cost.zeroDelaySites
            << ",\"constantSites\":" << st.cost.constantSites
            << ",\"maxDelayPerSite\":" << st.cost.maxDelayPerSite
+           << ",\"indirectSites\":" << ic.sites
+           << ",\"indirectResolved\":" << ic.resolved
+           << ",\"indirectSingleton\":" << ic.singleton
+           << ",\"indirectRefined\":" << ic.refined
            << ",\"delayLowerBound\":" << lo
            << ",\"delayUpperBound\":" << hi
            << ",\"branchDelayCycles\":" << dyn.branchDelayCycles
@@ -156,9 +189,12 @@ buildLedger(bool& ok)
            << "\"optimized\":" << (orep.optimized ? "true" : "false")
            << ",\"branchesRewritten\":" << orep.stats.branchesRewritten
            << ",\"deadRemoved\":" << orep.stats.deadRemoved
+           << ",\"devirtualized\":" << orep.stats.devirtualized
            << ",\"instrBefore\":" << orep.stats.instrBefore
            << ",\"instrAfter\":" << orep.stats.instrAfter
            << ",\"branchSites\":" << sto.staticBranchSites
+           << ",\"indirectSites\":" << oic.sites
+           << ",\"indirectSingleton\":" << oic.singleton
            << ",\"zeroDelaySites\":" << sto.cost.zeroDelaySites
            << ",\"constantSites\":" << sto.cost.constantSites
            << ",\"delayLowerBound\":" << olo

@@ -399,6 +399,15 @@ absAlu(Opcode op, const Interval& a, const Interval& b)
             return {0, m};
         }
         break;
+      case Opcode::kShl: {
+        // Left shift by a constant count is monotone on non-negative
+        // words while no shifted bit can reach the sign position.
+        if (cb && *cb >= 0 && *cb <= 31 && a.lo >= 0 &&
+            (a.hi << *cb) <= INT32_MAX) {
+            return {a.lo << *cb, a.hi << *cb};
+        }
+        break;
+      }
       case Opcode::kShr: {
         // Logical shift of the 32-bit word; a shift count provably in
         // [1, 31] bounds the result from above even when the shifted

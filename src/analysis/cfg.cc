@@ -281,12 +281,16 @@ Cfg::toDot() const
         const CfgBlock& b = blocks_[i];
         os << "  b" << i << " [label=\"";
         for (const Addr pc : b.entries) {
-            std::string line = nodes_.at(pc).di.toString();
-            for (char& c : line) {
-                if (c == '"')
-                    c = '\'';
+            // Graphviz escaping: backslashes and double quotes must
+            // be backslash-escaped inside a quoted label — mangling
+            // quotes into apostrophes changes the text, and a bare
+            // backslash starts an escape sequence dot may reject.
+            for (const char c : nodes_.at(pc).di.toString()) {
+                if (c == '"' || c == '\\')
+                    os << '\\';
+                os << c;
             }
-            os << line << "\\l";
+            os << "\\l";
         }
         os << "\"];\n";
     }

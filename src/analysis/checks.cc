@@ -344,6 +344,49 @@ checkDataflow(const Cfg& cfg, const SccpResult& sc,
     flush();
 }
 
+void
+checkTargets(const CallGraph& cg, const TargetsResult& tr,
+             std::vector<Diagnostic>& diags)
+{
+    for (const auto& [pc, s] : tr.sites) {
+        if (s.kind != TargetSiteKind::kIndirectJump)
+            continue; // returns: call-graph matched, reported in JSON
+        if (!s.resolved) {
+            std::ostringstream msg;
+            msg << "indirect branch target set not proven; assuming "
+                   "all "
+                << s.targets.size() << " candidate text word(s)";
+            emit(diags, Severity::kInfo, pc,
+                 "indirect.unresolved-target", msg.str(),
+                 "keep the jump table in unwritten data and the range "
+                 "guard adjacent to its dispatch so the value-set "
+                 "lattice can bound the table index");
+        } else if (s.invalidTargets > 0) {
+            std::ostringstream msg;
+            msg << s.invalidTargets << " of "
+                << (s.targets.size() + s.invalidTargets)
+                << " proven target word(s) are not valid text "
+                   "addresses; selecting one faults at the target "
+                   "fetch";
+            emit(diags, Severity::kWarning, pc,
+                 "indirect.out-of-table", msg.str(),
+                 "the table index range guard admits slots past the "
+                 "table (or the table holds non-code words); tighten "
+                 "the guard");
+        }
+    }
+    for (const CgFunction* f : cg.unreachableFunctions()) {
+        std::ostringstream msg;
+        msg << "function "
+            << (f->name.empty() ? hexPc(f->entry) : f->name)
+            << " is called from " << f->callers.size()
+            << " site(s) but never reachable from the entry";
+        emit(diags, Severity::kInfo, f->entry,
+             "callgraph.unreachable-function", msg.str(),
+             "every call to it sits in dead code; drop both");
+    }
+}
+
 std::string
 jsonEscape(const std::string& s)
 {
@@ -375,12 +418,15 @@ analyzeProgram(const Program& prog, const AnalysisOptions& opt)
         r.sccp = sccp(*r.cfg);
         r.live = computeLiveness(*r.cfg, r.sccp.state);
         r.reachdefs = computeReachDefs(*r.cfg, r.sccp.state);
+        r.callgraph = std::make_shared<CallGraph>(*r.cfg);
+        r.targets = analyzeTargets(*r.cfg, *r.callgraph, r.sccp);
     }
     // SCCP's edge-pruned fixpoint is at least as precise as plain
     // absint, so the cost engine sees strictly more constancy proofs.
     const AbsIntResult& values = opt.dataflow ? r.sccp.state : r.absint;
     r.cost =
-        computeCost(*r.cfg, r.spread, r.sites, values, opt.costPredict);
+        computeCost(*r.cfg, r.spread, r.sites, values, opt.costPredict,
+                    opt.dataflow ? &r.targets : nullptr);
 
     checkCfg(*r.cfg, r.diags);
     checkSpread(*r.cfg, r.spread, r.diags);
@@ -393,6 +439,7 @@ analyzeProgram(const Program& prog, const AnalysisOptions& opt)
     if (opt.dataflow) {
         checkDataflow(*r.cfg, r.sccp, r.live, r.reachdefs, r.absint,
                       r.diags);
+        checkTargets(*r.callgraph, r.targets, r.diags);
     }
 
     // Deterministic report order: (site pc, rule id). Tools diff the
@@ -435,6 +482,12 @@ AnalysisResult::toString() const
        << " provably free, " << cost.constantSites
        << " constant (predict " << predictSourceName(cost.predict)
        << ")\n";
+    if (!targets.sites.empty()) {
+        os << "targets: " << targets.sites.size()
+           << " indirect/return site(s), " << targets.resolvedCount()
+           << " resolved, " << targets.singletonCount()
+           << " singleton\n";
+    }
     for (const Diagnostic& d : diags)
         os << "  " << d.toString() << "\n";
     return os.str();
@@ -445,7 +498,10 @@ AnalysisResult::toJson() const
 {
     std::ostringstream os;
     os << "{";
-    os << "\"staticEntries\":" << staticEntries;
+    // Versioned: bump when fields change shape or meaning, so report
+    // consumers can reject output they were not written against.
+    os << "\"schema\":\"crisp-analysis/2\"";
+    os << ",\"staticEntries\":" << staticEntries;
     os << ",\"staticBranchSites\":" << staticBranchSites;
     os << ",\"staticCondSites\":" << staticCondSites;
     os << ",\"staticFoldedSites\":" << staticFoldedSites;
@@ -475,6 +531,53 @@ AnalysisResult::toJson() const
     os << ",\"livenessConverged\":" << (live.converged ? "true" : "false");
     os << ",\"reachdefsConverged\":"
        << (reachdefs.converged ? "true" : "false");
+    os << "}";
+
+    os << ",\"targets\":{";
+    os << "\"converged\":" << (targets.converged ? "true" : "false");
+    os << ",\"allMutable\":" << (targets.allMutable ? "true" : "false");
+    os << ",\"resolved\":" << targets.resolvedCount();
+    os << ",\"singleton\":" << targets.singletonCount();
+    os << ",\"sites\":[";
+    bool tfirst = true;
+    for (const auto& [pc, s] : targets.sites) {
+        if (!tfirst)
+            os << ",";
+        tfirst = false;
+        os << "{\"pc\":" << pc << ",\"branchPc\":" << s.branchPc
+           << ",\"kind\":\""
+           << (s.kind == TargetSiteKind::kIndirectJump ? "indirect"
+                                                       : "return")
+           << "\",\"resolved\":" << (s.resolved ? "true" : "false")
+           << ",\"enforceable\":" << (s.enforceable ? "true" : "false")
+           << ",\"fromReturnMatch\":"
+           << (s.fromReturnMatch ? "true" : "false")
+           << ",\"invalidTargets\":" << s.invalidTargets
+           << ",\"targets\":[";
+        bool vfirst = true;
+        for (const Addr t : s.targets) {
+            if (!vfirst)
+                os << ",";
+            vfirst = false;
+            os << t;
+        }
+        os << "]}";
+    }
+    os << "]}";
+
+    os << ",\"callgraph\":{";
+    if (callgraph) {
+        os << "\"functions\":" << callgraph->functions().size();
+        std::size_t cg_reach = 0;
+        for (const auto& [entry, f] : callgraph->functions())
+            cg_reach += f.reachable ? 1u : 0u;
+        os << ",\"reachableFunctions\":" << cg_reach;
+        os << ",\"callSites\":" << callgraph->sites().size();
+        os << ",\"returnSites\":" << callgraph->allReturnSites().size();
+    } else {
+        os << "\"functions\":0,\"reachableFunctions\":0"
+           << ",\"callSites\":0,\"returnSites\":0";
+    }
     os << "}";
 
     os << ",\"sites\":[";
@@ -532,7 +635,15 @@ AnalysisResult::toJson() const
            << (c.constantDirection ? "true" : "false")
            << ",\"alwaysTaken\":" << (c.alwaysTaken ? "true" : "false")
            << ",\"predictionProvablyCorrect\":"
-           << (c.predictionProvablyCorrect ? "true" : "false") << "}";
+           << (c.predictionProvablyCorrect ? "true" : "false");
+        if (c.indirect) {
+            os << ",\"targetResolved\":"
+               << (c.targetResolved ? "true" : "false")
+               << ",\"targetCount\":" << c.targetCount
+               << ",\"targetSingleton\":"
+               << (c.targetSingleton ? "true" : "false");
+        }
+        os << "}";
     }
     os << "]}";
 
@@ -586,6 +697,15 @@ AnalysisResult::costTableText() const
         std::ostringstream notes;
         if (c.bound.lo == 0 && c.bound.hi == 0)
             notes << "free";
+        if (c.indirect) {
+            notes << (notes.str().empty() ? "" : ", ");
+            if (c.targetSingleton)
+                notes << "1 proven target (devirtualizable)";
+            else if (c.targetResolved)
+                notes << c.targetCount << " proven targets";
+            else
+                notes << c.targetCount << " candidate targets";
+        }
         if (c.constantDirection) {
             notes << (notes.str().empty() ? "" : ", ")
                   << (c.alwaysTaken ? "always-taken" : "never-taken");
@@ -604,6 +724,56 @@ AnalysisResult::costTableText() const
        << " site(s)] max " << cost.maxDelayPerSite
        << " delay cycle(s) per execution, " << cost.zeroDelaySites
        << " provably free, " << cost.constantSites << " constant\n";
+    return os.str();
+}
+
+std::string
+AnalysisResult::targetsTableText() const
+{
+    std::ostringstream os;
+    os << "targets: indirect/return target sets ("
+       << (targets.converged ? "converged" : "bailed to top")
+       << (targets.allMutable ? ", image fully mutable" : "") << ")\n";
+    os << "  site pc     kind      verdict     targets\n";
+    for (const auto& [pc, s] : targets.sites) {
+        const char* kind =
+            s.kind == TargetSiteKind::kIndirectJump ? "indirect"
+                                                    : "return";
+        const char* verdict = s.singleton()
+                                  ? "singleton"
+                                  : s.resolved ? "resolved" : "top";
+        std::ostringstream tl;
+        std::size_t shown = 0;
+        for (const Addr t : s.targets) {
+            if (shown == 4) {
+                tl << " ... (" << s.targets.size() << " total)";
+                break;
+            }
+            tl << (shown ? " " : "") << hexPc(t);
+            ++shown;
+        }
+        if (s.invalidTargets)
+            tl << " (+" << s.invalidTargets << " out of table)";
+        if (s.fromReturnMatch)
+            tl << " [call-graph matched; not enforced]";
+        char line[256];
+        std::snprintf(line, sizeof line, "  0x%08x  %-8s  %-9s   %s\n",
+                      pc, kind, verdict, tl.str().c_str());
+        os << line;
+    }
+    os << "  " << targets.sites.size() << " site(s), "
+       << targets.resolvedCount() << " resolved, "
+       << targets.singletonCount() << " singleton\n";
+    if (callgraph) {
+        std::size_t reach = 0;
+        for (const auto& [entry, f] : callgraph->functions())
+            reach += f.reachable ? 1u : 0u;
+        os << "  callgraph: " << callgraph->functions().size()
+           << " function(s) (" << reach << " reachable), "
+           << callgraph->sites().size() << " call site(s), "
+           << callgraph->allReturnSites().size()
+           << " return site(s)\n";
+    }
     return os.str();
 }
 

@@ -24,6 +24,14 @@
  *   info    dataflow.unreachable-after-constant-branch
  *                                   issue points SCCP proves unreachable
  *   info    dataflow.redundant-copy mov X,Y where X already equals Y
+ *   warning indirect.out-of-table   proven target word is not a valid
+ *                                   text address (jumping would fault)
+ *   info    indirect.unresolved-target
+ *                                   indirect site fell back to the
+ *                                   global candidate set (no proof)
+ *   info    callgraph.unreachable-function
+ *                                   function called in text but never
+ *                                   reachable from the entry
  *
  * Severity contract: errors mean the program will fault or the decode
  * contract is broken; warnings mean a paper invariant (spreading,
@@ -39,12 +47,14 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.hh"
 #include "cfg.hh"
 #include "cost.hh"
 #include "dataflow.hh"
 #include "liveness.hh"
 #include "reachdefs.hh"
 #include "sccp.hh"
+#include "targets.hh"
 
 namespace crisp::analysis
 {
@@ -111,6 +121,11 @@ struct AnalysisResult
     LivenessResult live;
     /** Reaching definitions + def-use chains (dataflow only). */
     ReachDefsResult reachdefs;
+    /** Call graph (functions, call sites, return-site matching);
+     *  built only when options.dataflow is set. */
+    std::shared_ptr<const CallGraph> callgraph;
+    /** Per-site indirect/return target sets (dataflow only). */
+    TargetsResult targets;
     /** Per-site static delay bounds derived from all of the above. */
     CostSummary cost;
     std::vector<Diagnostic> diags;
@@ -136,6 +151,10 @@ struct AnalysisResult
     /** Human-readable per-site cost table (crisplint --cost,
      *  crispcc --cost-audit). */
     std::string costTableText() const;
+
+    /** Human-readable indirect/return target-set table plus the
+     *  call-graph summary (crispcc --targets). */
+    std::string targetsTableText() const;
 
     /**
      * The diagnostics as a SARIF 2.1.0 log (one run, one artifact).

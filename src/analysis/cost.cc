@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "targets.hh"
+
 namespace crisp::analysis
 {
 
@@ -89,7 +91,8 @@ issuePointHi(const Cfg& cfg, const std::map<Addr, SpreadInfo>& spread,
 CostSummary
 computeCost(const Cfg& cfg, const std::map<Addr, SpreadInfo>& spread,
             const std::map<Addr, BranchSite>& sites,
-            const AbsIntResult& ai, PredictSource predict)
+            const AbsIntResult& ai, PredictSource predict,
+            const TargetsResult* targets)
 {
     CostSummary cs;
     cs.predict = predict;
@@ -105,6 +108,31 @@ computeCost(const Cfg& cfg, const std::map<Addr, SpreadInfo>& spread,
         if (s.indirect) {
             // Target read at retirement: exactly two issue bubbles.
             c.bound = {2, 2};
+            // Unless no issue point can execute: a site the
+            // edge-pruned fixpoint proves unreachable never retires,
+            // so its bound is vacuously [0, 0] (mirroring the
+            // unreachable-conditional case below). With the plain
+            // interpreter every node is reachable and this never
+            // fires.
+            bool any_live = false;
+            for (const Addr ip : issuePointsOf(s)) {
+                if (ai.outAt(ip).reachable)
+                    any_live = true;
+            }
+            if (!any_live)
+                c.bound = {0, 0};
+            // Target-set metadata for reporting and devirtualization;
+            // never feeds the enforced bound (a reachable indirect
+            // site costs exactly 2 no matter how small its set).
+            if (targets) {
+                for (const Addr ip : issuePointsOf(s)) {
+                    if (const SiteTargets* st = targets->siteAt(ip)) {
+                        c.targetResolved = st->resolved;
+                        c.targetCount = st->targets.size();
+                        c.targetSingleton = st->singleton();
+                    }
+                }
+            }
         } else if (!s.conditional) {
             // Direct jmp/call: the Next-PC field redirects at issue.
             c.bound = {0, 0};

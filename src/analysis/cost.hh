@@ -15,10 +15,19 @@
  *   ---------------------------------  --------------
  *   direct unconditional (jmp, call)   [0, 0]   Next-PC redirect
  *   indirect jump                      [2, 2]   target read at retire
+ *   indirect jump, unreachable         [0, 0]   vacuous: never retires
  *   conditional, spread-guaranteed     [0, 0]   can never speculate
  *   conditional, folded, min spread d  [0, 3 - min(d, 3)]
  *   conditional, lone (not guaranteed) [0, 3]   verified in its own RR
  *   conditional, mixed                 max over both issue points
+ *
+ * An indirect site whose issue points the edge-pruned fixpoint proves
+ * unreachable collapses to a vacuous [0, 0] — it can never retire, so
+ * the bound holds over the empty set of executions, exactly like an
+ * unreachable conditional site. A *reachable* indirect site always
+ * costs exactly 2 dynamically; making one cheaper requires rewriting
+ * it to a direct branch (crispcc -O devirtualization, fed by the
+ * target-set analysis whose verdicts SiteCost carries as metadata).
  *
  * Refinement: when the abstract interpreter proves the flag constant at
  * every issue point of a conditional site AND the hardware prediction
@@ -45,6 +54,8 @@
 
 namespace crisp::analysis
 {
+
+struct TargetsResult;
 
 /** What the analyzer may assume about the issue-time prediction. */
 enum class PredictSource : std::uint8_t {
@@ -94,6 +105,16 @@ struct SiteCost
     /** The constant direction provably matches the prediction, so the
      *  site can never mispredict (this is what collapses hi to 0). */
     bool predictionProvablyCorrect = false;
+
+    // Indirect-site target metadata (valid when `indirect`, and only
+    // when a TargetsResult was supplied to computeCost).
+    /** The target analysis proved a finite target set for the site. */
+    bool targetResolved = false;
+    /** Size of the proven (or fallback) target set. */
+    std::size_t targetCount = 0;
+    /** Exactly one proven target: crispcc -O can devirtualize the
+     *  site into a direct branch, dropping its cost from 2 to 0. */
+    bool targetSingleton = false;
 };
 
 /** Whole-program cost summary. */
@@ -120,12 +141,15 @@ struct CostSummary
 /**
  * Derive per-site delay bounds from the spread dataflow, the branch
  * site classification and the abstract fixpoint, under prediction
- * assumption @p predict.
+ * assumption @p predict. @p targets, when non-null, annotates
+ * indirect sites with their proven target sets (metadata only; the
+ * enforced bound never depends on it).
  */
 CostSummary computeCost(const Cfg& cfg,
                         const std::map<Addr, SpreadInfo>& spread,
                         const std::map<Addr, BranchSite>& sites,
-                        const AbsIntResult& ai, PredictSource predict);
+                        const AbsIntResult& ai, PredictSource predict,
+                        const TargetsResult* targets = nullptr);
 
 /**
  * Issue points that become unreachable once every provably-constant

@@ -271,6 +271,61 @@ optimize(const cc::CompileResult& base, const cc::CompileOptions& copts,
                 continue;
             }
         }
+
+        // 4. Devirtualization: indirect jumps whose target set the
+        // interprocedural analysis proved to be one text address.
+        {
+            // A label's linked address is the next non-label item's
+            // linear-decode pc (trailing labels link to textEnd and
+            // can never be devirtualization targets).
+            std::map<Addr, std::string> label_at;
+            std::size_t o = 0;
+            for (const cc::CodeItem& c : work) {
+                if (c.kind == cc::CodeItem::Kind::kLabel) {
+                    if (o < pcs.size())
+                        label_at.emplace(pcs[o], c.name);
+                } else {
+                    ++o;
+                }
+            }
+            // A branch parcel can belong to two issue points (mixed
+            // fold): rewrite only when every one proves the same
+            // single valid target.
+            std::map<Addr, std::optional<Addr>> by_branch;
+            for (const auto& [pc, s] : a.targets.sites) {
+                if (s.kind != TargetSiteKind::kIndirectJump)
+                    continue;
+                std::optional<Addr> v;
+                if (s.singleton() && s.enforceable &&
+                    s.invalidTargets == 0) {
+                    v = *s.targets.begin();
+                }
+                const auto [it, fresh] =
+                    by_branch.emplace(s.branchPc, v);
+                if (!fresh && it->second != v)
+                    it->second = std::nullopt;
+                if (!v)
+                    by_branch[s.branchPc] = std::nullopt;
+            }
+            std::vector<cc::DevirtSite> dsites;
+            for (const auto& [bpc, v] : by_branch) {
+                if (!v)
+                    continue;
+                const auto oit = ord.find(bpc);
+                const auto lit = label_at.find(*v);
+                if (oit == ord.end() || lit == label_at.end())
+                    continue;
+                dsites.push_back({oit->second, lit->second});
+            }
+            if (!dsites.empty()) {
+                const int n = cc::passDevirt(work, dsites);
+                if (n > 0) {
+                    r.stats.devirtualized += n;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
         break; // quiescent
     }
 
@@ -394,6 +449,7 @@ OptReport::toJson() const
        << ",\"ccDeadMarked\":" << stats.ccDeadMarked << "}";
     os << ",\"copyProp\":{\"operandsRewritten\":"
        << stats.operandsRewritten << "}";
+    os << ",\"devirt\":{\"rewritten\":" << stats.devirtualized << "}";
     os << ",\"respread\":{\"fullySpread\":" << stats.respreadFully
        << "}";
     os << ",\"peephole\":{\"removed\":" << stats.peepholeRemoved << "}";

@@ -8,7 +8,8 @@
  *   map pc-keyed facts to non-label CodeItem ordinals through the
  *   linear-decode pairing (the same pairing --verify audits) ->
  *   apply ONE rewrite pass (constant-branch folding, then DCE, then
- *   copy propagation, whichever fires first) -> repeat
+ *   copy propagation, then single-target indirect-branch
+ *   devirtualization, whichever fires first) -> repeat
  *
  * One pass per round keeps every ordinal-keyed plan valid: each plan
  * is derived from, and applied to, the same linked layout.
@@ -56,6 +57,7 @@ struct OptPassStats
     int unreachableRemoved = 0;  //!< SCCP-unexecutable items cut
     int ccDeadMarked = 0;        //!< compares downgraded to ccDead
     int operandsRewritten = 0;   //!< copy-propagated immediates
+    int devirtualized = 0;       //!< single-target indirect jmps made direct
     int respreadFully = 0;       //!< fully-spread pairs after rewrites
     int peepholeRemoved = 0;
     std::size_t instrBefore = 0; //!< non-label items, baseline

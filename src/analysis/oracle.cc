@@ -40,11 +40,14 @@ OracleReport::toString() const
         return "oracle: static and dynamic views agree\n";
     std::ostringstream os;
     os << "oracle: " << mismatches.size() << " static mismatch(es), "
-       << costViolations.size() << " cost-bound violation(s)\n";
+       << costViolations.size() << " cost-bound violation(s), "
+       << targetViolations.size() << " target-set violation(s)\n";
     for (const std::string& m : mismatches)
         os << "  " << m << "\n";
     for (const std::string& m : costViolations)
         os << "  [cost] " << m << "\n";
+    for (const std::string& m : targetViolations)
+        os << "  [target] " << m << "\n";
     return os.str();
 }
 
@@ -59,6 +62,25 @@ crossCheck(const AnalysisResult& st, const SimStats& dyn,
     if (st.hasErrors()) {
         r.applicable = false;
         return r;
+    }
+
+    // Invariant 8 preparation: a branch parcel may belong to several
+    // issue points (mixed fold); a dynamic event does not say which
+    // one it came through, so the enforced set is the union over the
+    // branch's issue points, and enforcement requires every one of
+    // them to have proved an enforceable set.
+    struct BranchTargets
+    {
+        std::set<Addr> targets;
+        bool enforceable = true;
+    };
+    std::map<Addr, BranchTargets> proven;
+    for (const auto& [ip, ts] : st.targets.sites) {
+        if (ts.kind != TargetSiteKind::kIndirectJump)
+            continue;
+        BranchTargets& b = proven[ts.branchPc];
+        b.enforceable = b.enforceable && ts.enforceable;
+        b.targets.insert(ts.targets.begin(), ts.targets.end());
     }
 
     std::uint64_t sum_total = 0;
@@ -189,6 +211,24 @@ crossCheck(const AnalysisResult& st, const SimStats& dyn,
                                  "indirect jump reached " + hexPc(t) +
                                      ", not in the static candidate "
                                      "set");
+                    }
+                }
+                // Invariant 8: when every issue point covering this
+                // branch proved an enforceable set, each dynamic
+                // target must be a member of the union.
+                const auto pv = proven.find(pc);
+                if (pv != proven.end() && pv->second.enforceable) {
+                    for (const Addr t : jt->second) {
+                        if (pv->second.targets.count(t) == 0) {
+                            mismatch(r.targetViolations, pc,
+                                     "indirect jump reached " +
+                                         hexPc(t) +
+                                         ", outside its proven " +
+                                         std::to_string(
+                                             pv->second.targets
+                                                 .size()) +
+                                         "-element target set");
+                        }
                     }
                 }
             }

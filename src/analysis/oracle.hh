@@ -27,10 +27,18 @@
  *     that total lies inside the whole-program envelope
  *     [sum lo*n, sum hi*n]. Bound escapes are reported separately in
  *     costViolations so torture can shrink them as their own verdict.
+ *  8. TARGET SETS: every dynamic target of an indirect jump is a
+ *     member of the site's *per-site* proven target set
+ *     (targets.hh), whenever every issue point covering the branch
+ *     proved an enforceable set. Unproven sites fall back to
+ *     invariant 6's global candidate check; return sites matched
+ *     through the call graph are never enforced (they assume
+ *     return-word integrity). Escapes land in targetViolations so
+ *     torture can shrink them as their own verdict.
  *
- * crisptorture runs this after every lockstep seed ("static-mismatch"
- * and "cost-bound" verdicts); the 200-seed regression test runs it
- * under asan/ubsan.
+ * crisptorture runs this after every lockstep seed ("static-mismatch",
+ * "cost-bound" and "target-set" verdicts); the 200-seed regression
+ * test runs it under asan/ubsan.
  */
 
 #ifndef CRISP_ANALYSIS_ORACLE_HH
@@ -123,10 +131,15 @@ struct OracleReport
      *  verdict. */
     std::vector<std::string> costViolations;
 
+    /** Proven-target-set escapes (invariant 8); their own vector so
+     *  torture can shrink them as their own verdict, too. */
+    std::vector<std::string> targetViolations;
+
     bool
     ok() const
     {
-        return mismatches.empty() && costViolations.empty();
+        return mismatches.empty() && costViolations.empty() &&
+               targetViolations.empty();
     }
 
     /** One line per mismatch / cost violation. */

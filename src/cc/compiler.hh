@@ -221,6 +221,25 @@ struct ConstOperand
  */
 int passCopyProp(CodeList& code, const std::vector<ConstOperand>& uses);
 
+/** One indirect-branch devirtualization for passDevirt. */
+struct DevirtSite
+{
+    std::size_t ordinal = 0; //!< non-label item: the indirect jump
+    std::string target;      //!< label naming the unique proven target
+};
+
+/**
+ * Rewrite indirect jumps whose target set the interprocedural target
+ * analysis proved to be a single text address into direct label
+ * branches. A devirtualized jump folds like any direct jmp (its 2-cycle
+ * retirement-read bubble disappears), and the orphaned table-address
+ * computation upstream goes dead for the DCE rounds to collect. The
+ * range-guard branch ahead of a dense-switch dispatch is left alone:
+ * when it is live it still routes out-of-range selectors to the
+ * default arm. @return sites rewritten.
+ */
+int passDevirt(CodeList& code, const std::vector<DevirtSite>& sites);
+
 } // namespace crisp::cc
 
 #endif // CRISP_CC_COMPILER_HH

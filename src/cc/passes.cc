@@ -671,6 +671,29 @@ passDCE(CodeList& code, const DcePlan& plan)
 }
 
 int
+passDevirt(CodeList& code, const std::vector<DevirtSite>& sites)
+{
+    const std::vector<std::size_t> pos = nonLabelPositions(code);
+    int rewritten = 0;
+    for (const DevirtSite& s : sites) {
+        if (s.ordinal >= pos.size())
+            continue;
+        CodeItem& c = code[pos[s.ordinal]];
+        if (c.kind != CodeItem::Kind::kInst ||
+            c.inst.op != Opcode::kJmp ||
+            (c.inst.bmode != BranchMode::kIndAbs &&
+             c.inst.bmode != BranchMode::kIndSp)) {
+            continue; // plan drifted: leave the item alone
+        }
+        // In-place 1:1 swap keeps the non-label ordinal pairing (and
+        // with it every TV site identity) intact.
+        c = CodeItem::branch(Opcode::kJmp, s.target);
+        ++rewritten;
+    }
+    return rewritten;
+}
+
+int
 passCopyProp(CodeList& code, const std::vector<ConstOperand>& uses)
 {
     const std::vector<std::size_t> pos = nonLabelPositions(code);

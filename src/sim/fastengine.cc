@@ -161,7 +161,8 @@ fetchError(Addr a)
 
 FastEngine::FastEngine(const Program& prog, const SimConfig& cfg,
                        PredecodeCache* shared_predecode,
-                       const Translation* shared_translation)
+                       const Translation* shared_translation,
+                       const IndirectHints* hints)
     : cfg_(cfg)
 {
     if (shared_translation != nullptr) {
@@ -181,20 +182,37 @@ FastEngine::FastEngine(const Program& prog, const SimConfig& cfg,
         prog_ = &*ownedProg_;
         ownedTrans_ = std::make_unique<Translation>(
             *prog_, cfg.foldPolicy, shared_predecode,
-            cfg.enableChaining);
+            cfg.enableChaining, hints);
         trans_ = ownedTrans_.get();
     }
     mem_.load(*prog_);
     ic_.assign(trans_->size(), IC{});
+    seedInlineCaches();
     pc_ = prog_->entry;
     sp_ = (prog_->memBytes - kWordBytes) & ~(kWordBytes - 1);
     stats_.engine = EngineKind::kFast;
 }
 
 void
+FastEngine::seedInlineCaches()
+{
+    // Pre-fill the monomorphic caches with the translation's likely
+    // targets: a hint-conforming first execution hits immediately.
+    // Sound for the same reason refills are — indexOf is a pure
+    // function of the (epoch-stable) translation.
+    for (const auto& [idx, target] : trans_->icSeeds()) {
+        IC& c = ic_[idx];
+        c.valid = true;
+        c.target = target;
+        c.idx = trans_->indexOf(target);
+    }
+}
+
+void
 FastEngine::flushInlineCaches()
 {
     std::fill(ic_.begin(), ic_.end(), IC{});
+    seedInlineCaches();
     ++icFlushes_;
 }
 
@@ -385,6 +403,53 @@ FastEngine::runLoop(ExecObserver* observer)
                         observer->onInstruction(op->pc, op->bodyOp);
                     execBody(*op, mem, sp, accum, flag);
                     ip = op->seqIdx;
+                } else if (op->dynTarget) {
+                    // Predicted indirect exit (kJmp or kCall with a
+                    // singleton hint / self-predicted table word):
+                    // full handler bookkeeping inline, in the
+                    // interpreter's order, then a runtime guard on the
+                    // predicted target. A misprediction simply ends
+                    // the trace early through the generic resolver —
+                    // the prediction is never trusted architecturally.
+                    ++issued;
+                    if (op->folded) {
+                        ++apparent;
+                        ++counts[static_cast<std::size_t>(op->bodyOp)];
+                        if constexpr (Observed)
+                            observer->onInstruction(op->pc, op->bodyOp);
+                        execBody(*op, mem, sp, accum, flag);
+                    }
+                    ++apparent;
+                    ++counts[static_cast<std::size_t>(op->branchOp)];
+                    if constexpr (Observed)
+                        observer->onInstruction(op->branchPc,
+                                                op->branchOp);
+                    const Addr itarget =
+                        mem.read32(op->bmode == BranchMode::kIndSp
+                                       ? sp + op->dynSpec
+                                       : op->dynSpec);
+                    if (op->kind == TKind::kCall) {
+                        // Push after the target read (a faulting read
+                        // must leave SP untouched).
+                        sp -= kWordBytes;
+                        mem.write32(sp, op->callRetPc);
+                    }
+                    ++stats_.branches;
+                    if (op->folded)
+                        ++stats_.foldedBranches;
+                    if constexpr (Observed)
+                        emitBranch(op, true, itarget);
+                    if (itarget == op->predTarget) [[likely]] {
+                        ip = op->predIdx;
+                    } else {
+                        ip = resolve(op, itarget);
+                        if (ip == kNoIdx) [[unlikely]] {
+                            npc = itarget;
+                            goto bad_fetch;
+                        }
+                        op = &ops[ip];
+                        CRISP_NEXT();
+                    }
                 } else {
                     // Static kJmp (possibly folded) or kCall, known
                     // taken: same bookkeeping order as the standalone

@@ -83,10 +83,17 @@ class FastEngine
      * then borrows the translation's Program — @p prog is only used to
      * seed the memory image — and construction does no decode or
      * translate work at all. The translation must outlive the engine.
+     *
+     * @p hints optionally carries proven indirect-target sets from the
+     * value-set analysis (see IndirectHints): singletons let traces
+     * chain through indirect exits under a runtime guard, bounded sets
+     * pre-seed the inline caches. Ignored when a shared translation is
+     * passed (the shared table already embeds its own hints).
      */
     explicit FastEngine(const Program& prog, const SimConfig& cfg = {},
                         PredecodeCache* shared_predecode = nullptr,
-                        const Translation* shared_translation = nullptr);
+                        const Translation* shared_translation = nullptr,
+                        const IndirectHints* hints = nullptr);
 
     FastEngine(const FastEngine&) = delete;
     FastEngine& operator=(const FastEngine&) = delete;
@@ -154,6 +161,7 @@ class FastEngine
     void runLoop(ExecObserver* observer);
 
     void flushInlineCaches();
+    void seedInlineCaches();
 
     /** Monomorphic inline cache: last resolved target of an indirect
      *  exit and its table index (kNoIdx = leaves text, also cached). */

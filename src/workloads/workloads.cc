@@ -924,6 +924,108 @@ lexMirror(Workload& w)
     w.expectedAccum = ntok;
 }
 
+// ------------------------------------------------------------- vmtrace
+
+const char* kVmtrace = R"(
+/* Byte-coded accumulator VM: the hot loop dispatches through a dense
+ * jump table whose value set the target analysis proves exactly, while
+ * the trace decoder behind the constant-zero `trace` flag is provably
+ * unreachable, so its indirect dispatch carries a vacuous [0,0] delay
+ * bound instead of the generic two-cycle indirect charge. */
+int acc, steps;
+
+int main()
+{
+    int pc, op, trace, n;
+    acc = 0;
+    steps = 0;
+    trace = 0;
+    n = 96;
+    for (pc = 0; pc < n; pc = pc + 1) {
+        op = pc - (pc / 4) * 4;
+        if (trace) {
+            switch (op) {
+                case 0: steps = steps + 10; break;
+                case 1: steps = steps + 20; break;
+                case 2: steps = steps + 30; break;
+                default: steps = steps + 40; break;
+            }
+        }
+        switch (op) {
+            case 0: acc = acc + 1; break;
+            case 1: acc = acc + pc; break;
+            case 2: acc = acc - 1; break;
+            default: acc = acc + 2; break;
+        }
+        steps = steps + 1;
+    }
+    return acc & 65535;
+}
+)";
+
+void
+vmtraceMirror(Workload& w)
+{
+    I acc = 0;
+    I steps = 0;
+    const I n = 96;
+    for (I pc = 0; pc < n; ++pc) {
+        const I op = pc % 4;
+        if (op == 0)
+            acc = acc + 1;
+        else if (op == 1)
+            acc = acc + pc;
+        else if (op == 2)
+            acc = acc - 1;
+        else
+            acc = acc + 2;
+        steps = steps + 1;
+    }
+    w.expectedGlobals = {{"acc", acc}, {"steps", steps}};
+    w.checkAccum = true;
+    w.expectedAccum = acc & 65535;
+}
+
+// -------------------------------------------------------------- vmmode
+
+const char* kVmmode = R"(
+/* Mode-dispatched filter: `mode` is stored once and never written
+ * again, so the value-set analysis proves the jump-table slot it
+ * selects holds the only reachable target; crispcc -O devirtualizes
+ * the dispatch into a direct branch and the per-iteration two-cycle
+ * indirect retire charge disappears from the cost envelope. */
+int acc, mode;
+
+int main()
+{
+    int i, n;
+    mode = 2;
+    acc = 0;
+    n = 120;
+    for (i = 0; i < n; i = i + 1) {
+        switch (mode) {
+            case 0: acc = acc + 1; break;
+            case 1: acc = acc + 3; break;
+            case 2: acc = acc + i; break;
+            default: acc = acc - 1; break;
+        }
+    }
+    return acc & 65535;
+}
+)";
+
+void
+vmmodeMirror(Workload& w)
+{
+    I acc = 0;
+    const I n = 120;
+    for (I i = 0; i < n; ++i)
+        acc = acc + i;
+    w.expectedGlobals = {{"acc", acc}, {"mode", 2}};
+    w.checkAccum = true;
+    w.expectedAccum = acc & 65535;
+}
+
 } // namespace
 
 std::string
@@ -1059,6 +1161,24 @@ allWorkloads()
                             "mode";
             w.source = kLex;
             lexMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "vmtrace";
+            w.description = "byte-coded VM with a live dense dispatch "
+                            "and a dead trace decoder";
+            w.source = kVmtrace;
+            vmtraceMirror(w);
+            ws.push_back(std::move(w));
+        }
+        {
+            Workload w;
+            w.name = "vmmode";
+            w.description = "mode-dispatched filter whose jump table "
+                            "devirtualizes to a direct branch";
+            w.source = kVmmode;
+            vmmodeMirror(w);
             ws.push_back(std::move(w));
         }
         return ws;

@@ -1,0 +1,52 @@
+; Lint golden: the interprocedural indirect-target rules. The first
+; dispatch guards a three-slot jump table with a six-wide range check,
+; so the proven value set is finite but includes load-image words past
+; the table (indirect.out-of-table). The second
+; dispatch jumps through `fp`, a data word overwritten with a loop
+; counter the lattice cannot bound, so its target set falls back to
+; every jump-table candidate (indirect.unresolved-target). `helper` is
+; called only from the orphaned block after the halt, so it is a known
+; function that the entry closure never reaches
+; (callgraph.unreachable-function).
+    .entry main
+    .global fp 0
+    .table tab arm0 arm1 arm2
+    .clearlocals
+    .local i 0
+main:
+    enter 4
+    mov i, 0
+loop:
+    mov sp[3], i
+    cmp.u>= sp[3], 6
+    iftjmpn done
+    shl sp[3], 2
+    add sp[3], 32772
+    mov sp[2], [sp[3]]
+    jmp *sp[2]
+arm0:
+    add i, 1
+    cmp.s< i, 6
+    iftjmpy loop
+    jmp fin
+arm1:
+    add i, 2
+    cmp.s< i, 6
+    iftjmpy loop
+    jmp fin
+arm2:
+    add i, 3
+    cmp.s< i, 6
+    iftjmpy loop
+fin:
+    mov fp, i
+    jmp *fp
+done:
+    mov Accum, i
+    halt
+orphan:
+    call helper
+    halt
+helper:
+    enter 1
+    return 1

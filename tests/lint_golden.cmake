@@ -1,27 +1,32 @@
-# Golden test for crisplint's SARIF emitter.
+# Golden test for crisplint's machine-readable emitters.
 #
-# Runs `TOOL INPUT --sarif` with WORKDIR as the working directory (the
-# SARIF artifact URI embeds the input path verbatim, so the fixture is
-# passed as a bare relative name to keep the golden machine-independent)
-# and requires the output to match GOLDEN byte for byte and the exit
-# code to equal EXPECT:
+# Runs `TOOL INPUT MODE` (MODE is --sarif or --json, default --sarif)
+# with WORKDIR as the working directory (the SARIF artifact URI embeds
+# the input path verbatim, so the fixture is passed as a bare relative
+# name to keep the golden machine-independent) and requires the output
+# to match GOLDEN byte for byte and the exit code to equal EXPECT:
 #
 #   cmake -DTOOL=<crisplint> -DINPUT=<name.s> -DWORKDIR=<fixture dir> \
-#         -DGOLDEN=<golden.sarif> -DEXPECT=<N> -P lint_golden.cmake
+#         -DGOLDEN=<golden.sarif> -DMODE=--sarif -DEXPECT=<N> \
+#         -P lint_golden.cmake
 #
 # On drift the message shows both documents; regenerate with
 #   crisplint <name.s> --sarif > tests/goldens/lint_<name>.sarif
+#   crisplint <name.s> --json  > tests/goldens/lint_<name>.json
 # (from tests/fixtures/lint/) after auditing the diff.
-execute_process(COMMAND ${TOOL} ${INPUT} --sarif
+if(NOT DEFINED MODE)
+    set(MODE --sarif)
+endif()
+execute_process(COMMAND ${TOOL} ${INPUT} ${MODE}
                 WORKING_DIRECTORY ${WORKDIR}
                 OUTPUT_VARIABLE got RESULT_VARIABLE rc)
 if(NOT rc EQUAL "${EXPECT}")
     message(FATAL_ERROR
-            "${TOOL} ${INPUT} --sarif: expected exit ${EXPECT}, got ${rc}")
+            "${TOOL} ${INPUT} ${MODE}: expected exit ${EXPECT}, got ${rc}")
 endif()
 file(READ "${GOLDEN}" want)
 if(NOT got STREQUAL want)
-    message(FATAL_ERROR "SARIF drift for ${INPUT}\n"
+    message(FATAL_ERROR "${MODE} drift for ${INPUT}\n"
             "--- got ----\n${got}\n--- want ---\n${want}")
 endif()
-message(STATUS "sarif golden ok: ${INPUT}")
+message(STATUS "${MODE} golden ok: ${INPUT}")

@@ -83,6 +83,28 @@ TEST(Cfg, DotOutputNamesBlocks)
     EXPECT_NE(dot.find("digraph"), std::string::npos);
 }
 
+TEST(Cfg, DotOutputGolden)
+{
+    // Byte-exact golden for a minimal program: quoted labels must
+    // contain only properly backslash-escaped text (never
+    // quote-to-apostrophe mangling), with one \l terminating each
+    // instruction line.
+    Program p;
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(1)));
+    p.append(Instruction::branchRel(Opcode::kJmp, 2));
+    p.append(Instruction::halt());
+    const AnalysisResult r = analyzeProgram(p, {});
+    ASSERT_FALSE(r.hasErrors()) << r.toString();
+    const char* want =
+        "digraph cfg {\n"
+        "  node [shape=box, fontname=\"monospace\"];\n"
+        "  b0 [label=\"0x1000: add Accum,1 + folded jmp -> "
+        "0x1004\\l0x1004: halt -> halt\\l\"];\n"
+        "}\n";
+    EXPECT_EQ(r.cfg->toDot(), want);
+}
+
 TEST(Cfg, UnreachableCodeIsReported)
 {
     AsmBuilder b;
@@ -283,6 +305,69 @@ TEST(Checks, JumpTableProgramAnalyzesClean)
     const OracleReport o = runStaticOracle(res.program, SimConfig{});
     EXPECT_TRUE(o.applicable);
     EXPECT_TRUE(o.ok()) << o.toString();
+}
+
+TEST(Oracle, TamperedTargetSetTripsInvariant8)
+{
+    // The value-set analysis proves the switch dispatch's target set;
+    // deleting the dynamically-taken target from that proof must trip
+    // the retire-time membership check (invariant 8) — the positive
+    // leg of the same program is pinned by
+    // Checks.JumpTableProgramAnalyzesClean. A program that stores to
+    // its own table never gets here: the table becomes may-written
+    // and the site falls back to unenforceable, so the corruption has
+    // to be injected into the static side directly.
+    const char* src = R"(
+        int main() {
+            int i; int s;
+            s = 0;
+            for (i = 0; i < 12; i = i + 1) {
+                switch (i - (i / 4) * 4) {
+                    case 0: s = s + 1; break;
+                    case 1: s = s + 2; break;
+                    case 2: s = s + 3; break;
+                    default: s = s + 5; break;
+                }
+            }
+            return s;
+        }
+    )";
+    const cc::CompileResult res = cc::compile(src, {});
+    const SimConfig cfg;
+    AnalysisOptions aopt;
+    aopt.policy = cfg.foldPolicy;
+    aopt.predict = PredictConvention::kNone;
+    aopt.foldInfo = false;
+    aopt.costPredict = predictSourceFor(cfg);
+    AnalysisResult st = analyzeProgram(res.program, aopt);
+    ASSERT_FALSE(st.hasErrors()) << st.toString();
+
+    SiteRecorder rec;
+    CrispCpu cpu(res.program, cfg);
+    const SimStats& dyn = cpu.run(&rec);
+    ASSERT_FALSE(dyn.faulted);
+    ASSERT_FALSE(dyn.timedOut);
+    EXPECT_TRUE(crossCheck(st, dyn, rec).ok());
+
+    // Pick a retired indirect target covered by an enforceable proof
+    // and erase it from every issue point of its branch.
+    bool tampered = false;
+    for (const auto& [bpc, dynTargets] : rec.jumpTargets) {
+        for (auto& [ip, ts] : st.targets.sites) {
+            if (ts.branchPc != bpc || !ts.enforceable)
+                continue;
+            for (const Addr t : dynTargets)
+                tampered |= ts.targets.erase(t) > 0;
+        }
+    }
+    ASSERT_TRUE(tampered)
+        << "no enforceable proof covered a retired indirect target";
+    const OracleReport rep = crossCheck(st, dyn, rec);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_FALSE(rep.targetViolations.empty()) << rep.toString();
+    // The escape is a target-set verdict, not a structural mismatch:
+    // the global candidate set (invariant 6) still contains it.
+    EXPECT_TRUE(rep.mismatches.empty()) << rep.toString();
 }
 
 TEST(Oracle, StaticCountsMatchDynamicStatsAcross200Seeds)

@@ -51,6 +51,51 @@ countingLoop(std::int32_t limit)
     return p;
 }
 
+// Store a little-endian word into the program's data segment at
+// @p addr (grows the segment as needed).
+void
+pokeDataWord(Program& p, Addr addr, Word v)
+{
+    const std::size_t off = addr - p.dataBase;
+    if (p.data.size() < off + kWordBytes)
+        p.data.resize(off + kWordBytes, 0);
+    p.data[off] = static_cast<std::uint8_t>(v);
+    p.data[off + 1] = static_cast<std::uint8_t>(v >> 8);
+    p.data[off + 2] = static_cast<std::uint8_t>(v >> 16);
+    p.data[off + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+// An indirect dispatch through a one-entry jump table at kDataBase:
+// the load-image entry points at armA. When @p retarget is set the
+// program first copies armB's address (held in a second data word)
+// over the entry, so a translation that predicted the load-image word
+// must take the runtime-guard miss path. The taken arm's signature
+// lands in the accumulator.
+Program
+mutableDispatch(bool retarget)
+{
+    Program p;
+    const Addr table = kDataBase;
+    const Addr alt = kDataBase + kWordBytes;
+    if (retarget) {
+        p.append(Instruction::mov(Operand::abs(table),
+                                  Operand::abs(alt)));
+    }
+    p.append(Instruction::branchFar(Opcode::kJmp, BranchMode::kIndAbs,
+                                    table));
+    const Addr arm_a = p.textEnd();
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(11)));
+    p.append(Instruction::halt());
+    const Addr arm_b = p.textEnd();
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(77)));
+    p.append(Instruction::halt());
+    pokeDataWord(p, table, static_cast<Word>(arm_a));
+    pokeDataWord(p, alt, static_cast<Word>(arm_b));
+    return p;
+}
+
 // ------------------------------------------- three-way differential
 
 TEST(FastEngineDiff, ThreeWaySweep200Seeds)
@@ -400,6 +445,108 @@ TEST(FastEngine, BudgetOvershootStaysWithinPollPlusTraceCap)
     EXPECT_TRUE(eng.stats().timedOut);
     EXPECT_GE(eng.stats().apparent, 5'000u);
     EXPECT_LT(eng.stats().apparent, 5'000u + 4'096u + 2 * kTraceCap);
+}
+
+// ---------------------------- directed: predicted indirect chaining
+
+TEST(FastEngine, SelfPredictedIndirectChainsThroughTable)
+{
+    // kIndAbs with a clean table: the translator predicts the
+    // load-image word, the trace walker chains straight through the
+    // dispatch, and the inline cache is never even consulted.
+    const Program prog = mutableDispatch(false);
+    Translation trans(prog, FoldPolicy::kCrisp);
+    const std::uint32_t bi = trans.indexOf(prog.entry);
+    ASSERT_NE(bi, kNoIdx);
+    const TOp& jmp = trans.ops()[bi];
+    ASSERT_EQ(jmp.kind, TKind::kJmp);
+    ASSERT_TRUE(jmp.dynTarget);
+    EXPECT_NE(jmp.predIdx, kNoIdx);
+    // The trace covers the dispatch plus the landing arm.
+    EXPECT_GE(jmp.trace, 2u);
+    EXPECT_FALSE(trans.icSeeds().empty());
+
+    FastEngine eng(prog);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    EXPECT_EQ(eng.accum(), 11);
+    EXPECT_EQ(eng.icMisses(), 0u);
+
+    Interpreter interp(prog);
+    interp.run();
+    EXPECT_EQ(eng.accum(), interp.accum());
+    EXPECT_EQ(eng.stats().branches, 1u);
+}
+
+TEST(FastEngine, MispredictedIndirectTakesGuardPath)
+{
+    // The program overwrites its own jump table before dispatching:
+    // the self-prediction (from the load image) is wrong, and the
+    // runtime guard must route control to the re-targeted arm with
+    // fully interpreter-equivalent state.
+    const Program prog = mutableDispatch(true);
+    FastEngine eng(prog);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    EXPECT_EQ(eng.accum(), 77);
+
+    Interpreter interp(prog);
+    const InterpResult ir = interp.run();
+    EXPECT_EQ(eng.accum(), interp.accum());
+    EXPECT_EQ(eng.stats().apparent, ir.instructions);
+}
+
+TEST(FastEngine, HintedSingletonChainsThroughIndSpDispatch)
+{
+    // kIndSp cannot self-predict (the slot address depends on SP), so
+    // a proven-singleton hint is what unlocks chaining. A *wrong*
+    // hint must cost nothing but the misprediction.
+    Program p;
+    const Addr table = kDataBase;
+    p.append(Instruction::mov(Operand::stack(0), Operand::abs(table)));
+    const Addr branch_pc = p.textEnd();
+    p.append(Instruction::branchFar(Opcode::kJmp, BranchMode::kIndSp,
+                                    0));
+    const Addr arm_a = p.textEnd();
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(11)));
+    p.append(Instruction::halt());
+    const Addr arm_b = p.textEnd();
+    p.append(Instruction::alu(Opcode::kAdd, Operand::accum(),
+                              Operand::imm(77)));
+    p.append(Instruction::halt());
+    pokeDataWord(p, table, static_cast<Word>(arm_a));
+
+    // Unhinted: the indirect exit terminates the trace.
+    Translation bare(p, FoldPolicy::kCrisp);
+    const std::uint32_t bi = bare.indexOf(branch_pc);
+    ASSERT_NE(bi, kNoIdx);
+    EXPECT_EQ(bare.ops()[bi].predIdx, kNoIdx);
+
+    // Correct singleton hint: prediction installed, trace extends.
+    IndirectHints hints;
+    hints.targets[branch_pc] = {arm_a};
+    Translation hinted(p, FoldPolicy::kCrisp, nullptr, true, &hints);
+    EXPECT_EQ(hinted.ops()[bi].predTarget, arm_a);
+    EXPECT_GE(hinted.ops()[bi].trace, 2u);
+
+    FastEngine eng(p, SimConfig{}, nullptr, nullptr, &hints);
+    eng.run();
+    ASSERT_TRUE(eng.halted());
+    EXPECT_EQ(eng.accum(), 11);
+    EXPECT_EQ(eng.icMisses(), 0u);
+
+    // Wrong hint: guarded, so the result is unchanged.
+    IndirectHints wrong;
+    wrong.targets[branch_pc] = {arm_b};
+    FastEngine eng2(p, SimConfig{}, nullptr, nullptr, &wrong);
+    eng2.run();
+    ASSERT_TRUE(eng2.halted());
+    EXPECT_EQ(eng2.accum(), 11);
+
+    Interpreter interp(p);
+    interp.run();
+    EXPECT_EQ(eng.accum(), interp.accum());
 }
 
 // ------------------------------------------ directed: inline caches

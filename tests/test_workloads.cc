@@ -80,11 +80,12 @@ INSTANTIATE_TEST_SUITE_P(All, WorkloadGolden,
                                            "drc", "dhry", "cwhet",
                                            "puzzle", "sieve", "sort",
                                            "matmul", "crc8", "quant",
-                                           "lex"));
+                                           "lex", "vmtrace",
+                                           "vmmode"));
 
 TEST(Workloads, RegistryIsComplete)
 {
-    EXPECT_EQ(allWorkloads().size(), 13u);
+    EXPECT_EQ(allWorkloads().size(), 15u);
     EXPECT_THROW(workload("nonesuch"), CrispError);
     for (const Workload& w : allWorkloads()) {
         EXPECT_FALSE(w.description.empty());

@@ -5,7 +5,7 @@
  *   crispcc input.c [-o out.obj] [-S] [-O] [--no-spread]
  *           [--no-peephole] [--predict=naive|heuristic]
  *           [--delay-slots] [--disasm] [--verify] [--stats-json]
- *           [--cost-audit] [--tamper-dce]
+ *           [--cost-audit] [--targets] [--tamper-dce]
  *
  *   -S            print the assembly listing instead of writing output
  *   -o FILE       write a linked CRISP object file
@@ -28,6 +28,10 @@
  *                 audit the compiler's spread claims against it: every
  *                 fully-spread branch must be provably free ([0, 0]
  *                 cycles). Exit 1 when any claim escapes its bound.
+ *   --targets     print the interprocedural indirect-target report:
+ *                 per indirect branch / return site, the proven target
+ *                 set (or the top fallback), plus the call-graph
+ *                 summary backing the return-site matching
  *   --tamper-dce  (testing) deliberately delete one live store during
  *                 -O and skip the validator fallback
  *
@@ -71,7 +75,7 @@ usage()
         "               [--no-spread] [--no-peephole]\n"
         "               [--predict=naive|heuristic] [--delay-slots]\n"
         "               [--verify] [--stats-json] [--cost-audit]\n"
-        "               [--tamper-dce]\n");
+        "               [--targets] [--tamper-dce]\n");
     return 2;
 }
 
@@ -89,6 +93,7 @@ main(int argc, char** argv)
     bool verify = false;
     bool stats_json = false;
     bool cost_audit = false;
+    bool targets_report = false;
     bool optimize = false;
     cc::CompileOptions opts;
     analysis::OptOptions oopts;
@@ -120,6 +125,8 @@ main(int argc, char** argv)
             stats_json = true;
         } else if (a == "--cost-audit") {
             cost_audit = true;
+        } else if (a == "--targets") {
+            targets_report = true;
         } else if (a == "--predict=naive") {
             opts.predict = cc::PredictMode::kAllNotTaken;
         } else if (a == "--predict=heuristic") {
@@ -153,9 +160,16 @@ main(int argc, char** argv)
                          output.c_str(), r.program.text.size(),
                          r.program.data.size());
         }
-        if (verify || stats_json || cost_audit) {
+        if (verify || stats_json || cost_audit || targets_report) {
             const analysis::VerifyReport v =
                 analysis::verifyCompile(r, opts);
+            if (targets_report && v.applicable) {
+                std::fputs(v.analysis.targetsTableText().c_str(),
+                           stdout);
+            } else if (targets_report) {
+                std::printf("targets: not applicable "
+                            "(delay-slot baseline build)\n");
+            }
             if (cost_audit) {
                 if (!v.applicable) {
                     std::printf("cost audit: not applicable "
@@ -238,7 +252,7 @@ main(int argc, char** argv)
             return 4;
         }
         if (!listing && !disasm && output.empty() && !verify &&
-            !stats_json && !cost_audit) {
+            !stats_json && !cost_audit && !targets_report) {
             std::fputs(r.listing.c_str(), stdout);
         }
     } catch (const std::exception& e) {

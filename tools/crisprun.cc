@@ -42,6 +42,7 @@
 
 #include "asm/assembler.hh"
 #include "baseline/delayed.hh"
+#include "analysis/checks.hh"
 #include "cc/compiler.hh"
 #include "interp/interpreter.hh"
 #include "isa/objfile.hh"
@@ -245,7 +246,19 @@ main(int argc, char** argv)
         }
 
         if (machine == "fast") {
-            FastEngine eng(prog, cfg);
+            // Feed proven indirect-target sets to the translator:
+            // singleton sets let traces chain through indirect
+            // dispatches (runtime-guarded, so a stale proof can never
+            // corrupt execution).
+            analysis::AnalysisOptions aopt;
+            aopt.predict = analysis::PredictConvention::kNone;
+            aopt.foldInfo = false;
+            const analysis::AnalysisResult ar =
+                analysis::analyzeProgram(prog, aopt);
+            IndirectHints hints;
+            if (!ar.hasErrors())
+                hints = analysis::hintsFromTargets(ar.targets);
+            FastEngine eng(prog, cfg, nullptr, nullptr, &hints);
             const SimStats& s = eng.run();
             std::printf("exit value: %d\n",
                         static_cast<int>(eng.accum()));

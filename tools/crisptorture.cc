@@ -235,6 +235,7 @@ plainSweep(const Options& opt)
         int bad = 0;
         int staticBad = 0;
         int costBad = 0;
+        int targetBad = 0;
         int timedOut = 0;
         std::string text;
     };
@@ -298,19 +299,26 @@ plainSweep(const Options& opt)
                 analysis::runStaticOracle(prog, cfg);
             if (orep.ok())
                 continue;
-            // A run can trip both verdicts; the structural mismatch
-            // dominates the label, the counters track each kind.
+            // A run can trip several verdicts; the structural
+            // mismatch dominates the label, then cost, then target
+            // sets — the counters track each kind regardless.
             const bool structural = !orep.mismatches.empty();
+            const bool costly = !orep.costViolations.empty();
             if (structural)
                 ++results[i].staticBad;
-            if (!orep.costViolations.empty())
+            if (costly)
                 ++results[i].costBad;
+            if (!orep.targetViolations.empty())
+                ++results[i].targetBad;
             const auto still_fails_oracle =
                 [&](const GenProgram& cand) {
                     const analysis::OracleReport rr =
                         analysis::runStaticOracle(cand.link(), cfg);
-                    return structural ? !rr.mismatches.empty()
-                                      : !rr.costViolations.empty();
+                    if (structural)
+                        return !rr.mismatches.empty();
+                    if (costly)
+                        return !rr.costViolations.empty();
+                    return !rr.targetViolations.empty();
                 };
             const ShrinkResult sh =
                 shrinkProgram(gp, still_fails_oracle);
@@ -319,7 +327,8 @@ plainSweep(const Options& opt)
                           "=== %s seed=%llu fold=%d "
                           "dic=%d mem-latency=%d ===\n",
                           structural ? "STATIC MISMATCH"
-                                     : "COST BOUND VIOLATION",
+                          : costly   ? "COST BOUND VIOLATION"
+                                     : "TARGET SET VIOLATION",
                           static_cast<unsigned long long>(s),
                           static_cast<int>(cfg.foldPolicy),
                           cfg.dicEntries, cfg.memLatency);
@@ -336,20 +345,23 @@ plainSweep(const Options& opt)
     int bad = 0;
     int static_bad = 0;
     int cost_bad = 0;
+    int target_bad = 0;
     int timed_out = 0;
     for (const SeedOut& r : results) {
         std::fputs(r.text.c_str(), stdout);
         bad += r.bad;
         static_bad += r.staticBad;
         cost_bad += r.costBad;
+        target_bad += r.targetBad;
         timed_out += r.timedOut;
     }
     std::printf("torture: %llu seeds x %zu configs, %d divergences, "
                 "%d static mismatches, %d cost-bound violations, "
-                "%d timeouts\n",
+                "%d target-set violations, %d timeouts\n",
                 static_cast<unsigned long long>(opt.seeds),
-                cfgs.size(), bad, static_bad, cost_bad, timed_out);
-    return bad + static_bad + cost_bad + timed_out;
+                cfgs.size(), bad, static_bad, cost_bad, target_bad,
+                timed_out);
+    return bad + static_bad + cost_bad + target_bad + timed_out;
 }
 
 /**
